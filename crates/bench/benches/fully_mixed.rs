@@ -1,0 +1,53 @@
+//! E7 — Theorem 4.6 / Corollary 4.7: the fully mixed Nash equilibrium is
+//! computed from its closed form in `O(nm)` time. The sweep varies `n` and `m`
+//! independently to expose the bilinear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::mild_instance;
+use netuncert_core::fully_mixed::{fully_mixed_candidate, fully_mixed_nash};
+use netuncert_core::numeric::Tolerance;
+
+fn bench_fully_mixed(c: &mut Criterion) {
+    let tol = Tolerance::default();
+
+    let mut by_users = c.benchmark_group("fmne_by_users");
+    by_users.sample_size(30);
+    for &n in &[8usize, 32, 128, 512, 2048] {
+        let game = mild_instance(n, 8, 42);
+        by_users.bench_with_input(BenchmarkId::new("m=8", n), &n, |b, _| {
+            b.iter(|| fully_mixed_nash(black_box(&game), tol))
+        });
+    }
+    by_users.finish();
+
+    let mut by_links = c.benchmark_group("fmne_by_links");
+    by_links.sample_size(30);
+    for &m in &[2usize, 8, 32, 128] {
+        let game = mild_instance(256, m, 43);
+        by_links.bench_with_input(BenchmarkId::new("n=256", m), &m, |b, _| {
+            b.iter(|| fully_mixed_nash(black_box(&game), tol))
+        });
+    }
+    by_links.finish();
+
+    // The candidate evaluation alone (no feasibility filtering) — the raw
+    // closed form of Lemmas 4.1–4.3.
+    let mut candidate = c.benchmark_group("fmne_candidate");
+    candidate.sample_size(30);
+    for &n in &[64usize, 512] {
+        let game = mild_instance(n, 16, 44);
+        candidate.bench_with_input(BenchmarkId::new("m=16", n), &n, |b, _| {
+            b.iter(|| fully_mixed_candidate(black_box(&game)))
+        });
+    }
+    candidate.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_fully_mixed
+}
+criterion_main!(benches);

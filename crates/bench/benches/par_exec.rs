@@ -1,0 +1,65 @@
+//! Substrate bench — the `par-exec` parallel layer used by the Monte-Carlo
+//! experiments: sequential vs. multi-threaded `parallel_map` on the
+//! per-instance workload the experiments actually run (solve a random game).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::general_instance;
+use netuncert_core::algorithms::solve_pure_nash;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::strategy::LinkLoads;
+use par_exec::{available_parallelism, parallel_map, ParallelConfig};
+
+fn bench_par_exec(c: &mut Criterion) {
+    let tol = Tolerance::default();
+    let tasks = 64usize;
+
+    let mut group = c.benchmark_group("parallel_monte_carlo_sweep");
+    group.sample_size(10);
+    let thread_counts = {
+        let max = available_parallelism();
+        let mut counts = vec![1usize];
+        if max >= 2 {
+            counts.push(2);
+        }
+        if max > 2 {
+            counts.push(max);
+        }
+        counts
+    };
+    for &threads in &thread_counts {
+        let config = ParallelConfig::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("solve_64_random_games", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    parallel_map(black_box(&config), tasks, |i| {
+                        let game = general_instance(12, 4, i as u64);
+                        let t = LinkLoads::zero(4);
+                        solve_pure_nash(&game, &t, tol).unwrap().is_some()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut overhead = c.benchmark_group("parallel_map_overhead");
+    overhead.sample_size(30);
+    for &threads in &thread_counts {
+        let config = ParallelConfig::new(threads);
+        overhead.bench_with_input(BenchmarkId::new("trivial_tasks", threads), &threads, |b, _| {
+            b.iter(|| parallel_map(black_box(&config), 10_000, |i| i * 2))
+        });
+    }
+    overhead.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_par_exec
+}
+criterion_main!(benches);

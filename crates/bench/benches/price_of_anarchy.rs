@@ -1,0 +1,50 @@
+//! E10 — price-of-anarchy measurement (Theorems 4.13/4.14): cost of measuring
+//! an equilibrium against the exact social optimum and of evaluating the
+//! closed-form coordination-ratio bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::{general_instance, uniform_beliefs_instance};
+use netuncert_core::fully_mixed::fully_mixed_nash;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::social_cost::{cr_bound_general, cr_bound_uniform_beliefs, measure};
+use netuncert_core::strategy::{LinkLoads, MixedProfile};
+
+fn bench_poa(c: &mut Criterion) {
+    let tol = Tolerance::default();
+
+    let mut measurement = c.benchmark_group("poa_measure_against_exact_opt");
+    measurement.sample_size(10);
+    for &(n, m) in &[(5usize, 2usize), (6, 3), (8, 3)] {
+        let game = general_instance(n, m, 42);
+        let initial = LinkLoads::zero(m);
+        let profile = fully_mixed_nash(&game, tol)
+            .unwrap_or_else(|| MixedProfile::uniform(n, m));
+        measurement.bench_with_input(BenchmarkId::new("measure", format!("n{n}_m{m}")), &n, |b, _| {
+            b.iter(|| measure(black_box(&game), black_box(&profile), black_box(&initial), 100_000_000).unwrap())
+        });
+    }
+    measurement.finish();
+
+    let mut bounds = c.benchmark_group("poa_bound_formulas");
+    bounds.sample_size(50);
+    for &(n, m) in &[(64usize, 8usize), (512, 16)] {
+        let uniform_game = uniform_beliefs_instance(n, m, 43);
+        let general_game = general_instance(n, m, 43);
+        bounds.bench_with_input(BenchmarkId::new("theorem_4_13", format!("n{n}_m{m}")), &n, |b, _| {
+            b.iter(|| cr_bound_uniform_beliefs(black_box(&uniform_game)))
+        });
+        bounds.bench_with_input(BenchmarkId::new("theorem_4_14", format!("n{n}_m{m}")), &n, |b, _| {
+            b.iter(|| cr_bound_general(black_box(&general_game)))
+        });
+    }
+    bounds.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_poa
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E2 — Figure 2 / Theorem 3.5: `Asymmetric` computes a pure Nash equilibrium
+//! for symmetric (identically weighted) users in `O(n² m)`. The sweep varies
+//! both `n` and `m` to expose the joint scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::symmetric_instance;
+use netuncert_core::algorithms::symmetric;
+use netuncert_core::equilibrium::is_pure_nash;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::strategy::LinkLoads;
+
+fn bench_symmetric(c: &mut Criterion) {
+    let tol = Tolerance::default();
+
+    let mut by_users = c.benchmark_group("asymmetric_by_users");
+    by_users.sample_size(20);
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let game = symmetric_instance(n, 4, 42);
+        let profile = symmetric::solve(&game, tol).unwrap();
+        assert!(is_pure_nash(&game, &profile, &LinkLoads::zero(4), tol));
+        by_users.bench_with_input(BenchmarkId::new("m=4", n), &n, |b, _| {
+            b.iter(|| symmetric::solve(black_box(&game), tol).unwrap())
+        });
+    }
+    by_users.finish();
+
+    let mut by_links = c.benchmark_group("asymmetric_by_links");
+    by_links.sample_size(20);
+    for &m in &[2usize, 4, 8, 16, 32] {
+        let game = symmetric_instance(64, m, 43);
+        by_links.bench_with_input(BenchmarkId::new("n=64", m), &m, |b, _| {
+            b.iter(|| symmetric::solve(black_box(&game), tol).unwrap())
+        });
+    }
+    by_links.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_symmetric
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E1 — Figure 1 / Theorem 3.3: `Atwolinks` computes a pure Nash equilibrium
+//! for `m = 2` links in `O(n²)`. The size sweep exposes the quadratic scaling
+//! and the per-size groups regenerate the "algorithm works at every n" series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::general_instance;
+use netuncert_core::algorithms::two_links;
+use netuncert_core::equilibrium::is_pure_nash;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::strategy::LinkLoads;
+
+fn bench_two_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atwolinks");
+    group.sample_size(20);
+    for &n in &[8usize, 16, 32, 64, 128, 256, 512] {
+        let game = general_instance(n, 2, 42);
+        let initial = LinkLoads::zero(2);
+        // Sanity: the solver output is an equilibrium before we time it.
+        let profile = two_links::solve(&game, &initial).unwrap();
+        assert!(is_pure_nash(&game, &profile, &initial, Tolerance::default()));
+
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            b.iter(|| two_links::solve(black_box(&game), black_box(&initial)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut with_traffic = c.benchmark_group("atwolinks_initial_traffic");
+    with_traffic.sample_size(20);
+    for &n in &[32usize, 128] {
+        let game = general_instance(n, 2, 43);
+        let initial = LinkLoads::new(vec![3.5, 1.25]).unwrap();
+        with_traffic.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
+            b.iter(|| two_links::solve(black_box(&game), black_box(&initial)).unwrap())
+        });
+    }
+    with_traffic.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_two_links
+}
+criterion_main!(benches);

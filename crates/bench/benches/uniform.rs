@@ -1,0 +1,47 @@
+//! E3 — Figure 3 / Theorem 3.6: `Auniform` (LPT-style) computes a pure Nash
+//! equilibrium under uniform user beliefs in `O(n (log n + m))`. The sweep
+//! goes to large `n` to expose the near-linear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::uniform_beliefs_instance;
+use netuncert_core::algorithms::uniform;
+use netuncert_core::equilibrium::is_pure_nash;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::strategy::LinkLoads;
+
+fn bench_uniform(c: &mut Criterion) {
+    let tol = Tolerance::default();
+
+    let mut by_users = c.benchmark_group("auniform_by_users");
+    by_users.sample_size(20);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let game = uniform_beliefs_instance(n, 8, 42);
+        let initial = LinkLoads::zero(8);
+        let profile = uniform::solve(&game, &initial, tol).unwrap();
+        assert!(is_pure_nash(&game, &profile, &initial, tol));
+        by_users.bench_with_input(BenchmarkId::new("m=8", n), &n, |b, _| {
+            b.iter(|| uniform::solve(black_box(&game), black_box(&initial), tol).unwrap())
+        });
+    }
+    by_users.finish();
+
+    let mut by_links = c.benchmark_group("auniform_by_links");
+    by_links.sample_size(20);
+    for &m in &[2usize, 8, 32, 64] {
+        let game = uniform_beliefs_instance(512, m, 43);
+        let initial = LinkLoads::zero(m);
+        by_links.bench_with_input(BenchmarkId::new("n=512", m), &m, |b, _| {
+            b.iter(|| uniform::solve(black_box(&game), black_box(&initial), tol).unwrap())
+        });
+    }
+    by_links.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_uniform
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Resource cost functions.
+
+use serde::{Deserialize, Serialize};
+
+/// A non-decreasing cost (latency) function of the total load on a resource.
+///
+/// Two representations cover every game in this workspace:
+///
+/// * [`CostFunction::LinearLoad`] — `load / capacity`, the latency shape of
+///   the KP-model and of the paper's belief-induced games;
+/// * [`CostFunction::StepLoad`] — a right-continuous step function given by
+///   `(threshold, value)` breakpoints, general enough to express arbitrary
+///   monotone costs on the finitely many loads a finite game can produce
+///   (used by the Milchtaich counterexample search).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CostFunction {
+    /// `cost(load) = load / capacity` with `capacity > 0`.
+    LinearLoad {
+        /// The resource capacity.
+        capacity: f64,
+    },
+    /// A non-decreasing step function: `cost(load)` is the value of the last
+    /// breakpoint whose threshold is `≤ load`, or `base` when `load` is below
+    /// every threshold.
+    StepLoad {
+        /// Cost when the load is below the first threshold.
+        base: f64,
+        /// Breakpoints as `(threshold, value)` pairs, sorted by threshold with
+        /// non-decreasing values.
+        steps: Vec<(f64, f64)>,
+    },
+}
+
+impl CostFunction {
+    /// A linear cost `load / capacity`.
+    pub fn linear(capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        CostFunction::LinearLoad { capacity }
+    }
+
+    /// A step cost function; panics unless thresholds are strictly increasing
+    /// and values (including `base`) are non-decreasing and non-negative.
+    pub fn step(base: f64, steps: Vec<(f64, f64)>) -> Self {
+        assert!(base.is_finite() && base >= 0.0, "base cost must be non-negative");
+        let mut last_threshold = f64::NEG_INFINITY;
+        let mut last_value = base;
+        for &(threshold, value) in &steps {
+            assert!(threshold.is_finite() && threshold > last_threshold, "thresholds must increase");
+            assert!(value.is_finite() && value >= last_value, "step values must be non-decreasing");
+            last_threshold = threshold;
+            last_value = value;
+        }
+        CostFunction::StepLoad { base, steps }
+    }
+
+    /// The cost at total load `load`.
+    pub fn cost(&self, load: f64) -> f64 {
+        match self {
+            CostFunction::LinearLoad { capacity } => load / capacity,
+            CostFunction::StepLoad { base, steps } => {
+                let mut value = *base;
+                for &(threshold, step_value) in steps {
+                    if load >= threshold {
+                        value = step_value;
+                    } else {
+                        break;
+                    }
+                }
+                value
+            }
+        }
+    }
+
+    /// Whether the function is non-decreasing on the given sample loads
+    /// (diagnostic helper used by tests and the counterexample search).
+    pub fn is_monotone_on(&self, loads: &[f64]) -> bool {
+        let mut sorted = loads.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("loads must not be NaN"));
+        sorted.windows(2).all(|w| self.cost(w[0]) <= self.cost(w[1]) + 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cost_is_load_over_capacity() {
+        let f = CostFunction::linear(4.0);
+        assert_eq!(f.cost(0.0), 0.0);
+        assert_eq!(f.cost(2.0), 0.5);
+        assert_eq!(f.cost(8.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn linear_rejects_non_positive_capacity() {
+        CostFunction::linear(0.0);
+    }
+
+    #[test]
+    fn step_cost_evaluates_right_continuously() {
+        let f = CostFunction::step(1.0, vec![(2.0, 3.0), (5.0, 7.0)]);
+        assert_eq!(f.cost(0.0), 1.0);
+        assert_eq!(f.cost(1.9), 1.0);
+        assert_eq!(f.cost(2.0), 3.0);
+        assert_eq!(f.cost(4.9), 3.0);
+        assert_eq!(f.cost(5.0), 7.0);
+        assert_eq!(f.cost(100.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn step_rejects_decreasing_values() {
+        CostFunction::step(1.0, vec![(2.0, 3.0), (5.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must increase")]
+    fn step_rejects_unsorted_thresholds() {
+        CostFunction::step(0.0, vec![(5.0, 1.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let f = CostFunction::step(0.0, vec![(1.0, 1.0), (2.0, 4.0)]);
+        assert!(f.is_monotone_on(&[0.0, 1.0, 1.5, 2.0, 3.0]));
+        let g = CostFunction::linear(2.0);
+        assert!(g.is_monotone_on(&[0.0, 0.5, 10.0]));
+    }
+}

@@ -1,0 +1,35 @@
+//! # congestion-games
+//!
+//! A substrate crate implementing the congestion-game classes that the paper
+//! builds on and compares against:
+//!
+//! * [`rosenthal`] — classical *unweighted* congestion games with universal
+//!   (player-independent) resource cost functions. Rosenthal's potential shows
+//!   these always possess pure Nash equilibria; the potential and the
+//!   convergence of improvement dynamics are implemented and tested.
+//! * [`user_specific`] — *weighted* singleton congestion games with
+//!   player-specific cost functions, the class of Milchtaich (1996) that the
+//!   paper's model is an instance of. Pure Nash equilibria need not exist
+//!   here.
+//! * [`milchtaich`] — a concrete three-player, three-resource weighted
+//!   user-specific game without any pure Nash equilibrium (the shape of the
+//!   counterexample cited by the paper), together with a randomised search
+//!   routine for generating further counterexamples, and the embedding of the
+//!   paper's belief-based games into the user-specific class.
+//!
+//! The paper's point — reproduced by the tests and experiments in this
+//! workspace — is that the belief-induced games sit strictly *inside* the
+//! user-specific class: the general class admits three-player games with no
+//! pure equilibrium, while every three-player belief-induced game has one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod milchtaich;
+pub mod rosenthal;
+pub mod user_specific;
+
+pub use cost::CostFunction;
+pub use rosenthal::CongestionGame;
+pub use user_specific::UserSpecificGame;

@@ -1,0 +1,218 @@
+//! Classical unweighted congestion games (Rosenthal 1973).
+//!
+//! Every player selects one resource; the cost of a resource depends only on
+//! the *number* of players using it and is the same for every player.
+//! Rosenthal's potential `Φ(σ) = Σ_r Σ_{k=1}^{n_r(σ)} c_r(k)` decreases with
+//! every improving deviation, so better-response dynamics always converge to a
+//! pure Nash equilibrium. This crate uses the class as the "everything works"
+//! baseline against which the user-specific and belief-induced games are
+//! compared.
+
+use serde::{Deserialize, Serialize};
+
+/// An unweighted singleton congestion game with universal per-resource costs.
+///
+/// `cost[r][k-1]` is the cost every player on resource `r` pays when exactly
+/// `k` players use it; each cost row must be non-decreasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionGame {
+    players: usize,
+    /// `costs[r][k-1]` = cost of resource `r` with `k` players on it.
+    costs: Vec<Vec<f64>>,
+}
+
+impl CongestionGame {
+    /// Builds a game with `players` players and the given per-resource cost
+    /// tables. Each table must have one entry per possible occupancy
+    /// `1..=players` and be non-decreasing.
+    pub fn new(players: usize, costs: Vec<Vec<f64>>) -> Self {
+        assert!(players >= 2, "need at least two players");
+        assert!(costs.len() >= 2, "need at least two resources");
+        for (r, table) in costs.iter().enumerate() {
+            assert_eq!(table.len(), players, "resource {r} needs a cost for every occupancy");
+            assert!(
+                table.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+                "resource {r} costs must be non-decreasing"
+            );
+            assert!(table.iter().all(|c| c.is_finite()), "costs must be finite");
+        }
+        CongestionGame { players, costs }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.players
+    }
+
+    /// Number of resources.
+    pub fn resources(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Cost of resource `resource` when `count` players use it.
+    pub fn cost(&self, resource: usize, count: usize) -> f64 {
+        assert!(count >= 1 && count <= self.players);
+        self.costs[resource][count - 1]
+    }
+
+    /// Number of players on each resource under `profile`.
+    pub fn occupancies(&self, profile: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.resources()];
+        for &r in profile {
+            counts[r] += 1;
+        }
+        counts
+    }
+
+    /// Cost paid by `player` in `profile`.
+    pub fn player_cost(&self, profile: &[usize], player: usize) -> f64 {
+        let counts = self.occupancies(profile);
+        self.cost(profile[player], counts[profile[player]])
+    }
+
+    /// Rosenthal's potential `Φ(σ) = Σ_r Σ_{k=1}^{n_r} c_r(k)`.
+    pub fn rosenthal_potential(&self, profile: &[usize]) -> f64 {
+        let counts = self.occupancies(profile);
+        let mut phi = 0.0;
+        for (r, &n_r) in counts.iter().enumerate() {
+            for k in 1..=n_r {
+                phi += self.cost(r, k);
+            }
+        }
+        phi
+    }
+
+    /// The best improving deviation of `player`, if any, as `(resource, new_cost)`.
+    pub fn best_improvement(&self, profile: &[usize], player: usize) -> Option<(usize, f64)> {
+        let counts = self.occupancies(profile);
+        let current = self.cost(profile[player], counts[profile[player]]);
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.resources() {
+            if r == profile[player] {
+                continue;
+            }
+            let new_cost = self.cost(r, counts[r] + 1);
+            if new_cost < current - 1e-12 && best.map(|(_, c)| new_cost < c).unwrap_or(true) {
+                best = Some((r, new_cost));
+            }
+        }
+        best
+    }
+
+    /// Whether `profile` is a pure Nash equilibrium.
+    pub fn is_pure_nash(&self, profile: &[usize]) -> bool {
+        (0..self.players).all(|p| self.best_improvement(profile, p).is_none())
+    }
+
+    /// Runs best-response dynamics until convergence, returning the
+    /// equilibrium and the number of moves. Convergence is guaranteed by the
+    /// Rosenthal potential; the step bound `players * resources * players` is a
+    /// safety net only.
+    pub fn converge(&self, start: Vec<usize>) -> (Vec<usize>, usize) {
+        let mut profile = start;
+        let mut steps = 0usize;
+        let hard_cap = 10_000 + self.players * self.resources() * self.players;
+        loop {
+            let mut moved = false;
+            for player in 0..self.players {
+                if let Some((to, _)) = self.best_improvement(&profile, player) {
+                    profile[player] = to;
+                    steps += 1;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                return (profile, steps);
+            }
+            assert!(steps <= hard_cap, "dynamics failed to converge: potential argument violated");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_player_game() -> CongestionGame {
+        CongestionGame::new(
+            3,
+            vec![
+                vec![1.0, 3.0, 6.0],
+                vec![2.0, 4.0, 5.0],
+                vec![2.5, 2.5, 2.5],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_validates_tables() {
+        let g = three_player_game();
+        assert_eq!(g.players(), 3);
+        assert_eq!(g.resources(), 3);
+        assert_eq!(g.cost(0, 2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_costs_are_rejected() {
+        CongestionGame::new(2, vec![vec![2.0, 1.0], vec![1.0, 1.0]]);
+    }
+
+    #[test]
+    fn potential_drops_with_every_improving_move() {
+        let g = three_player_game();
+        let mut profile = vec![0, 0, 0];
+        let mut phi = g.rosenthal_potential(&profile);
+        loop {
+            let mut moved = false;
+            for p in 0..3 {
+                if let Some((to, _)) = g.best_improvement(&profile, p) {
+                    let old_cost = g.player_cost(&profile, p);
+                    profile[p] = to;
+                    let new_phi = g.rosenthal_potential(&profile);
+                    let new_cost = g.player_cost(&profile, p);
+                    // Exact potential: ΔΦ equals the mover's cost change.
+                    assert!(
+                        ((new_phi - phi) - (new_cost - old_cost)).abs() < 1e-9,
+                        "potential is not exact"
+                    );
+                    assert!(new_phi < phi);
+                    phi = new_phi;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        assert!(g.is_pure_nash(&profile));
+    }
+
+    #[test]
+    fn dynamics_always_converge() {
+        let g = three_player_game();
+        for start in [vec![0, 0, 0], vec![1, 1, 1], vec![2, 2, 2], vec![0, 1, 2]] {
+            let (profile, _steps) = g.converge(start);
+            assert!(g.is_pure_nash(&profile));
+        }
+    }
+
+    #[test]
+    fn occupancies_and_costs_are_consistent() {
+        let g = three_player_game();
+        let profile = vec![0, 0, 2];
+        assert_eq!(g.occupancies(&profile), vec![2, 0, 1]);
+        assert_eq!(g.player_cost(&profile, 0), 3.0);
+        assert_eq!(g.player_cost(&profile, 2), 2.5);
+    }
+
+    #[test]
+    fn identical_resources_balance_players() {
+        let g = CongestionGame::new(4, vec![vec![1.0, 2.0, 3.0, 4.0]; 2]);
+        let (profile, _) = g.converge(vec![0, 0, 0, 0]);
+        let counts = g.occupancies(&profile);
+        assert_eq!(counts, vec![2, 2]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Weighted singleton congestion games with player-specific cost functions
+//! (Milchtaich 1996) — the general class the paper's model is an instance of.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostFunction;
+
+/// A weighted congestion game on parallel resources where each player has its
+/// own cost function per resource.
+///
+/// A pure strategy of player `i` is a single resource; its cost in a profile
+/// is `cᵢʳ(load on r)` where the load includes the player's own weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserSpecificGame {
+    weights: Vec<f64>,
+    /// `costs[i][r]`: cost function of player `i` on resource `r`.
+    costs: Vec<Vec<CostFunction>>,
+    resources: usize,
+}
+
+/// A profitable unilateral deviation in a [`UserSpecificGame`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Improvement {
+    /// The deviating player.
+    pub player: usize,
+    /// The resource the player moves to.
+    pub to: usize,
+    /// Cost before the move.
+    pub old_cost: f64,
+    /// Cost after the move.
+    pub new_cost: f64,
+}
+
+impl UserSpecificGame {
+    /// Builds a game; `costs` must be an `n × r` matrix of cost functions and
+    /// weights must be positive.
+    pub fn new(weights: Vec<f64>, costs: Vec<Vec<CostFunction>>) -> Self {
+        assert!(weights.len() >= 2, "need at least two players");
+        assert_eq!(weights.len(), costs.len(), "one cost row per player");
+        assert!(weights.iter().all(|&w| w.is_finite() && w > 0.0), "weights must be positive");
+        let resources = costs[0].len();
+        assert!(resources >= 2, "need at least two resources");
+        assert!(costs.iter().all(|row| row.len() == resources), "ragged cost matrix");
+        UserSpecificGame { weights, costs, resources }
+    }
+
+    /// Number of players.
+    pub fn players(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of resources.
+    pub fn resources(&self) -> usize {
+        self.resources
+    }
+
+    /// Weight of player `player`.
+    pub fn weight(&self, player: usize) -> f64 {
+        self.weights[player]
+    }
+
+    /// All weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The cost function of `player` on `resource`.
+    pub fn cost_function(&self, player: usize, resource: usize) -> &CostFunction {
+        &self.costs[player][resource]
+    }
+
+    /// Total load on every resource under `profile`.
+    pub fn loads(&self, profile: &[usize]) -> Vec<f64> {
+        let mut loads = vec![0.0; self.resources];
+        for (player, &r) in profile.iter().enumerate() {
+            loads[r] += self.weights[player];
+        }
+        loads
+    }
+
+    /// Cost of `player` in `profile`.
+    pub fn player_cost(&self, profile: &[usize], player: usize) -> f64 {
+        let loads = self.loads(profile);
+        self.costs[player][profile[player]].cost(loads[profile[player]])
+    }
+
+    /// Cost `player` would pay after unilaterally moving to `resource`.
+    pub fn cost_after_move(&self, profile: &[usize], player: usize, resource: usize) -> f64 {
+        let mut load = self.weights[player];
+        for (other, &r) in profile.iter().enumerate() {
+            if other != player && r == resource {
+                load += self.weights[other];
+            }
+        }
+        self.costs[player][resource].cost(load)
+    }
+
+    /// The best improving deviation of `player`, if any.
+    pub fn best_improvement(&self, profile: &[usize], player: usize) -> Option<Improvement> {
+        let old_cost = self.player_cost(profile, player);
+        let mut best: Option<Improvement> = None;
+        for resource in 0..self.resources {
+            if resource == profile[player] {
+                continue;
+            }
+            let new_cost = self.cost_after_move(profile, player, resource);
+            if new_cost < old_cost - 1e-12
+                && best.as_ref().map(|b| new_cost < b.new_cost).unwrap_or(true)
+            {
+                best = Some(Improvement { player, to: resource, old_cost, new_cost });
+            }
+        }
+        best
+    }
+
+    /// Whether `profile` is a pure Nash equilibrium.
+    pub fn is_pure_nash(&self, profile: &[usize]) -> bool {
+        (0..self.players()).all(|p| self.best_improvement(profile, p).is_none())
+    }
+
+    /// Enumerates all pure Nash equilibria (the profile space must be small).
+    pub fn all_pure_nash(&self) -> Vec<Vec<usize>> {
+        let mut result = Vec::new();
+        self.for_each_profile(|profile| {
+            if self.is_pure_nash(profile) {
+                result.push(profile.to_vec());
+            }
+        });
+        result
+    }
+
+    /// Whether the game possesses at least one pure Nash equilibrium.
+    pub fn has_pure_nash(&self) -> bool {
+        let mut found = false;
+        self.for_each_profile(|profile| {
+            if !found && self.is_pure_nash(profile) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Runs best-response dynamics from `start` for at most `max_steps` moves;
+    /// returns the final profile and whether it is an equilibrium.
+    pub fn best_response_dynamics(
+        &self,
+        start: Vec<usize>,
+        max_steps: usize,
+    ) -> (Vec<usize>, bool, usize) {
+        let mut profile = start;
+        let mut steps = 0;
+        while steps < max_steps {
+            let mut moved = false;
+            for player in 0..self.players() {
+                if let Some(imp) = self.best_improvement(&profile, player) {
+                    profile[player] = imp.to;
+                    steps += 1;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                return (profile, true, steps);
+            }
+        }
+        let is_ne = self.is_pure_nash(&profile);
+        (profile, is_ne, steps)
+    }
+
+    /// Finds a best-response cycle by following best-response moves from
+    /// `start` and recording visited profiles; returns the cycle if the walk
+    /// revisits a profile before reaching an equilibrium.
+    pub fn find_best_response_cycle(&self, start: Vec<usize>) -> Option<Vec<Vec<usize>>> {
+        let mut profile = start;
+        let mut visited: Vec<Vec<usize>> = Vec::new();
+        loop {
+            if let Some(pos) = visited.iter().position(|p| p == &profile) {
+                return Some(visited[pos..].to_vec());
+            }
+            visited.push(profile.clone());
+            let mut deviated = false;
+            for player in 0..self.players() {
+                if let Some(imp) = self.best_improvement(&profile, player) {
+                    profile[player] = imp.to;
+                    deviated = true;
+                    break;
+                }
+            }
+            if !deviated {
+                return None;
+            }
+            if visited.len() > 10_000 {
+                return None;
+            }
+        }
+    }
+
+    fn for_each_profile<F: FnMut(&[usize])>(&self, mut f: F) {
+        let n = self.players();
+        let r = self.resources;
+        let mut profile = vec![0usize; n];
+        loop {
+            f(&profile);
+            let mut pos = 0;
+            loop {
+                if pos == n {
+                    return;
+                }
+                profile[pos] += 1;
+                if profile[pos] < r {
+                    break;
+                }
+                profile[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_game() -> UserSpecificGame {
+        // Equivalent to a belief-induced game: linear load costs.
+        UserSpecificGame::new(
+            vec![1.0, 2.0],
+            vec![
+                vec![CostFunction::linear(10.0), CostFunction::linear(1.0)],
+                vec![CostFunction::linear(1.0), CostFunction::linear(10.0)],
+            ],
+        )
+    }
+
+    #[test]
+    fn costs_match_hand_computation() {
+        let g = linear_game();
+        // Both on resource 0: load 3.
+        let profile = vec![0, 0];
+        assert!((g.player_cost(&profile, 0) - 0.3).abs() < 1e-12);
+        assert!((g.player_cost(&profile, 1) - 3.0).abs() < 1e-12);
+        assert!((g.cost_after_move(&profile, 1, 1) - 0.2).abs() < 1e-12);
+        assert_eq!(g.loads(&profile), vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn nash_detection_and_enumeration() {
+        let g = linear_game();
+        assert!(g.is_pure_nash(&[0, 1]));
+        assert!(!g.is_pure_nash(&[1, 0]));
+        let all = g.all_pure_nash();
+        assert_eq!(all, vec![vec![0, 1]]);
+        assert!(g.has_pure_nash());
+    }
+
+    #[test]
+    fn best_response_dynamics_converge_on_linear_games() {
+        let g = linear_game();
+        for start in [vec![0, 0], vec![1, 1], vec![1, 0]] {
+            let (profile, converged, _steps) = g.best_response_dynamics(start, 100);
+            assert!(converged);
+            assert!(g.is_pure_nash(&profile));
+        }
+        assert!(g.find_best_response_cycle(vec![1, 0]).is_none());
+    }
+
+    #[test]
+    fn improvement_reports_costs() {
+        let g = linear_game();
+        let imp = g.best_improvement(&[1, 0], 0).expect("player 0 wants to move");
+        assert_eq!(imp.to, 0);
+        assert!(imp.new_cost < imp.old_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_cost_matrix_is_rejected() {
+        UserSpecificGame::new(
+            vec![1.0, 1.0],
+            vec![
+                vec![CostFunction::linear(1.0), CostFunction::linear(1.0)],
+                vec![CostFunction::linear(1.0)],
+            ],
+        );
+    }
+
+    #[test]
+    fn step_cost_games_work_end_to_end() {
+        // Player 0 hates sharing; player 1 is indifferent.
+        let g = UserSpecificGame::new(
+            vec![1.0, 1.0],
+            vec![
+                vec![
+                    CostFunction::step(1.0, vec![(2.0, 10.0)]),
+                    CostFunction::step(2.0, vec![(2.0, 10.0)]),
+                ],
+                vec![
+                    CostFunction::step(1.0, vec![(2.0, 1.5)]),
+                    CostFunction::step(1.0, vec![(2.0, 1.5)]),
+                ],
+            ],
+        );
+        // Sharing resource 0 costs player 0 a lot, so it should not be a NE.
+        assert!(!g.is_pure_nash(&[0, 0]));
+        assert!(g.has_pure_nash());
+    }
+}

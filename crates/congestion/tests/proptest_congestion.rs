@@ -1,0 +1,186 @@
+//! Property-based tests for the congestion-game substrates: Rosenthal
+//! potentials, user-specific games and the embedding of belief-induced games.
+
+use proptest::prelude::*;
+
+use congestion_games::milchtaich::from_effective_game;
+use congestion_games::{CongestionGame, CostFunction, UserSpecificGame};
+use netuncert_core::model::EffectiveGame;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::solvers::exhaustive::all_pure_nash;
+use netuncert_core::strategy::{LinkLoads, PureProfile};
+
+/// Strategy: a non-decreasing cost table of length `players`.
+fn cost_table(players: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..2.0, players).prop_map(|increments| {
+        let mut value = 0.0;
+        increments
+            .into_iter()
+            .map(|inc| {
+                value += inc;
+                value
+            })
+            .collect()
+    })
+}
+
+/// Strategy: an unweighted Rosenthal congestion game.
+fn rosenthal_game() -> impl Strategy<Value = CongestionGame> {
+    (2usize..=5, 2usize..=4).prop_flat_map(|(players, resources)| {
+        proptest::collection::vec(cost_table(players), resources)
+            .prop_map(move |tables| CongestionGame::new(players, tables))
+    })
+}
+
+/// Strategy: a weighted user-specific game with linear (load/capacity) costs —
+/// exactly the belief-induced shape.
+fn linear_user_specific() -> impl Strategy<Value = (UserSpecificGame, EffectiveGame)> {
+    (2usize..=4, 2usize..=3).prop_flat_map(|(players, resources)| {
+        let weights = proptest::collection::vec(0.25f64..3.0, players);
+        let caps = proptest::collection::vec(
+            proptest::collection::vec(0.25f64..3.0, resources),
+            players,
+        );
+        (weights, caps).prop_map(|(w, caps)| {
+            let eg = EffectiveGame::from_rows(w.clone(), caps.clone()).expect("valid");
+            let costs = caps
+                .iter()
+                .map(|row| row.iter().map(|&c| CostFunction::linear(c)).collect())
+                .collect();
+            (UserSpecificGame::new(w, costs), eg)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rosenthal's potential is an exact potential: along any single improving
+    /// move the potential change equals the mover's cost change, and
+    /// best-response dynamics always converge to a verified equilibrium.
+    #[test]
+    fn rosenthal_potential_is_exact_and_dynamics_converge(
+        game in rosenthal_game(),
+        start_seed in 0usize..1000,
+    ) {
+        let n = game.players();
+        let r = game.resources();
+        let mut profile: Vec<usize> = (0..n).map(|i| (start_seed + i * 3) % r).collect();
+        let mut phi = game.rosenthal_potential(&profile);
+        let mut steps = 0;
+        loop {
+            let mut moved = false;
+            for p in 0..n {
+                if let Some((to, _)) = game.best_improvement(&profile, p) {
+                    let before = game.player_cost(&profile, p);
+                    profile[p] = to;
+                    let after = game.player_cost(&profile, p);
+                    let new_phi = game.rosenthal_potential(&profile);
+                    prop_assert!(((new_phi - phi) - (after - before)).abs() < 1e-9);
+                    prop_assert!(new_phi < phi + 1e-12);
+                    phi = new_phi;
+                    moved = true;
+                    steps += 1;
+                    break;
+                }
+            }
+            if !moved {
+                break;
+            }
+            prop_assert!(steps <= n * r * n + 100, "dynamics did not converge");
+        }
+        prop_assert!(game.is_pure_nash(&profile));
+    }
+
+    /// The embedding of a belief-induced effective game into the user-specific
+    /// class preserves player costs on every profile and the pure-equilibrium
+    /// set.
+    #[test]
+    fn embedding_preserves_costs_and_equilibria((usg, eg) in linear_user_specific()) {
+        let tol = Tolerance::default();
+        let t = LinkLoads::zero(eg.links());
+        // Costs agree on every profile.
+        let n = eg.users();
+        let m = eg.links();
+        let mut profile = vec![0usize; n];
+        loop {
+            let pure = PureProfile::new(profile.clone());
+            for user in 0..n {
+                let a = usg.player_cost(&profile, user);
+                let b = netuncert_core::latency::pure_user_latency(&eg, &pure, &t, user);
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+            prop_assert_eq!(usg.is_pure_nash(&profile),
+                netuncert_core::equilibrium::is_pure_nash(&eg, &pure, &t, tol));
+            // Odometer.
+            let mut pos = 0;
+            loop {
+                if pos == n { break; }
+                profile[pos] += 1;
+                if profile[pos] < m { break; }
+                profile[pos] = 0;
+                pos += 1;
+            }
+            if pos == n { break; }
+        }
+        // Equilibrium sets coincide (same enumeration order).
+        let embedded: Vec<Vec<usize>> = usg.all_pure_nash();
+        let core: Vec<Vec<usize>> = all_pure_nash(&eg, &t, tol, 1_000_000)
+            .unwrap()
+            .iter()
+            .map(|p| p.choices().to_vec())
+            .collect();
+        prop_assert_eq!(embedded, core);
+    }
+
+    /// The `from_effective_game` helper builds the same game as constructing
+    /// linear costs by hand.
+    #[test]
+    fn from_effective_game_matches_manual_embedding((manual, eg) in linear_user_specific()) {
+        let auto = from_effective_game(&eg);
+        prop_assert_eq!(auto, manual);
+    }
+
+    /// Step cost functions are monotone on arbitrary sample loads and evaluate
+    /// below/above their extreme values correctly.
+    #[test]
+    fn step_costs_are_monotone(
+        increments in proptest::collection::vec((0.1f64..2.0, 0.0f64..2.0), 1..6),
+        probes in proptest::collection::vec(0.0f64..20.0, 1..20),
+    ) {
+        let mut threshold = 0.0;
+        let mut value = 0.0;
+        let steps: Vec<(f64, f64)> = increments
+            .into_iter()
+            .map(|(dt, dv)| {
+                threshold += dt;
+                value += dv;
+                (threshold, value)
+            })
+            .collect();
+        let f = CostFunction::step(steps[0].1, steps.clone());
+        prop_assert!(f.is_monotone_on(&probes));
+        // Below the first threshold the base value applies.
+        prop_assert_eq!(f.cost(steps[0].0 - 1e-9), steps[0].1);
+        // At or beyond the last threshold the last value applies.
+        prop_assert_eq!(f.cost(steps.last().unwrap().0 + 10.0), steps.last().unwrap().1);
+    }
+
+    /// In a user-specific game, a player's cost after a hypothetical move
+    /// matches its cost in the profile where the move has been applied.
+    #[test]
+    fn cost_after_move_is_consistent((usg, _eg) in linear_user_specific(), seed in 0usize..1000) {
+        let n = usg.players();
+        let r = usg.resources();
+        let profile: Vec<usize> = (0..n).map(|i| (seed + i) % r).collect();
+        for player in 0..n {
+            for target in 0..r {
+                let predicted = usg.cost_after_move(&profile, player, target);
+                let mut moved = profile.clone();
+                moved[player] = target;
+                let actual = usg.player_cost(&moved, player);
+                prop_assert!((predicted - actual).abs() < 1e-12);
+            }
+        }
+    }
+}

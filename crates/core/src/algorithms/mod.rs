@@ -1,0 +1,160 @@
+//! Pure Nash equilibrium algorithms (Section 3 of the paper).
+//!
+//! * [`two_links`] — `Atwolinks` (Figure 1): any weights, `m = 2`, `O(n²)`.
+//! * [`symmetric`] — `Asymmetric` (Figure 2): identical weights, any `m`, `O(n²m)`.
+//! * [`uniform`] — `Auniform` (Figure 3): uniform user beliefs, `O(n(log n + m))`.
+//! * [`best_response`] — best-response dynamics used to probe Conjecture 3.7.
+//! * [`solve_pure_nash`] — a convenience dispatcher over the above.
+
+pub mod best_response;
+pub mod symmetric;
+pub mod two_links;
+pub mod uniform;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::model::EffectiveGame;
+use crate::numeric::Tolerance;
+use crate::solvers::exhaustive;
+use crate::strategy::{LinkLoads, PureProfile};
+
+/// Which method produced a pure Nash equilibrium in [`solve_pure_nash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PureNashMethod {
+    /// `Atwolinks` (Figure 1) — the game has two links.
+    TwoLinks,
+    /// `Asymmetric` (Figure 2) — the users are symmetric.
+    Symmetric,
+    /// `Auniform` (Figure 3) — the beliefs are uniform per user.
+    UniformBeliefs,
+    /// Best-response dynamics converged.
+    BestResponse,
+    /// Exhaustive enumeration of all pure profiles.
+    Exhaustive,
+}
+
+/// A pure Nash equilibrium together with the method that found it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PureNashSolution {
+    /// The equilibrium profile.
+    pub profile: PureProfile,
+    /// The algorithm that produced it.
+    pub method: PureNashMethod,
+}
+
+/// Finds a pure Nash equilibrium of `game` with initial traffic `initial`.
+///
+/// The dispatcher first tries the paper's polynomial-time special cases
+/// (two links; symmetric users; uniform beliefs — the latter two only when
+/// `initial` is zero, matching the algorithms' statements), then best-response
+/// dynamics, and finally exhaustive search when the profile space is small
+/// enough. Returns `Ok(None)` only when every method fails — which, under
+/// Conjecture 3.7, means the step/size budgets were exhausted, not that no
+/// equilibrium exists.
+pub fn solve_pure_nash(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    tol: Tolerance,
+) -> Result<Option<PureNashSolution>> {
+    let zero_initial = initial.as_slice().iter().all(|&t| t == 0.0);
+
+    if game.links() == 2 {
+        let profile = two_links::solve(game, initial)?;
+        return Ok(Some(PureNashSolution { profile, method: PureNashMethod::TwoLinks }));
+    }
+    if zero_initial && game.has_identical_weights(tol) {
+        let profile = symmetric::solve(game, tol)?;
+        return Ok(Some(PureNashSolution { profile, method: PureNashMethod::Symmetric }));
+    }
+    if game.has_uniform_beliefs(tol) {
+        let profile = uniform::solve(game, initial, tol)?;
+        return Ok(Some(PureNashSolution { profile, method: PureNashMethod::UniformBeliefs }));
+    }
+
+    let dynamics = best_response::BestResponseDynamics::default();
+    let outcome = dynamics.run_from_greedy(game, initial, tol);
+    if outcome.converged() {
+        return Ok(Some(PureNashSolution {
+            profile: outcome.profile().clone(),
+            method: PureNashMethod::BestResponse,
+        }));
+    }
+
+    // Last resort: exhaustive enumeration for small games.
+    if exhaustive::profile_count(game.users(), game.links()) <= exhaustive::DEFAULT_PROFILE_LIMIT {
+        let all = exhaustive::all_pure_nash(game, initial, tol, exhaustive::DEFAULT_PROFILE_LIMIT)?;
+        if let Some(profile) = all.into_iter().next() {
+            return Ok(Some(PureNashSolution { profile, method: PureNashMethod::Exhaustive }));
+        }
+        return Ok(None);
+    }
+
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_pure_nash;
+
+    #[test]
+    fn dispatcher_picks_two_links_algorithm() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 2.0, 3.0],
+            vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.5, 1.5]],
+        )
+        .unwrap();
+        let t = LinkLoads::zero(2);
+        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        assert_eq!(sol.method, PureNashMethod::TwoLinks);
+        assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
+    }
+
+    #[test]
+    fn dispatcher_picks_symmetric_algorithm() {
+        let g = EffectiveGame::from_rows(
+            vec![2.0, 2.0, 2.0],
+            vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0], vec![2.0, 1.0, 3.0]],
+        )
+        .unwrap();
+        let t = LinkLoads::zero(3);
+        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        assert_eq!(sol.method, PureNashMethod::Symmetric);
+        assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
+    }
+
+    #[test]
+    fn dispatcher_picks_uniform_algorithm() {
+        let g = EffectiveGame::from_rows(
+            vec![3.0, 2.0, 1.0],
+            vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0], vec![0.5, 0.5, 0.5]],
+        )
+        .unwrap();
+        let t = LinkLoads::zero(3);
+        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        assert_eq!(sol.method, PureNashMethod::UniformBeliefs);
+        assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
+    }
+
+    #[test]
+    fn dispatcher_falls_back_to_best_response_for_general_games() {
+        let g = EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0, 5.0],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+                vec![0.5, 6.0, 2.0],
+            ],
+        )
+        .unwrap();
+        let t = LinkLoads::zero(3);
+        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        assert!(matches!(
+            sol.method,
+            PureNashMethod::BestResponse | PureNashMethod::Exhaustive
+        ));
+        assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
+    }
+}

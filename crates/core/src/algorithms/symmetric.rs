@@ -1,0 +1,197 @@
+//! `Asymmetric` (Figure 2, Theorem 3.5): a pure Nash equilibrium for
+//! *symmetric users* — all users carry identical traffic — on any number of
+//! links, in `O(n² m)` time.
+//!
+//! Users are inserted one at a time on the link minimising `(|Nˡ| + 1)/cᵢˡ`.
+//! Each insertion can trigger a chain of defections, but (Lemma 3.4) a user
+//! that has moved once stays satisfied, so the chain has length at most `i`.
+
+use crate::error::{GameError, Result};
+use crate::model::EffectiveGame;
+use crate::numeric::Tolerance;
+use crate::strategy::PureProfile;
+
+fn precondition(game: &EffectiveGame, tol: Tolerance) -> Result<()> {
+    if !game.has_identical_weights(tol) {
+        return Err(GameError::Precondition {
+            algorithm: "Asymmetric",
+            requirement: "all users must have identical traffic (symmetric users)".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Runs `Asymmetric` and returns a pure Nash equilibrium of `game`.
+///
+/// # Errors
+/// Fails if the users do not all carry the same traffic.
+pub fn solve(game: &EffectiveGame, tol: Tolerance) -> Result<PureProfile> {
+    precondition(game, tol)?;
+    let n = game.users();
+    let m = game.links();
+
+    // Number of users currently assigned to each link (|Nˡ|); weights are
+    // identical so only counts matter.
+    let mut counts = vec![0usize; m];
+    // Current link of each already-inserted user.
+    let mut assignment = vec![usize::MAX; n];
+
+    for user in 0..n {
+        // Step 3(a)-(b): insert `user` on a link minimising (|Nˡ|+1)/cᵢˡ.
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for link in 0..m {
+            let cost = (counts[link] as f64 + 1.0) / game.capacity(user, link);
+            if cost < best_cost {
+                best_cost = cost;
+                best = link;
+            }
+        }
+        assignment[user] = best;
+        counts[best] += 1;
+
+        // Step 3(c): resolve the defection chain starting from the link that
+        // just gained a user. Only users on the most recently augmented link
+        // can be unsatisfied.
+        let mut hot_link = best;
+        loop {
+            let mut moved = false;
+            for k in 0..=user {
+                if assignment[k] != hot_link {
+                    continue;
+                }
+                // Best response of user k given the current counts.
+                let current = counts[hot_link] as f64 / game.capacity(k, hot_link);
+                let mut target = hot_link;
+                let mut target_cost = current;
+                for link in 0..m {
+                    if link == hot_link {
+                        continue;
+                    }
+                    let cost = (counts[link] as f64 + 1.0) / game.capacity(k, link);
+                    if tol.lt(cost, target_cost) {
+                        target_cost = cost;
+                        target = link;
+                    }
+                }
+                if target != hot_link {
+                    counts[hot_link] -= 1;
+                    counts[target] += 1;
+                    assignment[k] = target;
+                    hot_link = target;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    Ok(PureProfile::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_pure_nash;
+    use crate::strategy::LinkLoads;
+
+    fn check_nash(game: &EffectiveGame) -> PureProfile {
+        let tol = Tolerance::default();
+        let profile = solve(game, tol).expect("solver should succeed");
+        assert!(
+            is_pure_nash(game, &profile, &LinkLoads::zero(game.links()), tol),
+            "Asymmetric returned a non-equilibrium profile {:?}",
+            profile.choices()
+        );
+        profile
+    }
+
+    #[test]
+    fn rejects_non_identical_weights() {
+        let g = EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .unwrap();
+        assert!(matches!(
+            solve(&g, Tolerance::default()),
+            Err(GameError::Precondition { algorithm: "Asymmetric", .. })
+        ));
+    }
+
+    #[test]
+    fn identical_links_balance_users_evenly() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0; 6],
+            vec![vec![1.0, 1.0, 1.0]; 6],
+        )
+        .unwrap();
+        let p = check_nash(&g);
+        let mut counts = vec![0usize; 3];
+        for u in 0..6 {
+            counts[p.link(u)] += 1;
+        }
+        assert_eq!(counts, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn users_with_opposed_beliefs_pick_their_fast_links() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0],
+            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
+        )
+        .unwrap();
+        let p = check_nash(&g);
+        assert_eq!(p.link(0), 0);
+        assert_eq!(p.link(1), 1);
+    }
+
+    #[test]
+    fn defection_chain_resolves_to_equilibrium() {
+        // Three users, three links, conflicting per-user views that force at
+        // least one relocation during insertion.
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0, 1.0],
+            vec![
+                vec![3.0, 1.0, 1.0],
+                vec![3.0, 2.9, 1.0],
+                vec![3.0, 1.0, 2.9],
+            ],
+        )
+        .unwrap();
+        check_nash(&g);
+    }
+
+    #[test]
+    fn pseudo_random_sweep_always_yields_equilibrium() {
+        let mut state: u64 = 0xDEADBEEFCAFEF00D;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
+        };
+        for n in 2..=10 {
+            for m in 2..=5 {
+                let rows: Vec<Vec<f64>> =
+                    (0..n).map(|_| (0..m).map(|_| next() * 5.0).collect()).collect();
+                let g = EffectiveGame::from_rows(vec![1.0; n], rows).unwrap();
+                check_nash(&g);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_scale_does_not_matter() {
+        // Identical weights of any magnitude give the same assignment as weight 1.
+        let rows = vec![
+            vec![2.0, 1.0, 4.0],
+            vec![1.0, 3.0, 2.0],
+            vec![4.0, 1.0, 1.0],
+            vec![2.0, 2.0, 2.0],
+        ];
+        let g1 = EffectiveGame::from_rows(vec![1.0; 4], rows.clone()).unwrap();
+        let g7 = EffectiveGame::from_rows(vec![7.0; 4], rows).unwrap();
+        let p1 = check_nash(&g1);
+        let p7 = check_nash(&g7);
+        assert_eq!(p1.choices(), p7.choices());
+    }
+}

@@ -1,0 +1,215 @@
+//! `Atwolinks` (Figure 1, Theorem 3.3): a pure Nash equilibrium for an
+//! arbitrary number of users on `m = 2` links, possibly with initial traffic,
+//! in `O(n²)` time.
+//!
+//! The algorithm is greedy: it repeatedly selects the user with the largest
+//! *tolerance* (Definition 3.1) over the two links, commits that user to its
+//! preferred link, adds its traffic to that link's initial load, and recurses
+//! on the remaining users.
+
+use crate::error::{GameError, Result};
+use crate::model::EffectiveGame;
+use crate::numeric::stable_sum;
+use crate::strategy::{LinkLoads, PureProfile};
+
+/// The tolerance `αᵢʲ` of user `user` for link `link` (Definition 3.1): the
+/// largest load on `link` (out of the total remaining load `total`) that the
+/// user can tolerate while routing its own traffic there.
+///
+/// It is the unique solution of
+/// `(tʲ + α)/cᵢʲ = (tʲ⁺¹ + T − α + wᵢ)/cᵢʲ⁺¹`, i.e.
+/// `α = cᵢ¹cᵢ²/(cᵢ¹+cᵢ²) · ((tʲ⁺¹ + T + wᵢ)/cᵢʲ⁺¹ − tʲ/cᵢʲ)`.
+pub fn tolerance(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    total: f64,
+    user: usize,
+    link: usize,
+) -> f64 {
+    debug_assert_eq!(game.links(), 2);
+    let other = 1 - link;
+    let c_this = game.capacity(user, link);
+    let c_other = game.capacity(user, other);
+    let scale = c_this * c_other / (c_this + c_other);
+    scale * ((initial.load(other) + total + game.weight(user)) / c_other
+        - initial.load(link) / c_this)
+}
+
+fn precondition(game: &EffectiveGame, initial: &LinkLoads) -> Result<()> {
+    if game.links() != 2 {
+        return Err(GameError::Precondition {
+            algorithm: "Atwolinks",
+            requirement: format!("the game must have exactly 2 links, found {}", game.links()),
+        });
+    }
+    if initial.links() != 2 {
+        return Err(GameError::InvalidInitialTraffic {
+            reason: format!("expected 2 entries, found {}", initial.links()),
+        });
+    }
+    Ok(())
+}
+
+/// Runs `Atwolinks` and returns a pure Nash equilibrium of `game` with initial
+/// traffic `initial`.
+///
+/// # Errors
+/// Fails if the game does not have exactly two links or the initial-traffic
+/// vector has the wrong dimension.
+pub fn solve(game: &EffectiveGame, initial: &LinkLoads) -> Result<PureProfile> {
+    precondition(game, initial)?;
+    let n = game.users();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut loads = initial.clone();
+    let mut assignment = vec![0usize; n];
+
+    while !remaining.is_empty() {
+        let total = stable_sum(&remaining.iter().map(|&u| game.weight(u)).collect::<Vec<_>>());
+
+        // For every remaining user, find its preferred link (the one with the
+        // larger tolerance) and remember the corresponding tolerance value.
+        let mut best_user = remaining[0];
+        let mut best_link = 0usize;
+        let mut best_tolerance = f64::NEG_INFINITY;
+        for &u in &remaining {
+            let a0 = tolerance(game, &loads, total, u, 0);
+            let a1 = tolerance(game, &loads, total, u, 1);
+            let (link, value) = if a0 >= a1 { (0, a0) } else { (1, a1) };
+            if value > best_tolerance {
+                best_tolerance = value;
+                best_user = u;
+                best_link = link;
+            }
+        }
+
+        assignment[best_user] = best_link;
+        loads.add(best_link, game.weight(best_user));
+        remaining.retain(|&u| u != best_user);
+    }
+
+    Ok(PureProfile::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_pure_nash;
+    use crate::numeric::Tolerance;
+
+    fn check_nash(game: &EffectiveGame, initial: &LinkLoads) -> PureProfile {
+        let profile = solve(game, initial).expect("solver should succeed");
+        assert!(
+            is_pure_nash(game, &profile, initial, Tolerance::default()),
+            "Atwolinks returned a non-equilibrium profile {:?}",
+            profile.choices()
+        );
+        profile
+    }
+
+    #[test]
+    fn rejects_games_with_more_than_two_links() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0],
+            vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]],
+        )
+        .unwrap();
+        assert!(matches!(
+            solve(&g, &LinkLoads::zero(3)),
+            Err(GameError::Precondition { algorithm: "Atwolinks", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_initial_traffic() {
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .unwrap();
+        assert!(solve(&g, &LinkLoads::zero(3)).is_err());
+    }
+
+    #[test]
+    fn two_identical_users_split_across_identical_links() {
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .unwrap();
+        let p = check_nash(&g, &LinkLoads::zero(2));
+        assert_ne!(p.link(0), p.link(1), "identical users must not share a link");
+    }
+
+    #[test]
+    fn opposed_beliefs_lead_to_preferred_links() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0],
+            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
+        )
+        .unwrap();
+        let p = check_nash(&g, &LinkLoads::zero(2));
+        assert_eq!(p.link(0), 0);
+        assert_eq!(p.link(1), 1);
+    }
+
+    #[test]
+    fn heavy_initial_traffic_pushes_users_away() {
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
+            .unwrap();
+        let initial = LinkLoads::new(vec![100.0, 0.0]).unwrap();
+        let p = check_nash(&g, &initial);
+        assert_eq!(p.link(0), 1);
+        assert_eq!(p.link(1), 1);
+    }
+
+    #[test]
+    fn tolerance_solves_definition_equation() {
+        // Check Definition 3.1: (t^j + α)/c^j = (t^{j⊕1} + T − α + w)/c^{j⊕1}.
+        let g = EffectiveGame::from_rows(
+            vec![1.5, 2.5, 0.5],
+            vec![vec![2.0, 3.0], vec![1.0, 4.0], vec![5.0, 0.5]],
+        )
+        .unwrap();
+        let t = LinkLoads::new(vec![0.7, 1.3]).unwrap();
+        let total = g.total_traffic();
+        for user in 0..3 {
+            for link in 0..2 {
+                let a = tolerance(&g, &t, total, user, link);
+                let lhs = (t.load(link) + a) / g.capacity(user, link);
+                let rhs = (t.load(1 - link) + total - a + g.weight(user))
+                    / g.capacity(user, 1 - link);
+                assert!((lhs - rhs).abs() < 1e-9, "user {user} link {link}: {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn returns_nash_for_heterogeneous_weights_and_beliefs() {
+        // A moderately messy fixed instance.
+        let g = EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0, 5.0, 0.5],
+            vec![
+                vec![2.0, 2.5],
+                vec![1.0, 4.0],
+                vec![3.0, 3.0],
+                vec![0.5, 6.0],
+                vec![2.0, 1.0],
+            ],
+        )
+        .unwrap();
+        check_nash(&g, &LinkLoads::zero(2));
+        check_nash(&g, &LinkLoads::new(vec![2.0, 0.5]).unwrap());
+    }
+
+    #[test]
+    fn many_random_like_fixed_instances_are_equilibria() {
+        // Deterministic pseudo-random sweep (no rand dependency in unit tests):
+        // a simple LCG drives weights and capacities.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
+        };
+        for n in 2..=12 {
+            let weights: Vec<f64> = (0..n).map(|_| next() * 4.0).collect();
+            let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![next() * 5.0, next() * 5.0]).collect();
+            let g = EffectiveGame::from_rows(weights, rows).unwrap();
+            let initial = LinkLoads::new(vec![next(), next()]).unwrap();
+            check_nash(&g, &initial);
+        }
+    }
+}

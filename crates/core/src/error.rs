@@ -1,0 +1,151 @@
+//! Error types for game construction and algorithm preconditions.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating games, strategy profiles and
+/// algorithm inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are named after the quantities they carry
+pub enum GameError {
+    /// The game must have at least two users (`n > 1` in the paper).
+    TooFewUsers { n: usize },
+    /// The game must have at least two links (`m > 1` in the paper).
+    TooFewLinks { m: usize },
+    /// A user weight (traffic) must be strictly positive and finite.
+    InvalidWeight { user: usize, value: f64 },
+    /// A link capacity must be strictly positive and finite.
+    InvalidCapacity { state: usize, link: usize, value: f64 },
+    /// The state space must contain at least one state.
+    EmptyStateSpace,
+    /// All states must describe the same number of links.
+    StateDimensionMismatch { state: usize, expected: usize, found: usize },
+    /// A belief must be a probability distribution over the state space.
+    InvalidBelief { user: usize, reason: BeliefError },
+    /// The number of beliefs must equal the number of users.
+    BeliefCountMismatch { users: usize, beliefs: usize },
+    /// A strategy profile has the wrong number of users or links.
+    ProfileDimensionMismatch { expected_users: usize, found_users: usize },
+    /// A pure strategy refers to a link outside `[m]`.
+    LinkOutOfRange { user: usize, link: usize, links: usize },
+    /// A mixed strategy row is not a probability distribution.
+    InvalidMixedRow { user: usize, sum: f64 },
+    /// A probability is outside `[0, 1]`.
+    InvalidProbability { user: usize, link: usize, value: f64 },
+    /// The initial-traffic vector has the wrong length or a negative entry.
+    InvalidInitialTraffic { reason: String },
+    /// An algorithm precondition does not hold (e.g. `Atwolinks` needs `m = 2`).
+    Precondition { algorithm: &'static str, requirement: String },
+    /// The requested exhaustive computation is too large (`m^n` over the cap).
+    TooLarge { profiles: u128, limit: u128 },
+}
+
+/// Reasons a belief vector fails validation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are named after the quantities they carry
+pub enum BeliefError {
+    /// Belief length differs from the number of states.
+    LengthMismatch { expected: usize, found: usize },
+    /// A probability entry is negative, NaN or infinite.
+    InvalidEntry { index: usize, value: f64 },
+    /// The entries do not sum to one (within tolerance).
+    NotNormalized { sum: f64 },
+}
+
+impl fmt::Display for BeliefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeliefError::LengthMismatch { expected, found } => {
+                write!(f, "belief has {found} entries, expected {expected}")
+            }
+            BeliefError::InvalidEntry { index, value } => {
+                write!(f, "belief entry {index} is invalid ({value})")
+            }
+            BeliefError::NotNormalized { sum } => {
+                write!(f, "belief entries sum to {sum}, expected 1")
+            }
+        }
+    }
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::TooFewUsers { n } => write!(f, "game needs n > 1 users, got {n}"),
+            GameError::TooFewLinks { m } => write!(f, "game needs m > 1 links, got {m}"),
+            GameError::InvalidWeight { user, value } => {
+                write!(f, "user {user} has invalid traffic {value}; weights must be positive and finite")
+            }
+            GameError::InvalidCapacity { state, link, value } => {
+                write!(f, "state {state}, link {link} has invalid capacity {value}")
+            }
+            GameError::EmptyStateSpace => write!(f, "the state space is empty"),
+            GameError::StateDimensionMismatch { state, expected, found } => {
+                write!(f, "state {state} has {found} capacities, expected {expected}")
+            }
+            GameError::InvalidBelief { user, reason } => {
+                write!(f, "belief of user {user} is invalid: {reason}")
+            }
+            GameError::BeliefCountMismatch { users, beliefs } => {
+                write!(f, "belief profile has {beliefs} beliefs for {users} users")
+            }
+            GameError::ProfileDimensionMismatch { expected_users, found_users } => {
+                write!(f, "profile covers {found_users} users, expected {expected_users}")
+            }
+            GameError::LinkOutOfRange { user, link, links } => {
+                write!(f, "user {user} selects link {link}, but the game has {links} links")
+            }
+            GameError::InvalidMixedRow { user, sum } => {
+                write!(f, "mixed strategy of user {user} sums to {sum}, expected 1")
+            }
+            GameError::InvalidProbability { user, link, value } => {
+                write!(f, "probability of user {user} on link {link} is {value}, outside [0, 1]")
+            }
+            GameError::InvalidInitialTraffic { reason } => {
+                write!(f, "invalid initial traffic vector: {reason}")
+            }
+            GameError::Precondition { algorithm, requirement } => {
+                write!(f, "{algorithm} precondition violated: {requirement}")
+            }
+            GameError::TooLarge { profiles, limit } => {
+                write!(f, "exhaustive enumeration of {profiles} profiles exceeds the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+impl std::error::Error for BeliefError {}
+
+impl From<BeliefError> for GameError {
+    fn from(reason: BeliefError) -> Self {
+        GameError::InvalidBelief { user: 0, reason }
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GameError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let e = GameError::InvalidWeight { user: 3, value: -1.0 };
+        assert!(e.to_string().contains("user 3"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = GameError::InvalidBelief {
+            user: 0,
+            reason: BeliefError::NotNormalized { sum: 0.7 },
+        };
+        assert!(e.to_string().contains("0.7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GameError>();
+    }
+}

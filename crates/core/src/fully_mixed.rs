@@ -1,0 +1,326 @@
+//! Fully mixed Nash equilibria (Section 4.1 of the paper).
+//!
+//! A fully mixed profile puts strictly positive probability on every link for
+//! every user. In that regime the equilibrium conditions become linear and
+//! admit a closed form:
+//!
+//! * Lemma 4.1 — the common expected latency of user `i` is
+//!   `λᵢ = ((m−1)wᵢ + Σₖ wₖ) / Σⱼ cᵢʲ`.
+//! * Lemma 4.2 — the expected traffic on link `ℓ` is
+//!   `Wˡ = (Σᵢ cᵢˡ λᵢ − Σᵢ wᵢ) / (n − 1)`.
+//! * Lemma 4.3 / Theorem 4.6 — `pᵢˡ = (Wˡ + wᵢ − cᵢˡ λᵢ)/wᵢ`; the fully mixed
+//!   Nash equilibrium exists iff all these values lie in `(0, 1)`, and when it
+//!   exists it is unique (Theorem 4.6) and computable in `O(nm)` time
+//!   (Corollary 4.7).
+//! * Theorem 4.8 — under uniform user beliefs the probabilities are all `1/m`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GameError, Result};
+use crate::model::EffectiveGame;
+use crate::numeric::{stable_sum, Tolerance};
+use crate::strategy::MixedProfile;
+
+/// The fully-mixed-equilibrium candidate produced by the closed form of
+/// Theorem 4.6, before checking that the probabilities are feasible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullyMixedCandidate {
+    users: usize,
+    links: usize,
+    /// Candidate probabilities `pᵢˡ` in row-major layout (may fall outside `(0,1)`).
+    probs: Vec<f64>,
+    /// The common expected latency `λᵢ` of each user (Lemma 4.1).
+    latencies: Vec<f64>,
+    /// The expected traffic `Wˡ` on each link (Lemma 4.2).
+    expected_traffic: Vec<f64>,
+}
+
+impl FullyMixedCandidate {
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of links.
+    pub fn links(&self) -> usize {
+        self.links
+    }
+
+    /// Candidate probability `pᵢˡ`.
+    pub fn prob(&self, user: usize, link: usize) -> f64 {
+        self.probs[user * self.links + link]
+    }
+
+    /// Candidate probabilities of `user` over all links.
+    pub fn row(&self, user: usize) -> &[f64] {
+        &self.probs[user * self.links..(user + 1) * self.links]
+    }
+
+    /// The minimum expected latency `λᵢ` of user `user` (Lemma 4.1).
+    pub fn latency(&self, user: usize) -> f64 {
+        self.latencies[user]
+    }
+
+    /// All per-user latencies.
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Expected traffic `Wˡ` on link `link` (Lemma 4.2).
+    pub fn expected_traffic(&self, link: usize) -> f64 {
+        self.expected_traffic[link]
+    }
+
+    /// All expected link traffics.
+    pub fn expected_traffics(&self) -> &[f64] {
+        &self.expected_traffic
+    }
+
+    /// The pairs `(user, link, value)` whose candidate probability falls
+    /// outside the open interval `(0, 1)`; empty iff the fully mixed Nash
+    /// equilibrium exists (Theorem 4.6).
+    pub fn violations(&self, tol: Tolerance) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for user in 0..self.users {
+            for link in 0..self.links {
+                let p = self.prob(user, link);
+                if !tol.in_open_unit_interval(p) {
+                    out.push((user, link, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every candidate probability is strictly inside `(0, 1)`.
+    pub fn is_feasible(&self, tol: Tolerance) -> bool {
+        self.probs.iter().all(|&p| tol.in_open_unit_interval(p))
+    }
+
+    /// Converts the candidate into a [`MixedProfile`], if feasible.
+    pub fn into_profile(self, tol: Tolerance) -> Option<MixedProfile> {
+        if !self.is_feasible(tol) {
+            return None;
+        }
+        MixedProfile::new(self.users, self.links, self.probs).ok()
+    }
+}
+
+/// The expected latency of user `user` in any fully mixed Nash equilibrium
+/// (Lemma 4.1): `λᵢ = ((m−1)wᵢ + T) / Σⱼ cᵢʲ`.
+pub fn fully_mixed_latency(game: &EffectiveGame, user: usize) -> f64 {
+    let m = game.links() as f64;
+    let total = game.total_traffic();
+    ((m - 1.0) * game.weight(user) + total) / game.capacities().row_sum(user)
+}
+
+/// The expected traffic on every link in a fully mixed Nash equilibrium
+/// (Lemma 4.2): `Wˡ = (Σᵢ cᵢˡ λᵢ − T) / (n − 1)`.
+pub fn fully_mixed_expected_traffic(game: &EffectiveGame) -> Vec<f64> {
+    let n = game.users();
+    let total = game.total_traffic();
+    let latencies: Vec<f64> = (0..n).map(|i| fully_mixed_latency(game, i)).collect();
+    (0..game.links())
+        .map(|link| {
+            let weighted: Vec<f64> =
+                (0..n).map(|i| game.capacity(i, link) * latencies[i]).collect();
+            (stable_sum(&weighted) - total) / (n as f64 - 1.0)
+        })
+        .collect()
+}
+
+/// Evaluates the closed form of Theorem 4.6, returning the candidate
+/// probabilities, per-user latencies and expected link traffics.
+///
+/// The candidate always satisfies `Σ_ℓ pᵢˡ = 1`; it is a Nash equilibrium iff
+/// every probability lies in `(0, 1)` (Lemma 4.5 / Theorem 4.6).
+pub fn fully_mixed_candidate(game: &EffectiveGame) -> FullyMixedCandidate {
+    let n = game.users();
+    let m = game.links();
+    let latencies: Vec<f64> = (0..n).map(|i| fully_mixed_latency(game, i)).collect();
+    let expected_traffic = fully_mixed_expected_traffic(game);
+    let mut probs = Vec::with_capacity(n * m);
+    for user in 0..n {
+        let w = game.weight(user);
+        for link in 0..m {
+            // Equation (2): pᵢˡ = (Wˡ + wᵢ − cᵢˡ λᵢ)/wᵢ.
+            let p = (expected_traffic[link] + w - game.capacity(user, link) * latencies[user]) / w;
+            probs.push(p);
+        }
+    }
+    FullyMixedCandidate { users: n, links: m, probs, latencies, expected_traffic }
+}
+
+/// Computes the fully mixed Nash equilibrium of `game`, if it exists
+/// (Theorem 4.6, Corollary 4.7). Runs in `O(nm)` time.
+pub fn fully_mixed_nash(game: &EffectiveGame, tol: Tolerance) -> Option<MixedProfile> {
+    fully_mixed_candidate(game).into_profile(tol)
+}
+
+/// Computes the fully mixed Nash equilibrium or reports the infeasible entries.
+///
+/// # Errors
+/// Returns [`GameError::Precondition`] describing the first probability that
+/// falls outside `(0, 1)` when the equilibrium does not exist.
+pub fn fully_mixed_nash_detailed(game: &EffectiveGame, tol: Tolerance) -> Result<MixedProfile> {
+    let candidate = fully_mixed_candidate(game);
+    let violations = candidate.violations(tol);
+    if let Some(&(user, link, value)) = violations.first() {
+        return Err(GameError::Precondition {
+            algorithm: "FullyMixedNash",
+            requirement: format!(
+                "candidate probability p[{user}][{link}] = {value:.6} lies outside (0, 1); \
+                 the fully mixed Nash equilibrium does not exist for this game"
+            ),
+        });
+    }
+    Ok(candidate.into_profile(tol).expect("no violations implies feasibility"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{is_fully_mixed_nash, is_mixed_nash};
+    use crate::latency::mixed_user_latencies;
+
+    fn symmetric_game(n: usize, m: usize) -> EffectiveGame {
+        EffectiveGame::from_rows(vec![1.0; n], vec![vec![1.0; m]; n]).unwrap()
+    }
+
+    #[test]
+    fn uniform_beliefs_give_one_over_m(/* Theorem 4.8 */) {
+        let tol = Tolerance::default();
+        // Uniform beliefs: each user sees one capacity on all links, users differ.
+        let g = EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0],
+            vec![vec![2.0; 4], vec![0.5; 4], vec![5.0; 4]],
+        )
+        .unwrap();
+        let fmne = fully_mixed_nash(&g, tol).expect("uniform-beliefs FMNE must exist");
+        for user in 0..3 {
+            for link in 0..4 {
+                assert!(
+                    (fmne.prob(user, link) - 0.25).abs() < 1e-12,
+                    "p[{user}][{link}] = {}",
+                    fmne.prob(user, link)
+                );
+            }
+        }
+        assert!(is_fully_mixed_nash(&g, &fmne, tol));
+    }
+
+    #[test]
+    fn candidate_rows_always_sum_to_one() {
+        let games = [
+            symmetric_game(3, 3),
+            EffectiveGame::from_rows(
+                vec![1.0, 2.0, 3.0],
+                vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 1.0]],
+            )
+            .unwrap(),
+            EffectiveGame::from_rows(
+                vec![5.0, 0.5],
+                vec![vec![1.0, 10.0, 2.0], vec![3.0, 0.2, 1.0]],
+            )
+            .unwrap(),
+        ];
+        for g in games {
+            let candidate = fully_mixed_candidate(&g);
+            for user in 0..g.users() {
+                let sum = stable_sum(candidate.row(user));
+                assert!((sum - 1.0).abs() < 1e-9, "row {user} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn fmne_satisfies_nash_conditions_when_it_exists() {
+        let tol = Tolerance::default();
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.5, 2.0],
+            vec![vec![2.0, 2.2], vec![2.1, 1.9], vec![2.0, 2.0]],
+        )
+        .unwrap();
+        let fmne = fully_mixed_nash(&g, tol).expect("this mild instance has an FMNE");
+        assert!(fmne.is_fully_mixed(tol));
+        assert!(is_mixed_nash(&g, &fmne, tol));
+        // Every link yields the Lemma 4.1 latency for every user.
+        for user in 0..3 {
+            let expected = fully_mixed_latency(&g, user);
+            for lat in mixed_user_latencies(&g, &fmne, user) {
+                assert!((lat - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_traffic_matches_profile_traffic() {
+        let tol = Tolerance::default();
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.5, 2.0],
+            vec![vec![2.0, 2.2], vec![2.1, 1.9], vec![2.0, 2.0]],
+        )
+        .unwrap();
+        let candidate = fully_mixed_candidate(&g);
+        let fmne = fully_mixed_nash(&g, tol).unwrap();
+        let traffic = fmne.expected_traffic(&g);
+        for link in 0..2 {
+            assert!((traffic[link] - candidate.expected_traffic(link)).abs() < 1e-9);
+        }
+        // Total expected traffic equals total traffic.
+        assert!((stable_sum(&traffic) - g.total_traffic()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strongly_opposed_beliefs_can_kill_the_fmne() {
+        // With extreme disagreement a user would need negative probability on
+        // the link it believes to be terrible.
+        let tol = Tolerance::default();
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0],
+            vec![vec![100.0, 0.01], vec![0.01, 100.0]],
+        )
+        .unwrap();
+        let candidate = fully_mixed_candidate(&g);
+        assert!(!candidate.is_feasible(tol));
+        assert!(fully_mixed_nash(&g, tol).is_none());
+        assert!(fully_mixed_nash_detailed(&g, tol).is_err());
+        assert!(!candidate.violations(tol).is_empty());
+    }
+
+    #[test]
+    fn identical_links_and_users_recover_uniform_profile() {
+        let tol = Tolerance::default();
+        let g = symmetric_game(4, 3);
+        let fmne = fully_mixed_nash(&g, tol).unwrap();
+        for user in 0..4 {
+            for link in 0..3 {
+                assert!((fmne.prob(user, link) - 1.0 / 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_error_names_the_offending_entry() {
+        let tol = Tolerance::default();
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0],
+            vec![vec![100.0, 0.01], vec![0.01, 100.0]],
+        )
+        .unwrap();
+        let err = fully_mixed_nash_detailed(&g, tol).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("outside (0, 1)"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn kp_point_mass_instance_matches_known_uniform_case() {
+        // Complete information with identical links and identical users is the
+        // classical KP fully mixed equilibrium with probabilities 1/m.
+        let tol = Tolerance::default();
+        let g = symmetric_game(5, 4);
+        let fmne = fully_mixed_nash(&g, tol).unwrap();
+        assert!(is_fully_mixed_nash(&g, &fmne, tol));
+        assert!((fmne.prob(3, 2) - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,273 @@
+//! User beliefs: probability distributions over the state space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{BeliefError, GameError, Result};
+use crate::numeric::{stable_sum, Tolerance};
+
+/// Tolerance used when validating that belief entries sum to one.
+const NORMALIZATION_EPS: f64 = 1e-7;
+
+/// A belief `b ∈ ∆(Φ)`: a probability distribution over network states.
+///
+/// `probs[φ]` is the probability the user assigns to state `φ` of the
+/// associated [`StateSpace`](crate::model::StateSpace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Belief {
+    probs: Vec<f64>,
+}
+
+impl Belief {
+    /// Creates a belief from raw probabilities, validating non-negativity and
+    /// normalisation. Entries are re-normalised exactly so downstream sums are
+    /// consistent.
+    pub fn new(probs: Vec<f64>) -> std::result::Result<Self, BeliefError> {
+        if probs.is_empty() {
+            return Err(BeliefError::LengthMismatch { expected: 1, found: 0 });
+        }
+        for (index, &p) in probs.iter().enumerate() {
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(BeliefError::InvalidEntry { index, value: p });
+            }
+        }
+        let sum = stable_sum(&probs);
+        if (sum - 1.0).abs() > NORMALIZATION_EPS {
+            return Err(BeliefError::NotNormalized { sum });
+        }
+        let mut probs = probs;
+        // Re-normalise so the entries sum to exactly 1 (up to f64 rounding).
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Ok(Belief { probs })
+    }
+
+    /// A point-mass belief: probability 1 on state `state` out of `num_states`.
+    pub fn point_mass(num_states: usize, state: usize) -> Self {
+        assert!(state < num_states, "point-mass state out of range");
+        let mut probs = vec![0.0; num_states];
+        probs[state] = 1.0;
+        Belief { probs }
+    }
+
+    /// The uniform belief over `num_states` states.
+    pub fn uniform(num_states: usize) -> Self {
+        assert!(num_states > 0, "uniform belief over zero states");
+        Belief { probs: vec![1.0 / num_states as f64; num_states] }
+    }
+
+    /// Creates a belief proportional to the given non-negative weights.
+    pub fn from_weights(weights: &[f64]) -> std::result::Result<Self, BeliefError> {
+        if weights.is_empty() {
+            return Err(BeliefError::LengthMismatch { expected: 1, found: 0 });
+        }
+        for (index, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(BeliefError::InvalidEntry { index, value: w });
+            }
+        }
+        let total = stable_sum(weights);
+        if total <= 0.0 {
+            return Err(BeliefError::NotNormalized { sum: total });
+        }
+        Ok(Belief { probs: weights.iter().map(|w| w / total).collect() })
+    }
+
+    /// Number of states this belief ranges over.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the belief is over zero states (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability assigned to state `state`.
+    pub fn prob(&self, state: usize) -> f64 {
+        self.probs[state]
+    }
+
+    /// All probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Whether this belief puts all mass on a single state.
+    pub fn is_point_mass(&self, tol: Tolerance) -> bool {
+        self.probs.iter().filter(|&&p| tol.gt(p, 0.0)).count() == 1
+    }
+
+    /// The support: indices of states with positive probability.
+    pub fn support(&self, tol: Tolerance) -> Vec<usize> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| tol.gt(p, 0.0))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Expectation of `f(state_index)` under this belief.
+    pub fn expect<F: Fn(usize) -> f64>(&self, f: F) -> f64 {
+        let terms: Vec<f64> = self
+            .probs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(idx, &p)| p * f(idx))
+            .collect();
+        stable_sum(&terms)
+    }
+}
+
+/// A belief profile `B = ⟨b₁, …, bₙ⟩`: one belief per user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeliefProfile {
+    beliefs: Vec<Belief>,
+}
+
+impl BeliefProfile {
+    /// Builds a profile from per-user beliefs; all beliefs must range over the
+    /// same number of states.
+    pub fn new(beliefs: Vec<Belief>) -> Result<Self> {
+        let first_len = beliefs.first().map(Belief::len).unwrap_or(0);
+        for (user, b) in beliefs.iter().enumerate() {
+            if b.len() != first_len {
+                return Err(GameError::InvalidBelief {
+                    user,
+                    reason: BeliefError::LengthMismatch { expected: first_len, found: b.len() },
+                });
+            }
+        }
+        Ok(BeliefProfile { beliefs })
+    }
+
+    /// A profile where every user has the same belief.
+    pub fn identical(n: usize, belief: Belief) -> Self {
+        BeliefProfile { beliefs: vec![belief; n] }
+    }
+
+    /// A profile where every user puts probability one on the same state
+    /// (the KP-model special case).
+    pub fn point_mass(n: usize, num_states: usize, state: usize) -> Self {
+        BeliefProfile::identical(n, Belief::point_mass(num_states, state))
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.beliefs.len()
+    }
+
+    /// Number of states each belief ranges over.
+    pub fn states(&self) -> usize {
+        self.beliefs.first().map(Belief::len).unwrap_or(0)
+    }
+
+    /// The belief of user `user`.
+    pub fn belief(&self, user: usize) -> &Belief {
+        &self.beliefs[user]
+    }
+
+    /// Iterator over beliefs in user order.
+    pub fn iter(&self) -> impl Iterator<Item = &Belief> {
+        self.beliefs.iter()
+    }
+
+    /// Whether all users share a point-mass belief on a common state
+    /// (the condition under which the model coincides with the KP-model).
+    pub fn is_complete_information(&self, tol: Tolerance) -> bool {
+        let Some(first) = self.beliefs.first() else { return false };
+        if !first.is_point_mass(tol) {
+            return false;
+        }
+        let state = first.support(tol)[0];
+        self.beliefs.iter().all(|b| b.is_point_mass(tol) && b.support(tol) == [state])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn belief_validates_entries() {
+        assert!(Belief::new(vec![0.5, 0.5]).is_ok());
+        assert!(matches!(
+            Belief::new(vec![0.5, -0.5]),
+            Err(BeliefError::InvalidEntry { index: 1, .. })
+        ));
+        assert!(matches!(
+            Belief::new(vec![0.5, 0.2]),
+            Err(BeliefError::NotNormalized { .. })
+        ));
+        assert!(matches!(Belief::new(vec![]), Err(BeliefError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn point_mass_and_uniform() {
+        let tol = Tolerance::default();
+        let pm = Belief::point_mass(3, 1);
+        assert_eq!(pm.probs(), &[0.0, 1.0, 0.0]);
+        assert!(pm.is_point_mass(tol));
+        assert_eq!(pm.support(tol), vec![1]);
+
+        let u = Belief::uniform(4);
+        assert!(u.probs().iter().all(|&p| (p - 0.25).abs() < 1e-15));
+        assert!(!u.is_point_mass(tol));
+    }
+
+    #[test]
+    fn from_weights_normalises() {
+        let b = Belief::from_weights(&[1.0, 3.0]).unwrap();
+        assert!((b.prob(0) - 0.25).abs() < 1e-15);
+        assert!((b.prob(1) - 0.75).abs() < 1e-15);
+        assert!(Belief::from_weights(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn expectation_matches_manual_computation() {
+        let b = Belief::new(vec![0.25, 0.75]).unwrap();
+        let caps = [2.0, 4.0];
+        // E[1/c] = 0.25/2 + 0.75/4 = 0.3125
+        let e = b.expect(|s| 1.0 / caps[s]);
+        assert!((e - 0.3125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn profile_requires_consistent_state_counts() {
+        let a = Belief::uniform(2);
+        let b = Belief::uniform(3);
+        assert!(BeliefProfile::new(vec![a.clone(), b]).is_err());
+        assert!(BeliefProfile::new(vec![a.clone(), a]).is_ok());
+    }
+
+    #[test]
+    fn complete_information_detection() {
+        let tol = Tolerance::default();
+        let kp = BeliefProfile::point_mass(3, 4, 2);
+        assert!(kp.is_complete_information(tol));
+
+        // Point masses on different states are still uncertain collectively.
+        let mixed = BeliefProfile::new(vec![Belief::point_mass(2, 0), Belief::point_mass(2, 1)]).unwrap();
+        assert!(!mixed.is_complete_information(tol));
+
+        let uncertain = BeliefProfile::identical(2, Belief::uniform(2));
+        assert!(!uncertain.is_complete_information(tol));
+    }
+
+    #[test]
+    fn profile_accessors() {
+        let p = BeliefProfile::identical(3, Belief::uniform(2));
+        assert_eq!(p.users(), 3);
+        assert_eq!(p.states(), 2);
+        assert_eq!(p.iter().count(), 3);
+        assert_eq!(p.belief(1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_mass_out_of_range_panics() {
+        Belief::point_mass(2, 5);
+    }
+}

@@ -1,0 +1,330 @@
+//! Effective (belief-averaged) capacities and the reduced game form.
+//!
+//! Section 2 of the paper observes that the expected latency of user `i` on
+//! link `ℓ` only depends on the user's belief through the *effective capacity*
+//!
+//! ```text
+//! cᵢℓ = 1 / Σ_φ  bᵢ(φ) / c_φℓ
+//! ```
+//!
+//! i.e. the belief-harmonic-mean of the link's capacity. Every algorithm and
+//! every equilibrium predicate in the crate therefore operates on the
+//! *effective game* `(w, c)` — the traffic vector together with the `n × m`
+//! matrix of effective capacities — rather than on raw states and beliefs.
+//!
+//! The reduction loses nothing: any strictly positive `n × m` matrix is the
+//! effective-capacity matrix of some belief model (take `n` states where state
+//! `i` equals row `i` and give user `i` a point-mass belief on state `i`), so
+//! [`EffectiveGame`] is exactly the class of games studied in the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GameError, Result};
+use crate::numeric::{stable_sum, Tolerance};
+
+/// The `n × m` matrix of effective capacities `cᵢℓ`, stored row-major
+/// (row = user, column = link).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EffectiveCapacities {
+    users: usize,
+    links: usize,
+    data: Vec<f64>,
+}
+
+impl EffectiveCapacities {
+    /// Builds the matrix from row-major data (`data[i * links + l] = cᵢˡ`).
+    pub fn from_rows(users: usize, links: usize, data: Vec<f64>) -> Result<Self> {
+        if users < 2 {
+            return Err(GameError::TooFewUsers { n: users });
+        }
+        if links < 2 {
+            return Err(GameError::TooFewLinks { m: links });
+        }
+        if data.len() != users * links {
+            return Err(GameError::StateDimensionMismatch {
+                state: 0,
+                expected: users * links,
+                found: data.len(),
+            });
+        }
+        for (idx, &c) in data.iter().enumerate() {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(GameError::InvalidCapacity {
+                    state: idx / links,
+                    link: idx % links,
+                    value: c,
+                });
+            }
+        }
+        Ok(EffectiveCapacities { users, links, data })
+    }
+
+    /// Builds the matrix from a vector of per-user rows.
+    pub fn from_user_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        let users = rows.len();
+        let links = rows.first().map(Vec::len).unwrap_or(0);
+        let mut data = Vec::with_capacity(users * links);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != links {
+                return Err(GameError::StateDimensionMismatch {
+                    state: i,
+                    expected: links,
+                    found: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        EffectiveCapacities::from_rows(users, links, data)
+    }
+
+    /// Number of users `n`.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of links `m`.
+    pub fn links(&self) -> usize {
+        self.links
+    }
+
+    /// Effective capacity `cᵢˡ` of link `link` as seen by user `user`.
+    #[inline]
+    pub fn get(&self, user: usize, link: usize) -> f64 {
+        self.data[user * self.links + link]
+    }
+
+    /// The full row of user `user` (their view of every link).
+    #[inline]
+    pub fn row(&self, user: usize) -> &[f64] {
+        &self.data[user * self.links..(user + 1) * self.links]
+    }
+
+    /// Sum of user `user`'s effective capacities over all links (`Σⱼ cᵢʲ`).
+    pub fn row_sum(&self, user: usize) -> f64 {
+        stable_sum(self.row(user))
+    }
+
+    /// The largest effective capacity over all users and links (`c_max`).
+    pub fn max(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::MIN, f64::max)
+    }
+
+    /// The smallest effective capacity over all users and links (`c_min`).
+    pub fn min(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::MAX, f64::min)
+    }
+
+    /// The smallest effective capacity of link `link` over all users
+    /// (`cˡ_min = min_i cᵢˡ`, used in Theorem 4.14).
+    pub fn link_min(&self, link: usize) -> f64 {
+        (0..self.users).map(|i| self.get(i, link)).fold(f64::MAX, f64::min)
+    }
+
+    /// Whether every user sees the same capacity on every link
+    /// (the *uniform user beliefs* model of Section 3.1: `cᵢˡ = cᵢ` for all `ℓ`).
+    pub fn is_uniform_per_user(&self, tol: Tolerance) -> bool {
+        (0..self.users).all(|i| {
+            let first = self.get(i, 0);
+            self.row(i).iter().all(|&c| tol.eq(c, first))
+        })
+    }
+
+    /// Whether all users agree on the capacity of every link
+    /// (the complete-information / KP special case: `cᵢˡ = cˡ` for all `i`).
+    pub fn is_user_independent(&self, tol: Tolerance) -> bool {
+        (0..self.links).all(|l| {
+            let first = self.get(0, l);
+            (0..self.users).all(|i| tol.eq(self.get(i, l), first))
+        })
+    }
+}
+
+/// The reduced form of an uncertain routing game: traffic vector `w` plus the
+/// effective-capacity matrix. All algorithms in the crate operate on this type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EffectiveGame {
+    weights: Vec<f64>,
+    capacities: EffectiveCapacities,
+}
+
+impl EffectiveGame {
+    /// Builds an effective game, validating weights against the capacity matrix.
+    pub fn new(weights: Vec<f64>, capacities: EffectiveCapacities) -> Result<Self> {
+        if weights.len() != capacities.users() {
+            return Err(GameError::ProfileDimensionMismatch {
+                expected_users: capacities.users(),
+                found_users: weights.len(),
+            });
+        }
+        for (user, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(GameError::InvalidWeight { user, value: w });
+            }
+        }
+        Ok(EffectiveGame { weights, capacities })
+    }
+
+    /// Builds an effective game directly from weights and per-user capacity rows.
+    pub fn from_rows(weights: Vec<f64>, rows: Vec<Vec<f64>>) -> Result<Self> {
+        EffectiveGame::new(weights, EffectiveCapacities::from_user_rows(rows)?)
+    }
+
+    /// Number of users `n`.
+    pub fn users(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of links `m`.
+    pub fn links(&self) -> usize {
+        self.capacities.links()
+    }
+
+    /// Traffic `wᵢ` of user `user`.
+    #[inline]
+    pub fn weight(&self, user: usize) -> f64 {
+        self.weights[user]
+    }
+
+    /// The full traffic vector `w`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total traffic `T = Σᵢ wᵢ`.
+    pub fn total_traffic(&self) -> f64 {
+        stable_sum(&self.weights)
+    }
+
+    /// The effective-capacity matrix.
+    pub fn capacities(&self) -> &EffectiveCapacities {
+        &self.capacities
+    }
+
+    /// Effective capacity `cᵢˡ`.
+    #[inline]
+    pub fn capacity(&self, user: usize, link: usize) -> f64 {
+        self.capacities.get(user, link)
+    }
+
+    /// Whether all users have (approximately) identical traffic — the
+    /// *symmetric users* special case handled by `Asymmetric`.
+    pub fn has_identical_weights(&self, tol: Tolerance) -> bool {
+        self.weights.iter().all(|&w| tol.eq(w, self.weights[0]))
+    }
+
+    /// Whether each user believes all links have the same capacity — the
+    /// *uniform user beliefs* special case handled by `Auniform`.
+    pub fn has_uniform_beliefs(&self, tol: Tolerance) -> bool {
+        self.capacities.is_uniform_per_user(tol)
+    }
+
+    /// Whether the game is a complete-information (KP) instance: all users
+    /// agree on every link capacity.
+    pub fn is_kp_instance(&self, tol: Tolerance) -> bool {
+        self.capacities.is_user_independent(tol)
+    }
+
+    /// Returns the game restricted to the users selected by `keep` (in order).
+    ///
+    /// Used by the recursive algorithms (e.g. `Atwolinks`) that peel one user
+    /// off per round.
+    pub fn restrict_users(&self, keep: &[usize]) -> Result<Self> {
+        let weights: Vec<f64> = keep.iter().map(|&i| self.weights[i]).collect();
+        let rows: Vec<Vec<f64>> = keep.iter().map(|&i| self.capacities.row(i).to_vec()).collect();
+        EffectiveGame::from_rows(weights, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_caps() -> EffectiveCapacities {
+        EffectiveCapacities::from_user_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 0.5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let c = simple_caps();
+        assert_eq!(c.users(), 3);
+        assert_eq!(c.links(), 2);
+        assert_eq!(c.get(1, 1), 4.0);
+        assert_eq!(c.row(2), &[5.0, 0.5]);
+        assert_eq!(c.row_sum(0), 3.0);
+        assert_eq!(c.max(), 5.0);
+        assert_eq!(c.min(), 0.5);
+        assert_eq!(c.link_min(0), 1.0);
+        assert_eq!(c.link_min(1), 0.5);
+    }
+
+    #[test]
+    fn matrix_validation() {
+        assert!(EffectiveCapacities::from_rows(2, 2, vec![1.0, 1.0, 1.0]).is_err());
+        assert!(EffectiveCapacities::from_rows(2, 2, vec![1.0, 1.0, 1.0, -1.0]).is_err());
+        assert!(EffectiveCapacities::from_rows(1, 2, vec![1.0, 1.0]).is_err());
+        assert!(EffectiveCapacities::from_rows(2, 1, vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_and_user_independent_detection() {
+        let tol = Tolerance::default();
+        let uniform =
+            EffectiveCapacities::from_user_rows(vec![vec![2.0, 2.0], vec![5.0, 5.0]]).unwrap();
+        assert!(uniform.is_uniform_per_user(tol));
+        assert!(!uniform.is_user_independent(tol));
+
+        let kp = EffectiveCapacities::from_user_rows(vec![vec![2.0, 5.0], vec![2.0, 5.0]]).unwrap();
+        assert!(kp.is_user_independent(tol));
+        assert!(!kp.is_uniform_per_user(tol));
+
+        let both = EffectiveCapacities::from_user_rows(vec![vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
+        assert!(both.is_user_independent(tol) && both.is_uniform_per_user(tol));
+    }
+
+    #[test]
+    fn effective_game_validation() {
+        let caps = simple_caps();
+        assert!(EffectiveGame::new(vec![1.0, 2.0], caps.clone()).is_err());
+        assert!(EffectiveGame::new(vec![1.0, 2.0, -1.0], caps.clone()).is_err());
+        let g = EffectiveGame::new(vec![1.0, 2.0, 3.0], caps).unwrap();
+        assert_eq!(g.users(), 3);
+        assert_eq!(g.links(), 2);
+        assert_eq!(g.total_traffic(), 6.0);
+        assert_eq!(g.weight(2), 3.0);
+        assert_eq!(g.capacity(2, 1), 0.5);
+    }
+
+    #[test]
+    fn special_case_predicates() {
+        let tol = Tolerance::default();
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 1.0],
+            vec![vec![2.0, 3.0], vec![4.0, 5.0]],
+        )
+        .unwrap();
+        assert!(g.has_identical_weights(tol));
+        assert!(!g.has_uniform_beliefs(tol));
+        assert!(!g.is_kp_instance(tol));
+
+        let kp = EffectiveGame::from_rows(
+            vec![1.0, 2.0],
+            vec![vec![2.0, 3.0], vec![2.0, 3.0]],
+        )
+        .unwrap();
+        assert!(kp.is_kp_instance(tol));
+    }
+
+    #[test]
+    fn restrict_users_keeps_selected_rows() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 2.0, 3.0],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        )
+        .unwrap();
+        let r = g.restrict_users(&[0, 2]).unwrap();
+        assert_eq!(r.users(), 2);
+        assert_eq!(r.weights(), &[1.0, 3.0]);
+        assert_eq!(r.capacities().row(1), &[5.0, 6.0]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Social cost, social optimum and the price of anarchy (Sections 2 and 4.2).
+//!
+//! Because beliefs are subjective there is no objective link congestion, so
+//! the paper defines the social cost from the users' individual (minimum
+//! expected) latencies:
+//!
+//! * `SC1(G, P) = Σᵢ λ_{i,bᵢ}(P)` — the sum of individual costs,
+//! * `SC2(G, P) = maxᵢ λ_{i,bᵢ}(P)` — the maximum individual cost,
+//!
+//! with the corresponding optima `OPT1`, `OPT2` taken over pure assignments
+//! and coordination ratios `CRᵢ = SCᵢ / OPTᵢ`. Theorems 4.13 and 4.14 give
+//! closed-form upper bounds on the coordination ratio, reproduced here as
+//! [`cr_bound_uniform_beliefs`] and [`cr_bound_general`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::latency::{mixed_min_latencies, pure_user_latency};
+use crate::model::EffectiveGame;
+use crate::numeric::stable_sum;
+use crate::solvers::exhaustive::{self, SocialOptimum};
+use crate::strategy::{LinkLoads, MixedProfile, PureProfile};
+
+/// `SC1(G, P)`: the sum of the users' minimum expected latency costs.
+pub fn sc1(game: &EffectiveGame, profile: &MixedProfile) -> f64 {
+    stable_sum(&mixed_min_latencies(game, profile))
+}
+
+/// `SC2(G, P)`: the maximum of the users' minimum expected latency costs.
+pub fn sc2(game: &EffectiveGame, profile: &MixedProfile) -> f64 {
+    mixed_min_latencies(game, profile).into_iter().fold(f64::MIN, f64::max)
+}
+
+/// Sum of the users' expected latencies in a pure profile (the quantity
+/// minimised by `OPT1`).
+pub fn pure_sc1(game: &EffectiveGame, profile: &PureProfile, initial: &LinkLoads) -> f64 {
+    let latencies: Vec<f64> =
+        (0..game.users()).map(|i| pure_user_latency(game, profile, initial, i)).collect();
+    stable_sum(&latencies)
+}
+
+/// Maximum of the users' expected latencies in a pure profile (the quantity
+/// minimised by `OPT2`).
+pub fn pure_sc2(game: &EffectiveGame, profile: &PureProfile, initial: &LinkLoads) -> f64 {
+    (0..game.users())
+        .map(|i| pure_user_latency(game, profile, initial, i))
+        .fold(f64::MIN, f64::max)
+}
+
+/// Computes the exact social optima by exhaustive enumeration.
+///
+/// # Errors
+/// Fails when the profile space exceeds `limit`.
+pub fn social_optimum(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    limit: u128,
+) -> Result<SocialOptimum> {
+    exhaustive::social_optimum(game, initial, limit)
+}
+
+/// Both social costs and both coordination ratios of a mixed profile, measured
+/// against the exact social optima.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// `SC1(G, P)`.
+    pub sc1: f64,
+    /// `SC2(G, P)`.
+    pub sc2: f64,
+    /// `OPT1(G)`.
+    pub opt1: f64,
+    /// `OPT2(G)`.
+    pub opt2: f64,
+    /// `SC1 / OPT1`.
+    pub cr1: f64,
+    /// `SC2 / OPT2`.
+    pub cr2: f64,
+}
+
+/// Measures a mixed profile against the exact social optima of the game.
+///
+/// # Errors
+/// Fails when the profile space exceeds `limit`.
+pub fn measure(
+    game: &EffectiveGame,
+    profile: &MixedProfile,
+    initial: &LinkLoads,
+    limit: u128,
+) -> Result<CostReport> {
+    let optimum = social_optimum(game, initial, limit)?;
+    let sc1 = sc1(game, profile);
+    let sc2 = sc2(game, profile);
+    Ok(CostReport {
+        sc1,
+        sc2,
+        opt1: optimum.opt1,
+        opt2: optimum.opt2,
+        cr1: sc1 / optimum.opt1,
+        cr2: sc2 / optimum.opt2,
+    })
+}
+
+/// The range of social costs spanned by the *pure* Nash equilibria of a game:
+/// the cheapest and the most expensive equilibrium under both cost notions.
+///
+/// This is the quantity behind the pure price of anarchy (worst / OPT) and the
+/// price of stability (best / OPT); the paper only bounds the former, but the
+/// spectrum is useful when studying how much coordination could help.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquilibriumSpectrum {
+    /// Number of pure Nash equilibria found.
+    pub count: usize,
+    /// Smallest `SC1` over all pure equilibria.
+    pub best_sc1: f64,
+    /// Largest `SC1` over all pure equilibria.
+    pub worst_sc1: f64,
+    /// Smallest `SC2` over all pure equilibria.
+    pub best_sc2: f64,
+    /// Largest `SC2` over all pure equilibria.
+    pub worst_sc2: f64,
+}
+
+/// Enumerates all pure Nash equilibria and reports the spread of their social
+/// costs. Returns `Ok(None)` when the game has no pure equilibrium (not
+/// observed in practice; see Conjecture 3.7).
+///
+/// # Errors
+/// Fails when the profile space exceeds `limit`.
+pub fn pure_equilibrium_spectrum(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    tol: crate::numeric::Tolerance,
+    limit: u128,
+) -> Result<Option<EquilibriumSpectrum>> {
+    let equilibria = exhaustive::all_pure_nash(game, initial, tol, limit)?;
+    if equilibria.is_empty() {
+        return Ok(None);
+    }
+    let mut spectrum = EquilibriumSpectrum {
+        count: equilibria.len(),
+        best_sc1: f64::INFINITY,
+        worst_sc1: f64::NEG_INFINITY,
+        best_sc2: f64::INFINITY,
+        worst_sc2: f64::NEG_INFINITY,
+    };
+    for ne in &equilibria {
+        let s1 = pure_sc1(game, ne, initial);
+        let s2 = pure_sc2(game, ne, initial);
+        spectrum.best_sc1 = spectrum.best_sc1.min(s1);
+        spectrum.worst_sc1 = spectrum.worst_sc1.max(s1);
+        spectrum.best_sc2 = spectrum.best_sc2.min(s2);
+        spectrum.worst_sc2 = spectrum.worst_sc2.max(s2);
+    }
+    Ok(Some(spectrum))
+}
+
+/// The pure price of anarchy and price of stability of a game under `SC1`:
+/// `(worst NE / OPT1, best NE / OPT1)`. Returns `Ok(None)` when no pure
+/// equilibrium exists.
+///
+/// # Errors
+/// Fails when the profile space exceeds `limit`.
+pub fn pure_poa_and_pos(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    tol: crate::numeric::Tolerance,
+    limit: u128,
+) -> Result<Option<(f64, f64)>> {
+    let Some(spectrum) = pure_equilibrium_spectrum(game, initial, tol, limit)? else {
+        return Ok(None);
+    };
+    let optimum = social_optimum(game, initial, limit)?;
+    Ok(Some((spectrum.worst_sc1 / optimum.opt1, spectrum.best_sc1 / optimum.opt1)))
+}
+
+/// The coordination-ratio upper bound of Theorem 4.13, valid under the model
+/// of uniform user beliefs:
+/// `(c_max / c_min) · (m + n − 1) / m`.
+pub fn cr_bound_uniform_beliefs(game: &EffectiveGame) -> f64 {
+    let caps = game.capacities();
+    let n = game.users() as f64;
+    let m = game.links() as f64;
+    (caps.max() / caps.min()) * (m + n - 1.0) / m
+}
+
+/// The coordination-ratio upper bound of Theorem 4.14 for the general case:
+/// `(c_max² / c_min) · (m + n − 1) / Σⱼ cʲ_min`, where `cʲ_min = minᵢ cᵢʲ`.
+pub fn cr_bound_general(game: &EffectiveGame) -> f64 {
+    let caps = game.capacities();
+    let n = game.users() as f64;
+    let m = game.links() as f64;
+    let link_min_sum: f64 = (0..game.links()).map(|l| caps.link_min(l)).sum();
+    (caps.max() * caps.max() / caps.min()) * (m + n - 1.0) / link_min_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fully_mixed::fully_mixed_nash;
+    use crate::numeric::Tolerance;
+    use crate::solvers::exhaustive::all_pure_nash;
+
+    fn mild_game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![1.0, 1.5, 2.0],
+            vec![vec![2.0, 2.2], vec![2.1, 1.9], vec![2.0, 2.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sc1_is_sum_and_sc2_is_max_of_min_latencies() {
+        let g = mild_game();
+        let p = MixedProfile::uniform(3, 2);
+        let mins = mixed_min_latencies(&g, &p);
+        assert!((sc1(&g, &p) - stable_sum(&mins)).abs() < 1e-12);
+        let max = mins.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((sc2(&g, &p) - max).abs() < 1e-12);
+        assert!(sc2(&g, &p) <= sc1(&g, &p) + 1e-12);
+    }
+
+    #[test]
+    fn pure_costs_match_mixed_costs_of_degenerate_profiles_at_equilibrium() {
+        // For a pure Nash equilibrium the minimum expected latency of each
+        // user equals the latency on its own link, so the mixed-profile social
+        // costs coincide with the pure ones.
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let tol = Tolerance::default();
+        let equilibria = all_pure_nash(&g, &t, tol, 10_000).unwrap();
+        assert!(!equilibria.is_empty());
+        for pure in equilibria {
+            let mixed = MixedProfile::from_pure(&pure, 2);
+            assert!((sc1(&g, &mixed) - pure_sc1(&g, &pure, &t)).abs() < 1e-9);
+            assert!((sc2(&g, &mixed) - pure_sc2(&g, &pure, &t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimum_is_a_lower_bound_for_equilibrium_costs() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let tol = Tolerance::default();
+        for pure in all_pure_nash(&g, &t, tol, 10_000).unwrap() {
+            let mixed = MixedProfile::from_pure(&pure, 2);
+            let report = measure(&g, &mixed, &t, 10_000).unwrap();
+            assert!(report.cr1 >= 1.0 - 1e-9);
+            assert!(report.cr2 >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn theorem_4_13_bound_holds_for_uniform_belief_equilibria() {
+        // Uniform beliefs, varied per-user capacities and weights.
+        let g = EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0, 1.5],
+            vec![vec![2.0; 3], vec![0.5; 3], vec![1.0; 3], vec![4.0; 3]],
+        )
+        .unwrap();
+        let t = LinkLoads::zero(3);
+        let tol = Tolerance::default();
+        let bound = cr_bound_uniform_beliefs(&g);
+        for pure in all_pure_nash(&g, &t, tol, 100_000).unwrap() {
+            let mixed = MixedProfile::from_pure(&pure, 3);
+            let report = measure(&g, &mixed, &t, 100_000).unwrap();
+            assert!(report.cr1 <= bound + 1e-9, "CR1 {} > bound {bound}", report.cr1);
+            assert!(report.cr2 <= bound + 1e-9, "CR2 {} > bound {bound}", report.cr2);
+        }
+        // The fully mixed equilibrium (worst case by Theorems 4.11/4.12) also
+        // respects the bound.
+        let fmne = fully_mixed_nash(&g, tol).unwrap();
+        let report = measure(&g, &fmne, &t, 100_000).unwrap();
+        assert!(report.cr1 <= bound + 1e-9);
+        assert!(report.cr2 <= bound + 1e-9);
+    }
+
+    #[test]
+    fn theorem_4_14_bound_holds_for_general_equilibria() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let tol = Tolerance::default();
+        let bound = cr_bound_general(&g);
+        for pure in all_pure_nash(&g, &t, tol, 10_000).unwrap() {
+            let mixed = MixedProfile::from_pure(&pure, 2);
+            let report = measure(&g, &mixed, &t, 10_000).unwrap();
+            assert!(report.cr1 <= bound + 1e-9);
+            assert!(report.cr2 <= bound + 1e-9);
+        }
+        if let Some(fmne) = fully_mixed_nash(&g, tol) {
+            let report = measure(&g, &fmne, &t, 10_000).unwrap();
+            assert!(report.cr1 <= bound + 1e-9);
+            assert!(report.cr2 <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn equilibrium_spectrum_brackets_every_pure_equilibrium() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let tol = Tolerance::default();
+        let spectrum = pure_equilibrium_spectrum(&g, &t, tol, 10_000).unwrap().unwrap();
+        let equilibria = all_pure_nash(&g, &t, tol, 10_000).unwrap();
+        assert_eq!(spectrum.count, equilibria.len());
+        for ne in &equilibria {
+            let s1 = pure_sc1(&g, ne, &t);
+            let s2 = pure_sc2(&g, ne, &t);
+            assert!(spectrum.best_sc1 <= s1 + 1e-12 && s1 <= spectrum.worst_sc1 + 1e-12);
+            assert!(spectrum.best_sc2 <= s2 + 1e-12 && s2 <= spectrum.worst_sc2 + 1e-12);
+        }
+        assert!(spectrum.best_sc1 <= spectrum.worst_sc1);
+        assert!(spectrum.best_sc2 <= spectrum.worst_sc2);
+    }
+
+    #[test]
+    fn poa_and_pos_are_ordered_and_at_least_one() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let tol = Tolerance::default();
+        let (poa, pos) = pure_poa_and_pos(&g, &t, tol, 10_000).unwrap().unwrap();
+        assert!(pos >= 1.0 - 1e-9, "price of stability below 1: {pos}");
+        assert!(poa >= pos - 1e-12, "PoA {poa} below PoS {pos}");
+        assert!(poa <= cr_bound_general(&g) + 1e-9);
+    }
+
+    #[test]
+    fn spectrum_respects_the_size_limit() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        assert!(pure_equilibrium_spectrum(&g, &t, Tolerance::default(), 2).is_err());
+        assert!(pure_poa_and_pos(&g, &t, Tolerance::default(), 2).is_err());
+    }
+
+    #[test]
+    fn general_bound_is_never_tighter_than_uniform_bound_on_uniform_games() {
+        // For uniform-belief games both bounds apply; Theorem 4.14's bound is
+        // the coarser one.
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 2.0],
+            vec![vec![2.0, 2.0], vec![0.5, 0.5]],
+        )
+        .unwrap();
+        assert!(cr_bound_general(&g) >= cr_bound_uniform_beliefs(&g) - 1e-12);
+    }
+}

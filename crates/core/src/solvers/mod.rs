@@ -1,0 +1,4 @@
+//! Exact solvers used as references for the polynomial-time algorithms and for
+//! the social-optimum denominators of the price of anarchy.
+
+pub mod exhaustive;

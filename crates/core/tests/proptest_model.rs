@@ -1,0 +1,227 @@
+//! Property-based tests for the model layer: beliefs, effective capacities,
+//! latencies and strategy profiles.
+
+use proptest::prelude::*;
+
+use netuncert_core::latency::{
+    expected_pure_latency_full, mixed_link_latency, pure_user_latency, pure_user_latency_on_link,
+};
+use netuncert_core::model::{Belief, BeliefProfile, EffectiveGame, Game, StateSpace};
+use netuncert_core::numeric::{stable_sum, Tolerance};
+use netuncert_core::strategy::{LinkLoads, MixedProfile, PureProfile};
+
+/// Strategy: a positive traffic value.
+fn weight() -> impl Strategy<Value = f64> {
+    0.1f64..5.0
+}
+
+/// Strategy: a positive capacity value.
+fn capacity() -> impl Strategy<Value = f64> {
+    0.2f64..5.0
+}
+
+/// Strategy: a full belief-model game with `n` users, `m` links, `s` states.
+fn game_strategy() -> impl Strategy<Value = Game> {
+    (2usize..=4, 2usize..=3, 1usize..=4).prop_flat_map(|(n, m, s)| {
+        let weights = proptest::collection::vec(weight(), n);
+        let states = proptest::collection::vec(proptest::collection::vec(capacity(), m), s);
+        let beliefs =
+            proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, s), n);
+        (weights, states, beliefs).prop_map(|(w, rows, raw_beliefs)| {
+            let space = StateSpace::from_rows(rows).expect("positive capacities");
+            let beliefs = BeliefProfile::new(
+                raw_beliefs
+                    .into_iter()
+                    .map(|b| Belief::from_weights(&b).expect("positive weights"))
+                    .collect(),
+            )
+            .expect("consistent beliefs");
+            Game::new(w, space, beliefs).expect("valid game")
+        })
+    })
+}
+
+/// Strategy: an effective game built directly from a random positive matrix.
+fn effective_game_strategy() -> impl Strategy<Value = EffectiveGame> {
+    (2usize..=5, 2usize..=4).prop_flat_map(|(n, m)| {
+        let weights = proptest::collection::vec(weight(), n);
+        let rows = proptest::collection::vec(proptest::collection::vec(capacity(), m), n);
+        (weights, rows).prop_map(|(w, rows)| EffectiveGame::from_rows(w, rows).expect("valid"))
+    })
+}
+
+/// Strategy: a mixed profile (rows normalised from positive raw weights).
+fn mixed_strategy(n: usize, m: usize) -> impl Strategy<Value = MixedProfile> {
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, m), n).prop_map(|rows| {
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.into_iter().map(|p| p / total).collect::<Vec<_>>()
+            })
+            .collect();
+        MixedProfile::from_rows(rows).expect("normalised rows")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The effective-capacity reduction is exact: for every user and profile,
+    /// the expectation over states equals the reduced-form latency.
+    #[test]
+    fn effective_reduction_is_exact(game in game_strategy(), seed in 0usize..100) {
+        let eg = game.effective_game();
+        let n = game.users();
+        let m = game.links();
+        let t = LinkLoads::zero(m);
+        // A pseudo-random profile derived from the seed.
+        let profile = PureProfile::new((0..n).map(|i| (seed + i * 7) % m).collect());
+        for user in 0..n {
+            let explicit = expected_pure_latency_full(&game, &profile, user);
+            let reduced = pure_user_latency(&eg, &profile, &t, user);
+            prop_assert!((explicit - reduced).abs() < 1e-9 * explicit.max(1.0));
+        }
+    }
+
+    /// Effective capacities are bounded by the extreme state capacities: the
+    /// belief-harmonic mean can never leave the interval spanned by the states.
+    #[test]
+    fn effective_capacity_is_between_state_extremes(game in game_strategy()) {
+        for user in 0..game.users() {
+            for link in 0..game.links() {
+                let cap = game.effective_capacity(user, link);
+                let min = game.states().iter().map(|s| s.capacity(link)).fold(f64::MAX, f64::min);
+                let max = game.states().iter().map(|s| s.capacity(link)).fold(f64::MIN, f64::max);
+                prop_assert!(cap >= min - 1e-9 && cap <= max + 1e-9,
+                    "c[{user}][{link}] = {cap} outside [{min}, {max}]");
+            }
+        }
+    }
+
+    /// Beliefs constructed from positive weights are normalised distributions.
+    #[test]
+    fn beliefs_from_weights_are_normalised(raw in proptest::collection::vec(0.001f64..10.0, 1..8)) {
+        let belief = Belief::from_weights(&raw).unwrap();
+        let total: f64 = belief.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(belief.probs().iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+    }
+
+    /// Total link load equals initial traffic plus total user traffic.
+    #[test]
+    fn link_loads_conserve_traffic(game in effective_game_strategy(), seed in 0usize..100) {
+        let n = game.users();
+        let m = game.links();
+        let profile = PureProfile::new((0..n).map(|i| (seed + i * 3) % m).collect());
+        let initial = LinkLoads::zero(m);
+        let loads = profile.link_loads(&game, &initial);
+        prop_assert!((stable_sum(&loads) - game.total_traffic()).abs() < 1e-9);
+    }
+
+    /// Moving to one's current link changes nothing: the hypothetical-move
+    /// latency on the current link equals the actual latency.
+    #[test]
+    fn staying_put_is_a_fixed_point(game in effective_game_strategy(), seed in 0usize..100) {
+        let n = game.users();
+        let m = game.links();
+        let profile = PureProfile::new((0..n).map(|i| (seed + i) % m).collect());
+        let t = LinkLoads::zero(m);
+        for user in 0..n {
+            let stay = pure_user_latency_on_link(&game, &profile, &t, user, profile.link(user));
+            let actual = pure_user_latency(&game, &profile, &t, user);
+            prop_assert!((stay - actual).abs() < 1e-12);
+        }
+    }
+
+    /// Expected link traffic of a mixed profile sums to the total traffic, and
+    /// every latency is positive.
+    #[test]
+    fn mixed_profile_invariants(game in effective_game_strategy()) {
+        let n = game.users();
+        let m = game.links();
+        // Derive a mixed profile from the game dimensions deterministically.
+        let profile = MixedProfile::uniform(n, m);
+        let traffic = profile.expected_traffic(&game);
+        prop_assert!((stable_sum(&traffic) - game.total_traffic()).abs() < 1e-9);
+        for user in 0..n {
+            for link in 0..m {
+                prop_assert!(mixed_link_latency(&game, &profile, user, link) > 0.0);
+            }
+        }
+    }
+
+    /// Increasing the probability a user puts on a link never decreases the
+    /// expected traffic of that link.
+    #[test]
+    fn expected_traffic_is_monotone_in_probability(
+        game in effective_game_strategy(),
+        bump in 0.05f64..0.5,
+    ) {
+        let n = game.users();
+        let m = game.links();
+        let base = MixedProfile::uniform(n, m);
+        // Shift `bump` of user 0's mass onto link 0.
+        let mut rows: Vec<Vec<f64>> = (0..n).map(|u| base.row(u).to_vec()).collect();
+        let taken = bump.min(rows[0][1] * 0.9);
+        rows[0][0] += taken;
+        rows[0][1] -= taken;
+        let shifted = MixedProfile::from_rows(rows).unwrap();
+        let before = base.expected_traffic(&game);
+        let after = shifted.expected_traffic(&game);
+        prop_assert!(after[0] >= before[0] - 1e-12);
+        prop_assert!(after[1] <= before[1] + 1e-12);
+    }
+
+    /// `as_pure` inverts `from_pure` for every pure profile, and mixed rows
+    /// built by normalisation always validate.
+    #[test]
+    fn pure_mixed_round_trip(n in 2usize..=5, m in 2usize..=4, seed in 0usize..1000) {
+        let profile = PureProfile::new((0..n).map(|i| (seed * 31 + i * 17) % m).collect());
+        let mixed = MixedProfile::from_pure(&profile, m);
+        prop_assert_eq!(mixed.as_pure(Tolerance::default()), Some(profile));
+    }
+
+    /// Mixed profiles from the generator always validate against their game.
+    #[test]
+    fn generated_mixed_profiles_validate(
+        (game, profile) in effective_game_strategy().prop_flat_map(|g| {
+            let n = g.users();
+            let m = g.links();
+            (Just(g), mixed_strategy(n, m))
+        })
+    ) {
+        prop_assert!(profile.validate(&game).is_ok());
+        prop_assert!(profile.is_fully_mixed(Tolerance::default()));
+    }
+
+    /// The KP special case: point-mass beliefs on a common state make every
+    /// user's effective capacities equal to that state's capacities.
+    #[test]
+    fn point_mass_beliefs_recover_the_state(
+        weights in proptest::collection::vec(weight(), 2..5),
+        caps in proptest::collection::vec(capacity(), 2..4),
+    ) {
+        let game = Game::complete_information(weights, caps.clone()).unwrap();
+        let eg = game.effective_game();
+        for user in 0..eg.users() {
+            for (link, &c) in caps.iter().enumerate() {
+                prop_assert!((eg.capacity(user, link) - c).abs() < 1e-12);
+            }
+        }
+        prop_assert!(eg.is_kp_instance(Tolerance::default()));
+    }
+
+    /// Profile validation catches out-of-range links and wrong arities.
+    #[test]
+    fn profile_validation_rejects_bad_profiles(game in effective_game_strategy()) {
+        let n = game.users();
+        let m = game.links();
+        let too_short = PureProfile::new(vec![0; n - 1]);
+        prop_assert!(too_short.validate(&game).is_err());
+        let out_of_range = PureProfile::new(vec![m; n]);
+        prop_assert!(out_of_range.validate(&game).is_err());
+        let fine = PureProfile::new(vec![m - 1; n]);
+        prop_assert!(fine.validate(&game).is_ok());
+    }
+}

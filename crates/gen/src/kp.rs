@@ -1,0 +1,102 @@
+//! Random complete-information KP instances.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use kp_model::KpGame;
+
+use crate::spec::{CapacityDist, WeightDist};
+
+/// A specification of a random KP-model instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KpSpec {
+    /// Number of users.
+    pub users: usize,
+    /// Number of links.
+    pub links: usize,
+    /// Traffic distribution.
+    pub weights: WeightDist,
+    /// Link-capacity distribution.
+    pub capacities: CapacityDist,
+    /// Force all links to the same capacity (the *identical links* case).
+    pub identical_links: bool,
+}
+
+impl KpSpec {
+    /// A default related-links scenario.
+    pub fn related(users: usize, links: usize) -> Self {
+        KpSpec {
+            users,
+            links,
+            weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+            capacities: CapacityDist::Uniform { lo: 1.0, hi: 4.0 },
+            identical_links: false,
+        }
+    }
+
+    /// A default identical-links scenario.
+    pub fn identical(users: usize, links: usize) -> Self {
+        KpSpec { identical_links: true, ..KpSpec::related(users, links) }
+    }
+
+    /// Generates the KP game.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> KpGame {
+        let weights: Vec<f64> = (0..self.users)
+            .map(|_| match self.weights {
+                WeightDist::Identical(w) => w,
+                WeightDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+                WeightDist::Skewed { lo, doublings } => {
+                    lo * 2.0_f64.powf(rng.gen_range(0.0..=doublings))
+                }
+            })
+            .collect();
+        let capacities: Vec<f64> = if self.identical_links {
+            let c = sample_capacity(&self.capacities, rng);
+            vec![c; self.links]
+        } else {
+            (0..self.links).map(|_| sample_capacity(&self.capacities, rng)).collect()
+        };
+        KpGame::new(weights, capacities).expect("spec produces valid KP games")
+    }
+}
+
+fn sample_capacity<R: Rng>(dist: &CapacityDist, rng: &mut R) -> f64 {
+    match *dist {
+        CapacityDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+        CapacityDist::TwoLevel { lo, hi } => {
+            if rng.gen_bool(0.5) {
+                lo
+            } else {
+                hi
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = KpSpec::related(5, 3);
+        assert_eq!(spec.generate(&mut rng(1, 0)), spec.generate(&mut rng(1, 0)));
+    }
+
+    #[test]
+    fn identical_links_spec_produces_identical_links() {
+        let spec = KpSpec::identical(4, 5);
+        let g = spec.generate(&mut rng(2, 0));
+        assert!(g.has_identical_links());
+        assert_eq!(g.users(), 4);
+        assert_eq!(g.links(), 5);
+    }
+
+    #[test]
+    fn related_links_spec_usually_produces_distinct_capacities() {
+        let spec = KpSpec::related(3, 4);
+        let g = spec.generate(&mut rng(3, 0));
+        assert!(!g.has_identical_links());
+    }
+}

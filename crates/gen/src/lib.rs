@@ -1,0 +1,56 @@
+//! # instance-gen
+//!
+//! Seeded, reproducible random-instance generators for the experiments and
+//! benchmarks in this workspace. Every generator takes an explicit `u64` seed
+//! and uses a counter-based ChaCha8 stream, so a `(spec, seed)` pair always
+//! produces the same instance regardless of platform or thread count.
+//!
+//! * [`spec`] — declarative specifications of random belief-model games
+//!   ([`GameSpec`]) and of directly generated effective games
+//!   ([`EffectiveSpec`]).
+//! * [`kp`] — random complete-information KP instances.
+//! * [`user_specific`] — random weighted user-specific (Milchtaich-class)
+//!   congestion games with monotone step costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kp;
+pub mod spec;
+pub mod user_specific;
+
+pub use spec::{BeliefKind, CapacityDist, EffectiveSpec, GameSpec, WeightDist};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the deterministic RNG used by every generator in this crate.
+///
+/// The `stream` argument lets callers derive independent substreams (e.g. one
+/// per Monte-Carlo task) from one experiment seed.
+pub fn rng(seed: u64, stream: u64) -> ChaCha8Rng {
+    let mut state = [0u8; 32];
+    state[..8].copy_from_slice(&seed.to_le_bytes());
+    state[8..16].copy_from_slice(&stream.to_le_bytes());
+    state[16..24].copy_from_slice(&0x9E37_79B9_7F4A_7C15u64.to_le_bytes());
+    ChaCha8Rng::from_seed(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_deterministic_per_seed_and_stream() {
+        let mut a = rng(1, 2);
+        let mut b = rng(1, 2);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = rng(1, 3);
+        let mut d = rng(2, 2);
+        // Different streams or seeds give different output (overwhelmingly).
+        let x = rng(1, 2).next_u64();
+        assert_ne!(x, c.next_u64());
+        assert_ne!(x, d.next_u64());
+    }
+}

@@ -1,0 +1,359 @@
+//! Declarative specifications of random uncertain-routing instances.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use netuncert_core::model::{Belief, BeliefProfile, EffectiveGame, Game, StateSpace};
+
+/// Distribution of user traffics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WeightDist {
+    /// All users carry the same traffic (the *symmetric users* special case).
+    Identical(f64),
+    /// Traffics drawn uniformly from `[lo, hi]`.
+    Uniform {
+        /// Lower bound (must be positive).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Heavy-tailed traffics: `lo · 2^U` with `U` uniform on `[0, doublings]`.
+    Skewed {
+        /// Smallest traffic.
+        lo: f64,
+        /// Number of doublings spanned by the distribution.
+        doublings: f64,
+    },
+}
+
+impl WeightDist {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            WeightDist::Identical(w) => w,
+            WeightDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            WeightDist::Skewed { lo, doublings } => {
+                lo * 2.0_f64.powf(rng.gen_range(0.0..=doublings))
+            }
+        }
+    }
+}
+
+/// Distribution of link capacities within a network state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CapacityDist {
+    /// Capacities drawn uniformly from `[lo, hi]`.
+    Uniform {
+        /// Lower bound (must be positive).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Each link is either degraded (`lo`) or healthy (`hi`) with equal
+    /// probability — the "link failure / congestion" scenario motivating the
+    /// paper's uncertainty model.
+    TwoLevel {
+        /// Degraded capacity.
+        lo: f64,
+        /// Healthy capacity.
+        hi: f64,
+    },
+}
+
+impl CapacityDist {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            CapacityDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            CapacityDist::TwoLevel { lo, hi } => {
+                if rng.gen_bool(0.5) {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        }
+    }
+}
+
+/// How user beliefs over the state space are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BeliefKind {
+    /// Every user is certain of state 0 — the KP-model special case.
+    CompleteInformation,
+    /// Each user is certain of a uniformly chosen (possibly different) state.
+    RandomPointMass,
+    /// Every user holds the uniform belief over all states.
+    CommonUniform,
+    /// Independent random beliefs: normalised exponential weights, giving a
+    /// Dirichlet(1,…,1)-like spread over the simplex.
+    IndependentRandom,
+    /// Independent random beliefs concentrated around a random "true" state:
+    /// the chosen state gets weight `1 + sharpness`, others exponential noise.
+    NoisyPointMass {
+        /// How strongly the preferred state dominates.
+        sharpness: f64,
+    },
+}
+
+impl BeliefKind {
+    fn sample<R: Rng>(&self, rng: &mut R, states: usize) -> Belief {
+        match *self {
+            BeliefKind::CompleteInformation => Belief::point_mass(states, 0),
+            BeliefKind::RandomPointMass => {
+                Belief::point_mass(states, rng.gen_range(0..states))
+            }
+            BeliefKind::CommonUniform => Belief::uniform(states),
+            BeliefKind::IndependentRandom => {
+                let weights: Vec<f64> =
+                    (0..states).map(|_| -rng.gen_range(1e-9..1.0f64).ln()).collect();
+                Belief::from_weights(&weights).expect("positive weights")
+            }
+            BeliefKind::NoisyPointMass { sharpness } => {
+                let favourite = rng.gen_range(0..states);
+                let weights: Vec<f64> = (0..states)
+                    .map(|s| {
+                        let noise = -rng.gen_range(1e-9..1.0f64).ln();
+                        if s == favourite {
+                            noise + 1.0 + sharpness
+                        } else {
+                            noise
+                        }
+                    })
+                    .collect();
+                Belief::from_weights(&weights).expect("positive weights")
+            }
+        }
+    }
+}
+
+/// A specification of a random belief-model game `G = (n, m, w, B)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameSpec {
+    /// Number of users `n` (≥ 2).
+    pub users: usize,
+    /// Number of links `m` (≥ 2).
+    pub links: usize,
+    /// Number of network states `|Φ|` (≥ 1).
+    pub states: usize,
+    /// Distribution of user traffics.
+    pub weights: WeightDist,
+    /// Distribution of per-state link capacities.
+    pub capacities: CapacityDist,
+    /// Belief generation scheme.
+    pub beliefs: BeliefKind,
+}
+
+impl GameSpec {
+    /// A reasonable default scenario: moderate uncertainty over two-level
+    /// capacities with independent random beliefs.
+    pub fn default_scenario(users: usize, links: usize) -> Self {
+        GameSpec {
+            users,
+            links,
+            states: 4,
+            weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+            capacities: CapacityDist::TwoLevel { lo: 1.0, hi: 4.0 },
+            beliefs: BeliefKind::IndependentRandom,
+        }
+    }
+
+    /// Generates the full belief-model game for `(self, seed)`.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Game {
+        assert!(self.users >= 2 && self.links >= 2 && self.states >= 1, "invalid spec");
+        let weights: Vec<f64> = (0..self.users).map(|_| self.weights.sample(rng)).collect();
+        let rows: Vec<Vec<f64>> = (0..self.states)
+            .map(|_| (0..self.links).map(|_| self.capacities.sample(rng)).collect())
+            .collect();
+        let states = StateSpace::from_rows(rows).expect("positive capacities");
+        let beliefs = BeliefProfile::new(
+            (0..self.users).map(|_| self.beliefs.sample(rng, self.states)).collect(),
+        )
+        .expect("consistent beliefs");
+        Game::new(weights, states, beliefs).expect("spec produces valid games")
+    }
+
+    /// Generates the reduced effective game directly.
+    pub fn generate_effective<R: Rng>(&self, rng: &mut R) -> EffectiveGame {
+        self.generate(rng).effective_game()
+    }
+}
+
+/// A specification that samples the effective-capacity matrix directly, used
+/// when an experiment needs explicit control over the matrix shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EffectiveSpec {
+    /// Fully random positive matrix: every user sees every link differently.
+    General {
+        /// Number of users.
+        users: usize,
+        /// Number of links.
+        links: usize,
+        /// Capacity range.
+        capacity: CapacityDist,
+        /// Traffic distribution.
+        weights: WeightDist,
+    },
+    /// Uniform user beliefs: each user sees one capacity on all links.
+    UniformPerUser {
+        /// Number of users.
+        users: usize,
+        /// Number of links.
+        links: usize,
+        /// Per-user capacity range.
+        capacity: CapacityDist,
+        /// Traffic distribution.
+        weights: WeightDist,
+    },
+    /// Complete information: all users see the same per-link capacities.
+    UserIndependent {
+        /// Number of users.
+        users: usize,
+        /// Number of links.
+        links: usize,
+        /// Per-link capacity range.
+        capacity: CapacityDist,
+        /// Traffic distribution.
+        weights: WeightDist,
+    },
+}
+
+impl EffectiveSpec {
+    /// Generates an effective game according to the specification.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> EffectiveGame {
+        match *self {
+            EffectiveSpec::General { users, links, capacity, weights } => {
+                let w: Vec<f64> = (0..users).map(|_| weights.sample(rng)).collect();
+                let rows: Vec<Vec<f64>> = (0..users)
+                    .map(|_| (0..links).map(|_| capacity.sample(rng)).collect())
+                    .collect();
+                EffectiveGame::from_rows(w, rows).expect("valid random game")
+            }
+            EffectiveSpec::UniformPerUser { users, links, capacity, weights } => {
+                let w: Vec<f64> = (0..users).map(|_| weights.sample(rng)).collect();
+                let rows: Vec<Vec<f64>> = (0..users)
+                    .map(|_| {
+                        let c = capacity.sample(rng);
+                        vec![c; links]
+                    })
+                    .collect();
+                EffectiveGame::from_rows(w, rows).expect("valid random game")
+            }
+            EffectiveSpec::UserIndependent { users, links, capacity, weights } => {
+                let w: Vec<f64> = (0..users).map(|_| weights.sample(rng)).collect();
+                let row: Vec<f64> = (0..links).map(|_| capacity.sample(rng)).collect();
+                EffectiveGame::from_rows(w, vec![row; users]).expect("valid random game")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use netuncert_core::numeric::Tolerance;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let spec = GameSpec::default_scenario(4, 3);
+        let a = spec.generate(&mut rng(11, 0));
+        let b = spec.generate(&mut rng(11, 0));
+        assert_eq!(a, b);
+        let c = spec.generate(&mut rng(12, 0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn complete_information_spec_produces_kp_instances() {
+        let spec = GameSpec {
+            users: 3,
+            links: 2,
+            states: 5,
+            weights: WeightDist::Uniform { lo: 1.0, hi: 2.0 },
+            capacities: CapacityDist::Uniform { lo: 1.0, hi: 3.0 },
+            beliefs: BeliefKind::CompleteInformation,
+        };
+        let g = spec.generate(&mut rng(1, 0));
+        assert!(g.is_kp_instance(Tolerance::default()));
+    }
+
+    #[test]
+    fn common_uniform_beliefs_give_identical_capacity_rows() {
+        let spec = GameSpec {
+            users: 3,
+            links: 3,
+            states: 4,
+            weights: WeightDist::Identical(1.0),
+            capacities: CapacityDist::TwoLevel { lo: 1.0, hi: 4.0 },
+            beliefs: BeliefKind::CommonUniform,
+        };
+        let eg = spec.generate_effective(&mut rng(5, 0));
+        let first = eg.capacities().row(0).to_vec();
+        for u in 1..3 {
+            assert_eq!(eg.capacities().row(u), &first[..]);
+        }
+    }
+
+    #[test]
+    fn uniform_per_user_spec_satisfies_the_algorithm_precondition() {
+        let spec = EffectiveSpec::UniformPerUser {
+            users: 5,
+            links: 4,
+            capacity: CapacityDist::Uniform { lo: 0.5, hi: 5.0 },
+            weights: WeightDist::Uniform { lo: 0.5, hi: 3.0 },
+        };
+        let eg = spec.generate(&mut rng(3, 1));
+        assert!(eg.has_uniform_beliefs(Tolerance::default()));
+    }
+
+    #[test]
+    fn user_independent_spec_is_a_kp_instance() {
+        let spec = EffectiveSpec::UserIndependent {
+            users: 4,
+            links: 3,
+            capacity: CapacityDist::Uniform { lo: 0.5, hi: 5.0 },
+            weights: WeightDist::Skewed { lo: 0.5, doublings: 3.0 },
+        };
+        let eg = spec.generate(&mut rng(3, 2));
+        assert!(eg.is_kp_instance(Tolerance::default()));
+    }
+
+    #[test]
+    fn weight_distributions_respect_their_ranges() {
+        let mut r = rng(9, 9);
+        for _ in 0..100 {
+            let w = WeightDist::Uniform { lo: 1.0, hi: 2.0 }.sample(&mut r);
+            assert!((1.0..=2.0).contains(&w));
+            let s = WeightDist::Skewed { lo: 0.5, doublings: 2.0 }.sample(&mut r);
+            assert!((0.5..=2.0 + 1e-9).contains(&s));
+            assert_eq!(WeightDist::Identical(3.0).sample(&mut r), 3.0);
+        }
+    }
+
+    #[test]
+    fn belief_kinds_produce_valid_distributions() {
+        let mut r = rng(4, 4);
+        for kind in [
+            BeliefKind::CompleteInformation,
+            BeliefKind::RandomPointMass,
+            BeliefKind::CommonUniform,
+            BeliefKind::IndependentRandom,
+            BeliefKind::NoisyPointMass { sharpness: 5.0 },
+        ] {
+            for _ in 0..20 {
+                let b = kind.sample(&mut r, 6);
+                let sum: f64 = b.probs().iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+                assert!(b.probs().iter().all(|&p| p >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_games_have_requested_dimensions() {
+        let spec = GameSpec::default_scenario(6, 5);
+        let g = spec.generate(&mut rng(0, 0));
+        assert_eq!(g.users(), 6);
+        assert_eq!(g.links(), 5);
+        assert_eq!(g.states().len(), 4);
+    }
+}

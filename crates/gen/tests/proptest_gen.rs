@@ -1,0 +1,131 @@
+//! Property-based tests for the instance generators: every specification must
+//! produce valid, reproducible instances with the promised structure.
+
+use proptest::prelude::*;
+
+use instance_gen::kp::KpSpec;
+use instance_gen::user_specific::UserSpecificSpec;
+use instance_gen::{rng, BeliefKind, CapacityDist, EffectiveSpec, GameSpec, WeightDist};
+use netuncert_core::numeric::Tolerance;
+
+fn belief_kind() -> impl Strategy<Value = BeliefKind> {
+    prop_oneof![
+        Just(BeliefKind::CompleteInformation),
+        Just(BeliefKind::RandomPointMass),
+        Just(BeliefKind::CommonUniform),
+        Just(BeliefKind::IndependentRandom),
+        (0.5f64..10.0).prop_map(|s| BeliefKind::NoisyPointMass { sharpness: s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every game spec generates a structurally valid game of the requested
+    /// dimensions, deterministically in the seed.
+    #[test]
+    fn game_specs_generate_valid_reproducible_games(
+        users in 2usize..=6,
+        links in 2usize..=4,
+        states in 1usize..=5,
+        beliefs in belief_kind(),
+        seed in any::<u64>(),
+    ) {
+        let spec = GameSpec {
+            users,
+            links,
+            states,
+            weights: WeightDist::Uniform { lo: 0.5, hi: 3.0 },
+            capacities: CapacityDist::TwoLevel { lo: 1.0, hi: 4.0 },
+            beliefs,
+        };
+        let a = spec.generate(&mut rng(seed, 0));
+        let b = spec.generate(&mut rng(seed, 0));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.users(), users);
+        prop_assert_eq!(a.links(), links);
+        prop_assert_eq!(a.states().len(), states);
+        // The effective game always validates (positive weights/capacities).
+        let eg = a.effective_game();
+        prop_assert_eq!(eg.users(), users);
+        prop_assert!(eg.weights().iter().all(|&w| w > 0.0));
+    }
+
+    /// Complete-information beliefs always yield KP instances; uniform
+    /// per-user capacities always satisfy the `Auniform` precondition; the
+    /// user-independent spec always satisfies the KP predicate.
+    #[test]
+    fn structural_specs_deliver_their_structure(
+        users in 2usize..=6,
+        links in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let tol = Tolerance::default();
+        let kp_spec = GameSpec {
+            users,
+            links,
+            states: 3,
+            weights: WeightDist::Uniform { lo: 0.5, hi: 3.0 },
+            capacities: CapacityDist::Uniform { lo: 0.5, hi: 3.0 },
+            beliefs: BeliefKind::CompleteInformation,
+        };
+        prop_assert!(kp_spec.generate(&mut rng(seed, 1)).is_kp_instance(tol));
+
+        let uniform = EffectiveSpec::UniformPerUser {
+            users,
+            links,
+            capacity: CapacityDist::Uniform { lo: 0.5, hi: 3.0 },
+            weights: WeightDist::Uniform { lo: 0.5, hi: 3.0 },
+        };
+        prop_assert!(uniform.generate(&mut rng(seed, 2)).has_uniform_beliefs(tol));
+
+        let independent = EffectiveSpec::UserIndependent {
+            users,
+            links,
+            capacity: CapacityDist::Uniform { lo: 0.5, hi: 3.0 },
+            weights: WeightDist::Uniform { lo: 0.5, hi: 3.0 },
+        };
+        prop_assert!(independent.generate(&mut rng(seed, 3)).is_kp_instance(tol));
+    }
+
+    /// KP specs produce valid games with the requested identical-links flag.
+    #[test]
+    fn kp_specs_respect_identical_links(users in 2usize..=8, links in 2usize..=5, seed in any::<u64>()) {
+        let identical = KpSpec::identical(users, links).generate(&mut rng(seed, 4));
+        prop_assert!(identical.has_identical_links());
+        prop_assert_eq!(identical.users(), users);
+        let related = KpSpec::related(users, links).generate(&mut rng(seed, 5));
+        prop_assert_eq!(related.links(), links);
+        prop_assert!(related.capacities().iter().all(|&c| c > 0.0));
+    }
+
+    /// User-specific specs produce monotone cost functions over the loads the
+    /// game can actually realise.
+    #[test]
+    fn user_specific_specs_produce_monotone_costs(
+        weights in proptest::collection::vec(0.5f64..4.0, 2..=4),
+        resources in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let spec = UserSpecificSpec { weights: weights.clone(), resources, max_step: 2.0 };
+        let game = spec.generate(&mut rng(seed, 6));
+        prop_assert_eq!(game.players(), weights.len());
+        prop_assert_eq!(game.resources(), resources);
+        let total: f64 = weights.iter().sum();
+        let probes: Vec<f64> = (0..=20).map(|i| total * i as f64 / 20.0).collect();
+        for p in 0..game.players() {
+            for r in 0..game.resources() {
+                prop_assert!(game.cost_function(p, r).is_monotone_on(&probes));
+            }
+        }
+    }
+
+    /// Different streams from the same seed give independent instances.
+    #[test]
+    fn streams_are_independent(seed in any::<u64>()) {
+        let spec = GameSpec::default_scenario(4, 3);
+        let a = spec.generate(&mut rng(seed, 10));
+        let b = spec.generate(&mut rng(seed, 11));
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! # kp-model
+//!
+//! The classical Koutsoupias–Papadimitriou (KP) selfish-routing baseline:
+//! `n` weighted users on `m` parallel *related* links with completely known
+//! capacities. The paper's uncertainty model collapses to this game when every
+//! user holds a point-mass belief on the same state, and this crate provides
+//! that baseline side of the comparison:
+//!
+//! * [`KpGame`] — the complete-information game and its embedding into the
+//!   uncertainty model's [`EffectiveGame`](netuncert_core::model::EffectiveGame);
+//! * [`lpt`] — Graham-style greedy/LPT Nashification (the algorithm of
+//!   Fotakis et al. that the paper's `Auniform` adapts);
+//! * [`social`] — the KP notion of social cost (expected maximum congestion),
+//!   its exact computation for small games, the social optimum (makespan), and
+//!   price-of-anarchy measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod game;
+pub mod lpt;
+pub mod social;
+
+pub use game::KpGame;

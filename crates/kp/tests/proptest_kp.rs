@@ -1,0 +1,122 @@
+//! Property-based tests for the KP baseline: LPT always produces Nash
+//! equilibria, Nashification converges, and the social-cost machinery obeys
+//! the classical relations.
+
+use proptest::prelude::*;
+
+use kp_model::lpt::{is_kp_pure_nash, lpt_assignment, nashify};
+use kp_model::social::{
+    coordination_ratio, expected_max_congestion, max_congestion, pure_poa_bound_identical_links,
+    social_optimum,
+};
+use kp_model::KpGame;
+use netuncert_core::fully_mixed::fully_mixed_nash;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::strategy::{MixedProfile, PureProfile};
+
+fn related_game(max_users: usize, max_links: usize) -> impl Strategy<Value = KpGame> {
+    (2usize..=max_users, 2usize..=max_links).prop_flat_map(|(n, m)| {
+        let weights = proptest::collection::vec(0.25f64..4.0, n);
+        let caps = proptest::collection::vec(0.5f64..4.0, m);
+        (weights, caps).prop_map(|(w, c)| KpGame::new(w, c).expect("valid"))
+    })
+}
+
+fn identical_links_game(max_users: usize, max_links: usize) -> impl Strategy<Value = KpGame> {
+    (2usize..=max_users, 2usize..=max_links, 0.5f64..4.0).prop_flat_map(|(n, m, c)| {
+        proptest::collection::vec(0.25f64..4.0, n)
+            .prop_map(move |w| KpGame::new(w, vec![c; m]).expect("valid"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Greedy/LPT always produces a pure Nash equilibrium on related links.
+    #[test]
+    fn lpt_is_always_a_nash_equilibrium(game in related_game(10, 5)) {
+        let profile = lpt_assignment(&game);
+        prop_assert!(is_kp_pure_nash(&game, &profile));
+    }
+
+    /// Nashification repairs arbitrary starting profiles.
+    #[test]
+    fn nashify_always_reaches_an_equilibrium(game in related_game(7, 4), seed in 0usize..1000) {
+        let n = game.users();
+        let m = game.links();
+        let start = PureProfile::new((0..n).map(|i| (seed + i * 11) % m).collect());
+        let (fixed, _steps) = nashify(&game, start, 1_000_000);
+        prop_assert!(is_kp_pure_nash(&game, &fixed));
+    }
+
+    /// The makespan of the LPT equilibrium respects the classical pure-PoA
+    /// bound for identical links: LPT ≤ (2 − 2/(m+1)) · OPT.
+    #[test]
+    fn lpt_respects_the_identical_links_poa_bound(game in identical_links_game(8, 3)) {
+        let ne = lpt_assignment(&game);
+        let (opt, _) = social_optimum(&game, 100_000_000).unwrap();
+        let bound = pure_poa_bound_identical_links(game.links());
+        prop_assert!(max_congestion(&game, &ne) <= bound * opt + 1e-9);
+    }
+
+    /// The expected maximum congestion of any mixed profile is at least the
+    /// social optimum and at least the max-congestion of no outcome (it is an
+    /// expectation over outcomes, each of which is ≥ OPT).
+    #[test]
+    fn expected_congestion_dominates_the_optimum(game in related_game(6, 3), seed in 0usize..100) {
+        let n = game.users();
+        let m = game.links();
+        let _ = seed;
+        let uniform = MixedProfile::uniform(n, m);
+        let sc = expected_max_congestion(&game, &uniform, 100_000_000).unwrap();
+        let (opt, _) = social_optimum(&game, 100_000_000).unwrap();
+        prop_assert!(sc >= opt - 1e-9);
+        prop_assert!(coordination_ratio(&game, &uniform, 100_000_000).unwrap() >= 1.0 - 1e-9);
+    }
+
+    /// Degenerate mixed profiles have expected congestion equal to their
+    /// deterministic makespan.
+    #[test]
+    fn pure_profiles_have_deterministic_congestion(game in related_game(6, 3), seed in 0usize..1000) {
+        let n = game.users();
+        let m = game.links();
+        let pure = PureProfile::new((0..n).map(|i| (seed * 3 + i) % m).collect());
+        let mixed = MixedProfile::from_pure(&pure, m);
+        let sc = expected_max_congestion(&game, &mixed, 100_000_000).unwrap();
+        prop_assert!((sc - max_congestion(&game, &pure)).abs() < 1e-9);
+    }
+
+    /// The fully mixed equilibrium of the effective game (when it exists) is
+    /// also an equilibrium from the KP perspective: its expected congestion is
+    /// at least that of the LPT equilibrium (worst-case flavour of the FMNE).
+    #[test]
+    fn fully_mixed_costs_at_least_as_much_as_lpt(game in identical_links_game(6, 3)) {
+        let eg = game.to_effective_game();
+        if let Some(fmne) = fully_mixed_nash(&eg, Tolerance::default()) {
+            let sc_fm = expected_max_congestion(&game, &fmne, 100_000_000).unwrap();
+            let lpt = MixedProfile::from_pure(&lpt_assignment(&game), game.links());
+            let sc_lpt = expected_max_congestion(&game, &lpt, 100_000_000).unwrap();
+            prop_assert!(sc_fm >= sc_lpt - 1e-9);
+        }
+    }
+
+    /// Conversions to the uncertainty model preserve dimensions and weights.
+    #[test]
+    fn conversion_preserves_structure(game in related_game(8, 4)) {
+        let eg = game.to_effective_game();
+        prop_assert_eq!(eg.users(), game.users());
+        prop_assert_eq!(eg.links(), game.links());
+        prop_assert_eq!(eg.weights(), game.weights());
+        prop_assert!(eg.is_kp_instance(Tolerance::default()));
+        // Going through the belief model computes 1/(1/c), which may differ in
+        // the last ULP, so compare entrywise with a tight tolerance.
+        let via_beliefs = game.to_game().effective_game();
+        for user in 0..eg.users() {
+            for link in 0..eg.links() {
+                let a = via_beliefs.capacity(user, link);
+                let b = eg.capacity(user, link);
+                prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic index-range chunking.
+
+/// A contiguous half-open range of task indices assigned to one worker pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First index in the chunk (inclusive).
+    pub start: usize,
+    /// One past the last index in the chunk.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Number of indices covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterator over the indices of the chunk.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// Splits `0..total` into at most `parts` contiguous chunks of near-equal
+/// size (the first `total % parts` chunks get one extra element). Returns
+/// fewer chunks when `total < parts`; never returns empty chunks.
+pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Chunk> {
+    if total == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut chunks = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        chunks.push(Chunk { start, end: start + len });
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_exactly_once() {
+        for total in [0usize, 1, 2, 7, 16, 97, 1000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let chunks = chunk_ranges(total, parts);
+                let mut covered = vec![false; total];
+                for c in &chunks {
+                    assert!(!c.is_empty());
+                    for i in c.indices() {
+                        assert!(!covered[i], "index {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&b| b), "total {total} parts {parts} left gaps");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let chunks = chunk_ranges(100, 7);
+        let sizes: Vec<usize> = chunks.iter().map(Chunk::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert!(chunk_ranges(10, 0).is_empty());
+        assert_eq!(chunk_ranges(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn chunk_helpers() {
+        let c = Chunk { start: 3, end: 7 };
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.indices().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+}

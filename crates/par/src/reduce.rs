@@ -1,0 +1,202 @@
+//! Parallel map / reduce combinators over index ranges.
+//!
+//! Work distribution is dynamic: workers repeatedly claim small batches of
+//! indices from a shared atomic counter, so unevenly sized tasks (e.g. game
+//! instances whose exhaustive solvers differ wildly in cost) balance well.
+//! Outputs are written into slots indexed by task id, so the result never
+//! depends on scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::pool::ParallelConfig;
+
+/// Size of the index batch a worker claims at a time. Small enough to balance
+/// skewed workloads, large enough to keep counter contention negligible.
+const CLAIM_BATCH: usize = 8;
+
+/// Applies `f` to every index in `0..total` in parallel and collects the
+/// results in index order.
+pub fn parallel_map<T, F>(config: &ParallelConfig, total: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    if config.is_sequential() || total == 1 {
+        return (0..total).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    let slot_cells: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    let workers = config.threads().min(total);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let start = next.fetch_add(CLAIM_BATCH, Ordering::Relaxed);
+                if start >= total {
+                    break;
+                }
+                let end = (start + CLAIM_BATCH).min(total);
+                for i in start..end {
+                    let value = f(i);
+                    **slot_cells[i].lock() = Some(value);
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+
+    drop(slot_cells);
+    slots.into_iter().map(|s| s.expect("every index was claimed exactly once")).collect()
+}
+
+/// Applies `f` to every index in `0..total` in parallel, discarding results.
+pub fn parallel_for_each<F>(config: &ParallelConfig, total: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    parallel_map(config, total, |i| f(i));
+}
+
+/// Maps every index through `map` and folds the results with the associative,
+/// commutative operator `reduce`, starting from `identity`.
+///
+/// `reduce` must be associative and commutative (up to the accuracy the caller
+/// cares about): partial results are combined per worker and then across
+/// workers in an unspecified order.
+pub fn parallel_map_reduce<T, M, R>(
+    config: &ParallelConfig,
+    total: usize,
+    map: M,
+    identity: T,
+    reduce: R,
+) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    if total == 0 {
+        return identity;
+    }
+    if config.is_sequential() || total == 1 {
+        return (0..total).map(map).fold(identity, reduce);
+    }
+
+    let next = AtomicUsize::new(0);
+    let workers = config.threads().min(total);
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(workers));
+
+    crossbeam::thread::scope(|scope| {
+        let next = &next;
+        let partials = &partials;
+        let map = &map;
+        let reduce = &reduce;
+        for _ in 0..workers {
+            let worker_identity = identity.clone();
+            scope.spawn(move |_| {
+                let mut acc = worker_identity;
+                loop {
+                    let start = next.fetch_add(CLAIM_BATCH, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    let end = (start + CLAIM_BATCH).min(total);
+                    for i in start..end {
+                        acc = reduce(acc, map(i));
+                    }
+                }
+                partials.lock().push(acc);
+            });
+        }
+    })
+    .expect("parallel_map_reduce worker panicked");
+
+    partials.into_inner().into_iter().fold(identity, reduce)
+}
+
+/// Sums `f(i)` over `0..total` in parallel.
+pub fn parallel_sum<F>(config: &ParallelConfig, total: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    parallel_map_reduce(config, total, f, 0.0, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let expected: Vec<usize> = (0..503).map(|i| i * 7 + 1).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let cfg = ParallelConfig::new(threads);
+            let got = parallel_map(&cfg, 503, |i| i * 7 + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton_inputs() {
+        let cfg = ParallelConfig::new(4);
+        assert!(parallel_map(&cfg, 0, |i| i).is_empty());
+        assert_eq!(parallel_map(&cfg, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn map_reduce_matches_sequential_sum() {
+        for threads in [1, 2, 4, 16] {
+            let cfg = ParallelConfig::new(threads);
+            let total: u64 =
+                parallel_map_reduce(&cfg, 10_000, |i| i as u64, 0, |a, b| a + b);
+            assert_eq!(total, 49_995_000);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_index_exactly_once() {
+        let counters: Vec<AtomicU64> = (0..200).map(|_| AtomicU64::new(0)).collect();
+        let cfg = ParallelConfig::new(6);
+        parallel_for_each(&cfg, 200, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_sum_is_deterministic_for_integral_values() {
+        let cfg = ParallelConfig::new(8);
+        let s = parallel_sum(&cfg, 1000, |i| i as f64);
+        assert_eq!(s, 499_500.0);
+    }
+
+    #[test]
+    fn uneven_workloads_still_produce_index_ordered_output() {
+        // Tasks with wildly different costs: result must still be in order.
+        let cfg = ParallelConfig::new(4);
+        let out = parallel_map(&cfg, 64, |i| {
+            if i % 7 == 0 {
+                // Simulate a heavy task.
+                let mut acc = 0u64;
+                for k in 0..50_000u64 {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                (i, acc % 2)
+            } else {
+                (i, 0)
+            }
+        });
+        for (i, item) in out.iter().enumerate() {
+            assert_eq!(item.0, i);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the parallel execution substrate: results must be
+//! identical to the sequential reference for every thread count, workload size
+//! and chunking.
+
+use proptest::prelude::*;
+
+use par_exec::{chunk_ranges, parallel_map, parallel_map_reduce, parallel_sum, ParallelConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parallel_map` produces exactly the sequential result, in order, for
+    /// any thread count.
+    #[test]
+    fn parallel_map_equals_sequential(total in 0usize..500, threads in 1usize..16, salt in any::<u64>()) {
+        let config = ParallelConfig::new(threads);
+        let f = |i: usize| (i as u64).wrapping_mul(salt).wrapping_add(i as u64);
+        let expected: Vec<u64> = (0..total).map(f).collect();
+        prop_assert_eq!(parallel_map(&config, total, f), expected);
+    }
+
+    /// `parallel_map_reduce` with an exact (integer) associative operation is
+    /// independent of the thread count.
+    #[test]
+    fn map_reduce_is_thread_count_independent(total in 0usize..2000, threads in 1usize..16) {
+        let sequential: u64 = (0..total as u64).map(|i| i * 3 + 1).sum();
+        let config = ParallelConfig::new(threads);
+        let parallel: u64 =
+            parallel_map_reduce(&config, total, |i| (i as u64) * 3 + 1, 0, |a, b| a + b);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    /// `parallel_sum` of integer-valued floats is exact and matches the
+    /// sequential sum.
+    #[test]
+    fn parallel_sum_matches_sequential(total in 0usize..1000, threads in 1usize..8) {
+        let config = ParallelConfig::new(threads);
+        let expected: f64 = (0..total).map(|i| i as f64).sum();
+        prop_assert_eq!(parallel_sum(&config, total, |i| i as f64), expected);
+    }
+
+    /// Chunking covers `0..total` exactly once with sizes differing by at most
+    /// one, never yielding empty chunks.
+    #[test]
+    fn chunking_partitions_the_range(total in 0usize..10_000, parts in 0usize..64) {
+        let chunks = chunk_ranges(total, parts);
+        if total == 0 || parts == 0 {
+            prop_assert!(chunks.is_empty());
+        } else {
+            prop_assert_eq!(chunks.len(), parts.min(total));
+            let mut next = 0usize;
+            let mut sizes = Vec::new();
+            for c in &chunks {
+                prop_assert_eq!(c.start, next);
+                prop_assert!(!c.is_empty());
+                sizes.push(c.len());
+                next = c.end;
+            }
+            prop_assert_eq!(next, total);
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    /// Worker count configuration is clamped but otherwise preserved.
+    #[test]
+    fn config_clamps_thread_count(threads in 0usize..256) {
+        let config = ParallelConfig::new(threads);
+        prop_assert_eq!(config.threads(), threads.max(1));
+        prop_assert_eq!(config.is_sequential(), threads <= 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Searches random belief-induced instances for an improvement
+//! (better-response) cycle in the pure-strategy game graph.
+//!
+//! Section 3.2 of the paper reports (crediting B. Monien) that the state space
+//! of some instance contains a cycle, which rules out ordinal potential
+//! functions. Random uniform instances almost never exhibit one, so this tool
+//! sweeps skewed weight/capacity distributions until it finds a witness and
+//! prints the instance together with the cycle.
+//!
+//! ```text
+//! cargo run --release -p sim-harness --bin find_cycle -- [attempts] [seed]
+//! ```
+
+use instance_gen::rng;
+use netuncert_core::model::EffectiveGame;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::potential::find_improvement_cycle;
+use netuncert_core::strategy::LinkLoads;
+use rand::Rng;
+
+fn random_skewed_game(seed: u64, stream: u64) -> EffectiveGame {
+    let mut r = rng(seed, stream);
+    let n = r.gen_range(3..=4usize);
+    let m = r.gen_range(2..=3usize);
+    // Heavily skewed weights and capacities widen the asymmetry between users,
+    // which is what improvement cycles feed on.
+    let weights: Vec<f64> = (0..n).map(|_| 2.0_f64.powf(r.gen_range(-2.0..3.0))).collect();
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..m).map(|_| 2.0_f64.powf(r.gen_range(-3.0..3.0))).collect()).collect();
+    EffectiveGame::from_rows(weights, rows).expect("positive parameters")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let attempts: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0xC1C1E);
+    let tol = Tolerance::default();
+
+    for attempt in 0..attempts {
+        let game = random_skewed_game(seed, attempt);
+        let t = LinkLoads::zero(game.links());
+        if let Some(cycle) = find_improvement_cycle(&game, &t, tol, 1_000_000).unwrap() {
+            println!("found an improvement cycle after {attempt} attempts");
+            println!("weights    = {:?}", game.weights());
+            for user in 0..game.users() {
+                println!("caps[{user}]    = {:?}", game.capacities().row(user));
+            }
+            println!("cycle profiles:");
+            for profile in &cycle {
+                println!("  {:?}", profile.choices());
+            }
+            // Confirm the instance still has a pure Nash equilibrium.
+            let has_ne = netuncert_core::solvers::exhaustive::all_pure_nash(&game, &t, tol, 1_000_000)
+                .map(|v| !v.is_empty())
+                .unwrap_or(false);
+            println!("instance still has a pure NE: {has_ne}");
+            return;
+        }
+    }
+    println!("no improvement cycle found in {attempts} attempts (seed {seed:#x})");
+    std::process::exit(1);
+}

@@ -1,0 +1,86 @@
+//! Runs the full experiment suite and writes the markdown and JSON reports.
+//!
+//! ```text
+//! cargo run --release -p sim-harness --bin run_experiments -- [--samples N] [--seed S] [--out DIR]
+//! ```
+//!
+//! The markdown output is the source of the measured sections of
+//! `EXPERIMENTS.md` at the workspace root.
+
+use std::path::PathBuf;
+
+use sim_harness::{render_markdown, runner, ExperimentConfig};
+
+struct Args {
+    samples: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { samples: ExperimentConfig::default().samples, seed: ExperimentConfig::default().seed, out: None };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--samples" => {
+                args.samples = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples requires a positive integer");
+            }
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires an integer");
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(iter.next().expect("--out requires a directory")));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: run_experiments [--samples N] [--seed S] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ExperimentConfig {
+        samples: args.samples,
+        seed: args.seed,
+        ..ExperimentConfig::default()
+    };
+    eprintln!(
+        "running the full experiment suite: samples per setting = {}, seed = {:#x}",
+        config.samples, config.seed
+    );
+
+    let start = std::time::Instant::now();
+    let outcomes = runner::run_all(&config);
+    let elapsed = start.elapsed();
+
+    let markdown = render_markdown(&outcomes);
+    println!("{markdown}");
+    eprintln!("suite finished in {:.1?}", elapsed);
+
+    if let Some(dir) = args.out {
+        std::fs::create_dir_all(&dir).expect("create output directory");
+        let md_path = dir.join("experiment_report.md");
+        let json_path = dir.join("experiment_report.json");
+        std::fs::write(&md_path, &markdown).expect("write markdown report");
+        std::fs::write(&json_path, runner::to_json(&outcomes)).expect("write JSON report");
+        eprintln!("wrote {} and {}", md_path.display(), json_path.display());
+    }
+
+    if outcomes.iter().any(|o| !o.holds) {
+        eprintln!("WARNING: at least one experiment is inconsistent with the paper");
+        std::process::exit(1);
+    }
+}

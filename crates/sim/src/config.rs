@@ -1,0 +1,73 @@
+//! Shared experiment configuration.
+
+use serde::{Deserialize, Serialize};
+
+use par_exec::ParallelConfig;
+
+/// Configuration shared by every experiment in the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed; every Monte-Carlo task derives its own substream from it.
+    pub seed: u64,
+    /// Number of random instances per parameter setting.
+    pub samples: usize,
+    /// Worker threads used by the Monte-Carlo drivers (0 = machine default).
+    pub threads: usize,
+    /// Cap on `mⁿ` for exhaustive enumeration inside experiments.
+    pub profile_limit: u128,
+    /// Step budget for best-response dynamics.
+    pub max_steps: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 0x5EED_CAFE,
+            samples: 200,
+            threads: 0,
+            profile_limit: 2_000_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration sized for fast CI runs and unit tests.
+    pub fn quick() -> Self {
+        ExperimentConfig { samples: 40, ..ExperimentConfig::default() }
+    }
+
+    /// A configuration sized for the full evaluation reported in
+    /// `EXPERIMENTS.md`.
+    pub fn full() -> Self {
+        ExperimentConfig { samples: 1_000, ..ExperimentConfig::default() }
+    }
+
+    /// The parallel-execution configuration implied by `threads`.
+    pub fn parallel(&self) -> ParallelConfig {
+        if self.threads == 0 {
+            ParallelConfig::from_env()
+        } else {
+            ParallelConfig::new(self.threads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sensible_relative_sizes() {
+        assert!(ExperimentConfig::quick().samples < ExperimentConfig::default().samples);
+        assert!(ExperimentConfig::default().samples < ExperimentConfig::full().samples);
+    }
+
+    #[test]
+    fn parallel_config_respects_explicit_thread_count() {
+        let cfg = ExperimentConfig { threads: 3, ..Default::default() };
+        assert_eq!(cfg.parallel().threads(), 3);
+        let auto = ExperimentConfig { threads: 0, ..Default::default() };
+        assert!(auto.parallel().threads() >= 1);
+    }
+}

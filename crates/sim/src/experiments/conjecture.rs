@@ -1,0 +1,127 @@
+//! E5 — Conjecture 3.7: existence of pure Nash equilibria in the general case.
+//!
+//! The paper reports that "simulations ran on numerous instances of the game
+//! (dealing with small number of users and links) suggest the existence of
+//! pure NE" and conjectures existence in general. This experiment repeats that
+//! simulation campaign: random general games (fully user-specific effective
+//! capacities, heterogeneous weights) are sampled for a grid of `(n, m)` sizes
+//! and a pure Nash equilibrium is searched for with best-response dynamics,
+//! falling back to exhaustive enumeration when the dynamics stall.
+
+use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
+use netuncert_core::algorithms::best_response::BestResponseDynamics;
+use netuncert_core::numeric::Tolerance;
+use netuncert_core::solvers::exhaustive;
+use netuncert_core::strategy::LinkLoads;
+use par_exec::parallel_map;
+
+use crate::config::ExperimentConfig;
+use crate::report::{pct, ExperimentOutcome, Table};
+
+/// Per-size tally of how equilibria were found.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    converged: usize,
+    exhaustive_only: usize,
+    none_found: usize,
+    total_steps: usize,
+}
+
+/// The `(n, m)` grid probed by the experiment.
+pub fn size_grid() -> Vec<(usize, usize)> {
+    vec![(2, 2), (3, 2), (3, 3), (4, 3), (4, 4), (5, 3), (5, 4), (6, 3)]
+}
+
+/// Runs the experiment.
+pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+    let tol = Tolerance::default();
+    let par = config.parallel();
+    let mut table = Table::new(
+        "Pure NE existence on random general instances",
+        &["n", "m", "instances", "BR converged", "exhaustive only", "no NE found", "avg BR steps"],
+    );
+    let mut all_have_ne = true;
+
+    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
+        let spec = EffectiveSpec::General {
+            users: n,
+            links: m,
+            capacity: CapacityDist::Uniform { lo: 0.25, hi: 4.0 },
+            weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+        };
+        let results = parallel_map(&par, config.samples, |sample| {
+            let stream = (grid_idx as u64) << 32 | sample as u64;
+            let mut rng = instance_gen::rng(config.seed, stream);
+            let game = spec.generate(&mut rng);
+            let t = LinkLoads::zero(m);
+            let dynamics = BestResponseDynamics { max_steps: config.max_steps, ..Default::default() };
+            let outcome = dynamics.run_from_greedy(&game, &t, tol);
+            if outcome.converged() {
+                (true, false, false, outcome.steps())
+            } else {
+                // Fall back to exhaustive search.
+                let found = exhaustive::all_pure_nash(&game, &t, tol, config.profile_limit)
+                    .map(|all| !all.is_empty())
+                    .unwrap_or(false);
+                (false, found, !found, outcome.steps())
+            }
+        });
+        let mut tally = Tally::default();
+        for (converged, exhaustive_only, none, steps) in results {
+            if converged {
+                tally.converged += 1;
+            } else if exhaustive_only {
+                tally.exhaustive_only += 1;
+            } else if none {
+                tally.none_found += 1;
+            }
+            tally.total_steps += steps;
+        }
+        if tally.none_found > 0 {
+            all_have_ne = false;
+        }
+        table.push_row(vec![
+            n.to_string(),
+            m.to_string(),
+            config.samples.to_string(),
+            pct(tally.converged, config.samples),
+            pct(tally.exhaustive_only, config.samples),
+            tally.none_found.to_string(),
+            format!("{:.1}", tally.total_steps as f64 / config.samples as f64),
+        ]);
+    }
+
+    ExperimentOutcome {
+        id: "E5".into(),
+        name: "Pure Nash equilibrium existence (Conjecture 3.7)".into(),
+        paper_claim: "Simulations on numerous small instances suggest every game has a pure Nash \
+                      equilibrium; the paper conjectures existence in general."
+            .into(),
+        observed: if all_have_ne {
+            "every sampled instance possessed a pure Nash equilibrium (best-response dynamics \
+             converged or exhaustive search found one)"
+                .into()
+        } else {
+            "at least one sampled instance had no pure Nash equilibrium — this would DISPROVE \
+             Conjecture 3.7; inspect the table"
+                .into()
+        },
+        holds: all_have_ne,
+        tables: vec![table],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_supports_the_conjecture() {
+        let mut config = ExperimentConfig::quick();
+        config.samples = 10;
+        let outcome = run(&config);
+        assert_eq!(outcome.id, "E5");
+        assert!(outcome.holds, "conjecture violated on a tiny sample: {}", outcome.observed);
+        assert_eq!(outcome.tables[0].rows.len(), size_grid().len());
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per reproduced experiment (see `DESIGN.md` for the index).
+
+pub mod conjecture;
+pub mod fmne;
+pub mod kp_compare;
+pub mod milchtaich;
+pub mod poa;
+pub mod potential;
+pub mod three_users;
+pub mod worst_case;

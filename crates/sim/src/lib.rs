@@ -1,0 +1,25 @@
+//! # sim-harness
+//!
+//! The experiment harness that reproduces the paper's evaluation: every
+//! theorem, bound and conjecture is turned into a seeded Monte-Carlo (or
+//! exhaustive) experiment whose observed outcome is compared against the
+//! paper's claim. `EXPERIMENTS.md` at the workspace root records the mapping
+//! and the measured results.
+//!
+//! * [`config`] — shared experiment configuration (seed, sample counts,
+//!   thread count, exhaustive-search limits).
+//! * [`report`] — serialisable experiment outcomes and simple table rendering.
+//! * [`experiments`] — one module per experiment (E4–E12 in `DESIGN.md`).
+//! * [`runner`] — runs the full suite and renders a combined report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use config::ExperimentConfig;
+pub use report::{ExperimentOutcome, Table};
+pub use runner::{render_markdown, run_all};

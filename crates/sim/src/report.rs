@@ -1,0 +1,161 @@
+//! Experiment outcomes and table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-oriented table carried inside an experiment outcome and
+/// rendered as GitHub-flavoured markdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each row has one cell per column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given caption and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the number of columns).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width must match columns");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("**{}**\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// The outcome of one experiment: the paper's claim, what was observed, and
+/// whether the observation supports the claim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// Experiment identifier (matches the index in `DESIGN.md`, e.g. `"E5"`).
+    pub id: String,
+    /// Human-readable experiment name.
+    pub name: String,
+    /// The claim from the paper being probed.
+    pub paper_claim: String,
+    /// A one-line summary of what was measured.
+    pub observed: String,
+    /// Whether the observation is consistent with the paper's claim.
+    pub holds: bool,
+    /// Detailed per-parameter results.
+    pub tables: Vec<Table>,
+}
+
+impl ExperimentOutcome {
+    /// Renders the outcome as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.name));
+        out.push_str(&format!("*Paper claim:* {}\n\n", self.paper_claim));
+        out.push_str(&format!("*Observed:* {}\n\n", self.observed));
+        out.push_str(&format!(
+            "*Verdict:* {}\n\n",
+            if self.holds { "consistent with the paper" } else { "NOT consistent with the paper" }
+        ));
+        for table in &self.tables {
+            out.push_str(&table.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of significant digits for table cells.
+pub fn fmt(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 100.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * numerator as f64 / denominator as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_produces_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("**Demo**"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn outcome_rendering_mentions_verdict() {
+        let o = ExperimentOutcome {
+            id: "E0".into(),
+            name: "demo".into(),
+            paper_claim: "claim".into(),
+            observed: "obs".into(),
+            holds: true,
+            tables: vec![],
+        };
+        assert!(o.to_markdown().contains("consistent with the paper"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234.5");
+        assert_eq!(fmt(0.123456), "0.1235");
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(1, 0), "n/a");
+    }
+
+    #[test]
+    fn outcome_serialises_to_json() {
+        let o = ExperimentOutcome {
+            id: "E1".into(),
+            name: "demo".into(),
+            paper_claim: "c".into(),
+            observed: "o".into(),
+            holds: false,
+            tables: vec![Table::new("t", &["x"])],
+        };
+        let json = serde_json::to_string(&o).unwrap();
+        assert!(json.contains("\"id\":\"E1\""));
+        let back: ExperimentOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+}

@@ -1,0 +1,61 @@
+//! Running the full experiment suite and rendering reports.
+
+use crate::config::ExperimentConfig;
+use crate::experiments;
+use crate::report::ExperimentOutcome;
+
+/// Runs every experiment in the suite with the given configuration, in the
+/// order of the experiment index in `DESIGN.md`.
+pub fn run_all(config: &ExperimentConfig) -> Vec<ExperimentOutcome> {
+    vec![
+        experiments::three_users::run(config),
+        experiments::conjecture::run(config),
+        experiments::potential::run(config),
+        experiments::fmne::run(config),
+        experiments::worst_case::run(config),
+        experiments::poa::run(config),
+        experiments::milchtaich::run(config),
+        experiments::kp_compare::run(config),
+    ]
+}
+
+/// Renders a list of outcomes as one markdown document (the format used by
+/// `EXPERIMENTS.md`).
+pub fn render_markdown(outcomes: &[ExperimentOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("# Experiment report\n\n");
+    let passed = outcomes.iter().filter(|o| o.holds).count();
+    out.push_str(&format!(
+        "{passed} of {} experiments are consistent with the paper's claims.\n\n",
+        outcomes.len()
+    ));
+    for outcome in outcomes {
+        out.push_str(&outcome.to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises the outcomes as pretty-printed JSON.
+pub fn to_json(outcomes: &[ExperimentOutcome]) -> String {
+    serde_json::to_string_pretty(outcomes).expect("outcomes are always serialisable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_runs_on_a_tiny_configuration() {
+        let config = ExperimentConfig { samples: 4, ..ExperimentConfig::quick() };
+        let outcomes = run_all(&config);
+        assert_eq!(outcomes.len(), 8);
+        assert!(outcomes.iter().all(|o| o.holds), "failing experiments: {:?}",
+            outcomes.iter().filter(|o| !o.holds).map(|o| o.id.clone()).collect::<Vec<_>>());
+        let md = render_markdown(&outcomes);
+        assert!(md.contains("# Experiment report"));
+        assert!(md.contains("E5"));
+        let json = to_json(&outcomes);
+        assert!(json.contains("\"E10\""));
+    }
+}

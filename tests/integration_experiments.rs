@@ -1,0 +1,62 @@
+//! Integration tests for the experiment harness: the full suite runs end to
+//! end on a small configuration, every outcome is consistent with the paper,
+//! and the reports serialise and render.
+
+use sim_harness::{render_markdown, run_all, runner, ExperimentConfig, ExperimentOutcome};
+
+fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig { samples: 6, threads: 2, ..ExperimentConfig::quick() }
+}
+
+#[test]
+fn the_full_suite_is_consistent_with_the_paper() {
+    let outcomes = run_all(&tiny_config());
+    assert_eq!(outcomes.len(), 8, "every experiment in DESIGN.md must run");
+    let failing: Vec<&ExperimentOutcome> = outcomes.iter().filter(|o| !o.holds).collect();
+    assert!(
+        failing.is_empty(),
+        "experiments inconsistent with the paper: {:?}",
+        failing.iter().map(|o| (&o.id, &o.observed)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn experiment_ids_match_the_design_document() {
+    let outcomes = run_all(&tiny_config());
+    let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
+    assert_eq!(ids, vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12"]);
+}
+
+#[test]
+fn reports_render_and_serialise() {
+    let outcomes = run_all(&tiny_config());
+    let md = render_markdown(&outcomes);
+    assert!(md.contains("# Experiment report"));
+    for outcome in &outcomes {
+        assert!(md.contains(&outcome.id), "markdown missing section {}", outcome.id);
+        assert!(!outcome.tables.is_empty(), "{} carries no tables", outcome.id);
+    }
+    let json = runner::to_json(&outcomes);
+    let back: Vec<ExperimentOutcome> = serde_json::from_str(&json).expect("round trip");
+    assert_eq!(back, outcomes);
+}
+
+#[test]
+fn results_are_deterministic_in_the_seed() {
+    let a = run_all(&tiny_config());
+    let b = run_all(&tiny_config());
+    assert_eq!(a, b, "same seed and sample count must reproduce identical reports");
+
+    let different_seed = ExperimentConfig { seed: 99, ..tiny_config() };
+    let c = run_all(&different_seed);
+    // Different seed changes the numbers (tables), though claims still hold.
+    assert_ne!(a, c);
+    assert!(c.iter().all(|o| o.holds));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let sequential = ExperimentConfig { threads: 1, ..tiny_config() };
+    let parallel = ExperimentConfig { threads: 4, ..tiny_config() };
+    assert_eq!(run_all(&sequential), run_all(&parallel));
+}
