@@ -8,8 +8,11 @@ use std::hint::black_box;
 use netuncert_bench::general_instance;
 use netuncert_core::algorithms::best_response::{BestResponseDynamics, SelectionRule};
 use netuncert_core::algorithms::solve_pure_nash;
+use netuncert_core::model::EffectiveGame;
 use netuncert_core::numeric::Tolerance;
+use netuncert_core::solvers::engine::SolverEngine;
 use netuncert_core::strategy::LinkLoads;
+use par_exec::ParallelConfig;
 
 fn bench_best_response(c: &mut Criterion) {
     let tol = Tolerance::default();
@@ -22,9 +25,11 @@ fn bench_best_response(c: &mut Criterion) {
         let dynamics = BestResponseDynamics::default();
         // Confirm convergence once before timing.
         assert!(dynamics.run_from_greedy(&game, &initial, tol).converged());
-        group.bench_with_input(BenchmarkId::new("greedy_start", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| dynamics.run_from_greedy(black_box(&game), black_box(&initial), tol))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_start", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| dynamics.run_from_greedy(black_box(&game), black_box(&initial), tol)),
+        );
     }
     group.finish();
 
@@ -32,10 +37,14 @@ fn bench_best_response(c: &mut Criterion) {
     rules.sample_size(20);
     let game = general_instance(32, 8, 43);
     let initial = LinkLoads::zero(8);
-    for (name, rule) in
-        [("round_robin", SelectionRule::RoundRobin), ("largest_gain", SelectionRule::LargestGain)]
-    {
-        let dynamics = BestResponseDynamics { max_steps: 1_000_000, rule };
+    for (name, rule) in [
+        ("round_robin", SelectionRule::RoundRobin),
+        ("largest_gain", SelectionRule::LargestGain),
+    ] {
+        let dynamics = BestResponseDynamics {
+            max_steps: 1_000_000,
+            rule,
+        };
         rules.bench_function(name, |b| {
             b.iter(|| dynamics.run_from_greedy(black_box(&game), black_box(&initial), tol))
         });
@@ -44,14 +53,40 @@ fn bench_best_response(c: &mut Criterion) {
 
     let mut dispatcher = c.benchmark_group("solve_pure_nash_dispatcher");
     dispatcher.sample_size(20);
+    let engine = SolverEngine::default();
     for &(n, m) in &[(16usize, 4usize), (64, 8)] {
         let game = general_instance(n, m, 44);
         let initial = LinkLoads::zero(m);
-        dispatcher.bench_with_input(BenchmarkId::new("general", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| solve_pure_nash(black_box(&game), black_box(&initial), tol).unwrap())
-        });
+        dispatcher.bench_with_input(
+            BenchmarkId::new("general", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| solve_pure_nash(black_box(&game), black_box(&initial), tol).unwrap()),
+        );
+        dispatcher.bench_with_input(
+            BenchmarkId::new("engine_with_telemetry", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| engine.solve(black_box(&game), black_box(&initial)).unwrap()),
+        );
     }
     dispatcher.finish();
+
+    // The batch path: 64 general instances fanned out over the engine's
+    // worker pool. Solutions are bit-identical for every thread count; only
+    // the wall clock should move.
+    let mut batch = c.benchmark_group("solver_engine_batch");
+    batch.sample_size(10);
+    let games: Vec<EffectiveGame> = (0..64)
+        .map(|i| general_instance(16, 4, 1000 + i as u64))
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        let engine = SolverEngine::default().with_parallelism(ParallelConfig::new(threads));
+        batch.bench_with_input(
+            BenchmarkId::new("solve_batch_64_n16_m4", threads),
+            &threads,
+            |b, _| b.iter(|| engine.solve_batch(black_box(&games))),
+        );
+    }
+    batch.finish();
 }
 
 criterion_group! {

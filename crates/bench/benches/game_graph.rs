@@ -8,9 +8,12 @@ use std::hint::black_box;
 
 use netuncert_bench::general_instance;
 use netuncert_core::game_graph::{EdgeKind, GameGraph};
+use netuncert_core::model::EffectiveGame;
 use netuncert_core::numeric::Tolerance;
 use netuncert_core::potential::exact_potential_violation;
+use netuncert_core::solvers::engine::SolverEngine;
 use netuncert_core::strategy::LinkLoads;
+use par_exec::ParallelConfig;
 
 fn bench_game_graph(c: &mut Criterion) {
     let tol = Tolerance::default();
@@ -50,6 +53,32 @@ fn bench_game_graph(c: &mut Criterion) {
     }
     cycle.finish();
 
+    // The engine view of the same `n = 3` analysis: finding one equilibrium
+    // per instance through the unified solver stack instead of materialising
+    // the full defection graph, both one-at-a-time and as a parallel batch.
+    let mut engine_group = c.benchmark_group("solver_engine_n3");
+    engine_group.sample_size(20);
+    let engine = SolverEngine::default();
+    for &m in &[2usize, 3, 4, 5, 6] {
+        let game = general_instance(3, m, 42);
+        let initial = LinkLoads::zero(m);
+        engine_group.bench_with_input(BenchmarkId::new("solve_one", m), &m, |b, _| {
+            b.iter(|| engine.solve(black_box(&game), black_box(&initial)).unwrap())
+        });
+    }
+    let batch: Vec<EffectiveGame> = (0..128)
+        .map(|i| general_instance(3, 4, 500 + i as u64))
+        .collect();
+    for threads in [1usize, 4] {
+        let batch_engine = SolverEngine::default().with_parallelism(ParallelConfig::new(threads));
+        engine_group.bench_with_input(
+            BenchmarkId::new("solve_batch_128_m4", threads),
+            &threads,
+            |b, _| b.iter(|| batch_engine.solve_batch(black_box(&batch))),
+        );
+    }
+    engine_group.finish();
+
     let mut potential = c.benchmark_group("exact_potential_check");
     potential.sample_size(20);
     for &(n, m) in &[(2usize, 2usize), (3, 2), (3, 3), (4, 3)] {
@@ -60,8 +89,13 @@ fn bench_game_graph(c: &mut Criterion) {
             &n,
             |b, _| {
                 b.iter(|| {
-                    exact_potential_violation(black_box(&game), black_box(&initial), tol, 10_000_000)
-                        .unwrap()
+                    exact_potential_violation(
+                        black_box(&game),
+                        black_box(&initial),
+                        tol,
+                        10_000_000,
+                    )
+                    .unwrap()
                 })
             },
         );

@@ -32,9 +32,11 @@ fn bench_kp(c: &mut Criterion) {
         let game = KpSpec::related(n, m).generate(&mut rng(43, 0));
         let eg = game.to_effective_game();
         let initial = LinkLoads::zero(m);
-        model_vs_kp.bench_with_input(BenchmarkId::new("dispatcher", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| solve_pure_nash(black_box(&eg), black_box(&initial), tol).unwrap())
-        });
+        model_vs_kp.bench_with_input(
+            BenchmarkId::new("dispatcher", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| solve_pure_nash(black_box(&eg), black_box(&initial), tol).unwrap()),
+        );
     }
     model_vs_kp.finish();
 
@@ -42,9 +44,11 @@ fn bench_kp(c: &mut Criterion) {
     nashification.sample_size(20);
     for &(n, m) in &[(16usize, 4usize), (64, 8)] {
         let game = KpSpec::related(n, m).generate(&mut rng(44, 0));
-        nashification.bench_with_input(BenchmarkId::new("all_on_link_0", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| nashify(black_box(&game), PureProfile::all_on(n, 0), 1_000_000))
-        });
+        nashification.bench_with_input(
+            BenchmarkId::new("all_on_link_0", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| nashify(black_box(&game), PureProfile::all_on(n, 0), 1_000_000)),
+        );
     }
     nashification.finish();
 
@@ -53,9 +57,16 @@ fn bench_kp(c: &mut Criterion) {
     for &(n, m) in &[(8usize, 2usize), (10, 2), (8, 3)] {
         let game = KpSpec::related(n, m).generate(&mut rng(45, 0));
         let profile = MixedProfile::uniform(n, m);
-        social.bench_with_input(BenchmarkId::new("exact_enumeration", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| expected_max_congestion(black_box(&game), black_box(&profile), 100_000_000).unwrap())
-        });
+        social.bench_with_input(
+            BenchmarkId::new("exact_enumeration", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    expected_max_congestion(black_box(&game), black_box(&profile), 100_000_000)
+                        .unwrap()
+                })
+            },
+        );
     }
     social.finish();
 }

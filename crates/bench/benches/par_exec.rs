@@ -6,13 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use netuncert_bench::general_instance;
-use netuncert_core::algorithms::solve_pure_nash;
-use netuncert_core::numeric::Tolerance;
-use netuncert_core::strategy::LinkLoads;
+use netuncert_core::solvers::engine::SolverEngine;
 use par_exec::{available_parallelism, parallel_map, ParallelConfig};
 
 fn bench_par_exec(c: &mut Criterion) {
-    let tol = Tolerance::default();
     let tasks = 64usize;
 
     let mut group = c.benchmark_group("parallel_monte_carlo_sweep");
@@ -29,17 +26,13 @@ fn bench_par_exec(c: &mut Criterion) {
         counts
     };
     for &threads in &thread_counts {
-        let config = ParallelConfig::new(threads);
+        let engine = SolverEngine::default().with_parallelism(ParallelConfig::new(threads));
         group.bench_with_input(
             BenchmarkId::new("solve_64_random_games", threads),
             &threads,
             |b, _| {
                 b.iter(|| {
-                    parallel_map(black_box(&config), tasks, |i| {
-                        let game = general_instance(12, 4, i as u64);
-                        let t = LinkLoads::zero(4);
-                        solve_pure_nash(&game, &t, tol).unwrap().is_some()
-                    })
+                    engine.solve_sampled(black_box(tasks), |task| general_instance(12, 4, task))
                 })
             },
         );
@@ -50,9 +43,11 @@ fn bench_par_exec(c: &mut Criterion) {
     overhead.sample_size(30);
     for &threads in &thread_counts {
         let config = ParallelConfig::new(threads);
-        overhead.bench_with_input(BenchmarkId::new("trivial_tasks", threads), &threads, |b, _| {
-            b.iter(|| parallel_map(black_box(&config), 10_000, |i| i * 2))
-        });
+        overhead.bench_with_input(
+            BenchmarkId::new("trivial_tasks", threads),
+            &threads,
+            |b, _| b.iter(|| parallel_map(black_box(&config), 10_000, |i| i * 2)),
+        );
     }
     overhead.finish();
 }

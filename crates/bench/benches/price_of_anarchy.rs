@@ -19,11 +19,22 @@ fn bench_poa(c: &mut Criterion) {
     for &(n, m) in &[(5usize, 2usize), (6, 3), (8, 3)] {
         let game = general_instance(n, m, 42);
         let initial = LinkLoads::zero(m);
-        let profile = fully_mixed_nash(&game, tol)
-            .unwrap_or_else(|| MixedProfile::uniform(n, m));
-        measurement.bench_with_input(BenchmarkId::new("measure", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| measure(black_box(&game), black_box(&profile), black_box(&initial), 100_000_000).unwrap())
-        });
+        let profile = fully_mixed_nash(&game, tol).unwrap_or_else(|| MixedProfile::uniform(n, m));
+        measurement.bench_with_input(
+            BenchmarkId::new("measure", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    measure(
+                        black_box(&game),
+                        black_box(&profile),
+                        black_box(&initial),
+                        100_000_000,
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     measurement.finish();
 
@@ -32,12 +43,16 @@ fn bench_poa(c: &mut Criterion) {
     for &(n, m) in &[(64usize, 8usize), (512, 16)] {
         let uniform_game = uniform_beliefs_instance(n, m, 43);
         let general_game = general_instance(n, m, 43);
-        bounds.bench_with_input(BenchmarkId::new("theorem_4_13", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| cr_bound_uniform_beliefs(black_box(&uniform_game)))
-        });
-        bounds.bench_with_input(BenchmarkId::new("theorem_4_14", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| cr_bound_general(black_box(&general_game)))
-        });
+        bounds.bench_with_input(
+            BenchmarkId::new("theorem_4_13", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| cr_bound_uniform_beliefs(black_box(&uniform_game))),
+        );
+        bounds.bench_with_input(
+            BenchmarkId::new("theorem_4_14", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| cr_bound_general(black_box(&general_game))),
+        );
     }
     bounds.finish();
 }

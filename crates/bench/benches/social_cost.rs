@@ -34,9 +34,15 @@ fn bench_social_cost(c: &mut Criterion) {
     for &(n, m) in &[(6usize, 3usize), (8, 3), (10, 2), (7, 4)] {
         let game = general_instance(n, m, 43);
         let initial = LinkLoads::zero(m);
-        optimum.bench_with_input(BenchmarkId::new("opt1_opt2", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| social_optimum(black_box(&game), black_box(&initial), 100_000_000).unwrap())
-        });
+        optimum.bench_with_input(
+            BenchmarkId::new("opt1_opt2", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    social_optimum(black_box(&game), black_box(&initial), 100_000_000).unwrap()
+                })
+            },
+        );
     }
     optimum.finish();
 
@@ -45,17 +51,21 @@ fn bench_social_cost(c: &mut Criterion) {
     for &(n, m) in &[(4usize, 2usize), (5, 3), (6, 3)] {
         let game = mild_instance(n, m, 44);
         let initial = LinkLoads::zero(m);
-        worst.bench_with_input(BenchmarkId::new("enumerate_and_compare", format!("n{n}_m{m}")), &n, |b, _| {
-            b.iter(|| {
-                let fmne = fully_mixed_nash(black_box(&game), tol);
-                let pure = all_pure_nash(&game, &initial, tol, 100_000_000).unwrap();
-                let worst_pure = pure
-                    .iter()
-                    .map(|p| sc1(&game, &MixedProfile::from_pure(p, m)))
-                    .fold(0.0f64, f64::max);
-                (fmne.map(|f| sc1(&game, &f)), worst_pure)
-            })
-        });
+        worst.bench_with_input(
+            BenchmarkId::new("enumerate_and_compare", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let fmne = fully_mixed_nash(black_box(&game), tol);
+                    let pure = all_pure_nash(&game, &initial, tol, 100_000_000).unwrap();
+                    let worst_pure = pure
+                        .iter()
+                        .map(|p| sc1(&game, &MixedProfile::from_pure(p, m)))
+                        .fold(0.0f64, f64::max);
+                    (fmne.map(|f| sc1(&game, &f)), worst_pure)
+                })
+            },
+        );
     }
     worst.finish();
 }

@@ -19,7 +19,12 @@ fn bench_two_links(c: &mut Criterion) {
         let initial = LinkLoads::zero(2);
         // Sanity: the solver output is an equilibrium before we time it.
         let profile = two_links::solve(&game, &initial).unwrap();
-        assert!(is_pure_nash(&game, &profile, &initial, Tolerance::default()));
+        assert!(is_pure_nash(
+            &game,
+            &profile,
+            &initial,
+            Tolerance::default()
+        ));
 
         group.bench_with_input(BenchmarkId::new("solve", n), &n, |b, _| {
             b.iter(|| two_links::solve(black_box(&game), black_box(&initial)).unwrap())

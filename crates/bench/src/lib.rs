@@ -34,8 +34,7 @@ pub fn general_instance(users: usize, links: usize, seed: u64) -> EffectiveGame 
         capacity: CapacityDist::Uniform { lo: 0.25, hi: 4.0 },
         weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
     }
-    .generate(&mut rng(seed, 0xBE)
-    )
+    .generate(&mut rng(seed, 0xBE))
 }
 
 /// A deterministic symmetric-users instance (identical weights).

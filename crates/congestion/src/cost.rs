@@ -34,19 +34,31 @@ pub enum CostFunction {
 impl CostFunction {
     /// A linear cost `load / capacity`.
     pub fn linear(capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
         CostFunction::LinearLoad { capacity }
     }
 
     /// A step cost function; panics unless thresholds are strictly increasing
     /// and values (including `base`) are non-decreasing and non-negative.
     pub fn step(base: f64, steps: Vec<(f64, f64)>) -> Self {
-        assert!(base.is_finite() && base >= 0.0, "base cost must be non-negative");
+        assert!(
+            base.is_finite() && base >= 0.0,
+            "base cost must be non-negative"
+        );
         let mut last_threshold = f64::NEG_INFINITY;
         let mut last_value = base;
         for &(threshold, value) in &steps {
-            assert!(threshold.is_finite() && threshold > last_threshold, "thresholds must increase");
-            assert!(value.is_finite() && value >= last_value, "step values must be non-decreasing");
+            assert!(
+                threshold.is_finite() && threshold > last_threshold,
+                "thresholds must increase"
+            );
+            assert!(
+                value.is_finite() && value >= last_value,
+                "step values must be non-decreasing"
+            );
             last_threshold = threshold;
             last_value = value;
         }
@@ -76,7 +88,9 @@ impl CostFunction {
     pub fn is_monotone_on(&self, loads: &[f64]) -> bool {
         let mut sorted = loads.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("loads must not be NaN"));
-        sorted.windows(2).all(|w| self.cost(w[0]) <= self.cost(w[1]) + 1e-12)
+        sorted
+            .windows(2)
+            .all(|w| self.cost(w[0]) <= self.cost(w[1]) + 1e-12)
     }
 }
 

@@ -67,7 +67,10 @@ impl Lcg {
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 11
     }
 
@@ -96,8 +99,10 @@ pub fn search_counterexample(
     // subsets of the other players' weights plus its own weight.
     let player_loads: Vec<Vec<f64>> = (0..players)
         .map(|i| {
-            let others: Vec<f64> =
-                (0..players).filter(|&j| j != i).map(|j| weights[j]).collect();
+            let others: Vec<f64> = (0..players)
+                .filter(|&j| j != i)
+                .map(|j| weights[j])
+                .collect();
             let mut sums = vec![weights[i]];
             for &w in &others {
                 let mut extended: Vec<f64> = sums.iter().map(|s| s + w).collect();
@@ -143,7 +148,9 @@ pub fn search_counterexample(
 pub fn from_effective_game(game: &EffectiveGame) -> UserSpecificGame {
     let costs = (0..game.users())
         .map(|i| {
-            (0..game.links()).map(|l| CostFunction::linear(game.capacity(i, l))).collect()
+            (0..game.links())
+                .map(|l| CostFunction::linear(game.capacity(i, l)))
+                .collect()
         })
         .collect();
     UserSpecificGame::new(game.weights().to_vec(), costs)
@@ -158,7 +165,10 @@ mod tests {
         let game = counterexample();
         assert_eq!(game.players(), 3);
         assert_eq!(game.resources(), 3);
-        assert!(!game.has_pure_nash(), "the fixed counterexample must have no pure NE");
+        assert!(
+            !game.has_pure_nash(),
+            "the fixed counterexample must have no pure NE"
+        );
         assert!(game.all_pure_nash().is_empty());
     }
 
@@ -190,7 +200,11 @@ mod tests {
     fn search_is_deterministic_and_any_hit_is_a_valid_counterexample() {
         let first = search_counterexample(7, 100_000, &[1.0, 2.0, 4.0]);
         let second = search_counterexample(7, 100_000, &[1.0, 2.0, 4.0]);
-        assert_eq!(first.is_some(), second.is_some(), "search must be repeatable");
+        assert_eq!(
+            first.is_some(),
+            second.is_some(),
+            "search must be repeatable"
+        );
         if let (Some(a), Some(b)) = (first, second) {
             assert_eq!(a, b, "same seed must yield the same instance");
             assert!(!a.has_pure_nash());
@@ -217,7 +231,10 @@ mod tests {
         let t = LinkLoads::zero(3);
         let tol = Tolerance::default();
         let core_nash = all_pure_nash(&eg, &t, tol, 100_000).unwrap();
-        assert!(!core_nash.is_empty(), "paper: 3-user belief games always have a pure NE");
+        assert!(
+            !core_nash.is_empty(),
+            "paper: 3-user belief games always have a pure NE"
+        );
         let embedded_nash = usg.all_pure_nash();
         let embedded_as_vecs: Vec<Vec<usize>> =
             core_nash.iter().map(|p| p.choices().to_vec()).collect();

@@ -29,7 +29,11 @@ impl CongestionGame {
         assert!(players >= 2, "need at least two players");
         assert!(costs.len() >= 2, "need at least two resources");
         for (r, table) in costs.iter().enumerate() {
-            assert_eq!(table.len(), players, "resource {r} needs a cost for every occupancy");
+            assert_eq!(
+                table.len(),
+                players,
+                "resource {r} needs a cost for every occupancy"
+            );
             assert!(
                 table.windows(2).all(|w| w[0] <= w[1] + 1e-12),
                 "resource {r} costs must be non-decreasing"
@@ -87,11 +91,11 @@ impl CongestionGame {
         let counts = self.occupancies(profile);
         let current = self.cost(profile[player], counts[profile[player]]);
         let mut best: Option<(usize, f64)> = None;
-        for r in 0..self.resources() {
+        for (r, &count) in counts.iter().enumerate() {
             if r == profile[player] {
                 continue;
             }
-            let new_cost = self.cost(r, counts[r] + 1);
+            let new_cost = self.cost(r, count + 1);
             if new_cost < current - 1e-12 && best.map(|(_, c)| new_cost < c).unwrap_or(true) {
                 best = Some((r, new_cost));
             }
@@ -125,7 +129,10 @@ impl CongestionGame {
             if !moved {
                 return (profile, steps);
             }
-            assert!(steps <= hard_cap, "dynamics failed to converge: potential argument violated");
+            assert!(
+                steps <= hard_cap,
+                "dynamics failed to converge: potential argument violated"
+            );
         }
     }
 }

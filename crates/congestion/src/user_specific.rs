@@ -37,11 +37,21 @@ impl UserSpecificGame {
     pub fn new(weights: Vec<f64>, costs: Vec<Vec<CostFunction>>) -> Self {
         assert!(weights.len() >= 2, "need at least two players");
         assert_eq!(weights.len(), costs.len(), "one cost row per player");
-        assert!(weights.iter().all(|&w| w.is_finite() && w > 0.0), "weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "weights must be positive"
+        );
         let resources = costs[0].len();
         assert!(resources >= 2, "need at least two resources");
-        assert!(costs.iter().all(|row| row.len() == resources), "ragged cost matrix");
-        UserSpecificGame { weights, costs, resources }
+        assert!(
+            costs.iter().all(|row| row.len() == resources),
+            "ragged cost matrix"
+        );
+        UserSpecificGame {
+            weights,
+            costs,
+            resources,
+        }
     }
 
     /// Number of players.
@@ -107,7 +117,12 @@ impl UserSpecificGame {
             if new_cost < old_cost - 1e-12
                 && best.as_ref().map(|b| new_cost < b.new_cost).unwrap_or(true)
             {
-                best = Some(Improvement { player, to: resource, old_cost, new_cost });
+                best = Some(Improvement {
+                    player,
+                    to: resource,
+                    old_cost,
+                    new_cost,
+                });
             }
         }
         best
@@ -267,7 +282,9 @@ mod tests {
     #[test]
     fn improvement_reports_costs() {
         let g = linear_game();
-        let imp = g.best_improvement(&[1, 0], 0).expect("player 0 wants to move");
+        let imp = g
+            .best_improvement(&[1, 0], 0)
+            .expect("player 0 wants to move");
         assert_eq!(imp.to, 0);
         assert!(imp.new_cost < imp.old_cost);
     }

@@ -37,10 +37,8 @@ fn rosenthal_game() -> impl Strategy<Value = CongestionGame> {
 fn linear_user_specific() -> impl Strategy<Value = (UserSpecificGame, EffectiveGame)> {
     (2usize..=4, 2usize..=3).prop_flat_map(|(players, resources)| {
         let weights = proptest::collection::vec(0.25f64..3.0, players);
-        let caps = proptest::collection::vec(
-            proptest::collection::vec(0.25f64..3.0, resources),
-            players,
-        );
+        let caps =
+            proptest::collection::vec(proptest::collection::vec(0.25f64..3.0, resources), players);
         (weights, caps).prop_map(|(w, caps)| {
             let eg = EffectiveGame::from_rows(w.clone(), caps.clone()).expect("valid");
             let costs = caps

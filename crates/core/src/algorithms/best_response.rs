@@ -76,7 +76,10 @@ pub struct BestResponseDynamics {
 
 impl Default for BestResponseDynamics {
     fn default() -> Self {
-        BestResponseDynamics { max_steps: 100_000, rule: SelectionRule::RoundRobin }
+        BestResponseDynamics {
+            max_steps: 100_000,
+            rule: SelectionRule::RoundRobin,
+        }
     }
 }
 
@@ -209,7 +212,10 @@ mod tests {
         let t = LinkLoads::zero(3);
         let tol = Tolerance::default();
         for rule in [SelectionRule::RoundRobin, SelectionRule::LargestGain] {
-            let dynamics = BestResponseDynamics { max_steps: 10_000, rule };
+            let dynamics = BestResponseDynamics {
+                max_steps: 10_000,
+                rule,
+            };
             let outcome = dynamics.run(&g, &t, PureProfile::all_on(4, 0), tol);
             assert!(outcome.converged());
             assert!(is_pure_nash(&g, outcome.profile(), &t, tol));
@@ -218,11 +224,8 @@ mod tests {
 
     #[test]
     fn converged_profile_from_equilibrium_start_takes_zero_steps() {
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
-        )
-        .unwrap();
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]])
+            .unwrap();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
         let start = PureProfile::new(vec![0, 1]);
@@ -239,7 +242,11 @@ mod tests {
         let outcome = BestResponseDynamics::default().run_from_greedy(&g, &t, tol);
         assert!(outcome.converged());
         // The greedy start should need only a handful of fixes.
-        assert!(outcome.steps() <= 8, "greedy start took {} steps", outcome.steps());
+        assert!(
+            outcome.steps() <= 8,
+            "greedy start took {} steps",
+            outcome.steps()
+        );
     }
 
     #[test]
@@ -247,7 +254,10 @@ mod tests {
         let g = messy_game();
         let t = LinkLoads::zero(3);
         let tol = Tolerance::default();
-        let dynamics = BestResponseDynamics { max_steps: 0, rule: SelectionRule::RoundRobin };
+        let dynamics = BestResponseDynamics {
+            max_steps: 0,
+            rule: SelectionRule::RoundRobin,
+        };
         let outcome = dynamics.run(&g, &t, PureProfile::all_on(4, 0), tol);
         // With zero budget the outcome depends on whether the start is an
         // equilibrium; "all on link 0" is not for this instance.

@@ -4,7 +4,10 @@
 //! * [`symmetric`] — `Asymmetric` (Figure 2): identical weights, any `m`, `O(n²m)`.
 //! * [`uniform`] — `Auniform` (Figure 3): uniform user beliefs, `O(n(log n + m))`.
 //! * [`best_response`] — best-response dynamics used to probe Conjecture 3.7.
-//! * [`solve_pure_nash`] — a convenience dispatcher over the above.
+//! * [`solve_pure_nash`] — a compatibility wrapper over the unified
+//!   [`SolverEngine`](crate::solvers::engine::SolverEngine), which orchestrates
+//!   all of the above behind the [`Solver`](crate::solvers::engine::Solver)
+//!   trait.
 
 pub mod best_response;
 pub mod symmetric;
@@ -16,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::Result;
 use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
-use crate::solvers::exhaustive;
+use crate::solvers::engine::{SolverConfig, SolverEngine};
 use crate::strategy::{LinkLoads, PureProfile};
 
 /// Which method produced a pure Nash equilibrium in [`solve_pure_nash`].
@@ -45,52 +48,23 @@ pub struct PureNashSolution {
 
 /// Finds a pure Nash equilibrium of `game` with initial traffic `initial`.
 ///
-/// The dispatcher first tries the paper's polynomial-time special cases
-/// (two links; symmetric users; uniform beliefs — the latter two only when
-/// `initial` is zero, matching the algorithms' statements), then best-response
-/// dynamics, and finally exhaustive search when the profile space is small
-/// enough. Returns `Ok(None)` only when every method fails — which, under
-/// Conjecture 3.7, means the step/size budgets were exhausted, not that no
-/// equilibrium exists.
+/// This is a thin compatibility wrapper over a
+/// [`SolverEngine`](crate::solvers::engine::SolverEngine) in
+/// [`paper_order`](crate::solvers::engine::SolverEngine::paper_order): the
+/// paper's polynomial-time special cases (two links; symmetric users; uniform
+/// beliefs), then best-response dynamics, and finally exhaustive search when
+/// the profile space is within budget. Returns `Ok(None)` only when every
+/// method fails — which, under Conjecture 3.7, means the step/size budgets
+/// were exhausted, not that no equilibrium exists. Callers that want solver
+/// telemetry, custom strategy orders, budgets, or batch-parallel solving
+/// should use the engine directly.
 pub fn solve_pure_nash(
     game: &EffectiveGame,
     initial: &LinkLoads,
     tol: Tolerance,
 ) -> Result<Option<PureNashSolution>> {
-    let zero_initial = initial.as_slice().iter().all(|&t| t == 0.0);
-
-    if game.links() == 2 {
-        let profile = two_links::solve(game, initial)?;
-        return Ok(Some(PureNashSolution { profile, method: PureNashMethod::TwoLinks }));
-    }
-    if zero_initial && game.has_identical_weights(tol) {
-        let profile = symmetric::solve(game, tol)?;
-        return Ok(Some(PureNashSolution { profile, method: PureNashMethod::Symmetric }));
-    }
-    if game.has_uniform_beliefs(tol) {
-        let profile = uniform::solve(game, initial, tol)?;
-        return Ok(Some(PureNashSolution { profile, method: PureNashMethod::UniformBeliefs }));
-    }
-
-    let dynamics = best_response::BestResponseDynamics::default();
-    let outcome = dynamics.run_from_greedy(game, initial, tol);
-    if outcome.converged() {
-        return Ok(Some(PureNashSolution {
-            profile: outcome.profile().clone(),
-            method: PureNashMethod::BestResponse,
-        }));
-    }
-
-    // Last resort: exhaustive enumeration for small games.
-    if exhaustive::profile_count(game.users(), game.links()) <= exhaustive::DEFAULT_PROFILE_LIMIT {
-        let all = exhaustive::all_pure_nash(game, initial, tol, exhaustive::DEFAULT_PROFILE_LIMIT)?;
-        if let Some(profile) = all.into_iter().next() {
-            return Ok(Some(PureNashSolution { profile, method: PureNashMethod::Exhaustive }));
-        }
-        return Ok(None);
-    }
-
-    Ok(None)
+    let engine = SolverEngine::paper_order(SolverConfig::with_tol(tol));
+    Ok(engine.solve(game, initial)?.solution)
 }
 
 #[cfg(test)]
@@ -106,7 +80,9 @@ mod tests {
         )
         .unwrap();
         let t = LinkLoads::zero(2);
-        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        let sol = solve_pure_nash(&g, &t, Tolerance::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(sol.method, PureNashMethod::TwoLinks);
         assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
     }
@@ -115,11 +91,17 @@ mod tests {
     fn dispatcher_picks_symmetric_algorithm() {
         let g = EffectiveGame::from_rows(
             vec![2.0, 2.0, 2.0],
-            vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0], vec![2.0, 1.0, 3.0]],
+            vec![
+                vec![1.0, 2.0, 3.0],
+                vec![3.0, 2.0, 1.0],
+                vec![2.0, 1.0, 3.0],
+            ],
         )
         .unwrap();
         let t = LinkLoads::zero(3);
-        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        let sol = solve_pure_nash(&g, &t, Tolerance::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(sol.method, PureNashMethod::Symmetric);
         assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
     }
@@ -128,11 +110,17 @@ mod tests {
     fn dispatcher_picks_uniform_algorithm() {
         let g = EffectiveGame::from_rows(
             vec![3.0, 2.0, 1.0],
-            vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0], vec![0.5, 0.5, 0.5]],
+            vec![
+                vec![1.0, 1.0, 1.0],
+                vec![2.0, 2.0, 2.0],
+                vec![0.5, 0.5, 0.5],
+            ],
         )
         .unwrap();
         let t = LinkLoads::zero(3);
-        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        let sol = solve_pure_nash(&g, &t, Tolerance::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(sol.method, PureNashMethod::UniformBeliefs);
         assert!(is_pure_nash(&g, &sol.profile, &t, Tolerance::default()));
     }
@@ -150,7 +138,9 @@ mod tests {
         )
         .unwrap();
         let t = LinkLoads::zero(3);
-        let sol = solve_pure_nash(&g, &t, Tolerance::default()).unwrap().unwrap();
+        let sol = solve_pure_nash(&g, &t, Tolerance::default())
+            .unwrap()
+            .unwrap();
         assert!(matches!(
             sol.method,
             PureNashMethod::BestResponse | PureNashMethod::Exhaustive

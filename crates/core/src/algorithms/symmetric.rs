@@ -40,8 +40,8 @@ pub fn solve(game: &EffectiveGame, tol: Tolerance) -> Result<PureProfile> {
         // Step 3(a)-(b): insert `user` on a link minimising (|Nˡ|+1)/cᵢˡ.
         let mut best = 0usize;
         let mut best_cost = f64::INFINITY;
-        for link in 0..m {
-            let cost = (counts[link] as f64 + 1.0) / game.capacity(user, link);
+        for (link, &count) in counts.iter().enumerate() {
+            let cost = (count as f64 + 1.0) / game.capacity(user, link);
             if cost < best_cost {
                 best_cost = cost;
                 best = link;
@@ -56,19 +56,19 @@ pub fn solve(game: &EffectiveGame, tol: Tolerance) -> Result<PureProfile> {
         let mut hot_link = best;
         loop {
             let mut moved = false;
-            for k in 0..=user {
-                if assignment[k] != hot_link {
+            for (k, slot) in assignment.iter_mut().enumerate().take(user + 1) {
+                if *slot != hot_link {
                     continue;
                 }
                 // Best response of user k given the current counts.
                 let current = counts[hot_link] as f64 / game.capacity(k, hot_link);
                 let mut target = hot_link;
                 let mut target_cost = current;
-                for link in 0..m {
+                for (link, &count) in counts.iter().enumerate() {
                     if link == hot_link {
                         continue;
                     }
-                    let cost = (counts[link] as f64 + 1.0) / game.capacity(k, link);
+                    let cost = (count as f64 + 1.0) / game.capacity(k, link);
                     if tol.lt(cost, target_cost) {
                         target_cost = cost;
                         target = link;
@@ -77,7 +77,7 @@ pub fn solve(game: &EffectiveGame, tol: Tolerance) -> Result<PureProfile> {
                 if target != hot_link {
                     counts[hot_link] -= 1;
                     counts[target] += 1;
-                    assignment[k] = target;
+                    *slot = target;
                     hot_link = target;
                     moved = true;
                     break;
@@ -111,21 +111,20 @@ mod tests {
 
     #[test]
     fn rejects_non_identical_weights() {
-        let g = EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         assert!(matches!(
             solve(&g, Tolerance::default()),
-            Err(GameError::Precondition { algorithm: "Asymmetric", .. })
+            Err(GameError::Precondition {
+                algorithm: "Asymmetric",
+                ..
+            })
         ));
     }
 
     #[test]
     fn identical_links_balance_users_evenly() {
-        let g = EffectiveGame::from_rows(
-            vec![1.0; 6],
-            vec![vec![1.0, 1.0, 1.0]; 6],
-        )
-        .unwrap();
+        let g = EffectiveGame::from_rows(vec![1.0; 6], vec![vec![1.0, 1.0, 1.0]; 6]).unwrap();
         let p = check_nash(&g);
         let mut counts = vec![0usize; 3];
         for u in 0..6 {
@@ -136,11 +135,8 @@ mod tests {
 
     #[test]
     fn users_with_opposed_beliefs_pick_their_fast_links() {
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
-        )
-        .unwrap();
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]])
+            .unwrap();
         let p = check_nash(&g);
         assert_eq!(p.link(0), 0);
         assert_eq!(p.link(1), 1);
@@ -166,13 +162,16 @@ mod tests {
     fn pseudo_random_sweep_always_yields_equilibrium() {
         let mut state: u64 = 0xDEADBEEFCAFEF00D;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
         };
         for n in 2..=10 {
             for m in 2..=5 {
-                let rows: Vec<Vec<f64>> =
-                    (0..n).map(|_| (0..m).map(|_| next() * 5.0).collect()).collect();
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..m).map(|_| next() * 5.0).collect())
+                    .collect();
                 let g = EffectiveGame::from_rows(vec![1.0; n], rows).unwrap();
                 check_nash(&g);
             }

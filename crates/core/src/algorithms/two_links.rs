@@ -31,8 +31,9 @@ pub fn tolerance(
     let c_this = game.capacity(user, link);
     let c_other = game.capacity(user, other);
     let scale = c_this * c_other / (c_this + c_other);
-    scale * ((initial.load(other) + total + game.weight(user)) / c_other
-        - initial.load(link) / c_this)
+    scale
+        * ((initial.load(other) + total + game.weight(user)) / c_other
+            - initial.load(link) / c_this)
 }
 
 fn precondition(game: &EffectiveGame, initial: &LinkLoads) -> Result<()> {
@@ -64,7 +65,12 @@ pub fn solve(game: &EffectiveGame, initial: &LinkLoads) -> Result<PureProfile> {
     let mut assignment = vec![0usize; n];
 
     while !remaining.is_empty() {
-        let total = stable_sum(&remaining.iter().map(|&u| game.weight(u)).collect::<Vec<_>>());
+        let total = stable_sum(
+            &remaining
+                .iter()
+                .map(|&u| game.weight(u))
+                .collect::<Vec<_>>(),
+        );
 
         // For every remaining user, find its preferred link (the one with the
         // larger tolerance) and remember the corresponding tolerance value.
@@ -115,32 +121,36 @@ mod tests {
         .unwrap();
         assert!(matches!(
             solve(&g, &LinkLoads::zero(3)),
-            Err(GameError::Precondition { algorithm: "Atwolinks", .. })
+            Err(GameError::Precondition {
+                algorithm: "Atwolinks",
+                ..
+            })
         ));
     }
 
     #[test]
     fn rejects_mismatched_initial_traffic() {
-        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         assert!(solve(&g, &LinkLoads::zero(3)).is_err());
     }
 
     #[test]
     fn two_identical_users_split_across_identical_links() {
-        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let p = check_nash(&g, &LinkLoads::zero(2));
-        assert_ne!(p.link(0), p.link(1), "identical users must not share a link");
+        assert_ne!(
+            p.link(0),
+            p.link(1),
+            "identical users must not share a link"
+        );
     }
 
     #[test]
     fn opposed_beliefs_lead_to_preferred_links() {
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
-        )
-        .unwrap();
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]])
+            .unwrap();
         let p = check_nash(&g, &LinkLoads::zero(2));
         assert_eq!(p.link(0), 0);
         assert_eq!(p.link(1), 1);
@@ -148,8 +158,8 @@ mod tests {
 
     #[test]
     fn heavy_initial_traffic_pushes_users_away() {
-        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let initial = LinkLoads::new(vec![100.0, 0.0]).unwrap();
         let p = check_nash(&g, &initial);
         assert_eq!(p.link(0), 1);
@@ -170,9 +180,12 @@ mod tests {
             for link in 0..2 {
                 let a = tolerance(&g, &t, total, user, link);
                 let lhs = (t.load(link) + a) / g.capacity(user, link);
-                let rhs = (t.load(1 - link) + total - a + g.weight(user))
-                    / g.capacity(user, 1 - link);
-                assert!((lhs - rhs).abs() < 1e-9, "user {user} link {link}: {lhs} vs {rhs}");
+                let rhs =
+                    (t.load(1 - link) + total - a + g.weight(user)) / g.capacity(user, 1 - link);
+                assert!(
+                    (lhs - rhs).abs() < 1e-9,
+                    "user {user} link {link}: {lhs} vs {rhs}"
+                );
             }
         }
     }
@@ -201,7 +214,9 @@ mod tests {
         // a simple LCG drives weights and capacities.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
         };
         for n in 2..=12 {

@@ -21,7 +21,11 @@ fn precondition(game: &EffectiveGame, initial: &LinkLoads, tol: Tolerance) -> Re
     }
     if initial.links() != game.links() {
         return Err(GameError::InvalidInitialTraffic {
-            reason: format!("expected {} entries, found {}", game.links(), initial.links()),
+            reason: format!(
+                "expected {} entries, found {}",
+                game.links(),
+                initial.links()
+            ),
         });
     }
     Ok(())
@@ -42,7 +46,10 @@ pub fn solve(game: &EffectiveGame, initial: &LinkLoads, tol: Tolerance) -> Resul
     // the algorithm is deterministic).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        game.weight(b).partial_cmp(&game.weight(a)).expect("weights are finite").then(a.cmp(&b))
+        game.weight(b)
+            .partial_cmp(&game.weight(a))
+            .expect("weights are finite")
+            .then(a.cmp(&b))
     });
 
     let mut loads = initial.clone();
@@ -91,11 +98,14 @@ mod tests {
 
     #[test]
     fn rejects_non_uniform_beliefs() {
-        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 2.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 2.0], vec![1.0, 1.0]]).unwrap();
         assert!(matches!(
             solve(&g, &LinkLoads::zero(2), Tolerance::default()),
-            Err(GameError::Precondition { algorithm: "Auniform", .. })
+            Err(GameError::Precondition {
+                algorithm: "Auniform",
+                ..
+            })
         ));
     }
 
@@ -120,7 +130,10 @@ mod tests {
         let g = uniform_game(vec![5.0, 4.0, 3.0, 3.0, 2.0, 1.0], vec![1.0; 6], 2);
         let p = check_nash(&g, &LinkLoads::zero(2));
         let loads = p.link_loads(&g, &LinkLoads::zero(2));
-        assert!((loads[0] - loads[1]).abs() <= 1.0 + 1e-12, "LPT split too unbalanced: {loads:?}");
+        assert!(
+            (loads[0] - loads[1]).abs() <= 1.0 + 1e-12,
+            "LPT split too unbalanced: {loads:?}"
+        );
     }
 
     #[test]
@@ -147,7 +160,9 @@ mod tests {
     fn pseudo_random_sweep_always_yields_equilibrium() {
         let mut state: u64 = 0x1234567890ABCDEF;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
         };
         for n in 2..=12 {
@@ -155,8 +170,7 @@ mod tests {
                 let weights: Vec<f64> = (0..n).map(|_| next() * 4.0).collect();
                 let caps: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
                 let g = uniform_game(weights, caps, m);
-                let initial =
-                    LinkLoads::new((0..m).map(|_| next() * 2.0).collect()).unwrap();
+                let initial = LinkLoads::new((0..m).map(|_| next() * 2.0).collect()).unwrap();
                 check_nash(&g, &initial);
             }
         }

@@ -67,7 +67,10 @@ pub fn satisfies_pure_nash(
     let current = pure_user_latency(game, profile, initial, user);
     (0..game.links()).all(|l| {
         l == profile.link(user)
-            || tol.leq(current, pure_user_latency_on_link(game, profile, initial, user, l))
+            || tol.leq(
+                current,
+                pure_user_latency_on_link(game, profile, initial, user, l),
+            )
     })
 }
 
@@ -113,7 +116,13 @@ pub fn profitable_deviations(
             }
             let new_latency = pure_user_latency_on_link(game, profile, initial, user, to);
             if tol.lt(new_latency, current_latency) {
-                deviations.push(Deviation { user, from, to, current_latency, new_latency });
+                deviations.push(Deviation {
+                    user,
+                    from,
+                    to,
+                    current_latency,
+                    new_latency,
+                });
             }
         }
     }
@@ -133,7 +142,13 @@ pub fn best_deviation_of(
     let current_latency = pure_user_latency(game, profile, initial, user);
     let (to, new_latency) = best_response(game, profile, initial, user, tol);
     if to != from && tol.lt(new_latency, current_latency) {
-        Some(Deviation { user, from, to, current_latency, new_latency })
+        Some(Deviation {
+            user,
+            from,
+            to,
+            current_latency,
+            new_latency,
+        })
     } else {
         None
     }
@@ -142,11 +157,7 @@ pub fn best_deviation_of(
 /// Whether the mixed profile `P` is a Nash equilibrium: every user puts
 /// positive probability only on links minimising its expected latency, and no
 /// link offers a latency below that minimum.
-pub fn is_mixed_nash(
-    game: &EffectiveGame,
-    profile: &MixedProfile,
-    tol: Tolerance,
-) -> bool {
+pub fn is_mixed_nash(game: &EffectiveGame, profile: &MixedProfile, tol: Tolerance) -> bool {
     if profile.validate(game).is_err() {
         return false;
     }
@@ -171,11 +182,7 @@ pub fn is_mixed_nash(
 
 /// Whether `P` is a *fully mixed* Nash equilibrium: a Nash equilibrium in
 /// which every user assigns strictly positive probability to every link.
-pub fn is_fully_mixed_nash(
-    game: &EffectiveGame,
-    profile: &MixedProfile,
-    tol: Tolerance,
-) -> bool {
+pub fn is_fully_mixed_nash(game: &EffectiveGame, profile: &MixedProfile, tol: Tolerance) -> bool {
     profile.is_fully_mixed(tol) && is_mixed_nash(game, profile, tol)
 }
 
@@ -186,11 +193,7 @@ mod tests {
     /// Two users, two links; user 0 strongly prefers (believes faster) link 0,
     /// user 1 prefers link 1.
     fn opposed_game() -> EffectiveGame {
-        EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
-        )
-        .unwrap()
+        EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]]).unwrap()
     }
 
     #[test]
@@ -215,11 +218,8 @@ mod tests {
     #[test]
     fn best_response_prefers_current_link_on_ties() {
         // Symmetric game where both links look identical to user 0.
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![2.0, 2.0], vec![2.0, 2.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![2.0, 2.0], vec![2.0, 2.0]]).unwrap();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
         let p = PureProfile::new(vec![0, 1]);
@@ -244,11 +244,8 @@ mod tests {
     fn initial_traffic_changes_equilibria() {
         // Identical links; with heavy initial traffic on link 0 both users
         // should sit on link 1.
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let tol = Tolerance::default();
         let heavy = LinkLoads::new(vec![10.0, 0.0]).unwrap();
         let both_on_1 = PureProfile::new(vec![1, 1]);

@@ -14,27 +14,49 @@ pub enum GameError {
     /// A user weight (traffic) must be strictly positive and finite.
     InvalidWeight { user: usize, value: f64 },
     /// A link capacity must be strictly positive and finite.
-    InvalidCapacity { state: usize, link: usize, value: f64 },
+    InvalidCapacity {
+        state: usize,
+        link: usize,
+        value: f64,
+    },
     /// The state space must contain at least one state.
     EmptyStateSpace,
     /// All states must describe the same number of links.
-    StateDimensionMismatch { state: usize, expected: usize, found: usize },
+    StateDimensionMismatch {
+        state: usize,
+        expected: usize,
+        found: usize,
+    },
     /// A belief must be a probability distribution over the state space.
     InvalidBelief { user: usize, reason: BeliefError },
     /// The number of beliefs must equal the number of users.
     BeliefCountMismatch { users: usize, beliefs: usize },
     /// A strategy profile has the wrong number of users or links.
-    ProfileDimensionMismatch { expected_users: usize, found_users: usize },
+    ProfileDimensionMismatch {
+        expected_users: usize,
+        found_users: usize,
+    },
     /// A pure strategy refers to a link outside `[m]`.
-    LinkOutOfRange { user: usize, link: usize, links: usize },
+    LinkOutOfRange {
+        user: usize,
+        link: usize,
+        links: usize,
+    },
     /// A mixed strategy row is not a probability distribution.
     InvalidMixedRow { user: usize, sum: f64 },
     /// A probability is outside `[0, 1]`.
-    InvalidProbability { user: usize, link: usize, value: f64 },
+    InvalidProbability {
+        user: usize,
+        link: usize,
+        value: f64,
+    },
     /// The initial-traffic vector has the wrong length or a negative entry.
     InvalidInitialTraffic { reason: String },
     /// An algorithm precondition does not hold (e.g. `Atwolinks` needs `m = 2`).
-    Precondition { algorithm: &'static str, requirement: String },
+    Precondition {
+        algorithm: &'static str,
+        requirement: String,
+    },
     /// The requested exhaustive computation is too large (`m^n` over the cap).
     TooLarge { profiles: u128, limit: u128 },
 }
@@ -73,14 +95,24 @@ impl fmt::Display for GameError {
             GameError::TooFewUsers { n } => write!(f, "game needs n > 1 users, got {n}"),
             GameError::TooFewLinks { m } => write!(f, "game needs m > 1 links, got {m}"),
             GameError::InvalidWeight { user, value } => {
-                write!(f, "user {user} has invalid traffic {value}; weights must be positive and finite")
+                write!(
+                    f,
+                    "user {user} has invalid traffic {value}; weights must be positive and finite"
+                )
             }
             GameError::InvalidCapacity { state, link, value } => {
                 write!(f, "state {state}, link {link} has invalid capacity {value}")
             }
             GameError::EmptyStateSpace => write!(f, "the state space is empty"),
-            GameError::StateDimensionMismatch { state, expected, found } => {
-                write!(f, "state {state} has {found} capacities, expected {expected}")
+            GameError::StateDimensionMismatch {
+                state,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "state {state} has {found} capacities, expected {expected}"
+                )
             }
             GameError::InvalidBelief { user, reason } => {
                 write!(f, "belief of user {user} is invalid: {reason}")
@@ -88,26 +120,44 @@ impl fmt::Display for GameError {
             GameError::BeliefCountMismatch { users, beliefs } => {
                 write!(f, "belief profile has {beliefs} beliefs for {users} users")
             }
-            GameError::ProfileDimensionMismatch { expected_users, found_users } => {
-                write!(f, "profile covers {found_users} users, expected {expected_users}")
+            GameError::ProfileDimensionMismatch {
+                expected_users,
+                found_users,
+            } => {
+                write!(
+                    f,
+                    "profile covers {found_users} users, expected {expected_users}"
+                )
             }
             GameError::LinkOutOfRange { user, link, links } => {
-                write!(f, "user {user} selects link {link}, but the game has {links} links")
+                write!(
+                    f,
+                    "user {user} selects link {link}, but the game has {links} links"
+                )
             }
             GameError::InvalidMixedRow { user, sum } => {
                 write!(f, "mixed strategy of user {user} sums to {sum}, expected 1")
             }
             GameError::InvalidProbability { user, link, value } => {
-                write!(f, "probability of user {user} on link {link} is {value}, outside [0, 1]")
+                write!(
+                    f,
+                    "probability of user {user} on link {link} is {value}, outside [0, 1]"
+                )
             }
             GameError::InvalidInitialTraffic { reason } => {
                 write!(f, "invalid initial traffic vector: {reason}")
             }
-            GameError::Precondition { algorithm, requirement } => {
+            GameError::Precondition {
+                algorithm,
+                requirement,
+            } => {
                 write!(f, "{algorithm} precondition violated: {requirement}")
             }
             GameError::TooLarge { profiles, limit } => {
-                write!(f, "exhaustive enumeration of {profiles} profiles exceeds the limit of {limit}")
+                write!(
+                    f,
+                    "exhaustive enumeration of {profiles} profiles exceeds the limit of {limit}"
+                )
             }
         }
     }
@@ -132,7 +182,10 @@ mod tests {
 
     #[test]
     fn display_messages_mention_offending_values() {
-        let e = GameError::InvalidWeight { user: 3, value: -1.0 };
+        let e = GameError::InvalidWeight {
+            user: 3,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("user 3"));
         assert!(e.to_string().contains("-1"));
 

@@ -122,8 +122,9 @@ pub fn fully_mixed_expected_traffic(game: &EffectiveGame) -> Vec<f64> {
     let latencies: Vec<f64> = (0..n).map(|i| fully_mixed_latency(game, i)).collect();
     (0..game.links())
         .map(|link| {
-            let weighted: Vec<f64> =
-                (0..n).map(|i| game.capacity(i, link) * latencies[i]).collect();
+            let weighted: Vec<f64> = (0..n)
+                .map(|i| game.capacity(i, link) * latencies[i])
+                .collect();
             (stable_sum(&weighted) - total) / (n as f64 - 1.0)
         })
         .collect()
@@ -140,15 +141,21 @@ pub fn fully_mixed_candidate(game: &EffectiveGame) -> FullyMixedCandidate {
     let latencies: Vec<f64> = (0..n).map(|i| fully_mixed_latency(game, i)).collect();
     let expected_traffic = fully_mixed_expected_traffic(game);
     let mut probs = Vec::with_capacity(n * m);
-    for user in 0..n {
+    for (user, &lambda) in latencies.iter().enumerate() {
         let w = game.weight(user);
-        for link in 0..m {
+        for (link, &link_traffic) in expected_traffic.iter().enumerate() {
             // Equation (2): pᵢˡ = (Wˡ + wᵢ − cᵢˡ λᵢ)/wᵢ.
-            let p = (expected_traffic[link] + w - game.capacity(user, link) * latencies[user]) / w;
+            let p = (link_traffic + w - game.capacity(user, link) * lambda) / w;
             probs.push(p);
         }
     }
-    FullyMixedCandidate { users: n, links: m, probs, latencies, expected_traffic }
+    FullyMixedCandidate {
+        users: n,
+        links: m,
+        probs,
+        latencies,
+        expected_traffic,
+    }
 }
 
 /// Computes the fully mixed Nash equilibrium of `game`, if it exists
@@ -174,7 +181,9 @@ pub fn fully_mixed_nash_detailed(game: &EffectiveGame, tol: Tolerance) -> Result
             ),
         });
     }
-    Ok(candidate.into_profile(tol).expect("no violations implies feasibility"))
+    Ok(candidate
+        .into_profile(tol)
+        .expect("no violations implies feasibility"))
 }
 
 #[cfg(test)]
@@ -264,8 +273,8 @@ mod tests {
         let candidate = fully_mixed_candidate(&g);
         let fmne = fully_mixed_nash(&g, tol).unwrap();
         let traffic = fmne.expected_traffic(&g);
-        for link in 0..2 {
-            assert!((traffic[link] - candidate.expected_traffic(link)).abs() < 1e-9);
+        for (link, &t) in traffic.iter().enumerate() {
+            assert!((t - candidate.expected_traffic(link)).abs() < 1e-9);
         }
         // Total expected traffic equals total traffic.
         assert!((stable_sum(&traffic) - g.total_traffic()).abs() < 1e-9);
@@ -276,11 +285,9 @@ mod tests {
         // With extreme disagreement a user would need negative probability on
         // the link it believes to be terrible.
         let tol = Tolerance::default();
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![100.0, 0.01], vec![0.01, 100.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![100.0, 0.01], vec![0.01, 100.0]])
+                .unwrap();
         let candidate = fully_mixed_candidate(&g);
         assert!(!candidate.is_feasible(tol));
         assert!(fully_mixed_nash(&g, tol).is_none());
@@ -303,11 +310,9 @@ mod tests {
     #[test]
     fn detailed_error_names_the_offending_entry() {
         let tol = Tolerance::default();
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![100.0, 0.01], vec![0.01, 100.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![100.0, 0.01], vec![0.01, 100.0]])
+                .unwrap();
         let err = fully_mixed_nash_detailed(&g, tol).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("outside (0, 1)"), "unexpected message: {msg}");

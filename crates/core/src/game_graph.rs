@@ -76,20 +76,29 @@ impl GameGraph {
         let links = game.links();
         let total = crate::solvers::exhaustive::profile_count(users, links);
         if total > limit {
-            return Err(GameError::TooLarge { profiles: total, limit });
+            return Err(GameError::TooLarge {
+                profiles: total,
+                limit,
+            });
         }
         let total = total as usize;
         let mut successors = vec![Vec::new(); total];
         let mut sinks = Vec::new();
-        for code in 0..total {
+        for (code, slot) in successors.iter_mut().enumerate() {
             let profile = decode(code, users, links);
             let succ = successors_of(game, &profile, initial, edge_kind, tol);
             if succ.is_empty() {
                 sinks.push(code);
             }
-            successors[code] = succ;
+            *slot = succ;
         }
-        Ok(GameGraph { users, links, successors, sinks, edge_kind })
+        Ok(GameGraph {
+            users,
+            links,
+            successors,
+            sinks,
+            edge_kind,
+        })
     }
 
     /// Number of users.
@@ -124,7 +133,10 @@ impl GameGraph {
 
     /// The pure Nash equilibria (sink nodes) as profiles.
     pub fn pure_nash_profiles(&self) -> Vec<PureProfile> {
-        self.sinks.iter().map(|&code| decode(code, self.users, self.links)).collect()
+        self.sinks
+            .iter()
+            .map(|&code| decode(code, self.users, self.links))
+            .collect()
     }
 
     /// Whether the graph contains at least one pure Nash equilibrium.
@@ -229,11 +241,7 @@ mod tests {
     use crate::solvers::exhaustive;
 
     fn opposed_game() -> EffectiveGame {
-        EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
-        )
-        .unwrap()
+        EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]]).unwrap()
     }
 
     #[test]
@@ -283,9 +291,14 @@ mod tests {
     fn node_and_edge_counts_are_consistent() {
         let g = opposed_game();
         let t = LinkLoads::zero(2);
-        let graph =
-            GameGraph::build(&g, &t, EdgeKind::BetterResponse, Tolerance::default(), 10_000)
-                .unwrap();
+        let graph = GameGraph::build(
+            &g,
+            &t,
+            EdgeKind::BetterResponse,
+            Tolerance::default(),
+            10_000,
+        )
+        .unwrap();
         assert_eq!(graph.node_count(), 4);
         // Every non-sink node has at least one edge.
         let sinks = graph.pure_nash_profiles().len();
@@ -309,7 +322,11 @@ mod tests {
     fn best_response_edges_are_subset_of_better_response_edges() {
         let g = EffectiveGame::from_rows(
             vec![3.0, 1.0, 2.0],
-            vec![vec![2.0, 2.5, 1.0], vec![1.0, 4.0, 2.0], vec![3.0, 3.0, 0.5]],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+            ],
         )
         .unwrap();
         let t = LinkLoads::zero(3);
@@ -331,9 +348,21 @@ mod tests {
     fn three_user_games_have_pure_nash_and_no_best_response_cycle() {
         // Spot-check of the paper's n = 3 claim on fixed instances.
         let instances = [
-            vec![vec![2.0, 1.0, 3.0], vec![1.0, 2.0, 0.5], vec![3.0, 1.0, 1.0]],
-            vec![vec![1.0, 5.0, 2.0], vec![5.0, 1.0, 2.0], vec![2.0, 2.0, 5.0]],
-            vec![vec![0.5, 0.7, 0.9], vec![0.9, 0.5, 0.7], vec![0.7, 0.9, 0.5]],
+            vec![
+                vec![2.0, 1.0, 3.0],
+                vec![1.0, 2.0, 0.5],
+                vec![3.0, 1.0, 1.0],
+            ],
+            vec![
+                vec![1.0, 5.0, 2.0],
+                vec![5.0, 1.0, 2.0],
+                vec![2.0, 2.0, 5.0],
+            ],
+            vec![
+                vec![0.5, 0.7, 0.9],
+                vec![0.9, 0.5, 0.7],
+                vec![0.7, 0.9, 0.5],
+            ],
         ];
         let tol = Tolerance::default();
         for rows in instances {

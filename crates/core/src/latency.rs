@@ -115,7 +115,11 @@ pub fn mixed_user_latencies(game: &EffectiveGame, profile: &MixedProfile, user: 
 
 /// The *minimum expected latency cost* `λ_{i,bᵢ}(P) = min_ℓ λˡ_{i,bᵢ}(P)`
 /// (equation (1) in the paper), together with a minimising link.
-pub fn mixed_min_latency(game: &EffectiveGame, profile: &MixedProfile, user: usize) -> (usize, f64) {
+pub fn mixed_min_latency(
+    game: &EffectiveGame,
+    profile: &MixedProfile,
+    user: usize,
+) -> (usize, f64) {
     let latencies = mixed_user_latencies(game, profile, user);
     let link = argmin(&latencies);
     (link, latencies[link])
@@ -159,11 +163,7 @@ mod tests {
     use crate::model::{Belief, BeliefProfile, Game, StateSpace};
 
     fn effective_game() -> EffectiveGame {
-        EffectiveGame::from_rows(
-            vec![1.0, 2.0],
-            vec![vec![1.0, 2.0], vec![2.0, 1.0]],
-        )
-        .unwrap()
+        EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap()
     }
 
     #[test]
@@ -284,9 +284,9 @@ mod tests {
         let g = effective_game();
         let p = MixedProfile::uniform(2, 2);
         let all = mixed_min_latencies(&g, &p);
-        for user in 0..2 {
+        for (user, &joint) in all.iter().enumerate() {
             let (_, single) = mixed_min_latency(&g, &p, user);
-            assert!((all[user] - single).abs() < 1e-12);
+            assert!((joint - single).abs() < 1e-12);
         }
     }
 }

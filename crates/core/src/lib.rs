@@ -25,7 +25,8 @@
 //!   (Theorem 4.6) and its existence test.
 //! * [`social_cost`] — social costs SC1/SC2, exact optima, coordination
 //!   ratios, and the bounds of Theorems 4.13/4.14.
-//! * [`solvers`] — exhaustive reference solvers for small games.
+//! * [`solvers`] — exhaustive reference solvers for small games, plus the
+//!   unified [`SolverEngine`](solvers::engine::SolverEngine).
 //! * [`game_graph`] — explicit defection graphs, equilibrium sinks and cycle
 //!   detection (used by the `n = 3` and potential-game analyses).
 //! * [`potential`] — exact/ordinal potential analysis (Section 3.2).
@@ -57,6 +58,47 @@
 //!     assert!(is_mixed_nash(&eg, &fmne, Tolerance::default()));
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## The solver engine
+//!
+//! All pure-NE solving funnels through one composition layer in
+//! [`solvers::engine`]. Each algorithm implements the
+//! [`Solver`](solvers::engine::Solver) trait — it classifies its own
+//! [`Applicability`](solvers::engine::Applicability) to an instance
+//! (conclusive special case, fallible heuristic, or not applicable) and
+//! solves under shared [`SolverConfig`](solvers::engine::SolverConfig)
+//! budgets (best-response step limit, exhaustive profile cap, tolerance).
+//! A [`SolverEngine`](solvers::engine::SolverEngine) walks an ordered solver
+//! list, records per-attempt telemetry (method, iterations, wall time), and
+//! stops at the first solution or the first conclusive "no equilibrium
+//! within budget".
+//!
+//! Batch workloads use
+//! [`SolverEngine::solve_batch`](solvers::engine::SolverEngine::solve_batch)
+//! (or `solve_sampled` for generate-and-solve Monte-Carlo sweeps), which fans
+//! instances out over a deterministic `par-exec` worker pool; outputs are
+//! keyed by task id, so results are bit-identical for any worker count. The
+//! classic [`algorithms::solve_pure_nash`] entry point remains as a thin
+//! wrapper over the engine in paper order.
+//!
+//! ```
+//! use netuncert_core::prelude::*;
+//!
+//! let games: Vec<EffectiveGame> = (0..32)
+//!     .map(|i| {
+//!         EffectiveGame::from_rows(
+//!             vec![1.0 + i as f64, 2.0, 1.5],
+//!             vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 1.0]],
+//!         )
+//!     })
+//!     .collect::<Result<_>>()?;
+//! let engine = SolverEngine::default();
+//! for result in engine.solve_batch(&games) {
+//!     let solved = result?;
+//!     assert_eq!(solved.method(), Some(PureNashMethod::TwoLinks));
+//! }
+//! # Ok::<(), GameError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -96,6 +138,10 @@ pub mod prelude {
     pub use crate::social_cost::{
         cr_bound_general, cr_bound_uniform_beliefs, measure, pure_equilibrium_spectrum,
         pure_poa_and_pos, sc1, sc2, CostReport, EquilibriumSpectrum,
+    };
+    pub use crate::solvers::engine::{
+        Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
+        SolverEngine,
     };
     pub use crate::solvers::exhaustive::{all_pure_nash, social_optimum, SocialOptimum};
     pub use crate::strategy::{LinkLoads, MixedProfile, PureProfile};

@@ -23,7 +23,10 @@ impl Belief {
     /// consistent.
     pub fn new(probs: Vec<f64>) -> std::result::Result<Self, BeliefError> {
         if probs.is_empty() {
-            return Err(BeliefError::LengthMismatch { expected: 1, found: 0 });
+            return Err(BeliefError::LengthMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         for (index, &p) in probs.iter().enumerate() {
             if !(p.is_finite() && p >= 0.0) {
@@ -53,13 +56,18 @@ impl Belief {
     /// The uniform belief over `num_states` states.
     pub fn uniform(num_states: usize) -> Self {
         assert!(num_states > 0, "uniform belief over zero states");
-        Belief { probs: vec![1.0 / num_states as f64; num_states] }
+        Belief {
+            probs: vec![1.0 / num_states as f64; num_states],
+        }
     }
 
     /// Creates a belief proportional to the given non-negative weights.
     pub fn from_weights(weights: &[f64]) -> std::result::Result<Self, BeliefError> {
         if weights.is_empty() {
-            return Err(BeliefError::LengthMismatch { expected: 1, found: 0 });
+            return Err(BeliefError::LengthMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         for (index, &w) in weights.iter().enumerate() {
             if !(w.is_finite() && w >= 0.0) {
@@ -70,7 +78,9 @@ impl Belief {
         if total <= 0.0 {
             return Err(BeliefError::NotNormalized { sum: total });
         }
-        Ok(Belief { probs: weights.iter().map(|w| w / total).collect() })
+        Ok(Belief {
+            probs: weights.iter().map(|w| w / total).collect(),
+        })
     }
 
     /// Number of states this belief ranges over.
@@ -136,7 +146,10 @@ impl BeliefProfile {
             if b.len() != first_len {
                 return Err(GameError::InvalidBelief {
                     user,
-                    reason: BeliefError::LengthMismatch { expected: first_len, found: b.len() },
+                    reason: BeliefError::LengthMismatch {
+                        expected: first_len,
+                        found: b.len(),
+                    },
                 });
             }
         }
@@ -145,7 +158,9 @@ impl BeliefProfile {
 
     /// A profile where every user has the same belief.
     pub fn identical(n: usize, belief: Belief) -> Self {
-        BeliefProfile { beliefs: vec![belief; n] }
+        BeliefProfile {
+            beliefs: vec![belief; n],
+        }
     }
 
     /// A profile where every user puts probability one on the same state
@@ -177,12 +192,16 @@ impl BeliefProfile {
     /// Whether all users share a point-mass belief on a common state
     /// (the condition under which the model coincides with the KP-model).
     pub fn is_complete_information(&self, tol: Tolerance) -> bool {
-        let Some(first) = self.beliefs.first() else { return false };
+        let Some(first) = self.beliefs.first() else {
+            return false;
+        };
         if !first.is_point_mass(tol) {
             return false;
         }
         let state = first.support(tol)[0];
-        self.beliefs.iter().all(|b| b.is_point_mass(tol) && b.support(tol) == [state])
+        self.beliefs
+            .iter()
+            .all(|b| b.is_point_mass(tol) && b.support(tol) == [state])
     }
 }
 
@@ -201,7 +220,10 @@ mod tests {
             Belief::new(vec![0.5, 0.2]),
             Err(BeliefError::NotNormalized { .. })
         ));
-        assert!(matches!(Belief::new(vec![]), Err(BeliefError::LengthMismatch { .. })));
+        assert!(matches!(
+            Belief::new(vec![]),
+            Err(BeliefError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -249,7 +271,8 @@ mod tests {
         assert!(kp.is_complete_information(tol));
 
         // Point masses on different states are still uncertain collectively.
-        let mixed = BeliefProfile::new(vec![Belief::point_mass(2, 0), Belief::point_mass(2, 1)]).unwrap();
+        let mixed =
+            BeliefProfile::new(vec![Belief::point_mass(2, 0), Belief::point_mass(2, 1)]).unwrap();
         assert!(!mixed.is_complete_information(tol));
 
         let uncertain = BeliefProfile::identical(2, Belief::uniform(2));

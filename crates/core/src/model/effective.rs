@@ -117,7 +117,9 @@ impl EffectiveCapacities {
     /// The smallest effective capacity of link `link` over all users
     /// (`cˡ_min = min_i cᵢˡ`, used in Theorem 4.14).
     pub fn link_min(&self, link: usize) -> f64 {
-        (0..self.users).map(|i| self.get(i, link)).fold(f64::MAX, f64::min)
+        (0..self.users)
+            .map(|i| self.get(i, link))
+            .fold(f64::MAX, f64::min)
     }
 
     /// Whether every user sees the same capacity on every link
@@ -161,7 +163,10 @@ impl EffectiveGame {
                 return Err(GameError::InvalidWeight { user, value: w });
             }
         }
-        Ok(EffectiveGame { weights, capacities })
+        Ok(EffectiveGame {
+            weights,
+            capacities,
+        })
     }
 
     /// Builds an effective game directly from weights and per-user capacity rows.
@@ -230,7 +235,10 @@ impl EffectiveGame {
     /// off per round.
     pub fn restrict_users(&self, keep: &[usize]) -> Result<Self> {
         let weights: Vec<f64> = keep.iter().map(|&i| self.weights[i]).collect();
-        let rows: Vec<Vec<f64>> = keep.iter().map(|&i| self.capacities.row(i).to_vec()).collect();
+        let rows: Vec<Vec<f64>> = keep
+            .iter()
+            .map(|&i| self.capacities.row(i).to_vec())
+            .collect();
         EffectiveGame::from_rows(weights, rows)
     }
 }
@@ -278,7 +286,8 @@ mod tests {
         assert!(kp.is_user_independent(tol));
         assert!(!kp.is_uniform_per_user(tol));
 
-        let both = EffectiveCapacities::from_user_rows(vec![vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
+        let both =
+            EffectiveCapacities::from_user_rows(vec![vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
         assert!(both.is_user_independent(tol) && both.is_uniform_per_user(tol));
     }
 
@@ -298,20 +307,14 @@ mod tests {
     #[test]
     fn special_case_predicates() {
         let tol = Tolerance::default();
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![2.0, 3.0], vec![4.0, 5.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![2.0, 3.0], vec![4.0, 5.0]]).unwrap();
         assert!(g.has_identical_weights(tol));
         assert!(!g.has_uniform_beliefs(tol));
         assert!(!g.is_kp_instance(tol));
 
-        let kp = EffectiveGame::from_rows(
-            vec![1.0, 2.0],
-            vec![vec![2.0, 3.0], vec![2.0, 3.0]],
-        )
-        .unwrap();
+        let kp =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![2.0, 3.0], vec![2.0, 3.0]]).unwrap();
         assert!(kp.is_kp_instance(tol));
     }
 

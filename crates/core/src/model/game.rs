@@ -40,7 +40,10 @@ impl Game {
             }
         }
         if beliefs.users() != n {
-            return Err(GameError::BeliefCountMismatch { users: n, beliefs: beliefs.users() });
+            return Err(GameError::BeliefCountMismatch {
+                users: n,
+                beliefs: beliefs.users(),
+            });
         }
         if beliefs.states() != states.len() {
             return Err(GameError::InvalidBelief {
@@ -51,7 +54,11 @@ impl Game {
                 },
             });
         }
-        Ok(Game { weights, states, beliefs })
+        Ok(Game {
+            weights,
+            states,
+            beliefs,
+        })
     }
 
     /// A complete-information (KP) game: a single known capacity vector.
@@ -111,7 +118,10 @@ impl Game {
 
     /// Effective capacity `cᵢˡ = 1 / Σ_φ bᵢ(φ)/c_φˡ` of link `link` for user `user`.
     pub fn effective_capacity(&self, user: usize, link: usize) -> f64 {
-        let inv = self.beliefs.belief(user).expect(|s| 1.0 / self.states.capacity(s, link));
+        let inv = self
+            .beliefs
+            .belief(user)
+            .expect(|s| 1.0 / self.states.capacity(s, link));
         1.0 / inv
     }
 
@@ -153,7 +163,12 @@ mod tests {
     fn game_validation_catches_mismatches() {
         let states = two_state_space();
         // Too few users.
-        assert!(Game::new(vec![1.0], states.clone(), BeliefProfile::point_mass(1, 2, 0)).is_err());
+        assert!(Game::new(
+            vec![1.0],
+            states.clone(),
+            BeliefProfile::point_mass(1, 2, 0)
+        )
+        .is_err());
         // Wrong belief count.
         assert!(Game::new(
             vec![1.0, 2.0],

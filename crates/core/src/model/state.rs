@@ -21,11 +21,17 @@ impl CapacityState {
     /// fewer than two links.
     pub fn new(capacities: Vec<f64>) -> Result<Self> {
         if capacities.len() < 2 {
-            return Err(GameError::TooFewLinks { m: capacities.len() });
+            return Err(GameError::TooFewLinks {
+                m: capacities.len(),
+            });
         }
         for (link, &c) in capacities.iter().enumerate() {
             if !(c.is_finite() && c > 0.0) {
-                return Err(GameError::InvalidCapacity { state: 0, link, value: c });
+                return Err(GameError::InvalidCapacity {
+                    state: 0,
+                    link,
+                    value: c,
+                });
             }
         }
         Ok(CapacityState { capacities })
@@ -81,9 +87,11 @@ impl StateSpace {
         let mut states = Vec::with_capacity(rows.len());
         for (idx, row) in rows.into_iter().enumerate() {
             let state = CapacityState::new(row).map_err(|e| match e {
-                GameError::InvalidCapacity { link, value, .. } => {
-                    GameError::InvalidCapacity { state: idx, link, value }
-                }
+                GameError::InvalidCapacity { link, value, .. } => GameError::InvalidCapacity {
+                    state: idx,
+                    link,
+                    value,
+                },
                 other => other,
             })?;
             states.push(state);
@@ -159,18 +167,31 @@ mod tests {
         let a = CapacityState::new(vec![1.0, 2.0]).unwrap();
         let b = CapacityState::new(vec![1.0, 2.0, 3.0]).unwrap();
         let err = StateSpace::new(vec![a, b]).unwrap_err();
-        assert!(matches!(err, GameError::StateDimensionMismatch { state: 1, .. }));
+        assert!(matches!(
+            err,
+            GameError::StateDimensionMismatch { state: 1, .. }
+        ));
     }
 
     #[test]
     fn state_space_rejects_empty() {
-        assert!(matches!(StateSpace::new(vec![]), Err(GameError::EmptyStateSpace)));
+        assert!(matches!(
+            StateSpace::new(vec![]),
+            Err(GameError::EmptyStateSpace)
+        ));
     }
 
     #[test]
     fn from_rows_reports_offending_state_index() {
         let err = StateSpace::from_rows(vec![vec![1.0, 1.0], vec![1.0, -3.0]]).unwrap_err();
-        assert!(matches!(err, GameError::InvalidCapacity { state: 1, link: 1, .. }));
+        assert!(matches!(
+            err,
+            GameError::InvalidCapacity {
+                state: 1,
+                link: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

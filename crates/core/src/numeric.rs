@@ -26,7 +26,10 @@ impl Default for Tolerance {
 impl Tolerance {
     /// Creates a tolerance with the given epsilon (must be non-negative and finite).
     pub fn new(eps: f64) -> Self {
-        assert!(eps.is_finite() && eps >= 0.0, "tolerance must be finite and non-negative");
+        assert!(
+            eps.is_finite() && eps >= 0.0,
+            "tolerance must be finite and non-negative"
+        );
         Tolerance { eps }
     }
 
@@ -197,7 +200,7 @@ mod tests {
     fn stable_sum_is_more_accurate_than_naive() {
         // Classic cancellation pattern: 1 followed by many tiny values.
         let mut xs = vec![1.0e16];
-        xs.extend(std::iter::repeat(1.0).take(10_000));
+        xs.extend(std::iter::repeat_n(1.0, 10_000));
         xs.push(-1.0e16);
         let exact = 10_000.0;
         let stable = stable_sum(&xs);

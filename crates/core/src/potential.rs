@@ -173,11 +173,8 @@ mod tests {
     fn user_specific_beliefs_typically_break_exact_potentials() {
         // The paper's observation: with genuinely user-specific effective
         // capacities the game is not an exact potential game.
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 2.0],
-            vec![vec![1.0, 3.0], vec![2.0, 1.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 3.0], vec![2.0, 1.0]]).unwrap();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
         let violation = exact_potential_violation(&g, &t, tol, 10_000).unwrap();
@@ -191,14 +188,13 @@ mod tests {
     fn weighted_users_on_identical_views_still_violate_exact_potential() {
         // Even with user-independent capacities, *weighted* users generally do
         // not admit an exact potential with these latency functions.
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 3.0],
-            vec![vec![1.0, 2.0], vec![1.0, 2.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 3.0], vec![vec![1.0, 2.0], vec![1.0, 2.0]]).unwrap();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
-        assert!(exact_potential_violation(&g, &t, tol, 10_000).unwrap().is_some());
+        assert!(exact_potential_violation(&g, &t, tol, 10_000)
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -206,24 +202,22 @@ mod tests {
         // Improvement paths strictly decrease the mover's latency; with two
         // users and two links the graph is tiny and acyclic for generic
         // instances.
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 2.0],
-            vec![vec![1.0, 3.0], vec![2.0, 1.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 3.0], vec![2.0, 1.0]]).unwrap();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
-        assert!(find_improvement_cycle(&g, &t, tol, 10_000).unwrap().is_none());
-        assert!(find_best_response_cycle(&g, &t, tol, 10_000).unwrap().is_none());
+        assert!(find_improvement_cycle(&g, &t, tol, 10_000)
+            .unwrap()
+            .is_none());
+        assert!(find_best_response_cycle(&g, &t, tol, 10_000)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn size_limit_is_enforced() {
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 2.0],
-            vec![vec![1.0, 3.0], vec![2.0, 1.0]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 3.0], vec![2.0, 1.0]]).unwrap();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
         assert!(exact_potential_violation(&g, &t, tol, 2).is_err());

@@ -28,14 +28,17 @@ pub fn sc1(game: &EffectiveGame, profile: &MixedProfile) -> f64 {
 
 /// `SC2(G, P)`: the maximum of the users' minimum expected latency costs.
 pub fn sc2(game: &EffectiveGame, profile: &MixedProfile) -> f64 {
-    mixed_min_latencies(game, profile).into_iter().fold(f64::MIN, f64::max)
+    mixed_min_latencies(game, profile)
+        .into_iter()
+        .fold(f64::MIN, f64::max)
 }
 
 /// Sum of the users' expected latencies in a pure profile (the quantity
 /// minimised by `OPT1`).
 pub fn pure_sc1(game: &EffectiveGame, profile: &PureProfile, initial: &LinkLoads) -> f64 {
-    let latencies: Vec<f64> =
-        (0..game.users()).map(|i| pure_user_latency(game, profile, initial, i)).collect();
+    let latencies: Vec<f64> = (0..game.users())
+        .map(|i| pure_user_latency(game, profile, initial, i))
+        .collect();
     stable_sum(&latencies)
 }
 
@@ -170,7 +173,10 @@ pub fn pure_poa_and_pos(
         return Ok(None);
     };
     let optimum = social_optimum(game, initial, limit)?;
-    Ok(Some((spectrum.worst_sc1 / optimum.opt1, spectrum.best_sc1 / optimum.opt1)))
+    Ok(Some((
+        spectrum.worst_sc1 / optimum.opt1,
+        spectrum.best_sc1 / optimum.opt1,
+    )))
 }
 
 /// The coordination-ratio upper bound of Theorem 4.13, valid under the model
@@ -263,8 +269,16 @@ mod tests {
         for pure in all_pure_nash(&g, &t, tol, 100_000).unwrap() {
             let mixed = MixedProfile::from_pure(&pure, 3);
             let report = measure(&g, &mixed, &t, 100_000).unwrap();
-            assert!(report.cr1 <= bound + 1e-9, "CR1 {} > bound {bound}", report.cr1);
-            assert!(report.cr2 <= bound + 1e-9, "CR2 {} > bound {bound}", report.cr2);
+            assert!(
+                report.cr1 <= bound + 1e-9,
+                "CR1 {} > bound {bound}",
+                report.cr1
+            );
+            assert!(
+                report.cr2 <= bound + 1e-9,
+                "CR2 {} > bound {bound}",
+                report.cr2
+            );
         }
         // The fully mixed equilibrium (worst case by Theorems 4.11/4.12) also
         // respects the bound.
@@ -298,7 +312,9 @@ mod tests {
         let g = mild_game();
         let t = LinkLoads::zero(2);
         let tol = Tolerance::default();
-        let spectrum = pure_equilibrium_spectrum(&g, &t, tol, 10_000).unwrap().unwrap();
+        let spectrum = pure_equilibrium_spectrum(&g, &t, tol, 10_000)
+            .unwrap()
+            .unwrap();
         let equilibria = all_pure_nash(&g, &t, tol, 10_000).unwrap();
         assert_eq!(spectrum.count, equilibria.len());
         for ne in &equilibria {
@@ -334,11 +350,8 @@ mod tests {
     fn general_bound_is_never_tighter_than_uniform_bound_on_uniform_games() {
         // For uniform-belief games both bounds apply; Theorem 4.14's bound is
         // the coarser one.
-        let g = EffectiveGame::from_rows(
-            vec![1.0, 2.0],
-            vec![vec![2.0, 2.0], vec![0.5, 0.5]],
-        )
-        .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![2.0, 2.0], vec![0.5, 0.5]]).unwrap();
         assert!(cr_bound_general(&g) >= cr_bound_uniform_beliefs(&g) - 1e-12);
     }
 }

@@ -1,0 +1,682 @@
+//! The unified, parallel solver engine.
+//!
+//! Historically the crate found pure Nash equilibria through a hard-coded
+//! `if`-chain dispatcher. This module replaces that with an explicit
+//! composition: each algorithm is a [`Solver`] that reports its own
+//! [`Applicability`] to an instance, and a [`SolverEngine`] walks an ordered
+//! solver list under shared [`SolverConfig`] budgets, recording
+//! [`SolveTelemetry`] (method tried, iterations, wall time) for every
+//! attempt. Batch workloads go through [`SolverEngine::solve_batch`], which
+//! fans instances out over [`par_exec::parallel_map`]; because every solver
+//! is deterministic and `parallel_map` reassembles outputs by task id, batch
+//! results are **bit-identical for any worker count**. Wall-clock telemetry
+//! is, of course, not deterministic — determinism claims apply to the
+//! returned solutions.
+//!
+//! The legacy entry point
+//! [`solve_pure_nash`](crate::algorithms::solve_pure_nash) survives as a thin
+//! wrapper over an engine in [`SolverEngine::paper_order`], so existing call
+//! sites keep their exact behaviour.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use par_exec::{parallel_map, ParallelConfig};
+
+use crate::algorithms::best_response::{BestResponseDynamics, SelectionRule};
+use crate::algorithms::{symmetric, two_links, uniform, PureNashMethod, PureNashSolution};
+use crate::error::Result;
+use crate::model::EffectiveGame;
+use crate::numeric::Tolerance;
+use crate::solvers::exhaustive;
+use crate::strategy::LinkLoads;
+
+/// How a [`Solver`] relates to a particular instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Applicability {
+    /// Preconditions hold and the solver's answer is conclusive: the paper's
+    /// special-case algorithms always return an equilibrium, and exhaustive
+    /// enumeration within budget decides existence either way.
+    Conclusive,
+    /// The solver can be attempted but may fail within its budget without
+    /// settling anything (best-response dynamics hitting the step limit).
+    Heuristic,
+    /// Preconditions do not hold; the engine skips the solver.
+    NotApplicable,
+}
+
+/// Shared per-solve budgets and numeric tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Comparison tolerance threaded through every equilibrium predicate.
+    pub tol: Tolerance,
+    /// Step budget for best-response dynamics.
+    pub max_steps: usize,
+    /// Defector-selection rule for best-response dynamics.
+    pub rule: SelectionRule,
+    /// Cap on `mⁿ` for exhaustive enumeration.
+    pub profile_limit: u128,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            tol: Tolerance::default(),
+            max_steps: BestResponseDynamics::default().max_steps,
+            rule: SelectionRule::RoundRobin,
+            profile_limit: exhaustive::DEFAULT_PROFILE_LIMIT,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with the given tolerance and default budgets.
+    pub fn with_tol(tol: Tolerance) -> Self {
+        SolverConfig {
+            tol,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+/// The result of one solver attempt: a solution (if any) plus the iteration
+/// count for iterative methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverDetail {
+    /// The equilibrium found, if any.
+    pub solution: Option<PureNashSolution>,
+    /// Iterations performed (best-response moves, profiles enumerated); `None`
+    /// for closed-form constructions.
+    pub iterations: Option<u64>,
+}
+
+/// One pure-Nash algorithm viewed as an engine component.
+///
+/// Implementations must be stateless (or internally synchronised): the engine
+/// shares them across worker threads during [`SolverEngine::solve_batch`].
+pub trait Solver: Send + Sync {
+    /// The method tag this solver reports in solutions and telemetry.
+    fn method(&self) -> PureNashMethod;
+
+    /// Whether this solver applies to `game` from `initial` under `config`.
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Applicability;
+
+    /// Runs the solver, reporting iteration telemetry alongside the solution.
+    ///
+    /// Only called when [`applicability`](Solver::applicability) did not
+    /// return [`Applicability::NotApplicable`].
+    fn solve_detailed(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Result<SolverDetail>;
+
+    /// Runs the solver, returning just the solution.
+    fn solve(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Result<Option<PureNashSolution>> {
+        Ok(self.solve_detailed(game, initial, config)?.solution)
+    }
+}
+
+fn is_zero_initial(initial: &LinkLoads) -> bool {
+    initial.as_slice().iter().all(|&t| t == 0.0)
+}
+
+/// `Atwolinks` (Figure 1): any weights, exactly two links.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoLinks;
+
+impl Solver for TwoLinks {
+    fn method(&self) -> PureNashMethod {
+        PureNashMethod::TwoLinks
+    }
+
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        _initial: &LinkLoads,
+        _config: &SolverConfig,
+    ) -> Applicability {
+        if game.links() == 2 {
+            Applicability::Conclusive
+        } else {
+            Applicability::NotApplicable
+        }
+    }
+
+    fn solve_detailed(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        _config: &SolverConfig,
+    ) -> Result<SolverDetail> {
+        let profile = two_links::solve(game, initial)?;
+        Ok(SolverDetail {
+            solution: Some(PureNashSolution {
+                profile,
+                method: self.method(),
+            }),
+            iterations: None,
+        })
+    }
+}
+
+/// `Asymmetric` (Figure 2): identical weights, any number of links, zero
+/// initial traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Symmetric;
+
+impl Solver for Symmetric {
+    fn method(&self) -> PureNashMethod {
+        PureNashMethod::Symmetric
+    }
+
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Applicability {
+        if is_zero_initial(initial) && game.has_identical_weights(config.tol) {
+            Applicability::Conclusive
+        } else {
+            Applicability::NotApplicable
+        }
+    }
+
+    fn solve_detailed(
+        &self,
+        game: &EffectiveGame,
+        _initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Result<SolverDetail> {
+        let profile = symmetric::solve(game, config.tol)?;
+        Ok(SolverDetail {
+            solution: Some(PureNashSolution {
+                profile,
+                method: self.method(),
+            }),
+            iterations: None,
+        })
+    }
+}
+
+/// `Auniform` (Figure 3): uniform per-user beliefs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformBeliefs;
+
+impl Solver for UniformBeliefs {
+    fn method(&self) -> PureNashMethod {
+        PureNashMethod::UniformBeliefs
+    }
+
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        _initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Applicability {
+        if game.has_uniform_beliefs(config.tol) {
+            Applicability::Conclusive
+        } else {
+            Applicability::NotApplicable
+        }
+    }
+
+    fn solve_detailed(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Result<SolverDetail> {
+        let profile = uniform::solve(game, initial, config.tol)?;
+        Ok(SolverDetail {
+            solution: Some(PureNashSolution {
+                profile,
+                method: self.method(),
+            }),
+            iterations: None,
+        })
+    }
+}
+
+/// Best-response dynamics from the greedy starting profile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestResponse;
+
+impl Solver for BestResponse {
+    fn method(&self) -> PureNashMethod {
+        PureNashMethod::BestResponse
+    }
+
+    fn applicability(
+        &self,
+        _game: &EffectiveGame,
+        _initial: &LinkLoads,
+        _config: &SolverConfig,
+    ) -> Applicability {
+        Applicability::Heuristic
+    }
+
+    fn solve_detailed(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Result<SolverDetail> {
+        let dynamics = BestResponseDynamics {
+            max_steps: config.max_steps,
+            rule: config.rule,
+        };
+        let outcome = dynamics.run_from_greedy(game, initial, config.tol);
+        let iterations = Some(outcome.steps() as u64);
+        let solution = outcome.converged().then(|| PureNashSolution {
+            profile: outcome.profile().clone(),
+            method: self.method(),
+        });
+        Ok(SolverDetail {
+            solution,
+            iterations,
+        })
+    }
+}
+
+/// Exhaustive enumeration of all `mⁿ` pure profiles (conclusive within the
+/// profile budget).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl Solver for Exhaustive {
+    fn method(&self) -> PureNashMethod {
+        PureNashMethod::Exhaustive
+    }
+
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        _initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Applicability {
+        if exhaustive::profile_count(game.users(), game.links()) <= config.profile_limit {
+            Applicability::Conclusive
+        } else {
+            Applicability::NotApplicable
+        }
+    }
+
+    fn solve_detailed(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &SolverConfig,
+    ) -> Result<SolverDetail> {
+        let iterations = Some(
+            exhaustive::profile_count(game.users(), game.links()).min(u64::MAX as u128) as u64,
+        );
+        let all = exhaustive::all_pure_nash(game, initial, config.tol, config.profile_limit)?;
+        let solution = all.into_iter().next().map(|profile| PureNashSolution {
+            profile,
+            method: self.method(),
+        });
+        Ok(SolverDetail {
+            solution,
+            iterations,
+        })
+    }
+}
+
+/// One engine attempt at running a solver, as recorded in telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverAttempt {
+    /// Which solver ran.
+    pub method: PureNashMethod,
+    /// Its applicability classification at the time.
+    pub applicability: Applicability,
+    /// Iterations performed, for iterative methods.
+    pub iterations: Option<u64>,
+    /// Whether it produced an equilibrium.
+    pub found: bool,
+    /// Wall-clock nanoseconds spent inside the solver.
+    pub wall_ns: u64,
+}
+
+/// Telemetry for one [`SolverEngine::solve`] call.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveTelemetry {
+    /// Every solver attempt, in engine order (skipped solvers are omitted).
+    pub attempts: Vec<SolverAttempt>,
+    /// Total wall-clock nanoseconds including engine overhead.
+    pub total_wall_ns: u64,
+}
+
+impl SolveTelemetry {
+    /// The attempt that produced the solution, if any.
+    pub fn winning_attempt(&self) -> Option<&SolverAttempt> {
+        self.attempts.iter().find(|a| a.found)
+    }
+
+    /// Iterations performed by the winning attempt (`None` for closed forms
+    /// or when nothing was found).
+    pub fn winning_iterations(&self) -> Option<u64> {
+        self.winning_attempt().and_then(|a| a.iterations)
+    }
+}
+
+/// A solution (or conclusive/give-up absence of one) plus telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSolution {
+    /// The equilibrium found, if any.
+    pub solution: Option<PureNashSolution>,
+    /// How the engine got there.
+    pub telemetry: SolveTelemetry,
+}
+
+impl EngineSolution {
+    /// The method that produced the solution, if one was found.
+    pub fn method(&self) -> Option<PureNashMethod> {
+        self.solution.as_ref().map(|s| s.method)
+    }
+}
+
+/// An ordered list of [`Solver`]s run under shared budgets, with batch-solving
+/// over a [`par_exec`] worker pool.
+pub struct SolverEngine {
+    solvers: Vec<Box<dyn Solver>>,
+    config: SolverConfig,
+    /// Worker pool for the batch methods; `None` defers to
+    /// `ParallelConfig::from_env()` at batch time, keeping single-solve
+    /// construction free of environment probes.
+    parallel: Option<ParallelConfig>,
+}
+
+impl Default for SolverEngine {
+    fn default() -> Self {
+        SolverEngine::paper_order(SolverConfig::default())
+    }
+}
+
+impl SolverEngine {
+    /// The dispatch order used throughout the paper's evaluation (and by the
+    /// legacy `solve_pure_nash`): the three polynomial special cases, then
+    /// best-response dynamics, then exhaustive enumeration.
+    pub fn paper_order(config: SolverConfig) -> Self {
+        SolverEngine {
+            solvers: vec![
+                Box::new(TwoLinks),
+                Box::new(Symmetric),
+                Box::new(UniformBeliefs),
+                Box::new(BestResponse),
+                Box::new(Exhaustive),
+            ],
+            config,
+            parallel: None,
+        }
+    }
+
+    /// An engine with an explicit solver list.
+    pub fn with_solvers(config: SolverConfig, solvers: Vec<Box<dyn Solver>>) -> Self {
+        SolverEngine {
+            solvers,
+            config,
+            parallel: None,
+        }
+    }
+
+    /// Replaces the worker-pool configuration used by the batch methods
+    /// (which otherwise read `ParallelConfig::from_env()` when first needed).
+    #[must_use]
+    pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// The worker pool the batch methods will use.
+    fn pool(&self) -> ParallelConfig {
+        self.parallel.unwrap_or_else(ParallelConfig::from_env)
+    }
+
+    /// Appends a solver to the end of the strategy list.
+    pub fn push_solver(&mut self, solver: Box<dyn Solver>) {
+        self.solvers.push(solver);
+    }
+
+    /// The shared budgets.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// The methods in engine order (handy for asserting selection order).
+    pub fn methods(&self) -> Vec<PureNashMethod> {
+        self.solvers.iter().map(|s| s.method()).collect()
+    }
+
+    /// The method the engine would try first on `game` (the first applicable
+    /// solver), without running anything.
+    pub fn selected_method(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+    ) -> Option<PureNashMethod> {
+        self.solvers
+            .iter()
+            .find(|s| s.applicability(game, initial, &self.config) != Applicability::NotApplicable)
+            .map(|s| s.method())
+    }
+
+    /// Finds a pure Nash equilibrium of `game` with initial traffic `initial`.
+    ///
+    /// Walks the solver list in order, skipping non-applicable solvers. Stops
+    /// at the first solution, or at the first [`Applicability::Conclusive`]
+    /// solver that reports none (its answer settles non-existence within
+    /// budget). Returns `Ok` with an empty solution when every solver was
+    /// inconclusive — which, under Conjecture 3.7, means the budgets were too
+    /// small, not that no equilibrium exists.
+    pub fn solve(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<EngineSolution> {
+        let start = Instant::now();
+        let mut attempts = Vec::new();
+        for solver in &self.solvers {
+            let applicability = solver.applicability(game, initial, &self.config);
+            if applicability == Applicability::NotApplicable {
+                continue;
+            }
+            let attempt_start = Instant::now();
+            let detail = solver.solve_detailed(game, initial, &self.config)?;
+            attempts.push(SolverAttempt {
+                method: solver.method(),
+                applicability,
+                iterations: detail.iterations,
+                found: detail.solution.is_some(),
+                wall_ns: attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            });
+            let conclusive = applicability == Applicability::Conclusive;
+            if detail.solution.is_some() || conclusive {
+                return Ok(EngineSolution {
+                    solution: detail.solution,
+                    telemetry: SolveTelemetry {
+                        attempts,
+                        total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                    },
+                });
+            }
+        }
+        Ok(EngineSolution {
+            solution: None,
+            telemetry: SolveTelemetry {
+                attempts,
+                total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            },
+        })
+    }
+
+    /// Solves every game in `games` (each from zero initial traffic) over the
+    /// engine's worker pool.
+    ///
+    /// Outputs are indexed like `games`. Solutions are bit-identical for any
+    /// worker count: each task is solved independently by the deterministic
+    /// [`solve`](SolverEngine::solve) and reassembled by task id.
+    pub fn solve_batch(&self, games: &[EffectiveGame]) -> Vec<Result<EngineSolution>> {
+        parallel_map(&self.pool(), games.len(), |task| {
+            let game = &games[task];
+            self.solve(game, &LinkLoads::zero(game.links()))
+        })
+    }
+
+    /// Solves every `(game, initial)` pair over the engine's worker pool, with
+    /// the same determinism guarantee as [`solve_batch`](SolverEngine::solve_batch).
+    pub fn solve_batch_with_initial(
+        &self,
+        items: &[(EffectiveGame, LinkLoads)],
+    ) -> Vec<Result<EngineSolution>> {
+        parallel_map(&self.pool(), items.len(), |task| {
+            let (game, initial) = &items[task];
+            self.solve(game, initial)
+        })
+    }
+
+    /// Generates and solves `count` instances, building each from its task id
+    /// (from zero initial traffic).
+    ///
+    /// This is the deterministic Monte-Carlo workhorse: callers derive a
+    /// per-task RNG from the task id (e.g. `instance_gen::rng(seed, task)`),
+    /// so the sampled games — and therefore the solutions — do not depend on
+    /// the worker count or scheduling.
+    pub fn solve_sampled<G>(
+        &self,
+        count: usize,
+        make: G,
+    ) -> Vec<(EffectiveGame, Result<EngineSolution>)>
+    where
+        G: Fn(u64) -> EffectiveGame + Sync,
+    {
+        parallel_map(&self.pool(), count, |task| {
+            let game = make(task as u64);
+            let result = self.solve(&game, &LinkLoads::zero(game.links()));
+            (game, result)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::is_pure_nash;
+
+    fn general_game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0, 5.0],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+                vec![0.5, 6.0, 2.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_order_matches_the_legacy_dispatcher() {
+        let engine = SolverEngine::default();
+        assert_eq!(
+            engine.methods(),
+            vec![
+                PureNashMethod::TwoLinks,
+                PureNashMethod::Symmetric,
+                PureNashMethod::UniformBeliefs,
+                PureNashMethod::BestResponse,
+                PureNashMethod::Exhaustive,
+            ]
+        );
+    }
+
+    #[test]
+    fn telemetry_records_every_attempt_in_order() {
+        let engine = SolverEngine::default();
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let result = engine.solve(&game, &initial).unwrap();
+        let solution = result
+            .solution
+            .expect("the fixed instance has an equilibrium");
+        assert!(is_pure_nash(
+            &game,
+            &solution.profile,
+            &initial,
+            Tolerance::default()
+        ));
+        // Three links, heterogeneous weights, non-uniform beliefs: the first
+        // applicable solver is best-response dynamics, and it converges.
+        assert_eq!(solution.method, PureNashMethod::BestResponse);
+        let attempts = &result.telemetry.attempts;
+        assert_eq!(attempts.len(), 1);
+        assert_eq!(attempts[0].method, PureNashMethod::BestResponse);
+        assert_eq!(attempts[0].applicability, Applicability::Heuristic);
+        assert!(attempts[0].found);
+        assert!(attempts[0].iterations.is_some());
+    }
+
+    #[test]
+    fn a_stalled_heuristic_falls_through_to_exhaustive() {
+        let config = SolverConfig {
+            max_steps: 0,
+            ..SolverConfig::default()
+        };
+        let engine = SolverEngine::paper_order(config);
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let result = engine.solve(&game, &initial).unwrap();
+        assert_eq!(result.method(), Some(PureNashMethod::Exhaustive));
+        let methods: Vec<_> = result.telemetry.attempts.iter().map(|a| a.method).collect();
+        assert_eq!(
+            methods,
+            vec![PureNashMethod::BestResponse, PureNashMethod::Exhaustive]
+        );
+        assert!(!result.telemetry.attempts[0].found);
+    }
+
+    #[test]
+    fn an_empty_engine_gives_up_gracefully() {
+        let engine = SolverEngine::with_solvers(SolverConfig::default(), Vec::new());
+        let game = general_game();
+        let result = engine.solve(&game, &LinkLoads::zero(3)).unwrap();
+        assert!(result.solution.is_none());
+        assert!(result.telemetry.attempts.is_empty());
+    }
+
+    #[test]
+    fn batch_outputs_are_indexed_like_the_input() {
+        let engine = SolverEngine::default().with_parallelism(ParallelConfig::new(4));
+        let games: Vec<EffectiveGame> = (0..16)
+            .map(|i| {
+                EffectiveGame::from_rows(
+                    vec![1.0 + i as f64, 2.0],
+                    vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+                )
+                .unwrap()
+            })
+            .collect();
+        let results = engine.solve_batch(&games);
+        assert_eq!(results.len(), games.len());
+        for (game, result) in games.iter().zip(&results) {
+            let solution = result.as_ref().unwrap().solution.as_ref().unwrap();
+            assert_eq!(solution.method, PureNashMethod::TwoLinks);
+            assert!(is_pure_nash(
+                game,
+                &solution.profile,
+                &LinkLoads::zero(2),
+                Tolerance::default()
+            ));
+        }
+    }
+}

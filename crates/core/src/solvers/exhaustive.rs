@@ -98,8 +98,9 @@ pub fn social_optimum(
     ensure_within_limit(game, limit)?;
     let mut best: Option<SocialOptimum> = None;
     for_each_profile(game.users(), game.links(), |profile| {
-        let latencies: Vec<f64> =
-            (0..game.users()).map(|i| pure_user_latency(game, profile, initial, i)).collect();
+        let latencies: Vec<f64> = (0..game.users())
+            .map(|i| pure_user_latency(game, profile, initial, i))
+            .collect();
         let sum = stable_sum(&latencies);
         let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
         match &mut best {
@@ -131,11 +132,7 @@ mod tests {
     use super::*;
 
     fn opposed_game() -> EffectiveGame {
-        EffectiveGame::from_rows(
-            vec![1.0, 1.0],
-            vec![vec![10.0, 1.0], vec![1.0, 10.0]],
-        )
-        .unwrap()
+        EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]]).unwrap()
     }
 
     #[test]
@@ -179,8 +176,8 @@ mod tests {
     fn identical_everything_has_two_split_equilibria() {
         // Two identical users, two identical links: both split profiles are NE;
         // the profiles where they share a link are not.
-        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let t = LinkLoads::zero(2);
         let all = all_pure_nash(&g, &t, Tolerance::default(), 1_000).unwrap();
         assert_eq!(all.len(), 2);
@@ -218,8 +215,8 @@ mod tests {
 
     #[test]
     fn initial_traffic_shifts_the_optimum() {
-        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]])
-            .unwrap();
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
         let heavy = LinkLoads::new(vec![10.0, 0.0]).unwrap();
         let opt = social_optimum(&g, &heavy, 1_000).unwrap();
         // With link 0 saturated, the optimum puts both users on link 1.

@@ -1,4 +1,10 @@
-//! Exact solvers used as references for the polynomial-time algorithms and for
-//! the social-optimum denominators of the price of anarchy.
+//! Equilibrium solvers: the exhaustive reference solver and the unified,
+//! parallel [`engine`] that orchestrates every pure-NE algorithm in the crate.
 
+pub mod engine;
 pub mod exhaustive;
+
+pub use engine::{
+    Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
+    SolverDetail, SolverEngine,
+};

@@ -20,7 +20,9 @@ impl PureProfile {
 
     /// A profile assigning every user to link 0.
     pub fn all_on(n: usize, link: usize) -> Self {
-        PureProfile { choices: vec![link; n] }
+        PureProfile {
+            choices: vec![link; n],
+        }
     }
 
     /// Validates the profile against a game (user count and link range).
@@ -33,7 +35,11 @@ impl PureProfile {
         }
         for (user, &link) in self.choices.iter().enumerate() {
             if link >= game.links() {
-                return Err(GameError::LinkOutOfRange { user, link, links: game.links() });
+                return Err(GameError::LinkOutOfRange {
+                    user,
+                    link,
+                    links: game.links(),
+                });
             }
         }
         Ok(())
@@ -104,7 +110,7 @@ impl MixedProfile {
         if probs.len() != users * links {
             return Err(GameError::ProfileDimensionMismatch {
                 expected_users: users,
-                found_users: if links == 0 { 0 } else { probs.len() / links },
+                found_users: probs.len().checked_div(links).unwrap_or(0),
             });
         }
         for (idx, &p) in probs.iter().enumerate() {
@@ -122,7 +128,11 @@ impl MixedProfile {
                 return Err(GameError::InvalidMixedRow { user, sum });
             }
         }
-        Ok(MixedProfile { users, links, probs })
+        Ok(MixedProfile {
+            users,
+            links,
+            probs,
+        })
     }
 
     /// Builds a profile from per-user probability rows.
@@ -149,12 +159,20 @@ impl MixedProfile {
         for user in 0..users {
             probs[user * links + pure.link(user)] = 1.0;
         }
-        MixedProfile { users, links, probs }
+        MixedProfile {
+            users,
+            links,
+            probs,
+        }
     }
 
     /// The uniform fully mixed profile (`pᵢˡ = 1/m` for everyone).
     pub fn uniform(users: usize, links: usize) -> Self {
-        MixedProfile { users, links, probs: vec![1.0 / links as f64; users * links] }
+        MixedProfile {
+            users,
+            links,
+            probs: vec![1.0 / links as f64; users * links],
+        }
     }
 
     /// Number of users `n`.
@@ -255,7 +273,9 @@ impl LinkLoads {
 
     /// Zero initial traffic on `links` links.
     pub fn zero(links: usize) -> Self {
-        LinkLoads { loads: vec![0.0; links] }
+        LinkLoads {
+            loads: vec![0.0; links],
+        }
     }
 
     /// Number of links.
@@ -358,12 +378,8 @@ mod tests {
     #[test]
     fn expected_traffic_matches_hand_computation() {
         let g = game();
-        let p = MixedProfile::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![0.5, 0.5],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let p =
+            MixedProfile::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
         let w = p.expected_traffic(&g);
         assert!((w[0] - 2.0).abs() < 1e-12); // 1*1 + 0.5*2
         assert!((w[1] - 4.0).abs() < 1e-12); // 0.5*2 + 3

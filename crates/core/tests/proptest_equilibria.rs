@@ -25,8 +25,10 @@ fn capacity() -> impl Strategy<Value = f64> {
     0.2f64..5.0
 }
 
-fn general_game(users: impl Strategy<Value = usize>, links: impl Strategy<Value = usize>)
--> impl Strategy<Value = EffectiveGame> {
+fn general_game(
+    users: impl Strategy<Value = usize>,
+    links: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = EffectiveGame> {
     (users, links).prop_flat_map(|(n, m)| {
         let weights = proptest::collection::vec(weight(), n);
         let rows = proptest::collection::vec(proptest::collection::vec(capacity(), m), n);

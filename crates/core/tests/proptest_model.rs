@@ -25,8 +25,7 @@ fn game_strategy() -> impl Strategy<Value = Game> {
     (2usize..=4, 2usize..=3, 1usize..=4).prop_flat_map(|(n, m, s)| {
         let weights = proptest::collection::vec(weight(), n);
         let states = proptest::collection::vec(proptest::collection::vec(capacity(), m), s);
-        let beliefs =
-            proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, s), n);
+        let beliefs = proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, s), n);
         (weights, states, beliefs).prop_map(|(w, rows, raw_beliefs)| {
             let space = StateSpace::from_rows(rows).expect("positive capacities");
             let beliefs = BeliefProfile::new(

@@ -29,7 +29,10 @@ fn general_game(max_users: usize, max_links: usize) -> impl Strategy<Value = Eff
     })
 }
 
-fn uniform_beliefs_game(max_users: usize, max_links: usize) -> impl Strategy<Value = EffectiveGame> {
+fn uniform_beliefs_game(
+    max_users: usize,
+    max_links: usize,
+) -> impl Strategy<Value = EffectiveGame> {
     (2usize..=max_users, 2usize..=max_links).prop_flat_map(|(n, m)| {
         let weights = proptest::collection::vec(weight(), n);
         let caps = proptest::collection::vec(capacity(), n);

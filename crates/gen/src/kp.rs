@@ -36,7 +36,10 @@ impl KpSpec {
 
     /// A default identical-links scenario.
     pub fn identical(users: usize, links: usize) -> Self {
-        KpSpec { identical_links: true, ..KpSpec::related(users, links) }
+        KpSpec {
+            identical_links: true,
+            ..KpSpec::related(users, links)
+        }
     }
 
     /// Generates the KP game.
@@ -54,7 +57,9 @@ impl KpSpec {
             let c = sample_capacity(&self.capacities, rng);
             vec![c; self.links]
         } else {
-            (0..self.links).map(|_| sample_capacity(&self.capacities, rng)).collect()
+            (0..self.links)
+                .map(|_| sample_capacity(&self.capacities, rng))
+                .collect()
         };
         KpGame::new(weights, capacities).expect("spec produces valid KP games")
     }

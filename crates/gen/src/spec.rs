@@ -98,13 +98,12 @@ impl BeliefKind {
     fn sample<R: Rng>(&self, rng: &mut R, states: usize) -> Belief {
         match *self {
             BeliefKind::CompleteInformation => Belief::point_mass(states, 0),
-            BeliefKind::RandomPointMass => {
-                Belief::point_mass(states, rng.gen_range(0..states))
-            }
+            BeliefKind::RandomPointMass => Belief::point_mass(states, rng.gen_range(0..states)),
             BeliefKind::CommonUniform => Belief::uniform(states),
             BeliefKind::IndependentRandom => {
-                let weights: Vec<f64> =
-                    (0..states).map(|_| -rng.gen_range(1e-9..1.0f64).ln()).collect();
+                let weights: Vec<f64> = (0..states)
+                    .map(|_| -rng.gen_range(1e-9..1.0f64).ln())
+                    .collect();
                 Belief::from_weights(&weights).expect("positive weights")
             }
             BeliefKind::NoisyPointMass { sharpness } => {
@@ -158,14 +157,23 @@ impl GameSpec {
 
     /// Generates the full belief-model game for `(self, seed)`.
     pub fn generate<R: Rng>(&self, rng: &mut R) -> Game {
-        assert!(self.users >= 2 && self.links >= 2 && self.states >= 1, "invalid spec");
+        assert!(
+            self.users >= 2 && self.links >= 2 && self.states >= 1,
+            "invalid spec"
+        );
         let weights: Vec<f64> = (0..self.users).map(|_| self.weights.sample(rng)).collect();
         let rows: Vec<Vec<f64>> = (0..self.states)
-            .map(|_| (0..self.links).map(|_| self.capacities.sample(rng)).collect())
+            .map(|_| {
+                (0..self.links)
+                    .map(|_| self.capacities.sample(rng))
+                    .collect()
+            })
             .collect();
         let states = StateSpace::from_rows(rows).expect("positive capacities");
         let beliefs = BeliefProfile::new(
-            (0..self.users).map(|_| self.beliefs.sample(rng, self.states)).collect(),
+            (0..self.users)
+                .map(|_| self.beliefs.sample(rng, self.states))
+                .collect(),
         )
         .expect("consistent beliefs");
         Game::new(weights, states, beliefs).expect("spec produces valid games")
@@ -220,14 +228,24 @@ impl EffectiveSpec {
     /// Generates an effective game according to the specification.
     pub fn generate<R: Rng>(&self, rng: &mut R) -> EffectiveGame {
         match *self {
-            EffectiveSpec::General { users, links, capacity, weights } => {
+            EffectiveSpec::General {
+                users,
+                links,
+                capacity,
+                weights,
+            } => {
                 let w: Vec<f64> = (0..users).map(|_| weights.sample(rng)).collect();
                 let rows: Vec<Vec<f64>> = (0..users)
                     .map(|_| (0..links).map(|_| capacity.sample(rng)).collect())
                     .collect();
                 EffectiveGame::from_rows(w, rows).expect("valid random game")
             }
-            EffectiveSpec::UniformPerUser { users, links, capacity, weights } => {
+            EffectiveSpec::UniformPerUser {
+                users,
+                links,
+                capacity,
+                weights,
+            } => {
                 let w: Vec<f64> = (0..users).map(|_| weights.sample(rng)).collect();
                 let rows: Vec<Vec<f64>> = (0..users)
                     .map(|_| {
@@ -237,7 +255,12 @@ impl EffectiveSpec {
                     .collect();
                 EffectiveGame::from_rows(w, rows).expect("valid random game")
             }
-            EffectiveSpec::UserIndependent { users, links, capacity, weights } => {
+            EffectiveSpec::UserIndependent {
+                users,
+                links,
+                capacity,
+                weights,
+            } => {
                 let w: Vec<f64> = (0..users).map(|_| weights.sample(rng)).collect();
                 let row: Vec<f64> = (0..links).map(|_| capacity.sample(rng)).collect();
                 EffectiveGame::from_rows(w, vec![row; users]).expect("valid random game")
@@ -311,7 +334,10 @@ mod tests {
             users: 4,
             links: 3,
             capacity: CapacityDist::Uniform { lo: 0.5, hi: 5.0 },
-            weights: WeightDist::Skewed { lo: 0.5, doublings: 3.0 },
+            weights: WeightDist::Skewed {
+                lo: 0.5,
+                doublings: 3.0,
+            },
         };
         let eg = spec.generate(&mut rng(3, 2));
         assert!(eg.is_kp_instance(Tolerance::default()));
@@ -323,7 +349,11 @@ mod tests {
         for _ in 0..100 {
             let w = WeightDist::Uniform { lo: 1.0, hi: 2.0 }.sample(&mut r);
             assert!((1.0..=2.0).contains(&w));
-            let s = WeightDist::Skewed { lo: 0.5, doublings: 2.0 }.sample(&mut r);
+            let s = WeightDist::Skewed {
+                lo: 0.5,
+                doublings: 2.0,
+            }
+            .sample(&mut r);
             assert!((0.5..=2.0 + 1e-9).contains(&s));
             assert_eq!(WeightDist::Identical(3.0).sample(&mut r), 3.0);
         }

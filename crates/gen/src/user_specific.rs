@@ -20,7 +20,11 @@ pub struct UserSpecificSpec {
 impl UserSpecificSpec {
     /// The three-player shape used by the Milchtaich counterexample search.
     pub fn milchtaich_shape() -> Self {
-        UserSpecificSpec { weights: vec![1.0, 2.0, 4.0], resources: 3, max_step: 3.0 }
+        UserSpecificSpec {
+            weights: vec![1.0, 2.0, 4.0],
+            resources: 3,
+            max_step: 3.0,
+        }
     }
 
     /// All loads player `i` can observe on a resource it uses.
@@ -84,7 +88,11 @@ mod tests {
 
     #[test]
     fn player_loads_are_the_subset_sums_containing_the_player() {
-        let spec = UserSpecificSpec { weights: vec![1.0, 2.0, 4.0], resources: 3, max_step: 1.0 };
+        let spec = UserSpecificSpec {
+            weights: vec![1.0, 2.0, 4.0],
+            resources: 3,
+            max_step: 1.0,
+        };
         assert_eq!(spec.player_loads(0), vec![1.0, 3.0, 5.0, 7.0]);
         assert_eq!(spec.player_loads(1), vec![2.0, 3.0, 6.0, 7.0]);
         assert_eq!(spec.player_loads(2), vec![4.0, 5.0, 6.0, 7.0]);
@@ -117,6 +125,9 @@ mod tests {
                 with_ne += 1;
             }
         }
-        assert!(with_ne > total / 2, "only {with_ne}/{total} instances had a pure NE");
+        assert!(
+            with_ne > total / 2,
+            "only {with_ne}/{total} instances had a pure NE"
+        );
     }
 }

@@ -21,7 +21,9 @@ impl KpGame {
             return Err(GameError::TooFewUsers { n: weights.len() });
         }
         if capacities.len() < 2 {
-            return Err(GameError::TooFewLinks { m: capacities.len() });
+            return Err(GameError::TooFewLinks {
+                m: capacities.len(),
+            });
         }
         for (user, &w) in weights.iter().enumerate() {
             if !(w.is_finite() && w > 0.0) {
@@ -30,10 +32,17 @@ impl KpGame {
         }
         for (link, &c) in capacities.iter().enumerate() {
             if !(c.is_finite() && c > 0.0) {
-                return Err(GameError::InvalidCapacity { state: 0, link, value: c });
+                return Err(GameError::InvalidCapacity {
+                    state: 0,
+                    link,
+                    value: c,
+                });
             }
         }
-        Ok(KpGame { weights, capacities })
+        Ok(KpGame {
+            weights,
+            capacities,
+        })
     }
 
     /// A game with `n` identical users of unit weight on `m` identical links.
@@ -73,7 +82,9 @@ impl KpGame {
 
     /// Whether all links have the same capacity (the *identical links* case).
     pub fn has_identical_links(&self) -> bool {
-        self.capacities.iter().all(|&c| (c - self.capacities[0]).abs() < 1e-12)
+        self.capacities
+            .iter()
+            .all(|&c| (c - self.capacities[0]).abs() < 1e-12)
     }
 
     /// The uncertainty-model view of the game: a single state, point-mass

@@ -19,7 +19,10 @@ pub fn lpt_assignment(game: &KpGame) -> PureProfile {
     let m = game.links();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        game.weight(b).partial_cmp(&game.weight(a)).expect("finite weights").then(a.cmp(&b))
+        game.weight(b)
+            .partial_cmp(&game.weight(a))
+            .expect("finite weights")
+            .then(a.cmp(&b))
     });
     let mut loads = vec![0.0f64; m];
     let mut assignment = vec![0usize; n];
@@ -58,7 +61,12 @@ pub fn nashify(game: &KpGame, start: PureProfile, max_steps: usize) -> (PureProf
 /// Convenience check that a profile is a pure Nash equilibrium of the KP game.
 pub fn is_kp_pure_nash(game: &KpGame, profile: &PureProfile) -> bool {
     let eg = game.to_effective_game();
-    is_pure_nash(&eg, profile, &LinkLoads::zero(game.links()), Tolerance::default())
+    is_pure_nash(
+        &eg,
+        profile,
+        &LinkLoads::zero(game.links()),
+        Tolerance::default(),
+    )
 }
 
 #[cfg(test)]
@@ -79,7 +87,9 @@ mod tests {
     fn lpt_is_nash_on_related_links() {
         let mut state: u64 = 42;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
         };
         for n in 2..=12 {

@@ -35,16 +35,15 @@ pub fn max_congestion(game: &KpGame, profile: &PureProfile) -> f64 {
 ///
 /// # Errors
 /// Fails when `mⁿ` exceeds `limit`.
-pub fn expected_max_congestion(
-    game: &KpGame,
-    profile: &MixedProfile,
-    limit: u128,
-) -> Result<f64> {
+pub fn expected_max_congestion(game: &KpGame, profile: &MixedProfile, limit: u128) -> Result<f64> {
     let n = game.users();
     let m = game.links();
     let outcomes = (m as u128).saturating_pow(n as u32);
     if outcomes > limit {
-        return Err(GameError::TooLarge { profiles: outcomes, limit });
+        return Err(GameError::TooLarge {
+            profiles: outcomes,
+            limit,
+        });
     }
     let mut total = 0.0;
     let mut choices = vec![0usize; n];
@@ -82,7 +81,10 @@ pub fn social_optimum(game: &KpGame, limit: u128) -> Result<(f64, PureProfile)> 
     let m = game.links();
     let outcomes = (m as u128).saturating_pow(n as u32);
     if outcomes > limit {
-        return Err(GameError::TooLarge { profiles: outcomes, limit });
+        return Err(GameError::TooLarge {
+            profiles: outcomes,
+            limit,
+        });
     }
     let mut best = f64::INFINITY;
     let mut best_profile = PureProfile::all_on(n, 0);
@@ -168,7 +170,9 @@ mod tests {
         let bound = pure_poa_bound_identical_links(2);
         let mut state: u64 = 7;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) + 0.05
         };
         for n in 2..=8 {

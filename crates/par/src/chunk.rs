@@ -40,7 +40,10 @@ pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Chunk> {
     let mut start = 0;
     for i in 0..parts {
         let len = base + usize::from(i < extra);
-        chunks.push(Chunk { start, end: start + len });
+        chunks.push(Chunk {
+            start,
+            end: start + len,
+        });
         start += len;
     }
     debug_assert_eq!(start, total);
@@ -64,7 +67,10 @@ mod tests {
                         covered[i] = true;
                     }
                 }
-                assert!(covered.iter().all(|&b| b), "total {total} parts {parts} left gaps");
+                assert!(
+                    covered.iter().all(|&b| b),
+                    "total {total} parts {parts} left gaps"
+                );
             }
         }
     }

@@ -1,15 +1,17 @@
 //! # par-exec
 //!
-//! A small, dependency-light parallel execution substrate built on
-//! [`crossbeam`] scoped threads, used by the simulation harness and the
-//! benchmark suite to fan Monte-Carlo experiments out over CPU cores.
+//! A small, dependency-free parallel execution substrate built on
+//! [`std::thread::scope`], used by the solver engine, the simulation harness
+//! and the benchmark suite to fan batch solves and Monte-Carlo experiments
+//! out over CPU cores.
 //!
 //! The design goals, in order:
 //!
 //! 1. **Determinism** — results must not depend on the number of worker
-//!    threads. All combinators here produce outputs indexed by task id, and
-//!    the experiment layer derives per-task RNG seeds from the task id, never
-//!    from the worker.
+//!    threads. All combinators here produce outputs indexed by task id
+//!    (reductions fold fixed index batches in order), and the experiment
+//!    layer derives per-task RNG seeds from the task id, never from the
+//!    worker.
 //! 2. **Simplicity** — a scoped fork/join pool with dynamic (atomic-counter)
 //!    work stealing covers every workload in this repository; there is no
 //!    global state and no unsafe code.

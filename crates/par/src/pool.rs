@@ -2,7 +2,9 @@
 
 /// Number of worker threads the current machine can usefully run.
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Configuration shared by all parallel combinators: how many worker threads
@@ -14,14 +16,18 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig { threads: available_parallelism() }
+        ParallelConfig {
+            threads: available_parallelism(),
+        }
     }
 }
 
 impl ParallelConfig {
     /// A configuration with exactly `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
-        ParallelConfig { threads: threads.max(1) }
+        ParallelConfig {
+            threads: threads.max(1),
+        }
     }
 
     /// A sequential configuration (one worker); useful in tests and when
@@ -33,7 +39,10 @@ impl ParallelConfig {
     /// Reads the worker count from the `NETUNCERT_THREADS` environment
     /// variable, falling back to the machine parallelism when unset or invalid.
     pub fn from_env() -> Self {
-        match std::env::var("NETUNCERT_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        match std::env::var("NETUNCERT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
             Some(n) if n >= 1 => ParallelConfig::new(n),
             _ => ParallelConfig::default(),
         }

@@ -3,12 +3,12 @@
 //! Work distribution is dynamic: workers repeatedly claim small batches of
 //! indices from a shared atomic counter, so unevenly sized tasks (e.g. game
 //! instances whose exhaustive solvers differ wildly in cost) balance well.
-//! Outputs are written into slots indexed by task id, so the result never
-//! depends on scheduling.
+//! Outputs are keyed by task id and reassembled in index order, so the result
+//! never depends on scheduling: every combinator here returns bit-identical
+//! output for any worker count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::pool::ParallelConfig;
 
@@ -23,6 +23,18 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_claim(config, total, CLAIM_BATCH, f)
+}
+
+/// [`parallel_map`] with an explicit claim granularity. Callers whose tasks
+/// are already coarse (e.g. the per-batch partials of
+/// [`parallel_map_reduce`]) claim one task at a time so a handful of tasks
+/// still spreads across all workers.
+fn parallel_map_claim<T, F>(config: &ParallelConfig, total: usize, claim: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if total == 0 {
         return Vec::new();
     }
@@ -30,31 +42,40 @@ where
         return (0..total).map(f).collect();
     }
 
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
-    slots.resize_with(total, || None);
-    let slot_cells: Vec<Mutex<&mut Option<T>>> = slots.iter_mut().map(Mutex::new).collect();
     let next = AtomicUsize::new(0);
     let workers = config.threads().min(total);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(total));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let start = next.fetch_add(CLAIM_BATCH, Ordering::Relaxed);
-                if start >= total {
-                    break;
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(claim, Ordering::Relaxed);
+                    if start >= total {
+                        break;
+                    }
+                    let end = (start + claim).min(total);
+                    for i in start..end {
+                        local.push((i, f(i)));
+                    }
                 }
-                let end = (start + CLAIM_BATCH).min(total);
-                for i in start..end {
-                    let value = f(i);
-                    **slot_cells[i].lock() = Some(value);
-                }
+                collected.lock().expect("no worker panicked").extend(local);
             });
         }
-    })
-    .expect("parallel_map worker panicked");
+    });
 
-    drop(slot_cells);
-    slots.into_iter().map(|s| s.expect("every index was claimed exactly once")).collect()
+    let pairs = collected.into_inner().expect("no worker panicked");
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    for (i, value) in pairs {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
 }
 
 /// Applies `f` to every index in `0..total` in parallel, discarding results.
@@ -62,15 +83,16 @@ pub fn parallel_for_each<F>(config: &ParallelConfig, total: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    parallel_map(config, total, |i| f(i));
+    parallel_map(config, total, f);
 }
 
-/// Maps every index through `map` and folds the results with the associative,
-/// commutative operator `reduce`, starting from `identity`.
+/// Maps every index through `map` and folds the results with the associative
+/// operator `reduce`, starting from `identity`.
 ///
-/// `reduce` must be associative and commutative (up to the accuracy the caller
-/// cares about): partial results are combined per worker and then across
-/// workers in an unspecified order.
+/// `identity` must be a true identity of `reduce` and `reduce` must be
+/// associative: partial results are accumulated per fixed-size index batch
+/// and then folded **in batch order**, so — unlike a per-worker fold — the
+/// result is bit-identical for every worker count, including one.
 pub fn parallel_map_reduce<T, M, R>(
     config: &ParallelConfig,
     total: usize,
@@ -86,43 +108,31 @@ where
     if total == 0 {
         return identity;
     }
-    if config.is_sequential() || total == 1 {
-        return (0..total).map(map).fold(identity, reduce);
-    }
 
-    let next = AtomicUsize::new(0);
-    let workers = config.threads().min(total);
-    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(workers));
-
-    crossbeam::thread::scope(|scope| {
-        let next = &next;
-        let partials = &partials;
-        let map = &map;
-        let reduce = &reduce;
-        for _ in 0..workers {
-            let worker_identity = identity.clone();
-            scope.spawn(move |_| {
-                let mut acc = worker_identity;
-                loop {
-                    let start = next.fetch_add(CLAIM_BATCH, Ordering::Relaxed);
-                    if start >= total {
-                        break;
-                    }
-                    let end = (start + CLAIM_BATCH).min(total);
-                    for i in start..end {
-                        acc = reduce(acc, map(i));
-                    }
-                }
-                partials.lock().push(acc);
-            });
-        }
-    })
-    .expect("parallel_map_reduce worker panicked");
-
-    partials.into_inner().into_iter().fold(identity, reduce)
+    // One partial per fixed CLAIM_BATCH-sized index batch — computed with the
+    // same batch boundaries whether the work runs on one thread or many — so
+    // the final in-order fold is independent of the worker count. Each batch
+    // folds from its own first element, keeping `identity` on this thread.
+    let batches = total.div_ceil(CLAIM_BATCH);
+    let batch_fold = |batch: usize| {
+        let start = batch * CLAIM_BATCH;
+        let end = (start + CLAIM_BATCH).min(total);
+        (start + 1..end).map(&map).fold(map(start), &reduce)
+    };
+    let partials = if config.is_sequential() || batches == 1 {
+        (0..batches).map(batch_fold).collect()
+    } else {
+        // Each batch already covers CLAIM_BATCH indices, so workers claim one
+        // batch at a time — nesting the default granularity would serialise
+        // any reduction of ≤ CLAIM_BATCH² tasks onto one worker.
+        parallel_map_claim(config, batches, 1, batch_fold)
+    };
+    partials.into_iter().fold(identity, reduce)
 }
 
-/// Sums `f(i)` over `0..total` in parallel.
+/// Sums `f(i)` over `0..total` in parallel. Like every combinator here, the
+/// result is bit-identical for any worker count (though the batched
+/// summation order differs from a plain sequential sum).
 pub fn parallel_sum<F>(config: &ParallelConfig, total: usize, f: F) -> f64
 where
     F: Fn(usize) -> f64 + Sync,
@@ -156,8 +166,7 @@ mod tests {
     fn map_reduce_matches_sequential_sum() {
         for threads in [1, 2, 4, 16] {
             let cfg = ParallelConfig::new(threads);
-            let total: u64 =
-                parallel_map_reduce(&cfg, 10_000, |i| i as u64, 0, |a, b| a + b);
+            let total: u64 = parallel_map_reduce(&cfg, 10_000, |i| i as u64, 0, |a, b| a + b);
             assert_eq!(total, 49_995_000);
         }
     }
@@ -177,6 +186,19 @@ mod tests {
         let cfg = ParallelConfig::new(8);
         let s = parallel_sum(&cfg, 1000, |i| i as f64);
         assert_eq!(s, 499_500.0);
+    }
+
+    #[test]
+    fn float_sums_are_identical_across_worker_counts() {
+        // Non-associative float addition: the batched fold must still give the
+        // same bits for every worker count.
+        let baseline = parallel_sum(&ParallelConfig::new(2), 997, |i| 1.0 / (i as f64 + 1.0));
+        for threads in [1, 3, 4, 8, 16] {
+            let s = parallel_sum(&ParallelConfig::new(threads), 997, |i| {
+                1.0 / (i as f64 + 1.0)
+            });
+            assert_eq!(s.to_bits(), baseline.to_bits(), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -24,9 +24,16 @@ fn random_skewed_game(seed: u64, stream: u64) -> EffectiveGame {
     let m = r.gen_range(2..=3usize);
     // Heavily skewed weights and capacities widen the asymmetry between users,
     // which is what improvement cycles feed on.
-    let weights: Vec<f64> = (0..n).map(|_| 2.0_f64.powf(r.gen_range(-2.0..3.0))).collect();
-    let rows: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..m).map(|_| 2.0_f64.powf(r.gen_range(-3.0..3.0))).collect()).collect();
+    let weights: Vec<f64> = (0..n)
+        .map(|_| 2.0_f64.powf(r.gen_range(-2.0..3.0)))
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..m)
+                .map(|_| 2.0_f64.powf(r.gen_range(-3.0..3.0)))
+                .collect()
+        })
+        .collect();
     EffectiveGame::from_rows(weights, rows).expect("positive parameters")
 }
 
@@ -50,9 +57,10 @@ fn main() {
                 println!("  {:?}", profile.choices());
             }
             // Confirm the instance still has a pure Nash equilibrium.
-            let has_ne = netuncert_core::solvers::exhaustive::all_pure_nash(&game, &t, tol, 1_000_000)
-                .map(|v| !v.is_empty())
-                .unwrap_or(false);
+            let has_ne =
+                netuncert_core::solvers::exhaustive::all_pure_nash(&game, &t, tol, 1_000_000)
+                    .map(|v| !v.is_empty())
+                    .unwrap_or(false);
             println!("instance still has a pure NE: {has_ne}");
             return;
         }

@@ -18,7 +18,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { samples: ExperimentConfig::default().samples, seed: ExperimentConfig::default().seed, out: None };
+    let mut args = Args {
+        samples: ExperimentConfig::default().samples,
+        seed: ExperimentConfig::default().seed,
+        out: None,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -35,7 +39,9 @@ fn parse_args() -> Args {
                     .expect("--seed requires an integer");
             }
             "--out" => {
-                args.out = Some(PathBuf::from(iter.next().expect("--out requires a directory")));
+                args.out = Some(PathBuf::from(
+                    iter.next().expect("--out requires a directory"),
+                ));
             }
             "--help" | "-h" => {
                 eprintln!("usage: run_experiments [--samples N] [--seed S] [--out DIR]");

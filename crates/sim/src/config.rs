@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::solvers::engine::{SolverConfig, SolverEngine};
 use par_exec::ParallelConfig;
 
 /// Configuration shared by every experiment in the harness.
@@ -34,13 +35,19 @@ impl Default for ExperimentConfig {
 impl ExperimentConfig {
     /// A configuration sized for fast CI runs and unit tests.
     pub fn quick() -> Self {
-        ExperimentConfig { samples: 40, ..ExperimentConfig::default() }
+        ExperimentConfig {
+            samples: 40,
+            ..ExperimentConfig::default()
+        }
     }
 
     /// A configuration sized for the full evaluation reported in
     /// `EXPERIMENTS.md`.
     pub fn full() -> Self {
-        ExperimentConfig { samples: 1_000, ..ExperimentConfig::default() }
+        ExperimentConfig {
+            samples: 1_000,
+            ..ExperimentConfig::default()
+        }
     }
 
     /// The parallel-execution configuration implied by `threads`.
@@ -50,6 +57,21 @@ impl ExperimentConfig {
         } else {
             ParallelConfig::new(self.threads)
         }
+    }
+
+    /// The solver budgets implied by this configuration.
+    pub fn solver_config(&self) -> SolverConfig {
+        SolverConfig {
+            max_steps: self.max_steps,
+            profile_limit: self.profile_limit,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// A paper-order [`SolverEngine`] wired to this configuration's budgets
+    /// and worker pool; experiments route all equilibrium solving through it.
+    pub fn solver_engine(&self) -> SolverEngine {
+        SolverEngine::paper_order(self.solver_config()).with_parallelism(self.parallel())
     }
 }
 
@@ -65,9 +87,15 @@ mod tests {
 
     #[test]
     fn parallel_config_respects_explicit_thread_count() {
-        let cfg = ExperimentConfig { threads: 3, ..Default::default() };
+        let cfg = ExperimentConfig {
+            threads: 3,
+            ..Default::default()
+        };
         assert_eq!(cfg.parallel().threads(), 3);
-        let auto = ExperimentConfig { threads: 0, ..Default::default() };
+        let auto = ExperimentConfig {
+            threads: 0,
+            ..Default::default()
+        };
         assert!(auto.parallel().threads() >= 1);
     }
 }

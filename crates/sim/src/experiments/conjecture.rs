@@ -9,11 +9,8 @@
 //! falling back to exhaustive enumeration when the dynamics stall.
 
 use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
-use netuncert_core::algorithms::best_response::BestResponseDynamics;
-use netuncert_core::numeric::Tolerance;
-use netuncert_core::solvers::exhaustive;
-use netuncert_core::strategy::LinkLoads;
-use par_exec::parallel_map;
+use netuncert_core::algorithms::PureNashMethod;
+use netuncert_core::solvers::engine::{BestResponse, Exhaustive, SolverEngine};
 
 use crate::config::ExperimentConfig;
 use crate::report::{pct, ExperimentOutcome, Table};
@@ -29,16 +26,40 @@ struct Tally {
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
-    vec![(2, 2), (3, 2), (3, 3), (4, 3), (4, 4), (5, 3), (5, 4), (6, 3)]
+    vec![
+        (2, 2),
+        (3, 2),
+        (3, 3),
+        (4, 3),
+        (4, 4),
+        (5, 3),
+        (5, 4),
+        (6, 3),
+    ]
 }
 
 /// Runs the experiment.
 pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
-    let tol = Tolerance::default();
-    let par = config.parallel();
+    // The experiment probes the *general-case* machinery, so the engine runs
+    // best-response dynamics first and exhaustive enumeration as the
+    // conclusive fallback — deliberately without the special-case solvers the
+    // sampled instances would otherwise trigger on two-link grid cells.
+    let engine = SolverEngine::with_solvers(
+        config.solver_config(),
+        vec![Box::new(BestResponse), Box::new(Exhaustive)],
+    )
+    .with_parallelism(config.parallel());
     let mut table = Table::new(
         "Pure NE existence on random general instances",
-        &["n", "m", "instances", "BR converged", "exhaustive only", "no NE found", "avg BR steps"],
+        &[
+            "n",
+            "m",
+            "instances",
+            "BR converged",
+            "exhaustive only",
+            "no NE found",
+            "avg BR steps",
+        ],
     );
     let mut all_have_ne = true;
 
@@ -49,33 +70,28 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             capacity: CapacityDist::Uniform { lo: 0.25, hi: 4.0 },
             weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
         };
-        let results = parallel_map(&par, config.samples, |sample| {
-            let stream = (grid_idx as u64) << 32 | sample as u64;
+        let results = engine.solve_sampled(config.samples, |task| {
+            let stream = (grid_idx as u64) << 32 | task;
             let mut rng = instance_gen::rng(config.seed, stream);
-            let game = spec.generate(&mut rng);
-            let t = LinkLoads::zero(m);
-            let dynamics = BestResponseDynamics { max_steps: config.max_steps, ..Default::default() };
-            let outcome = dynamics.run_from_greedy(&game, &t, tol);
-            if outcome.converged() {
-                (true, false, false, outcome.steps())
-            } else {
-                // Fall back to exhaustive search.
-                let found = exhaustive::all_pure_nash(&game, &t, tol, config.profile_limit)
-                    .map(|all| !all.is_empty())
-                    .unwrap_or(false);
-                (false, found, !found, outcome.steps())
-            }
+            spec.generate(&mut rng)
         });
         let mut tally = Tally::default();
-        for (converged, exhaustive_only, none, steps) in results {
-            if converged {
-                tally.converged += 1;
-            } else if exhaustive_only {
-                tally.exhaustive_only += 1;
-            } else if none {
-                tally.none_found += 1;
+        for (_, result) in results {
+            let solved = result.expect("the engine's solvers are in-budget for the grid");
+            match solved.method() {
+                Some(PureNashMethod::BestResponse) => tally.converged += 1,
+                Some(_) => tally.exhaustive_only += 1,
+                None => tally.none_found += 1,
             }
-            tally.total_steps += steps;
+            // Best-response dynamics always runs first; its move count is the
+            // first attempt's iteration telemetry, converged or not.
+            let br_steps = solved
+                .telemetry
+                .attempts
+                .first()
+                .and_then(|a| a.iterations)
+                .unwrap_or(0);
+            tally.total_steps += br_steps as usize;
         }
         if tally.none_found > 0 {
             all_have_ne = false;
@@ -121,7 +137,11 @@ mod tests {
         config.samples = 10;
         let outcome = run(&config);
         assert_eq!(outcome.id, "E5");
-        assert!(outcome.holds, "conjecture violated on a tiny sample: {}", outcome.observed);
+        assert!(
+            outcome.holds,
+            "conjecture violated on a tiny sample: {}",
+            outcome.observed
+        );
         assert_eq!(outcome.tables[0].rows.len(), size_grid().len());
     }
 }

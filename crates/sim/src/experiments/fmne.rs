@@ -34,7 +34,11 @@ struct Sample {
 fn check_instance(game: &netuncert_core::model::EffectiveGame, tol: Tolerance) -> Sample {
     let candidate = fully_mixed_candidate(game);
     match fully_mixed_nash(game, tol) {
-        None => Sample { exists: false, verified: true, equalised: true },
+        None => Sample {
+            exists: false,
+            verified: true,
+            equalised: true,
+        },
         Some(profile) => {
             let verified = is_fully_mixed_nash(game, &profile, tol);
             // Lemma 4.1: every link's expected latency equals λᵢ.
@@ -46,7 +50,11 @@ fn check_instance(game: &netuncert_core::model::EffectiveGame, tol: Tolerance) -
                     .all(|lat| loose.eq(lat, expected))
                     && loose.eq(candidate.latency(i), expected)
             });
-            Sample { exists: true, verified, equalised }
+            Sample {
+                exists: true,
+                verified,
+                equalised,
+            }
         }
     }
 }
@@ -57,7 +65,14 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
     let par = config.parallel();
     let mut general_table = Table::new(
         "Fully mixed NE on random general instances (Theorem 4.6)",
-        &["n", "m", "instances", "FMNE exists", "verified as NE", "latencies equalised"],
+        &[
+            "n",
+            "m",
+            "instances",
+            "FMNE exists",
+            "verified as NE",
+            "latencies equalised",
+        ],
     );
     let mut all_verified = true;
 
@@ -90,7 +105,13 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
     // Theorem 4.8: uniform user beliefs force pᵢˡ = 1/m.
     let mut uniform_table = Table::new(
         "Uniform user beliefs: FMNE probabilities equal 1/m (Theorem 4.8)",
-        &["n", "m", "instances", "FMNE exists", "all probabilities = 1/m"],
+        &[
+            "n",
+            "m",
+            "instances",
+            "FMNE exists",
+            "all probabilities = 1/m",
+        ],
     );
     let mut uniform_holds = true;
     for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {

@@ -18,7 +18,6 @@
 use instance_gen::kp::KpSpec;
 use instance_gen::{BeliefKind, CapacityDist, GameSpec, WeightDist};
 use kp_model::lpt::{is_kp_pure_nash, lpt_assignment};
-use netuncert_core::algorithms::solve_pure_nash;
 use netuncert_core::equilibrium::{is_fully_mixed_nash, is_pure_nash};
 use netuncert_core::fully_mixed::fully_mixed_nash;
 use netuncert_core::numeric::Tolerance;
@@ -37,6 +36,7 @@ pub fn size_grid() -> Vec<(usize, usize)> {
 pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
     let tol = Tolerance::default();
     let par = config.parallel();
+    let engine = config.solver_engine();
     let mut kp_table = Table::new(
         "Point-mass beliefs collapse to the KP-model",
         &[
@@ -64,9 +64,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             let lpt_ok = is_pure_nash(&eg, &lpt, &t, tol);
 
             // The model's own solver must produce a KP equilibrium.
-            let model_ne = solve_pure_nash(&eg, &t, tol).expect("solver succeeds");
-            let model_ok =
-                model_ne.map(|sol| is_kp_pure_nash(&kp, &sol.profile)).unwrap_or(false);
+            let model_ne = engine.solve(&eg, &t).expect("solver succeeds").solution;
+            let model_ok = model_ne
+                .map(|sol| is_kp_pure_nash(&kp, &sol.profile))
+                .unwrap_or(false);
 
             // Fully mixed equilibria agree (when the closed form is feasible).
             let fmne_ok = match fully_mixed_nash(&eg, tol) {
@@ -78,9 +79,8 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
         let lpt_ok = results.iter().filter(|r| r.0).count();
         let model_ok = results.iter().filter(|r| r.1).count();
         let fmne_ok = results.iter().filter(|r| r.2).count();
-        holds &= lpt_ok == config.samples
-            && model_ok == config.samples
-            && fmne_ok == config.samples;
+        holds &=
+            lpt_ok == config.samples && model_ok == config.samples && fmne_ok == config.samples;
         kp_table.push_row(vec![
             n.to_string(),
             m.to_string(),
@@ -95,7 +95,13 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
     // the true capacities against the one computed under noisy beliefs.
     let mut drift_table = Table::new(
         "Belief noise changes equilibrium assignments",
-        &["n", "m", "instances", "assignment changed", "still a NE under true capacities"],
+        &[
+            "n",
+            "m",
+            "instances",
+            "assignment changed",
+            "still a NE under true capacities",
+        ],
     );
     for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
         let spec = GameSpec {
@@ -120,8 +126,8 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             .expect("valid game")
             .effective_game();
             let t = LinkLoads::zero(m);
-            let noisy_ne = solve_pure_nash(&noisy, &t, tol).expect("solver succeeds");
-            let true_ne = solve_pure_nash(&truth, &t, tol).expect("solver succeeds");
+            let noisy_ne = engine.solve(&noisy, &t).expect("solver succeeds").solution;
+            let true_ne = engine.solve(&truth, &t).expect("solver succeeds").solution;
             match (noisy_ne, true_ne) {
                 (Some(a), Some(b)) => {
                     let changed = a.profile != b.profile;

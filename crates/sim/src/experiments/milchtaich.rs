@@ -52,8 +52,9 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
         let mut rng = instance_gen::rng(config.seed, 0xED_0000_0000 | sample as u64);
         let eg = belief_spec.generate(&mut rng);
         let embedded = from_effective_game(&eg);
-        let core_has =
-            !all_pure_nash(&eg, &LinkLoads::zero(3), tol, config.profile_limit).unwrap().is_empty();
+        let core_has = !all_pure_nash(&eg, &LinkLoads::zero(3), tol, config.profile_limit)
+            .unwrap()
+            .is_empty();
         (core_has, embedded.has_pure_nash())
     });
     let induced_with_ne = induced.iter().filter(|&&(core, _)| core).count();

@@ -42,8 +42,11 @@ fn measure_instance(
 ) -> Sample {
     let tol = Tolerance::default();
     let t = LinkLoads::zero(game.links());
-    let bound =
-        if uniform_beliefs { cr_bound_uniform_beliefs(game) } else { cr_bound_general(game) };
+    let bound = if uniform_beliefs {
+        cr_bound_uniform_beliefs(game)
+    } else {
+        cr_bound_general(game)
+    };
 
     let mut equilibria: Vec<MixedProfile> = all_pure_nash(game, &t, tol, limit)
         .expect("instances sized within the limit")
@@ -63,7 +66,12 @@ fn measure_instance(
         worst_cr2 = worst_cr2.max(report.cr2);
     }
     let violated = worst_cr1 > bound + 1e-6 || worst_cr2 > bound + 1e-6;
-    Sample { worst_cr1, worst_cr2, bound, violated }
+    Sample {
+        worst_cr1,
+        worst_cr2,
+        bound,
+        violated,
+    }
 }
 
 fn run_family(
@@ -75,7 +83,15 @@ fn run_family(
     let par = config.parallel();
     let mut table = Table::new(
         title,
-        &["n", "m", "instances", "max CR1", "max CR2", "min bound", "violations"],
+        &[
+            "n",
+            "m",
+            "instances",
+            "max CR1",
+            "max CR2",
+            "min bound",
+            "violations",
+        ],
     );
     let mut no_violation = true;
     for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
@@ -97,11 +113,18 @@ fn run_family(
         let results = parallel_map(&par, config.samples, |sample| {
             let stream = stream_tag | (grid_idx as u64) << 24 | sample as u64;
             let mut rng = instance_gen::rng(config.seed, stream);
-            measure_instance(&spec.generate(&mut rng), uniform_beliefs, config.profile_limit)
+            measure_instance(
+                &spec.generate(&mut rng),
+                uniform_beliefs,
+                config.profile_limit,
+            )
         });
         let max_cr1 = results.iter().map(|s| s.worst_cr1).fold(0.0f64, f64::max);
         let max_cr2 = results.iter().map(|s| s.worst_cr2).fold(0.0f64, f64::max);
-        let min_bound = results.iter().map(|s| s.bound).fold(f64::INFINITY, f64::min);
+        let min_bound = results
+            .iter()
+            .map(|s| s.bound)
+            .fold(f64::INFINITY, f64::min);
         let violations = results.iter().filter(|s| s.violated).count();
         no_violation &= violations == 0;
         table.push_row(vec![

@@ -61,9 +61,14 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             let violated = exact_potential_violation(&game, &t, tol, config.profile_limit)
                 .expect("instances sized within the limit")
                 .is_some();
-            let graph =
-                GameGraph::build(&game, &t, EdgeKind::BetterResponse, tol, config.profile_limit)
-                    .expect("instances sized within the limit");
+            let graph = GameGraph::build(
+                &game,
+                &t,
+                EdgeKind::BetterResponse,
+                tol,
+                config.profile_limit,
+            )
+            .expect("instances sized within the limit");
             let has_cycle = graph.find_cycle().is_some();
             let has_ne = graph.has_pure_nash();
             (violated, has_cycle, has_ne)

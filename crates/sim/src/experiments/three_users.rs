@@ -28,7 +28,14 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
     let par = config.parallel();
     let mut table = Table::new(
         "Three-user games: best-response cycles and equilibrium counts",
-        &["m", "instances", "with pure NE", "with BR cycle", "min #NE", "max #NE"],
+        &[
+            "m",
+            "instances",
+            "with pure NE",
+            "with BR cycle",
+            "min #NE",
+            "max #NE",
+        ],
     );
     let mut claim_holds = true;
 
@@ -44,8 +51,9 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             let mut rng = instance_gen::rng(config.seed, stream);
             let game = spec.generate(&mut rng);
             let t = LinkLoads::zero(m);
-            let graph = GameGraph::build(&game, &t, EdgeKind::BestResponse, tol, config.profile_limit)
-                .expect("3-user games are small enough to enumerate");
+            let graph =
+                GameGraph::build(&game, &t, EdgeKind::BestResponse, tol, config.profile_limit)
+                    .expect("3-user games are small enough to enumerate");
             let ne_count = graph.pure_nash_profiles().len();
             let has_cycle = graph.find_cycle().is_some();
             (ne_count, has_cycle)

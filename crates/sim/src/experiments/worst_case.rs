@@ -122,7 +122,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
         let sc2_ok = results.iter().filter(|s| s.sc2_max_by_fmne).count();
         let avg_ne = results.iter().map(|s| s.pure_ne_count).sum::<usize>() as f64
             / results.iter().filter(|s| s.fmne_exists).count().max(1) as f64;
-        let max_gap = results.iter().map(|s| s.worst_gap_sc1).fold(0.0f64, f64::max);
+        let max_gap = results
+            .iter()
+            .map(|s| s.worst_gap_sc1)
+            .fold(0.0f64, f64::max);
         holds &= lemma == config.samples && sc1_ok == config.samples && sc2_ok == config.samples;
         table.push_row(vec![
             n.to_string(),

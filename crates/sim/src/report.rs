@@ -26,7 +26,11 @@ impl Table {
 
     /// Appends a row (must match the number of columns).
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row width must match columns");
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
         self.rows.push(cells);
     }
 
@@ -70,7 +74,11 @@ impl ExperimentOutcome {
         out.push_str(&format!("*Observed:* {}\n\n", self.observed));
         out.push_str(&format!(
             "*Verdict:* {}\n\n",
-            if self.holds { "consistent with the paper" } else { "NOT consistent with the paper" }
+            if self.holds {
+                "consistent with the paper"
+            } else {
+                "NOT consistent with the paper"
+            }
         ));
         for table in &self.tables {
             out.push_str(&table.to_markdown());

@@ -47,11 +47,21 @@ mod tests {
 
     #[test]
     fn full_suite_runs_on_a_tiny_configuration() {
-        let config = ExperimentConfig { samples: 4, ..ExperimentConfig::quick() };
+        let config = ExperimentConfig {
+            samples: 4,
+            ..ExperimentConfig::quick()
+        };
         let outcomes = run_all(&config);
         assert_eq!(outcomes.len(), 8);
-        assert!(outcomes.iter().all(|o| o.holds), "failing experiments: {:?}",
-            outcomes.iter().filter(|o| !o.holds).map(|o| o.id.clone()).collect::<Vec<_>>());
+        assert!(
+            outcomes.iter().all(|o| o.holds),
+            "failing experiments: {:?}",
+            outcomes
+                .iter()
+                .filter(|o| !o.holds)
+                .map(|o| o.id.clone())
+                .collect::<Vec<_>>()
+        );
         let md = render_markdown(&outcomes);
         assert!(md.contains("# Experiment report"));
         assert!(md.contains("E5"));

@@ -17,7 +17,11 @@ fn walkthrough() -> Result<()> {
     let t = LinkLoads::zero(2);
 
     let fmne = fully_mixed_nash(&eg, tol).expect("this instance has a fully mixed NE");
-    println!("fully mixed NE:     SC1 = {:.4}, SC2 = {:.4}", sc1(&eg, &fmne), sc2(&eg, &fmne));
+    println!(
+        "fully mixed NE:     SC1 = {:.4}, SC2 = {:.4}",
+        sc1(&eg, &fmne),
+        sc2(&eg, &fmne)
+    );
 
     for (idx, pure) in all_pure_nash(&eg, &t, tol, 10_000)?.iter().enumerate() {
         let mixed = MixedProfile::from_pure(pure, eg.links());
@@ -41,7 +45,10 @@ fn main() -> Result<()> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100usize);
-    let config = ExperimentConfig { samples, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        samples,
+        ..ExperimentConfig::default()
+    };
     println!("== Statistical check on {samples} random instances per size ==\n");
     let outcome = experiments::worst_case::run(&config);
     print!("{}", outcome.to_markdown());

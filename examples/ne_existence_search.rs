@@ -10,7 +10,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200usize);
-    let config = ExperimentConfig { samples, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        samples,
+        ..ExperimentConfig::default()
+    };
 
     println!("Searching for pure Nash equilibria on {samples} random instances per size...\n");
     let outcome = experiments::conjecture::run(&config);
@@ -20,7 +23,9 @@ fn main() {
     print!("{}", three.to_markdown());
 
     if outcome.holds && three.holds {
-        println!("All sampled instances have pure Nash equilibria — consistent with Conjecture 3.7.");
+        println!(
+            "All sampled instances have pure Nash equilibria — consistent with Conjecture 3.7."
+        );
     } else {
         println!("A counterexample candidate was found! Re-run with more samples and inspect it.");
     }

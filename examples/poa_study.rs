@@ -10,7 +10,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100usize);
-    let config = ExperimentConfig { samples, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        samples,
+        ..ExperimentConfig::default()
+    };
 
     println!("Measuring coordination ratios on {samples} instances per size...\n");
     let outcome = experiments::poa::run(&config);

@@ -26,16 +26,29 @@ fn main() -> Result<()> {
     let game = Game::new(weights, states, beliefs)?;
 
     println!("== The game ==");
-    println!("users: {}, links: {}, states: {}", game.users(), game.links(), game.states().len());
+    println!(
+        "users: {}, links: {}, states: {}",
+        game.users(),
+        game.links(),
+        game.states().len()
+    );
 
     // Every algorithm works on the reduced effective game: the per-user,
     // per-link belief-harmonic-mean capacities.
     let eg = game.effective_game();
     println!("\nEffective capacities c_i^l (rows = users):");
     for user in 0..eg.users() {
-        let row: Vec<String> =
-            eg.capacities().row(user).iter().map(|c| format!("{c:.3}")).collect();
-        println!("  user {user} (w = {:.1}): [{}]", eg.weight(user), row.join(", "));
+        let row: Vec<String> = eg
+            .capacities()
+            .row(user)
+            .iter()
+            .map(|c| format!("{c:.3}"))
+            .collect();
+        println!(
+            "  user {user} (w = {:.1}): [{}]",
+            eg.weight(user),
+            row.join(", ")
+        );
     }
 
     // A pure Nash equilibrium via the dispatcher (here: best-response dynamics,
@@ -58,8 +71,7 @@ fn main() -> Result<()> {
     match fully_mixed_nash(&eg, tol) {
         Some(fmne) => {
             for user in 0..eg.users() {
-                let row: Vec<String> =
-                    fmne.row(user).iter().map(|p| format!("{p:.3}")).collect();
+                let row: Vec<String> = fmne.row(user).iter().map(|p| format!("{p:.3}")).collect();
                 println!("  user {user}: [{}]", row.join(", "));
             }
             assert!(is_mixed_nash(&eg, &fmne, tol));
@@ -67,8 +79,14 @@ fn main() -> Result<()> {
             // Social costs and coordination ratios against the exact optimum.
             let report = measure(&eg, &fmne, &initial, 1_000_000)?;
             println!("\n== Social cost of the fully mixed NE ==");
-            println!("  SC1 = {:.3}  (OPT1 = {:.3}, CR1 = {:.3})", report.sc1, report.opt1, report.cr1);
-            println!("  SC2 = {:.3}  (OPT2 = {:.3}, CR2 = {:.3})", report.sc2, report.opt2, report.cr2);
+            println!(
+                "  SC1 = {:.3}  (OPT1 = {:.3}, CR1 = {:.3})",
+                report.sc1, report.opt1, report.cr1
+            );
+            println!(
+                "  SC2 = {:.3}  (OPT2 = {:.3}, CR2 = {:.3})",
+                report.sc2, report.opt2, report.cr2
+            );
             println!("  Theorem 4.14 bound: {:.3}", cr_bound_general(&eg));
         }
         None => println!("  the closed-form candidate is infeasible; no fully mixed NE exists"),
@@ -81,10 +99,16 @@ fn main() -> Result<()> {
     let spectrum = pure_equilibrium_spectrum(&eg, &initial, tol, 1_000_000)?.unwrap();
     println!("\n== Pure equilibria overview ==");
     println!("  pure Nash equilibria: {}", spectrum.count);
-    println!("  SC1 range across equilibria: [{:.3}, {:.3}]", spectrum.best_sc1, spectrum.worst_sc1);
+    println!(
+        "  SC1 range across equilibria: [{:.3}, {:.3}]",
+        spectrum.best_sc1, spectrum.worst_sc1
+    );
     println!("  pure price of anarchy (SC1):  {poa:.3}");
     println!("  pure price of stability (SC1): {pos:.3}");
-    println!("  Theorem 4.14 upper bound:      {:.3}", cr_bound_general(&eg));
+    println!(
+        "  Theorem 4.14 upper bound:      {:.3}",
+        cr_bound_general(&eg)
+    );
 
     Ok(())
 }

@@ -32,8 +32,9 @@ fn scenario() -> Result<()> {
     let eg = game.effective_game();
     let tol = Tolerance::default();
     let t = LinkLoads::zero(3);
-    let uncertain =
-        solve_pure_nash(&eg, &t, tol)?.expect("a pure NE exists").profile;
+    let uncertain = solve_pure_nash(&eg, &t, tol)?
+        .expect("a pure NE exists")
+        .profile;
     println!("optimistic-belief assignment:    {:?}", uncertain.choices());
 
     // Evaluate both assignments against the *true* network.
@@ -60,7 +61,10 @@ fn main() -> Result<()> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(50usize);
-    let config = ExperimentConfig { samples, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        samples,
+        ..ExperimentConfig::default()
+    };
     println!("== Statistical KP-collapse check ({samples} instances per size) ==\n");
     let outcome = experiments::kp_compare::run(&config);
     print!("{}", outcome.to_markdown());

@@ -1,0 +1,25 @@
+//! # netuncert
+//!
+//! Facade over the seven-crate workspace reproducing *Network Uncertainty in
+//! Selfish Routing* (Georgiou, Pavlides, Philippou; IPDPS 2006). Each
+//! subsystem lives in its own crate; this crate re-exports them under short
+//! names so downstream users (and the examples and integration tests at the
+//! workspace root) can depend on one package.
+//!
+//! * [`core`] — model, equilibrium machinery, pure-NE algorithms and the
+//!   [`SolverEngine`](core::solvers::engine::SolverEngine).
+//! * [`gen`] — seeded random-instance generators.
+//! * [`par`] — the deterministic fork/join substrate.
+//! * [`kp`] — the complete-information KP baseline.
+//! * [`congestion`] — Rosenthal/Milchtaich congestion-game substrates.
+//! * [`sim`] — the experiment harness reproducing the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use congestion_games as congestion;
+pub use instance_gen as gen;
+pub use kp_model as kp;
+pub use netuncert_core as core;
+pub use par_exec as par;
+pub use sim_harness as sim;

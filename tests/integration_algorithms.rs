@@ -24,7 +24,10 @@ fn two_links_algorithm_agrees_with_exhaustive_enumeration() {
         assert!(is_pure_nash(&game, &profile, &t, tol), "seed {seed}");
         // The returned equilibrium is one of the exhaustively found equilibria.
         let all = all_pure_nash(&game, &t, tol, 1_000_000).unwrap();
-        assert!(all.contains(&profile), "seed {seed}: solver equilibrium not in reference set");
+        assert!(
+            all.contains(&profile),
+            "seed {seed}: solver equilibrium not in reference set"
+        );
     }
 }
 
@@ -102,7 +105,10 @@ fn best_response_dynamics_converge_on_random_general_games() {
         let t = LinkLoads::zero(4);
         let dynamics = best_response::BestResponseDynamics::default();
         let outcome = dynamics.run_from_greedy(&game, &t, tol);
-        assert!(outcome.converged(), "seed {seed}: dynamics did not converge");
+        assert!(
+            outcome.converged(),
+            "seed {seed}: dynamics did not converge"
+        );
         assert!(is_pure_nash(&game, outcome.profile(), &t, tol));
     }
 }
@@ -176,5 +182,8 @@ fn fully_mixed_equilibria_verify_on_random_games_when_feasible() {
             assert!(is_fully_mixed_nash(&game, &fmne, tol), "seed {seed}");
         }
     }
-    assert!(found > 0, "mild instances should frequently admit a fully mixed NE");
+    assert!(
+        found > 0,
+        "mild instances should frequently admit a fully mixed NE"
+    );
 }

@@ -79,7 +79,10 @@ fn milchtaich_counterexample_is_outside_the_belief_induced_class() {
             .iter()
             .map(|p| p.choices().to_vec())
             .collect();
-        assert!(!core.is_empty(), "seed {seed}: 3-user belief game without pure NE");
+        assert!(
+            !core.is_empty(),
+            "seed {seed}: 3-user belief game without pure NE"
+        );
         assert_eq!(embedded.all_pure_nash(), core, "seed {seed}");
     }
 }
@@ -99,7 +102,11 @@ fn rosenthal_games_always_converge_while_user_specific_games_may_not() {
     // Unweighted universal-cost games: Rosenthal potential guarantees convergence.
     let rosenthal = CongestionGame::new(
         4,
-        vec![vec![1.0, 2.0, 3.0, 4.0], vec![1.5, 2.5, 3.5, 4.5], vec![1.0, 1.0, 5.0, 5.0]],
+        vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.5, 2.5, 3.5, 4.5],
+            vec![1.0, 1.0, 5.0, 5.0],
+        ],
     );
     for start in [vec![0, 0, 0, 0], vec![2, 2, 2, 2], vec![0, 1, 2, 0]] {
         let (profile, _) = rosenthal.converge(start);

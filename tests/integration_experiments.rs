@@ -5,7 +5,11 @@
 use sim_harness::{render_markdown, run_all, runner, ExperimentConfig, ExperimentOutcome};
 
 fn tiny_config() -> ExperimentConfig {
-    ExperimentConfig { samples: 6, threads: 2, ..ExperimentConfig::quick() }
+    ExperimentConfig {
+        samples: 6,
+        threads: 2,
+        ..ExperimentConfig::quick()
+    }
 }
 
 #[test]
@@ -16,7 +20,10 @@ fn the_full_suite_is_consistent_with_the_paper() {
     assert!(
         failing.is_empty(),
         "experiments inconsistent with the paper: {:?}",
-        failing.iter().map(|o| (&o.id, &o.observed)).collect::<Vec<_>>()
+        failing
+            .iter()
+            .map(|o| (&o.id, &o.observed))
+            .collect::<Vec<_>>()
     );
 }
 
@@ -24,7 +31,10 @@ fn the_full_suite_is_consistent_with_the_paper() {
 fn experiment_ids_match_the_design_document() {
     let outcomes = run_all(&tiny_config());
     let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
-    assert_eq!(ids, vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12"]);
+    assert_eq!(
+        ids,
+        vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12"]
+    );
 }
 
 #[test]
@@ -33,8 +43,16 @@ fn reports_render_and_serialise() {
     let md = render_markdown(&outcomes);
     assert!(md.contains("# Experiment report"));
     for outcome in &outcomes {
-        assert!(md.contains(&outcome.id), "markdown missing section {}", outcome.id);
-        assert!(!outcome.tables.is_empty(), "{} carries no tables", outcome.id);
+        assert!(
+            md.contains(&outcome.id),
+            "markdown missing section {}",
+            outcome.id
+        );
+        assert!(
+            !outcome.tables.is_empty(),
+            "{} carries no tables",
+            outcome.id
+        );
     }
     let json = runner::to_json(&outcomes);
     let back: Vec<ExperimentOutcome> = serde_json::from_str(&json).expect("round trip");
@@ -45,9 +63,15 @@ fn reports_render_and_serialise() {
 fn results_are_deterministic_in_the_seed() {
     let a = run_all(&tiny_config());
     let b = run_all(&tiny_config());
-    assert_eq!(a, b, "same seed and sample count must reproduce identical reports");
+    assert_eq!(
+        a, b,
+        "same seed and sample count must reproduce identical reports"
+    );
 
-    let different_seed = ExperimentConfig { seed: 99, ..tiny_config() };
+    let different_seed = ExperimentConfig {
+        seed: 99,
+        ..tiny_config()
+    };
     let c = run_all(&different_seed);
     // Different seed changes the numbers (tables), though claims still hold.
     assert_ne!(a, c);
@@ -56,7 +80,13 @@ fn results_are_deterministic_in_the_seed() {
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let sequential = ExperimentConfig { threads: 1, ..tiny_config() };
-    let parallel = ExperimentConfig { threads: 4, ..tiny_config() };
+    let sequential = ExperimentConfig {
+        threads: 1,
+        ..tiny_config()
+    };
+    let parallel = ExperimentConfig {
+        threads: 4,
+        ..tiny_config()
+    };
     assert_eq!(run_all(&sequential), run_all(&parallel));
 }

@@ -44,8 +44,7 @@ fn effective_reduction_is_exact_on_generated_games() {
 fn generated_point_mass_games_are_kp_instances() {
     let tol = Tolerance::default();
     for seed in 0..10 {
-        let game =
-            spec(4, 3, BeliefKind::CompleteInformation).generate(&mut rng(seed, 1));
+        let game = spec(4, 3, BeliefKind::CompleteInformation).generate(&mut rng(seed, 1));
         assert!(game.is_kp_instance(tol));
         assert!(game.effective_game().is_kp_instance(tol));
     }
@@ -60,8 +59,8 @@ fn common_uniform_beliefs_make_users_agree_but_not_links() {
         // All users share the same row (they hold the same belief)...
         let first = eg.capacities().row(0).to_vec();
         for u in 1..eg.users() {
-            for l in 0..eg.links() {
-                assert!((eg.capacity(u, l) - first[l]).abs() < 1e-12);
+            for (l, &c) in first.iter().enumerate() {
+                assert!((eg.capacity(u, l) - c).abs() < 1e-12);
             }
         }
         // ...which makes it a KP instance even though the capacities differ by link.
@@ -82,8 +81,9 @@ fn mixed_profile_latencies_are_consistent_with_pure_unilateral_moves() {
         for user in 0..4 {
             for link in 0..3 {
                 let mixed_lat = mixed_link_latency(&eg, &mixed, user, link);
-                let pure_lat =
-                    netuncert_core::latency::pure_user_latency_on_link(&eg, &profile, &t, user, link);
+                let pure_lat = netuncert_core::latency::pure_user_latency_on_link(
+                    &eg, &profile, &t, user, link,
+                );
                 assert!((mixed_lat - pure_lat).abs() < 1e-9);
             }
         }

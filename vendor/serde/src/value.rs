@@ -1,0 +1,135 @@
+//! The JSON value model shared by the `serde` and `serde_json` stand-ins.
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+///
+/// Objects preserve insertion order so serialisation is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(Number),
+    /// A JSON string.
+    Str(String),
+    /// `[ ... ]`
+    Array(Vec<Value>),
+    /// `{ ... }` as an ordered key-value list.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in the widest lossless representation available.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer (covers all `u64`/`usize` values exactly).
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered fields, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::PosInt(u)) => Some(*u),
+            Value::Num(Number::Float(f))
+                if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::PosInt(u)) => i64::try_from(*u).ok(),
+            Value::Num(Number::NegInt(i)) => Some(*i),
+            Value::Num(Number::Float(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (integers are widened).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::PosInt(u)) => Some(*u as f64),
+            Value::Num(Number::NegInt(i)) => Some(*i as f64),
+            Value::Num(Number::Float(f)) => Some(*f),
+            // serde_json serialises non-finite floats as null; accept the
+            // round trip.
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced while converting to or from [`Value`], or while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Looks up a field of a JSON object by name (used by derived `Deserialize`).
+pub fn get_field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
