@@ -139,6 +139,7 @@ pub mod prelude {
         cr_bound_general, cr_bound_uniform_beliefs, measure, pure_equilibrium_spectrum,
         pure_poa_and_pos, sc1, sc2, CostReport, EquilibriumSpectrum,
     };
+    pub use crate::solvers::cache::{CacheStats, SolveCache};
     pub use crate::solvers::engine::{
         Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
         SolverEngine,

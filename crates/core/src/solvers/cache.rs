@@ -1,0 +1,290 @@
+//! Content-addressed memoisation for [`SolverEngine::solve`].
+//!
+//! Perturbation-style sweeps re-solve identical effective games constantly:
+//! a study that redraws beliefs around a fixed "true" network solves that
+//! same true network once per perturbed sample. A [`SolveCache`] shortcuts
+//! the repeats. The cache key is the *canonical byte serialisation* of
+//! everything that determines the engine's answer — the solver method list,
+//! the [`SolverConfig`] budgets, the effective game (weights and capacity
+//! matrix bit patterns) and the initial link loads — so a hit is guaranteed
+//! to return exactly what a cold solve would have returned, telemetry
+//! included. Caching therefore never changes results, only skips work.
+//!
+//! The cache is opt-in via [`SolverEngine::with_cache`]; engines without one
+//! behave exactly as before. One cache may be shared (it is `Sync`, handed
+//! around as `Arc<SolveCache>`) across threads and across engines — keys
+//! embed the engine's method list and budgets, so engines with different
+//! strategies never collide.
+//!
+//! [`SolverEngine::solve`]: super::engine::SolverEngine::solve
+//! [`SolverEngine::with_cache`]: super::engine::SolverEngine::with_cache
+//! [`SolverConfig`]: super::engine::SolverConfig
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::algorithms::best_response::SelectionRule;
+use crate::algorithms::PureNashMethod;
+use crate::model::EffectiveGame;
+use crate::solvers::engine::{EngineSolution, SolverConfig};
+use crate::strategy::LinkLoads;
+
+/// Hit/miss counters of a [`SolveCache`], read via [`SolveCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a cold solve.
+    pub misses: u64,
+    /// Distinct solved instances currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Entry cap used by [`SolveCache::new`]; enough for any in-process sweep
+/// while bounding a million-instance, mostly-miss workload to a few GB at
+/// worst. Use [`SolveCache::bounded`] to tighten or loosen it.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A thread-safe memoisation table in front of the engine's solve path.
+///
+/// The table stops growing once `capacity` distinct instances are stored
+/// (new entries are simply not inserted — deterministic, and hits on the
+/// stored prefix keep working). See the [module docs](self) for the key
+/// discipline and guarantees.
+#[derive(Debug)]
+pub struct SolveCache {
+    map: Mutex<HashMap<Vec<u8>, EngineSolution>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        SolveCache::bounded(DEFAULT_CAPACITY)
+    }
+}
+
+impl SolveCache {
+    /// An empty cache holding at most [`DEFAULT_CAPACITY`] entries.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        SolveCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock poisoned").len() as u64,
+        }
+    }
+
+    /// Number of distinct solved instances stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a canonical key, counting the outcome as a hit or a miss.
+    pub(crate) fn lookup(&self, key: &[u8]) -> Option<EngineSolution> {
+        let found = self
+            .map
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a cold solve under its canonical key, unless the cache is at
+    /// capacity (the entry is then dropped; correctness is unaffected).
+    ///
+    /// Two threads may race to insert the same key; both compute the same
+    /// deterministic solution, so either insert is correct.
+    pub(crate) fn insert(&self, key: Vec<u8>, solution: EngineSolution) {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        if map.len() < self.capacity || map.contains_key(&key) {
+            map.insert(key, solution);
+        }
+    }
+}
+
+fn method_tag(method: PureNashMethod) -> u8 {
+    match method {
+        PureNashMethod::TwoLinks => 0,
+        PureNashMethod::Symmetric => 1,
+        PureNashMethod::UniformBeliefs => 2,
+        PureNashMethod::BestResponse => 3,
+        PureNashMethod::Exhaustive => 4,
+    }
+}
+
+fn rule_tag(rule: SelectionRule) -> u8 {
+    match rule {
+        SelectionRule::RoundRobin => 0,
+        SelectionRule::LargestGain => 1,
+    }
+}
+
+/// Builds the canonical cache key for one solve: engine method list, shared
+/// budgets, then the bit patterns of the instance itself.
+pub(crate) fn canonical_key(
+    methods: &[PureNashMethod],
+    config: &SolverConfig,
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+) -> Vec<u8> {
+    let n = game.users();
+    let m = game.links();
+    let mut key = Vec::with_capacity(64 + 8 * (n + n * m + m));
+    key.extend_from_slice(b"netuncert-solve-v1");
+    key.push(methods.len() as u8);
+    key.extend(methods.iter().map(|&mth| method_tag(mth)));
+    key.extend_from_slice(&config.tol.eps().to_bits().to_le_bytes());
+    key.extend_from_slice(&(config.max_steps as u64).to_le_bytes());
+    key.push(rule_tag(config.rule));
+    key.extend_from_slice(&config.profile_limit.to_le_bytes());
+    key.extend_from_slice(&(n as u64).to_le_bytes());
+    key.extend_from_slice(&(m as u64).to_le_bytes());
+    for &w in game.weights() {
+        key.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    for user in 0..n {
+        for &c in game.capacities().row(user) {
+            key.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
+    for &t in initial.as_slice() {
+        key.extend_from_slice(&t.to_bits().to_le_bytes());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keys_separate_games_configs_and_method_lists() {
+        let config = SolverConfig::default();
+        let initial = LinkLoads::zero(3);
+        let methods = vec![PureNashMethod::BestResponse, PureNashMethod::Exhaustive];
+        let base = canonical_key(&methods, &config, &game(), &initial);
+
+        let other_game = EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0 + 1e-12],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+            ],
+        )
+        .unwrap();
+        assert_ne!(
+            base,
+            canonical_key(&methods, &config, &other_game, &initial)
+        );
+
+        let tighter = SolverConfig {
+            max_steps: 7,
+            ..SolverConfig::default()
+        };
+        assert_ne!(base, canonical_key(&methods, &tighter, &game(), &initial));
+
+        let reordered = vec![PureNashMethod::Exhaustive, PureNashMethod::BestResponse];
+        assert_ne!(base, canonical_key(&reordered, &config, &game(), &initial));
+
+        let busy = LinkLoads::new(vec![1.0, 0.0, 0.0]).unwrap();
+        assert_ne!(base, canonical_key(&methods, &config, &game(), &busy));
+
+        assert_eq!(base, canonical_key(&methods, &config, &game(), &initial));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache = SolveCache::new();
+        assert!(cache.is_empty());
+        let key = vec![1u8, 2, 3];
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(
+            key.clone(),
+            EngineSolution {
+                solution: None,
+                telemetry: Default::default(),
+            },
+        );
+        assert!(cache.lookup(&key).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn idle_stats_report_zero_hit_rate() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn a_full_cache_stops_growing_but_keeps_serving_stored_entries() {
+        let cache = SolveCache::bounded(1);
+        let solution = EngineSolution {
+            solution: None,
+            telemetry: Default::default(),
+        };
+        cache.insert(vec![1], solution.clone());
+        cache.insert(vec![2], solution.clone());
+        assert_eq!(cache.len(), 1, "capacity bound must hold");
+        assert!(cache.lookup(&[1]).is_some());
+        assert!(cache.lookup(&[2]).is_none());
+        // Re-inserting a stored key is still allowed at capacity.
+        cache.insert(vec![1], solution);
+        assert_eq!(cache.len(), 1);
+    }
+}

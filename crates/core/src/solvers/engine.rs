@@ -18,6 +18,7 @@
 //! wrapper over an engine in [`SolverEngine::paper_order`], so existing call
 //! sites keep their exact behaviour.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,7 @@ use crate::algorithms::{symmetric, two_links, uniform, PureNashMethod, PureNashS
 use crate::error::Result;
 use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
+use crate::solvers::cache::{self, CacheStats, SolveCache};
 use crate::solvers::exhaustive;
 use crate::strategy::LinkLoads;
 
@@ -374,7 +376,7 @@ impl SolveTelemetry {
 }
 
 /// A solution (or conclusive/give-up absence of one) plus telemetry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineSolution {
     /// The equilibrium found, if any.
     pub solution: Option<PureNashSolution>,
@@ -398,6 +400,9 @@ pub struct SolverEngine {
     /// `ParallelConfig::from_env()` at batch time, keeping single-solve
     /// construction free of environment probes.
     parallel: Option<ParallelConfig>,
+    /// Opt-in memoisation layer ([`SolverEngine::with_cache`]); `None` keeps
+    /// the engine's historical uncached behaviour.
+    cache: Option<Arc<SolveCache>>,
 }
 
 impl Default for SolverEngine {
@@ -421,6 +426,7 @@ impl SolverEngine {
             ],
             config,
             parallel: None,
+            cache: None,
         }
     }
 
@@ -430,6 +436,7 @@ impl SolverEngine {
             solvers,
             config,
             parallel: None,
+            cache: None,
         }
     }
 
@@ -439,6 +446,29 @@ impl SolverEngine {
     pub fn with_parallelism(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = Some(parallel);
         self
+    }
+
+    /// Attaches a content-addressed [`SolveCache`] in front of
+    /// [`solve`](SolverEngine::solve) (and therefore the batch methods too).
+    ///
+    /// Cache keys embed the engine's method list, its budgets and the full
+    /// bit pattern of each instance, so hits return exactly what the cold
+    /// solve returned — results never change, identical instances just stop
+    /// being re-solved. One cache may be shared across engines and threads.
+    ///
+    /// Caveat: two engines whose solver lists report the same
+    /// [`PureNashMethod`] sequence are assumed to behave identically; custom
+    /// [`Solver`] impls that reuse a built-in method tag with different
+    /// semantics must not share a cache with the built-ins.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SolveCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Hit/miss counters of the attached cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// The worker pool the batch methods will use.
@@ -482,7 +512,25 @@ impl SolverEngine {
     /// budget). Returns `Ok` with an empty solution when every solver was
     /// inconclusive — which, under Conjecture 3.7, means the budgets were too
     /// small, not that no equilibrium exists.
+    ///
+    /// With a cache attached ([`with_cache`](SolverEngine::with_cache)),
+    /// repeated solves of a bit-identical instance return the stored
+    /// solution-plus-telemetry instead of re-running the solvers.
     pub fn solve(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<EngineSolution> {
+        let Some(cache) = &self.cache else {
+            return self.solve_cold(game, initial);
+        };
+        let key = cache::canonical_key(&self.methods(), &self.config, game, initial);
+        if let Some(hit) = cache.lookup(&key) {
+            return Ok(hit);
+        }
+        let solved = self.solve_cold(game, initial)?;
+        cache.insert(key, solved.clone());
+        Ok(solved)
+    }
+
+    /// The uncached solve path: walk the solver list, record telemetry.
+    fn solve_cold(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<EngineSolution> {
         let start = Instant::now();
         let mut attempts = Vec::new();
         for solver in &self.solvers {
@@ -652,6 +700,44 @@ mod tests {
         let result = engine.solve(&game, &LinkLoads::zero(3)).unwrap();
         assert!(result.solution.is_none());
         assert!(result.telemetry.attempts.is_empty());
+    }
+
+    #[test]
+    fn cache_hits_return_the_cold_solution_and_telemetry() {
+        let cache = Arc::new(SolveCache::new());
+        let engine = SolverEngine::default().with_cache(Arc::clone(&cache));
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let cold = engine.solve(&game, &initial).unwrap();
+        let hit = engine.solve(&game, &initial).unwrap();
+        assert_eq!(cold, hit, "a hit must reproduce the cold solve exactly");
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // A different initial load is a different instance.
+        let busy = LinkLoads::new(vec![1.0, 0.0, 0.0]).unwrap();
+        engine.solve(&game, &busy).unwrap();
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn engines_with_different_budgets_do_not_share_entries() {
+        let cache = Arc::new(SolveCache::new());
+        let stalled = SolverEngine::paper_order(SolverConfig {
+            max_steps: 0,
+            ..SolverConfig::default()
+        })
+        .with_cache(Arc::clone(&cache));
+        let fresh = SolverEngine::default().with_cache(Arc::clone(&cache));
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let a = stalled.solve(&game, &initial).unwrap();
+        let b = fresh.solve(&game, &initial).unwrap();
+        assert_eq!(a.method(), Some(PureNashMethod::Exhaustive));
+        assert_eq!(b.method(), Some(PureNashMethod::BestResponse));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Equilibrium solvers: the exhaustive reference solver and the unified,
 //! parallel [`engine`] that orchestrates every pure-NE algorithm in the crate.
 
+pub mod cache;
 pub mod engine;
 pub mod exhaustive;
 
+pub use cache::{CacheStats, SolveCache};
 pub use engine::{
     Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
     SolverDetail, SolverEngine,

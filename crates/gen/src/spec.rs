@@ -155,8 +155,8 @@ impl GameSpec {
         }
     }
 
-    /// Generates the full belief-model game for `(self, seed)`.
-    pub fn generate<R: Rng>(&self, rng: &mut R) -> Game {
+    /// Samples the network part: traffics and the state space.
+    fn sample_network<R: Rng>(&self, rng: &mut R) -> (Vec<f64>, StateSpace) {
         assert!(
             self.users >= 2 && self.links >= 2 && self.states >= 1,
             "invalid spec"
@@ -169,19 +169,45 @@ impl GameSpec {
                     .collect()
             })
             .collect();
-        let states = StateSpace::from_rows(rows).expect("positive capacities");
-        let beliefs = BeliefProfile::new(
+        (
+            weights,
+            StateSpace::from_rows(rows).expect("positive capacities"),
+        )
+    }
+
+    /// Samples the per-user belief profile.
+    fn sample_beliefs<R: Rng>(&self, rng: &mut R) -> BeliefProfile {
+        BeliefProfile::new(
             (0..self.users)
                 .map(|_| self.beliefs.sample(rng, self.states))
                 .collect(),
         )
-        .expect("consistent beliefs");
+        .expect("consistent beliefs")
+    }
+
+    /// Generates the full belief-model game for `(self, seed)`.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Game {
+        let (weights, states) = self.sample_network(rng);
+        let beliefs = self.sample_beliefs(rng);
         Game::new(weights, states, beliefs).expect("spec produces valid games")
     }
 
     /// Generates the reduced effective game directly.
     pub fn generate_effective<R: Rng>(&self, rng: &mut R) -> EffectiveGame {
         self.generate(rng).effective_game()
+    }
+
+    /// Generates the *network* part (traffics and state space) from
+    /// `base_rng` and the user beliefs from `belief_rng`.
+    ///
+    /// This is the perturbation-study workhorse: deriving `base_rng` from a
+    /// group id and `belief_rng` from the sample id yields many belief
+    /// perturbations of one bit-identical true network, which is exactly the
+    /// workload an engine-level solve cache shortcuts.
+    pub fn generate_perturbed<R: Rng>(&self, base_rng: &mut R, belief_rng: &mut R) -> Game {
+        let (weights, states) = self.sample_network(base_rng);
+        let beliefs = self.sample_beliefs(belief_rng);
+        Game::new(weights, states, beliefs).expect("spec produces valid games")
     }
 }
 
@@ -283,6 +309,21 @@ mod tests {
         assert_eq!(a, b);
         let c = spec.generate(&mut rng(12, 0));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perturbed_generation_fixes_the_network_and_varies_beliefs() {
+        let spec = GameSpec::default_scenario(4, 3);
+        let a = spec.generate_perturbed(&mut rng(11, 0), &mut rng(11, 100));
+        let b = spec.generate_perturbed(&mut rng(11, 0), &mut rng(11, 101));
+        // Same base stream: identical traffics and state space...
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.states(), b.states());
+        // ...different belief stream: different beliefs (hence effective games).
+        assert_ne!(a.effective_game(), b.effective_game());
+        // Fully deterministic in the pair of streams.
+        let c = spec.generate_perturbed(&mut rng(11, 0), &mut rng(11, 100));
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -48,6 +48,21 @@ impl ParallelConfig {
         }
     }
 
+    /// Resolves an explicit thread-count request: `0` means "machine
+    /// default, read from the environment now" (see
+    /// [`from_env`](ParallelConfig::from_env)); any other value is used
+    /// as-is. Callers that want a stable pool size should resolve once at
+    /// configuration time and keep the result, rather than re-resolving per
+    /// batch — a mid-run environment change must not split one sweep across
+    /// different pool sizes.
+    pub fn resolve(threads: usize) -> Self {
+        if threads == 0 {
+            ParallelConfig::from_env()
+        } else {
+            ParallelConfig::new(threads)
+        }
+    }
+
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
@@ -79,5 +94,11 @@ mod tests {
     #[test]
     fn sequential_constructor() {
         assert!(ParallelConfig::sequential().is_sequential());
+    }
+
+    #[test]
+    fn resolve_maps_zero_to_the_environment_default() {
+        assert_eq!(ParallelConfig::resolve(3), ParallelConfig::new(3));
+        assert!(ParallelConfig::resolve(0).threads() >= 1);
     }
 }

@@ -1,92 +1,283 @@
-//! Runs the full experiment suite and writes the markdown and JSON reports.
+//! Runs the experiment suite — whole, per-experiment, or as one shard of a
+//! distributed sweep — and writes the markdown/JSON reports.
 //!
 //! ```text
-//! cargo run --release -p sim-harness --bin run_experiments -- [--samples N] [--seed S] [--out DIR]
+//! # the classic single-process run
+//! run_experiments [--samples N] [--seed S] [--threads T] [--out DIR]
+//!
+//! # select experiments by registry id (repeatable)
+//! run_experiments --experiment poa --experiment conjecture
+//!
+//! # run one shard of a sweep and write its cell records
+//! run_experiments --shard 0/3 --json shard0.json
+//!
+//! # merge shard record files back into the single-process report
+//! run_experiments --merge shard0.json shard1.json shard2.json --out report/
+//!
+//! # share one content-addressed solve cache across the sweep
+//! run_experiments --cache
 //! ```
 //!
-//! The markdown output is the source of the measured sections of
-//! `EXPERIMENTS.md` at the workspace root.
+//! Shard runs and the merged report are bit-identical to a single-process
+//! run with the same configuration and experiment selection. The markdown
+//! output is the source of the measured sections of `EXPERIMENTS.md` at the
+//! workspace root.
 
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use sim_harness::{render_markdown, runner, ExperimentConfig};
+use sim_harness::sweep::{ShardFile, SweepRunner};
+use sim_harness::{experiments, render_markdown, runner, Experiment, ExperimentConfig, Shard};
 
 struct Args {
     samples: usize,
     seed: u64,
+    threads: usize,
+    experiment_ids: Vec<String>,
+    shard: Shard,
+    cache: bool,
+    json: Option<PathBuf>,
+    merge: Vec<PathBuf>,
     out: Option<PathBuf>,
 }
 
-fn parse_args() -> Args {
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: run_experiments [--samples N] [--seed S] [--threads T]\n\
+         \x20                      [--experiment ID]... [--shard I/K] [--cache]\n\
+         \x20                      [--json FILE] [--merge FILE...] [--out DIR]\n\n\
+         registered experiments:\n",
+    );
+    for experiment in experiments::all() {
+        out.push_str(&format!(
+            "  {:12} {}\n",
+            experiment.id(),
+            experiment.description()
+        ));
+    }
+    out
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         samples: ExperimentConfig::default().samples,
         seed: ExperimentConfig::default().seed,
+        threads: 0,
+        experiment_ids: Vec::new(),
+        shard: Shard::solo(),
+        cache: false,
+        json: None,
+        merge: Vec::new(),
         out: None,
     };
-    let mut iter = std::env::args().skip(1);
+    let mut iter = std::env::args().skip(1).peekable();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--samples" => {
                 args.samples = iter
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--samples requires a positive integer");
+                    .ok_or("--samples requires a positive integer")?;
             }
             "--seed" => {
                 args.seed = iter
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--seed requires an integer");
+                    .ok_or("--seed requires an integer")?;
+            }
+            "--threads" => {
+                args.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads requires an integer (0 = machine default)")?;
+            }
+            "--experiment" => {
+                let id = iter.next().ok_or("--experiment requires a registry id")?;
+                if experiments::find(&id).is_none() {
+                    return Err(format!(
+                        "unknown experiment `{id}`; known ids: {}",
+                        experiments::ids().join(", ")
+                    ));
+                }
+                if args.experiment_ids.contains(&id) {
+                    return Err(format!("experiment `{id}` was selected twice"));
+                }
+                args.experiment_ids.push(id);
+            }
+            "--shard" => {
+                let spec = iter.next().ok_or("--shard requires I/K (e.g. 0/3)")?;
+                args.shard = Shard::parse(&spec)?;
+            }
+            "--cache" => args.cache = true,
+            "--json" => {
+                args.json = Some(PathBuf::from(iter.next().ok_or("--json requires a file")?));
+            }
+            "--merge" => {
+                while iter.peek().is_some_and(|a| !a.starts_with("--")) {
+                    args.merge.push(PathBuf::from(iter.next().expect("peeked")));
+                }
+                if args.merge.is_empty() {
+                    return Err("--merge requires at least one record file".into());
+                }
             }
             "--out" => {
                 args.out = Some(PathBuf::from(
-                    iter.next().expect("--out requires a directory"),
+                    iter.next().ok_or("--out requires a directory")?,
                 ));
             }
             "--help" | "-h" => {
-                eprintln!("usage: run_experiments [--samples N] [--seed S] [--out DIR]");
+                eprintln!("{}", usage());
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
-            }
+            other => return Err(format!("unknown argument: {other}\n\n{}", usage())),
         }
     }
-    args
+    Ok(args)
 }
 
-fn main() {
-    let args = parse_args();
+fn selected_experiments(ids: &[String]) -> Vec<Box<dyn Experiment>> {
+    if ids.is_empty() {
+        experiments::all()
+    } else {
+        ids.iter()
+            .map(|id| experiments::find(id).expect("ids were validated during parsing"))
+            .collect()
+    }
+}
+
+fn write_reports(
+    dir: &PathBuf,
+    markdown: &str,
+    outcomes: &[sim_harness::ExperimentOutcome],
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("create output directory {}: {e}", dir.display()))?;
+    let md_path = dir.join("experiment_report.md");
+    let json_path = dir.join("experiment_report.json");
+    let json =
+        runner::to_json(outcomes).map_err(|e| format!("serialise the JSON report: {e:?}"))?;
+    std::fs::write(&md_path, markdown).map_err(|e| format!("write {}: {e}", md_path.display()))?;
+    std::fs::write(&json_path, json).map_err(|e| format!("write {}: {e}", json_path.display()))?;
+    eprintln!("wrote {} and {}", md_path.display(), json_path.display());
+    Ok(())
+}
+
+fn report_and_exit(
+    outcomes: Vec<sim_harness::ExperimentOutcome>,
+    out: Option<PathBuf>,
+) -> Result<ExitCode, String> {
+    let markdown = render_markdown(&outcomes);
+    println!("{markdown}");
+    if let Some(dir) = out {
+        write_reports(&dir, &markdown, &outcomes)?;
+    }
+    if outcomes.iter().any(|o| !o.holds) {
+        eprintln!("WARNING: at least one experiment is inconsistent with the paper");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
     let config = ExperimentConfig {
         samples: args.samples,
         seed: args.seed,
+        threads: args.threads,
         ..ExperimentConfig::default()
     };
+    let mut sweep =
+        SweepRunner::with_experiments(config, selected_experiments(&args.experiment_ids));
+    if args.cache {
+        sweep = sweep.with_cache();
+    }
+
+    // Merge mode: recombine shard record files into the classic report.
+    if !args.merge.is_empty() {
+        if args.shard.count > 1 || args.json.is_some() || args.cache {
+            return Err(
+                "--merge recombines existing record files and computes nothing; it cannot be \
+                 combined with --shard, --json or --cache"
+                    .into(),
+            );
+        }
+        let mut records = Vec::new();
+        for file in &args.merge {
+            let json = std::fs::read_to_string(file)
+                .map_err(|e| format!("read {}: {e}", file.display()))?;
+            let shard_file = ShardFile::from_json(&json)
+                .map_err(|e| format!("parse {}: {e:?}", file.display()))?;
+            // Shard files are stamped with the configuration that produced
+            // them; merging under a different one would yield a silently
+            // wrong report, so it is a hard error.
+            shard_file
+                .check_config(&config)
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            records.extend(shard_file.records);
+        }
+        eprintln!(
+            "merging {} cell records from {} files",
+            records.len(),
+            args.merge.len()
+        );
+        let outcomes = sweep.merge(&records).map_err(|e| e.to_string())?;
+        return report_and_exit(outcomes, args.out);
+    }
+
+    // A partial sweep cannot be merged alone; the records file is its only
+    // product. Refuse before computing anything so shard work is never
+    // silently discarded.
+    if args.shard.count > 1 && args.json.is_none() {
+        return Err("a sharded run needs --json FILE to store its cell records".into());
+    }
+
     eprintln!(
-        "running the full experiment suite: samples per setting = {}, seed = {:#x}",
-        config.samples, config.seed
+        "running {} of {} cells (shard {}): samples per setting = {}, seed = {:#x}",
+        (0..sweep.task_count())
+            .filter(|&t| args.shard.selects(t as u64))
+            .count(),
+        sweep.task_count(),
+        args.shard,
+        config.samples,
+        config.seed
     );
 
     let start = std::time::Instant::now();
-    let outcomes = runner::run_all(&config);
+    let records = sweep.run_shard(args.shard);
     let elapsed = start.elapsed();
-
-    let markdown = render_markdown(&outcomes);
-    println!("{markdown}");
-    eprintln!("suite finished in {:.1?}", elapsed);
-
-    if let Some(dir) = args.out {
-        std::fs::create_dir_all(&dir).expect("create output directory");
-        let md_path = dir.join("experiment_report.md");
-        let json_path = dir.join("experiment_report.json");
-        std::fs::write(&md_path, &markdown).expect("write markdown report");
-        std::fs::write(&json_path, runner::to_json(&outcomes)).expect("write JSON report");
-        eprintln!("wrote {} and {}", md_path.display(), json_path.display());
+    eprintln!("computed {} cells in {:.1?}", records.len(), elapsed);
+    if let Some(stats) = sweep.cache_stats() {
+        eprintln!(
+            "solve cache: {} hits / {} misses ({:.1}% hit rate, {} entries)",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.entries
+        );
     }
 
-    if outcomes.iter().any(|o| !o.holds) {
-        eprintln!("WARNING: at least one experiment is inconsistent with the paper");
-        std::process::exit(1);
+    if let Some(file) = &args.json {
+        let json = ShardFile::new(&config, records.clone())
+            .to_json()
+            .map_err(|e| format!("serialise the cell records: {e:?}"))?;
+        std::fs::write(file, json).map_err(|e| format!("write {}: {e}", file.display()))?;
+        eprintln!("wrote {} cell records to {}", records.len(), file.display());
+    }
+
+    if args.shard.count > 1 {
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let outcomes = sweep.merge(&records).map_err(|e| e.to_string())?;
+    report_and_exit(outcomes, args.out)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -13,7 +13,8 @@ use netuncert_core::algorithms::PureNashMethod;
 use netuncert_core::solvers::engine::{BestResponse, Exhaustive, SolverEngine};
 
 use crate::config::ExperimentConfig;
-use crate::report::{pct, ExperimentOutcome, Table};
+use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
+use crate::report::{pct, ExperimentOutcome};
 
 /// Per-size tally of how equilibria were found.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,32 +39,52 @@ pub fn size_grid() -> Vec<(usize, usize)> {
     ]
 }
 
-/// Runs the experiment.
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
-    // The experiment probes the *general-case* machinery, so the engine runs
-    // best-response dynamics first and exhaustive enumeration as the
-    // conclusive fallback — deliberately without the special-case solvers the
-    // sampled instances would otherwise trigger on two-link grid cells.
-    let engine = SolverEngine::with_solvers(
-        config.solver_config(),
-        vec![Box::new(BestResponse), Box::new(Exhaustive)],
-    )
-    .with_parallelism(config.parallel());
-    let mut table = Table::new(
-        "Pure NE existence on random general instances",
-        &[
-            "n",
-            "m",
-            "instances",
-            "BR converged",
-            "exhaustive only",
-            "no NE found",
-            "avg BR steps",
-        ],
-    );
-    let mut all_have_ne = true;
+const TABLE: (&str, &[&str]) = (
+    "Pure NE existence on random general instances",
+    &[
+        "n",
+        "m",
+        "instances",
+        "BR converged",
+        "exhaustive only",
+        "no NE found",
+        "avg BR steps",
+    ],
+);
 
-    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
+/// E5 as a registry entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conjecture;
+
+impl Experiment for Conjecture {
+    fn id(&self) -> &'static str {
+        "conjecture"
+    }
+
+    fn description(&self) -> &'static str {
+        "E5 — pure Nash equilibria exist on random general instances (Conjecture 3.7)"
+    }
+
+    fn grid(&self) -> Vec<Cell> {
+        size_grid()
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(idx, 0, format!("n={n} m={m}")))
+            .collect()
+    }
+
+    fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult {
+        let config = ctx.config;
+        // The experiment probes the *general-case* machinery, so the engine
+        // runs best-response dynamics first and exhaustive enumeration as the
+        // conclusive fallback — deliberately without the special-case solvers
+        // the sampled instances would otherwise trigger on two-link grid cells.
+        let engine = ctx.attach(SolverEngine::with_solvers(
+            config.solver_config(),
+            vec![Box::new(BestResponse), Box::new(Exhaustive)],
+        ));
+        let grid_idx = ctx.cell.index;
+        let (n, m) = size_grid()[grid_idx];
         let spec = EffectiveSpec::General {
             users: n,
             links: m,
@@ -93,10 +114,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
                 .unwrap_or(0);
             tally.total_steps += br_steps as usize;
         }
-        if tally.none_found > 0 {
-            all_have_ne = false;
-        }
-        table.push_row(vec![
+
+        let mut out = CellResult::for_cell(self.id(), ctx.cell);
+        out.holds = tally.none_found == 0;
+        out.row = vec![
             n.to_string(),
             m.to_string(),
             config.samples.to_string(),
@@ -104,27 +125,36 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             pct(tally.exhaustive_only, config.samples),
             tally.none_found.to_string(),
             format!("{:.1}", tally.total_steps as f64 / config.samples as f64),
-        ]);
+        ];
+        out
     }
 
-    ExperimentOutcome {
-        id: "E5".into(),
-        name: "Pure Nash equilibrium existence (Conjecture 3.7)".into(),
-        paper_claim: "Simulations on numerous small instances suggest every game has a pure Nash \
-                      equilibrium; the paper conjectures existence in general."
-            .into(),
-        observed: if all_have_ne {
-            "every sampled instance possessed a pure Nash equilibrium (best-response dynamics \
-             converged or exhaustive search found one)"
-                .into()
-        } else {
-            "at least one sampled instance had no pure Nash equilibrium — this would DISPROVE \
-             Conjecture 3.7; inspect the table"
-                .into()
-        },
-        holds: all_have_ne,
-        tables: vec![table],
+    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+        let all_have_ne = cells.iter().all(|c| c.holds);
+        ExperimentOutcome {
+            id: "E5".into(),
+            name: "Pure Nash equilibrium existence (Conjecture 3.7)".into(),
+            paper_claim: "Simulations on numerous small instances suggest every game has a pure \
+                          Nash equilibrium; the paper conjectures existence in general."
+                .into(),
+            observed: if all_have_ne {
+                "every sampled instance possessed a pure Nash equilibrium (best-response dynamics \
+                 converged or exhaustive search found one)"
+                    .into()
+            } else {
+                "at least one sampled instance had no pure Nash equilibrium — this would DISPROVE \
+                 Conjecture 3.7; inspect the table"
+                    .into()
+            },
+            holds: all_have_ne,
+            tables: tables_from_cells(&[TABLE], cells),
+        }
     }
+}
+
+/// Runs the experiment (thin wrapper over the [`Experiment`] impl).
+pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+    crate::experiment::run_experiment(&Conjecture, config)
 }
 
 #[cfg(test)]

@@ -16,12 +16,36 @@ use netuncert_core::numeric::Tolerance;
 use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
-use crate::report::{pct, ExperimentOutcome, Table};
+use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
+use crate::report::{pct, ExperimentOutcome};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
     vec![(2, 2), (3, 3), (4, 2), (4, 4), (6, 3), (8, 4)]
 }
+
+const GENERAL_TABLE: (&str, &[&str]) = (
+    "Fully mixed NE on random general instances (Theorem 4.6)",
+    &[
+        "n",
+        "m",
+        "instances",
+        "FMNE exists",
+        "verified as NE",
+        "latencies equalised",
+    ],
+);
+
+const UNIFORM_TABLE: (&str, &[&str]) = (
+    "Uniform user beliefs: FMNE probabilities equal 1/m (Theorem 4.8)",
+    &[
+        "n",
+        "m",
+        "instances",
+        "FMNE exists",
+        "all probabilities = 1/m",
+    ],
+);
 
 /// Per-instance verification result.
 #[derive(Debug, Clone, Copy)]
@@ -59,109 +83,129 @@ fn check_instance(game: &netuncert_core::model::EffectiveGame, tol: Tolerance) -
     }
 }
 
-/// Runs the experiment.
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
-    let tol = Tolerance::default();
-    let par = config.parallel();
-    let mut general_table = Table::new(
-        "Fully mixed NE on random general instances (Theorem 4.6)",
-        &[
-            "n",
-            "m",
-            "instances",
-            "FMNE exists",
-            "verified as NE",
-            "latencies equalised",
-        ],
-    );
-    let mut all_verified = true;
+/// E7/E8 as a registry entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullyMixed;
 
-    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
-        let spec = EffectiveSpec::General {
-            users: n,
-            links: m,
-            capacity: CapacityDist::Uniform { lo: 0.5, hi: 2.0 },
-            weights: WeightDist::Uniform { lo: 0.5, hi: 2.0 },
-        };
-        let results = parallel_map(&par, config.samples, |sample| {
-            let stream = 0xE7_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
-            let mut rng = instance_gen::rng(config.seed, stream);
-            check_instance(&spec.generate(&mut rng), tol)
-        });
-        let exists = results.iter().filter(|s| s.exists).count();
-        let verified = results.iter().filter(|s| s.verified).count();
-        let equalised = results.iter().filter(|s| s.equalised).count();
-        all_verified &= verified == config.samples && equalised == config.samples;
-        general_table.push_row(vec![
-            n.to_string(),
-            m.to_string(),
-            config.samples.to_string(),
-            pct(exists, config.samples),
-            pct(verified, config.samples),
-            pct(equalised, config.samples),
-        ]);
+impl Experiment for FullyMixed {
+    fn id(&self) -> &'static str {
+        "fmne"
     }
 
-    // Theorem 4.8: uniform user beliefs force pᵢˡ = 1/m.
-    let mut uniform_table = Table::new(
-        "Uniform user beliefs: FMNE probabilities equal 1/m (Theorem 4.8)",
-        &[
-            "n",
-            "m",
-            "instances",
-            "FMNE exists",
-            "all probabilities = 1/m",
-        ],
-    );
-    let mut uniform_holds = true;
-    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
-        let spec = EffectiveSpec::UniformPerUser {
-            users: n,
-            links: m,
-            capacity: CapacityDist::Uniform { lo: 0.25, hi: 4.0 },
-            weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
-        };
-        let results = parallel_map(&par, config.samples, |sample| {
-            let stream = 0xE8_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
-            let mut rng = instance_gen::rng(config.seed, stream);
-            let game = spec.generate(&mut rng);
-            match fully_mixed_nash(&game, tol) {
-                None => (false, false),
-                Some(profile) => {
-                    let expected = 1.0 / m as f64;
-                    let uniform = (0..n)
-                        .all(|i| (0..m).all(|l| (profile.prob(i, l) - expected).abs() < 1e-9));
-                    (true, uniform)
+    fn description(&self) -> &'static str {
+        "E7/E8 — closed-form fully mixed NE and the uniform-beliefs 1/m law (Thms 4.6/4.8)"
+    }
+
+    fn grid(&self) -> Vec<Cell> {
+        let sizes = size_grid();
+        let general = sizes
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(idx, 0, format!("general n={n} m={m}")));
+        let uniform = sizes
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(sizes.len() + idx, 1, format!("uniform n={n} m={m}")));
+        general.chain(uniform).collect()
+    }
+
+    fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult {
+        let config = ctx.config;
+        let tol = Tolerance::default();
+        let sizes = size_grid();
+        let mut out = CellResult::for_cell(self.id(), ctx.cell);
+
+        if ctx.cell.table == 0 {
+            // Theorem 4.6 on general instances.
+            let grid_idx = ctx.cell.index;
+            let (n, m) = sizes[grid_idx];
+            let spec = EffectiveSpec::General {
+                users: n,
+                links: m,
+                capacity: CapacityDist::Uniform { lo: 0.5, hi: 2.0 },
+                weights: WeightDist::Uniform { lo: 0.5, hi: 2.0 },
+            };
+            let results = parallel_map(&ctx.parallel, config.samples, |sample| {
+                let stream = 0xE7_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
+                let mut rng = instance_gen::rng(config.seed, stream);
+                check_instance(&spec.generate(&mut rng), tol)
+            });
+            let exists = results.iter().filter(|s| s.exists).count();
+            let verified = results.iter().filter(|s| s.verified).count();
+            let equalised = results.iter().filter(|s| s.equalised).count();
+            out.holds = verified == config.samples && equalised == config.samples;
+            out.row = vec![
+                n.to_string(),
+                m.to_string(),
+                config.samples.to_string(),
+                pct(exists, config.samples),
+                pct(verified, config.samples),
+                pct(equalised, config.samples),
+            ];
+        } else {
+            // Theorem 4.8: uniform user beliefs force pᵢˡ = 1/m.
+            let grid_idx = ctx.cell.index - sizes.len();
+            let (n, m) = sizes[grid_idx];
+            let spec = EffectiveSpec::UniformPerUser {
+                users: n,
+                links: m,
+                capacity: CapacityDist::Uniform { lo: 0.25, hi: 4.0 },
+                weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+            };
+            let results = parallel_map(&ctx.parallel, config.samples, |sample| {
+                let stream = 0xE8_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
+                let mut rng = instance_gen::rng(config.seed, stream);
+                let game = spec.generate(&mut rng);
+                match fully_mixed_nash(&game, tol) {
+                    None => (false, false),
+                    Some(profile) => {
+                        let expected = 1.0 / m as f64;
+                        let uniform = (0..n)
+                            .all(|i| (0..m).all(|l| (profile.prob(i, l) - expected).abs() < 1e-9));
+                        (true, uniform)
+                    }
                 }
-            }
-        });
-        let exists = results.iter().filter(|r| r.0).count();
-        let uniform = results.iter().filter(|r| r.1).count();
-        // Theorem 4.8 asserts both existence and the 1/m form under uniform beliefs.
-        uniform_holds &= exists == config.samples && uniform == config.samples;
-        uniform_table.push_row(vec![
-            n.to_string(),
-            m.to_string(),
-            config.samples.to_string(),
-            pct(exists, config.samples),
-            pct(uniform, config.samples),
-        ]);
+            });
+            let exists = results.iter().filter(|r| r.0).count();
+            let uniform = results.iter().filter(|r| r.1).count();
+            // Theorem 4.8 asserts both existence and the 1/m form under
+            // uniform beliefs.
+            out.holds = exists == config.samples && uniform == config.samples;
+            out.row = vec![
+                n.to_string(),
+                m.to_string(),
+                config.samples.to_string(),
+                pct(exists, config.samples),
+                pct(uniform, config.samples),
+            ];
+        }
+        out
     }
 
-    ExperimentOutcome {
-        id: "E7/E8".into(),
-        name: "Fully mixed Nash equilibria: closed form, uniqueness, uniform beliefs".into(),
-        paper_claim: "The closed-form probabilities of Theorem 4.6 characterise the unique fully \
-                      mixed NE whenever they lie in (0,1); in the FMNE every link gives user i \
-                      latency λᵢ of Lemma 4.1; under uniform user beliefs all probabilities are 1/m."
-            .into(),
-        observed: format!(
-            "every feasible candidate verified as a fully mixed NE with equalised latencies \
-             ({all_verified}); uniform-beliefs instances matched the 1/m law ({uniform_holds})"
-        ),
-        holds: all_verified && uniform_holds,
-        tables: vec![general_table, uniform_table],
+    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+        let all_verified = cells.iter().filter(|c| c.table == 0).all(|c| c.holds);
+        let uniform_holds = cells.iter().filter(|c| c.table == 1).all(|c| c.holds);
+        ExperimentOutcome {
+            id: "E7/E8".into(),
+            name: "Fully mixed Nash equilibria: closed form, uniqueness, uniform beliefs".into(),
+            paper_claim: "The closed-form probabilities of Theorem 4.6 characterise the unique \
+                          fully mixed NE whenever they lie in (0,1); in the FMNE every link gives \
+                          user i latency λᵢ of Lemma 4.1; under uniform user beliefs all \
+                          probabilities are 1/m."
+                .into(),
+            observed: format!(
+                "every feasible candidate verified as a fully mixed NE with equalised latencies \
+                 ({all_verified}); uniform-beliefs instances matched the 1/m law ({uniform_holds})"
+            ),
+            holds: all_verified && uniform_holds,
+            tables: tables_from_cells(&[GENERAL_TABLE, UNIFORM_TABLE], cells),
+        }
     }
+}
+
+/// Runs the experiment (thin wrapper over the [`Experiment`] impl).
+pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+    crate::experiment::run_experiment(&FullyMixed, config)
 }
 
 #[cfg(test)]
@@ -175,5 +219,13 @@ mod tests {
         let outcome = run(&config);
         assert!(outcome.holds, "{}", outcome.observed);
         assert_eq!(outcome.tables.len(), 2);
+    }
+
+    #[test]
+    fn grid_spans_both_tables() {
+        let grid = FullyMixed.grid();
+        assert_eq!(grid.len(), 2 * size_grid().len());
+        assert!(grid.iter().take(size_grid().len()).all(|c| c.table == 0));
+        assert!(grid.iter().skip(size_grid().len()).all(|c| c.table == 1));
     }
 }

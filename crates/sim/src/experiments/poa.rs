@@ -19,12 +19,39 @@ use netuncert_core::strategy::{LinkLoads, MixedProfile};
 use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
-use crate::report::{fmt, ExperimentOutcome, Table};
+use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
+use crate::report::{fmt, ExperimentOutcome};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
     vec![(2, 2), (3, 2), (3, 3), (4, 3), (5, 3)]
 }
+
+const UNIFORM_TABLE: (&str, &[&str]) = (
+    "Uniform user beliefs vs. the Theorem 4.13 bound (cmax/cmin)·(m+n−1)/m",
+    &[
+        "n",
+        "m",
+        "instances",
+        "max CR1",
+        "max CR2",
+        "min bound",
+        "violations",
+    ],
+);
+
+const GENERAL_TABLE: (&str, &[&str]) = (
+    "General instances vs. the Theorem 4.14 bound (cmax²/cmin)·(m+n−1)/Σ cmin^j",
+    &[
+        "n",
+        "m",
+        "instances",
+        "max CR1",
+        "max CR2",
+        "min bound",
+        "violations",
+    ],
+);
 
 /// Worst-equilibrium measurement of one instance.
 #[derive(Debug, Clone, Copy)]
@@ -74,27 +101,47 @@ fn measure_instance(
     }
 }
 
-fn run_family(
-    config: &ExperimentConfig,
-    uniform_beliefs: bool,
-    title: &str,
-    stream_tag: u64,
-) -> (Table, bool) {
-    let par = config.parallel();
-    let mut table = Table::new(
-        title,
-        &[
-            "n",
-            "m",
-            "instances",
-            "max CR1",
-            "max CR2",
-            "min bound",
-            "violations",
-        ],
-    );
-    let mut no_violation = true;
-    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
+/// E10 as a registry entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriceOfAnarchy;
+
+impl Experiment for PriceOfAnarchy {
+    fn id(&self) -> &'static str {
+        "poa"
+    }
+
+    fn description(&self) -> &'static str {
+        "E10 — coordination ratios stay below the paper's bounds (Thms 4.13/4.14)"
+    }
+
+    fn grid(&self) -> Vec<Cell> {
+        let sizes = size_grid();
+        let uniform = sizes
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(idx, 0, format!("uniform n={n} m={m}")));
+        let general = sizes
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(sizes.len() + idx, 1, format!("general n={n} m={m}")));
+        uniform.chain(general).collect()
+    }
+
+    fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult {
+        let config = ctx.config;
+        let sizes = size_grid();
+        let uniform_beliefs = ctx.cell.table == 0;
+        let grid_idx = if uniform_beliefs {
+            ctx.cell.index
+        } else {
+            ctx.cell.index - sizes.len()
+        };
+        let stream_tag: u64 = if uniform_beliefs {
+            0xEA_0000_0000
+        } else {
+            0xEB_0000_0000
+        };
+        let (n, m) = sizes[grid_idx];
         let spec = if uniform_beliefs {
             EffectiveSpec::UniformPerUser {
                 users: n,
@@ -110,7 +157,7 @@ fn run_family(
                 weights: WeightDist::Uniform { lo: 0.5, hi: 2.0 },
             }
         };
-        let results = parallel_map(&par, config.samples, |sample| {
+        let results = parallel_map(&ctx.parallel, config.samples, |sample| {
             let stream = stream_tag | (grid_idx as u64) << 24 | sample as u64;
             let mut rng = instance_gen::rng(config.seed, stream);
             measure_instance(
@@ -126,8 +173,10 @@ fn run_family(
             .map(|s| s.bound)
             .fold(f64::INFINITY, f64::min);
         let violations = results.iter().filter(|s| s.violated).count();
-        no_violation &= violations == 0;
-        table.push_row(vec![
+
+        let mut out = CellResult::for_cell(self.id(), ctx.cell);
+        out.holds = violations == 0;
+        out.row = vec![
             n.to_string(),
             m.to_string(),
             config.samples.to_string(),
@@ -135,44 +184,35 @@ fn run_family(
             fmt(max_cr2),
             fmt(min_bound),
             violations.to_string(),
-        ]);
+        ];
+        out
     }
-    (table, no_violation)
+
+    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+        let holds = cells.iter().all(|c| c.holds);
+        ExperimentOutcome {
+            id: "E10".into(),
+            name: "Price of anarchy against the paper's upper bounds (Thms 4.13/4.14)".into(),
+            paper_claim: "SCᵢ/OPTᵢ ≤ (cmax/cmin)(m+n−1)/m under uniform beliefs, and \
+                          SCᵢ/OPTᵢ ≤ (cmax²/cmin)(m+n−1)/Σⱼcⱼmin in general; the paper expects \
+                          the bounds to be loose."
+                .into(),
+            observed: if holds {
+                "no sampled equilibrium exceeded its bound; observed ratios stay well below the \
+                 bounds, consistent with the paper's remark that the bounds are probably not tight"
+                    .into()
+            } else {
+                "a sampled equilibrium exceeded the claimed bound — inspect the table".into()
+            },
+            holds,
+            tables: tables_from_cells(&[UNIFORM_TABLE, GENERAL_TABLE], cells),
+        }
+    }
 }
 
-/// Runs the experiment.
+/// Runs the experiment (thin wrapper over the [`Experiment`] impl).
 pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
-    let (uniform_table, uniform_ok) = run_family(
-        config,
-        true,
-        "Uniform user beliefs vs. the Theorem 4.13 bound (cmax/cmin)·(m+n−1)/m",
-        0xEA_0000_0000,
-    );
-    let (general_table, general_ok) = run_family(
-        config,
-        false,
-        "General instances vs. the Theorem 4.14 bound (cmax²/cmin)·(m+n−1)/Σ cmin^j",
-        0xEB_0000_0000,
-    );
-    let holds = uniform_ok && general_ok;
-
-    ExperimentOutcome {
-        id: "E10".into(),
-        name: "Price of anarchy against the paper's upper bounds (Thms 4.13/4.14)".into(),
-        paper_claim: "SCᵢ/OPTᵢ ≤ (cmax/cmin)(m+n−1)/m under uniform beliefs, and \
-                      SCᵢ/OPTᵢ ≤ (cmax²/cmin)(m+n−1)/Σⱼcⱼmin in general; the paper expects the \
-                      bounds to be loose."
-            .into(),
-        observed: if holds {
-            "no sampled equilibrium exceeded its bound; observed ratios stay well below the \
-             bounds, consistent with the paper's remark that the bounds are probably not tight"
-                .into()
-        } else {
-            "a sampled equilibrium exceeded the claimed bound — inspect the table".into()
-        },
-        holds,
-        tables: vec![uniform_table, general_table],
-    }
+    crate::experiment::run_experiment(&PriceOfAnarchy, config)
 }
 
 #[cfg(test)]

@@ -20,40 +20,59 @@ use netuncert_core::strategy::LinkLoads;
 use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
-use crate::report::{pct, ExperimentOutcome, Table};
+use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
+use crate::report::{pct, ExperimentOutcome};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
     vec![(2, 2), (3, 2), (3, 3), (4, 3)]
 }
 
-/// Runs the experiment.
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
-    let tol = Tolerance::default();
-    let par = config.parallel();
-    let mut table = Table::new(
-        "Potential-function structure of random instances",
-        &[
-            "n",
-            "m",
-            "instances",
-            "exact potential violated",
-            "improvement cycle found",
-            "still has pure NE",
-        ],
-    );
-    let mut any_violation = false;
-    let mut any_cycle = false;
-    let mut all_have_ne = true;
+const TABLE: (&str, &[&str]) = (
+    "Potential-function structure of random instances",
+    &[
+        "n",
+        "m",
+        "instances",
+        "exact potential violated",
+        "improvement cycle found",
+        "still has pure NE",
+    ],
+);
 
-    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
+/// E6 as a registry entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Potential;
+
+impl Experiment for Potential {
+    fn id(&self) -> &'static str {
+        "potential"
+    }
+
+    fn description(&self) -> &'static str {
+        "E6 — the game admits no exact or ordinal potential function (Section 3.2)"
+    }
+
+    fn grid(&self) -> Vec<Cell> {
+        size_grid()
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(idx, 0, format!("n={n} m={m}")))
+            .collect()
+    }
+
+    fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult {
+        let config = ctx.config;
+        let tol = Tolerance::default();
+        let grid_idx = ctx.cell.index;
+        let (n, m) = size_grid()[grid_idx];
         let spec = EffectiveSpec::General {
             users: n,
             links: m,
             capacity: CapacityDist::Uniform { lo: 0.25, hi: 4.0 },
             weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
         };
-        let results = parallel_map(&par, config.samples, |sample| {
+        let results = parallel_map(&ctx.parallel, config.samples, |sample| {
             let stream = 0xE6_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
             let mut rng = instance_gen::rng(config.seed, stream);
             let game = spec.generate(&mut rng);
@@ -76,37 +95,56 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
         let violated = results.iter().filter(|r| r.0).count();
         let cycles = results.iter().filter(|r| r.1).count();
         let with_ne = results.iter().filter(|r| r.2).count();
-        any_violation |= violated > 0;
-        any_cycle |= cycles > 0;
-        all_have_ne &= with_ne == config.samples;
-        table.push_row(vec![
+
+        let mut out = CellResult::for_cell(self.id(), ctx.cell);
+        out.holds = with_ne == config.samples;
+        out.push_metric("violations", violated as f64);
+        out.push_metric("cycles", cycles as f64);
+        out.row = vec![
             n.to_string(),
             m.to_string(),
             config.samples.to_string(),
             pct(violated, config.samples),
             pct(cycles, config.samples),
             pct(with_ne, config.samples),
-        ]);
+        ];
+        out
     }
 
-    // The paper's two observations: no exact potential, and (for some
-    // instance) an improvement cycle. Pure NE nonetheless exist everywhere.
-    let holds = any_violation && all_have_ne;
+    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+        let any_violation = cells
+            .iter()
+            .any(|c| c.metric("violations").unwrap_or(0.0) > 0.0);
+        let any_cycle = cells
+            .iter()
+            .any(|c| c.metric("cycles").unwrap_or(0.0) > 0.0);
+        let all_have_ne = cells.iter().all(|c| c.holds);
+        // The paper's two observations: no exact potential, and (for some
+        // instance) an improvement cycle. Pure NE nonetheless exist everywhere.
+        let holds = any_violation && all_have_ne;
 
-    ExperimentOutcome {
-        id: "E6".into(),
-        name: "The game is not an (exact or ordinal) potential game (Section 3.2)".into(),
-        paper_claim: "The game does not admit an exact potential function, and some instance's \
-                      state space contains an improvement cycle; potential-function arguments \
-                      therefore cannot settle Conjecture 3.7, yet pure NE still appear to exist."
-            .into(),
-        observed: format!(
-            "exact-potential violations found: {any_violation}; improvement cycles found: \
-             {any_cycle}; every sampled instance still had a pure Nash equilibrium: {all_have_ne}"
-        ),
-        holds,
-        tables: vec![table],
+        ExperimentOutcome {
+            id: "E6".into(),
+            name: "The game is not an (exact or ordinal) potential game (Section 3.2)".into(),
+            paper_claim: "The game does not admit an exact potential function, and some \
+                          instance's state space contains an improvement cycle; \
+                          potential-function arguments therefore cannot settle Conjecture 3.7, \
+                          yet pure NE still appear to exist."
+                .into(),
+            observed: format!(
+                "exact-potential violations found: {any_violation}; improvement cycles found: \
+                 {any_cycle}; every sampled instance still had a pure Nash equilibrium: \
+                 {all_have_ne}"
+            ),
+            holds,
+            tables: tables_from_cells(&[TABLE], cells),
+        }
     }
+}
+
+/// Runs the experiment (thin wrapper over the [`Experiment`] impl).
+pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+    crate::experiment::run_experiment(&Potential, config)
 }
 
 #[cfg(test)]

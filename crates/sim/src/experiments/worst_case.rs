@@ -17,12 +17,28 @@ use netuncert_core::strategy::{LinkLoads, MixedProfile};
 use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
-use crate::report::{fmt, pct, ExperimentOutcome, Table};
+use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
+use crate::report::{fmt, pct, ExperimentOutcome};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
     vec![(2, 2), (3, 2), (3, 3), (4, 3), (5, 3)]
 }
+
+const TABLE: (&str, &[&str]) = (
+    "FMNE vs. every pure NE (per-instance verification)",
+    &[
+        "n",
+        "m",
+        "instances",
+        "FMNE exists",
+        "Lemma 4.9 holds",
+        "SC1 maximised by FMNE",
+        "SC2 maximised by FMNE",
+        "avg pure NE count",
+        "max SC1 gap (FMNE − pure)",
+    ],
+);
 
 #[derive(Debug, Clone, Copy)]
 struct Sample {
@@ -85,33 +101,38 @@ fn check_instance(game: &netuncert_core::model::EffectiveGame, limit: u128) -> S
     }
 }
 
-/// Runs the experiment.
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
-    let par = config.parallel();
-    let mut table = Table::new(
-        "FMNE vs. every pure NE (per-instance verification)",
-        &[
-            "n",
-            "m",
-            "instances",
-            "FMNE exists",
-            "Lemma 4.9 holds",
-            "SC1 maximised by FMNE",
-            "SC2 maximised by FMNE",
-            "avg pure NE count",
-            "max SC1 gap (FMNE − pure)",
-        ],
-    );
-    let mut holds = true;
+/// E9 as a registry entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstCase;
 
-    for (grid_idx, &(n, m)) in size_grid().iter().enumerate() {
+impl Experiment for WorstCase {
+    fn id(&self) -> &'static str {
+        "worst_case"
+    }
+
+    fn description(&self) -> &'static str {
+        "E9 — the fully mixed NE maximises the social cost (Lemma 4.9, Thms 4.11/4.12)"
+    }
+
+    fn grid(&self) -> Vec<Cell> {
+        size_grid()
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(idx, 0, format!("n={n} m={m}")))
+            .collect()
+    }
+
+    fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult {
+        let config = ctx.config;
+        let grid_idx = ctx.cell.index;
+        let (n, m) = size_grid()[grid_idx];
         let spec = EffectiveSpec::General {
             users: n,
             links: m,
             capacity: CapacityDist::Uniform { lo: 0.5, hi: 2.0 },
             weights: WeightDist::Uniform { lo: 0.5, hi: 2.0 },
         };
-        let results = parallel_map(&par, config.samples, |sample| {
+        let results = parallel_map(&ctx.parallel, config.samples, |sample| {
             let stream = 0xE9_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
             let mut rng = instance_gen::rng(config.seed, stream);
             check_instance(&spec.generate(&mut rng), config.profile_limit)
@@ -126,8 +147,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             .iter()
             .map(|s| s.worst_gap_sc1)
             .fold(0.0f64, f64::max);
-        holds &= lemma == config.samples && sc1_ok == config.samples && sc2_ok == config.samples;
-        table.push_row(vec![
+
+        let mut out = CellResult::for_cell(self.id(), ctx.cell);
+        out.holds = lemma == config.samples && sc1_ok == config.samples && sc2_ok == config.samples;
+        out.row = vec![
             n.to_string(),
             m.to_string(),
             config.samples.to_string(),
@@ -137,25 +160,35 @@ pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
             pct(sc2_ok, config.samples),
             format!("{avg_ne:.2}"),
             fmt(max_gap),
-        ]);
+        ];
+        out
     }
 
-    ExperimentOutcome {
-        id: "E9".into(),
-        name: "The fully mixed NE maximises the social cost (Lemma 4.9, Thms 4.11/4.12)".into(),
-        paper_claim: "For every Nash equilibrium P and every user i, λᵢ(P) ≤ λᵢ(F); hence the \
-                      fully mixed NE maximises both SC1 and SC2."
-            .into(),
-        observed: if holds {
-            "on every sampled instance with a fully mixed NE, all pure equilibria had per-user \
-             latencies and social costs no larger than the FMNE's"
-                .into()
-        } else {
-            "an instance violated the worst-case property of the FMNE — inspect the table".into()
-        },
-        holds,
-        tables: vec![table],
+    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+        let holds = cells.iter().all(|c| c.holds);
+        ExperimentOutcome {
+            id: "E9".into(),
+            name: "The fully mixed NE maximises the social cost (Lemma 4.9, Thms 4.11/4.12)".into(),
+            paper_claim: "For every Nash equilibrium P and every user i, λᵢ(P) ≤ λᵢ(F); hence the \
+                          fully mixed NE maximises both SC1 and SC2."
+                .into(),
+            observed: if holds {
+                "on every sampled instance with a fully mixed NE, all pure equilibria had \
+                 per-user latencies and social costs no larger than the FMNE's"
+                    .into()
+            } else {
+                "an instance violated the worst-case property of the FMNE — inspect the table"
+                    .into()
+            },
+            holds,
+            tables: tables_from_cells(&[TABLE], cells),
+        }
     }
+}
+
+/// Runs the experiment (thin wrapper over the [`Experiment`] impl).
+pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+    crate::experiment::run_experiment(&WorstCase, config)
 }
 
 #[cfg(test)]

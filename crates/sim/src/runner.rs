@@ -1,22 +1,18 @@
 //! Running the full experiment suite and rendering reports.
+//!
+//! Since the declarative-experiment redesign this module is a thin,
+//! source-compatible facade over the registry ([`crate::experiments::all`])
+//! and the sharded [`SweepRunner`](crate::sweep::SweepRunner); `run_all`
+//! produces exactly what a sharded sweep merges back together.
 
 use crate::config::ExperimentConfig;
-use crate::experiments;
 use crate::report::ExperimentOutcome;
+use crate::sweep::SweepRunner;
 
 /// Runs every experiment in the suite with the given configuration, in the
 /// order of the experiment index in `DESIGN.md`.
 pub fn run_all(config: &ExperimentConfig) -> Vec<ExperimentOutcome> {
-    vec![
-        experiments::three_users::run(config),
-        experiments::conjecture::run(config),
-        experiments::potential::run(config),
-        experiments::fmne::run(config),
-        experiments::worst_case::run(config),
-        experiments::poa::run(config),
-        experiments::milchtaich::run(config),
-        experiments::kp_compare::run(config),
-    ]
+    SweepRunner::new(*config).outcomes()
 }
 
 /// Renders a list of outcomes as one markdown document (the format used by
@@ -37,8 +33,8 @@ pub fn render_markdown(outcomes: &[ExperimentOutcome]) -> String {
 }
 
 /// Serialises the outcomes as pretty-printed JSON.
-pub fn to_json(outcomes: &[ExperimentOutcome]) -> String {
-    serde_json::to_string_pretty(outcomes).expect("outcomes are always serialisable")
+pub fn to_json(outcomes: &[ExperimentOutcome]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(outcomes)
 }
 
 #[cfg(test)]
@@ -65,7 +61,7 @@ mod tests {
         let md = render_markdown(&outcomes);
         assert!(md.contains("# Experiment report"));
         assert!(md.contains("E5"));
-        let json = to_json(&outcomes);
+        let json = to_json(&outcomes).expect("outcomes serialise");
         assert!(json.contains("\"E10\""));
     }
 }

@@ -1,0 +1,534 @@
+//! The sharded sweep layer: flatten experiment grids into task-id-addressed
+//! cells, run any shard in any process, and merge per-cell records back into
+//! the exact reports a single-process run produces.
+//!
+//! Addressing is deterministic: a [`SweepRunner`] flattens its experiments'
+//! grids in registry order, and a cell's `task_id` is its position in that
+//! flattened list. A [`Shard`]` { index, count }` selects the cells with
+//! `task_id % count == index`. Because every cell derives its randomness
+//! from the configuration seed and its own grid position (never from global
+//! state), the records a shard produces are bit-identical to the ones a
+//! single-process run computes for the same cells — so
+//! [`SweepRunner::merge`] over the union of all shards reproduces the
+//! single-process [`ExperimentOutcome`]s exactly. The integration tests and
+//! the CI sharding job prove this byte-for-byte on the rendered JSON.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use netuncert_core::solvers::cache::{CacheStats, SolveCache};
+use par_exec::parallel_map;
+
+use crate::config::ExperimentConfig;
+use crate::experiment::{Cell, CellCtx, CellResult, Experiment};
+use crate::experiments;
+use crate::report::ExperimentOutcome;
+
+/// One slice of a sweep: run the cells whose `task_id % count == index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shard {
+    /// This shard's index in `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// A shard, validating `index < count`.
+    pub fn new(index: usize, count: usize) -> Self {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        Shard { index, count }
+    }
+
+    /// The trivial single-shard split (every cell selected).
+    pub fn solo() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// Parses the CLI form `"i/k"` (e.g. `"0/3"`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/k, got `{s}`"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid shard index in `{s}`"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid shard count in `{s}`"))?;
+        if count == 0 {
+            return Err(format!("shard count must be positive in `{s}`"));
+        }
+        if index >= count {
+            return Err(format!("shard index must be below the count in `{s}`"));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns `task_id`.
+    pub fn selects(&self, task_id: u64) -> bool {
+        task_id % self.count as u64 == self.index as u64
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The durable per-cell record a shard emits: the sweep-wide task id plus the
+/// full [`CellResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Position of the cell in the sweep's flattened grid.
+    pub task_id: u64,
+    /// The computed cell.
+    pub result: CellResult,
+}
+
+/// Why a set of records could not be merged into outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A record names an experiment the runner does not know.
+    UnknownExperiment(String),
+    /// A record addresses a cell index outside the experiment's grid.
+    UnknownCell {
+        /// The experiment id.
+        experiment: String,
+        /// The out-of-range cell index.
+        index: usize,
+    },
+    /// A record's cell metadata (table, label) disagrees with the
+    /// experiment's grid — a corrupted or hand-edited record file.
+    MismatchedCell {
+        /// The experiment id.
+        experiment: String,
+        /// The mismatching cell index.
+        index: usize,
+    },
+    /// The same cell appears in more than one record (e.g. two overlapping
+    /// shard files merged together).
+    DuplicateCell {
+        /// The experiment id.
+        experiment: String,
+        /// The duplicated cell index.
+        index: usize,
+    },
+    /// An experiment is only partially covered (a shard file is missing).
+    MissingCell {
+        /// The experiment id.
+        experiment: String,
+        /// The first missing cell index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::UnknownExperiment(id) => {
+                write!(f, "records mention unregistered experiment `{id}`")
+            }
+            MergeError::UnknownCell { experiment, index } => {
+                write!(f, "experiment `{experiment}` has no cell {index}")
+            }
+            MergeError::MismatchedCell { experiment, index } => write!(
+                f,
+                "cell {index} of experiment `{experiment}` does not match the grid — corrupted \
+                 record file?"
+            ),
+            MergeError::DuplicateCell { experiment, index } => {
+                write!(f, "cell {index} of experiment `{experiment}` appears twice")
+            }
+            MergeError::MissingCell { experiment, index } => write!(
+                f,
+                "cell {index} of experiment `{experiment}` is missing — merge all shard files"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Runs experiment grids as a flat, shardable list of task-id-addressed
+/// cells, and merges cell records back into classic outcomes.
+pub struct SweepRunner {
+    experiments: Vec<Box<dyn Experiment>>,
+    config: ExperimentConfig,
+    cache: Option<Arc<SolveCache>>,
+}
+
+impl SweepRunner {
+    /// A runner over the full registry ([`experiments::all`]).
+    pub fn new(config: ExperimentConfig) -> Self {
+        SweepRunner::with_experiments(config, experiments::all())
+    }
+
+    /// A runner over an explicit experiment selection (kept in the given
+    /// order; task ids are positions in this selection's flattened grid).
+    pub fn with_experiments(
+        config: ExperimentConfig,
+        experiments: Vec<Box<dyn Experiment>>,
+    ) -> Self {
+        SweepRunner {
+            experiments,
+            config,
+            cache: None,
+        }
+    }
+
+    /// Enables a content-addressed [`SolveCache`] shared by every cell of
+    /// this runner's sweeps. Results are unchanged (hits replay the cold
+    /// solve bit-for-bit); repeated instances — e.g. the fixed true network
+    /// behind a group of belief perturbations — just stop being re-solved.
+    #[must_use]
+    pub fn with_cache(mut self) -> Self {
+        self.cache = Some(Arc::new(SolveCache::new()));
+        self
+    }
+
+    /// Hit/miss counters of the shared cache, if enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The experiment selection, in task-id order.
+    pub fn experiments(&self) -> &[Box<dyn Experiment>] {
+        &self.experiments
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The flattened cell list: `(task_id, experiment index, cell)`.
+    fn flattened(&self) -> Vec<(u64, usize, Cell)> {
+        let mut tasks = Vec::new();
+        for (exp_idx, experiment) in self.experiments.iter().enumerate() {
+            for cell in experiment.grid() {
+                tasks.push((tasks.len() as u64, exp_idx, cell));
+            }
+        }
+        tasks
+    }
+
+    /// Total number of cells across the selection.
+    pub fn task_count(&self) -> usize {
+        self.experiments.iter().map(|e| e.grid().len()).sum()
+    }
+
+    /// Runs the cells owned by `shard` over the configuration's worker pool
+    /// and returns their records in task-id order.
+    pub fn run_shard(&self, shard: Shard) -> Vec<CellRecord> {
+        let selected: Vec<(u64, usize, Cell)> = self
+            .flattened()
+            .into_iter()
+            .filter(|&(task_id, _, _)| shard.selects(task_id))
+            .collect();
+        let inner = crate::experiment::inner_parallelism(self.config.parallel(), selected.len());
+        parallel_map(&self.config.parallel(), selected.len(), |i| {
+            let (task_id, exp_idx, cell) = &selected[i];
+            let ctx = CellCtx {
+                config: &self.config,
+                cell,
+                parallel: inner,
+                cache: self.cache.as_ref(),
+            };
+            CellRecord {
+                task_id: *task_id,
+                result: self.experiments[*exp_idx].run_cell(&ctx),
+            }
+        })
+    }
+
+    /// Runs the whole sweep in-process (the single-shard case).
+    pub fn run(&self) -> Vec<CellRecord> {
+        self.run_shard(Shard::solo())
+    }
+
+    /// Recombines cell records (from any number of shards, in any order)
+    /// into the outcomes a single-process run produces.
+    ///
+    /// Experiments with no records at all are skipped, so a runner over the
+    /// full registry can merge the output of a single-experiment run; an
+    /// experiment that is only *partially* covered is an error.
+    pub fn merge(&self, records: &[CellRecord]) -> Result<Vec<ExperimentOutcome>, MergeError> {
+        let mut by_experiment: Vec<Vec<&CellResult>> = vec![Vec::new(); self.experiments.len()];
+        for record in records {
+            let exp_idx = self
+                .experiments
+                .iter()
+                .position(|e| e.id() == record.result.experiment)
+                .ok_or_else(|| MergeError::UnknownExperiment(record.result.experiment.clone()))?;
+            by_experiment[exp_idx].push(&record.result);
+        }
+
+        let mut outcomes = Vec::new();
+        for (experiment, results) in self.experiments.iter().zip(by_experiment) {
+            if results.is_empty() {
+                continue;
+            }
+            let grid = experiment.grid();
+            let mut cells: Vec<Option<CellResult>> = vec![None; grid.len()];
+            for result in results {
+                if result.index >= grid.len() {
+                    return Err(MergeError::UnknownCell {
+                        experiment: experiment.id().to_string(),
+                        index: result.index,
+                    });
+                }
+                let cell = &grid[result.index];
+                if result.table != cell.table || result.label != cell.label {
+                    return Err(MergeError::MismatchedCell {
+                        experiment: experiment.id().to_string(),
+                        index: result.index,
+                    });
+                }
+                if cells[result.index].is_some() {
+                    return Err(MergeError::DuplicateCell {
+                        experiment: experiment.id().to_string(),
+                        index: result.index,
+                    });
+                }
+                cells[result.index] = Some(result.clone());
+            }
+            if let Some(missing) = cells.iter().position(Option::is_none) {
+                return Err(MergeError::MissingCell {
+                    experiment: experiment.id().to_string(),
+                    index: missing,
+                });
+            }
+            let cells: Vec<CellResult> = cells.into_iter().map(Option::unwrap).collect();
+            outcomes.push(experiment.outcome(&self.config, &cells));
+        }
+        Ok(outcomes)
+    }
+
+    /// Runs the whole sweep and merges it — the single-process semantics
+    /// shard runs are proven against.
+    pub fn outcomes(&self) -> Vec<ExperimentOutcome> {
+        self.merge(&self.run())
+            .expect("an in-process sweep is always complete")
+    }
+}
+
+/// The durable shard-file format (`--json`/`--merge`): every configuration
+/// field that determines cell results, stamped alongside the records so a
+/// merge under a *different* configuration is a hard error instead of a
+/// silently wrong report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardFile {
+    /// Samples per parameter setting the records were computed with.
+    pub samples: usize,
+    /// Master seed the records were computed with.
+    pub seed: u64,
+    /// Exhaustive-enumeration cap the records were computed with.
+    pub profile_limit: u128,
+    /// Best-response step budget the records were computed with.
+    pub max_steps: usize,
+    /// The cell records.
+    pub records: Vec<CellRecord>,
+}
+
+impl ShardFile {
+    /// Stamps `records` with the result-determining fields of `config`.
+    pub fn new(config: &ExperimentConfig, records: Vec<CellRecord>) -> Self {
+        ShardFile {
+            samples: config.samples,
+            seed: config.seed,
+            profile_limit: config.profile_limit,
+            max_steps: config.max_steps,
+            records,
+        }
+    }
+
+    /// Verifies the file was computed under the same result-determining
+    /// configuration as `config` (worker counts are deliberately ignored —
+    /// they never affect results).
+    pub fn check_config(&self, config: &ExperimentConfig) -> Result<(), String> {
+        let mut mismatches = Vec::new();
+        if self.samples != config.samples {
+            mismatches.push(format!("samples {} vs {}", self.samples, config.samples));
+        }
+        if self.seed != config.seed {
+            mismatches.push(format!("seed {:#x} vs {:#x}", self.seed, config.seed));
+        }
+        if self.profile_limit != config.profile_limit {
+            mismatches.push(format!(
+                "profile_limit {} vs {}",
+                self.profile_limit, config.profile_limit
+            ));
+        }
+        if self.max_steps != config.max_steps {
+            mismatches.push(format!(
+                "max_steps {} vs {}",
+                self.max_steps, config.max_steps
+            ));
+        }
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "shard file was computed under a different configuration ({})",
+                mismatches.join(", ")
+            ))
+        }
+    }
+
+    /// Serialises the file as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a shard file produced by [`ShardFile::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            samples: 4,
+            threads: 2,
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    #[test]
+    fn shard_parsing_accepts_the_cli_form_only() {
+        assert_eq!(Shard::parse("0/3").unwrap(), Shard::new(0, 3));
+        assert_eq!(Shard::parse("2/3").unwrap(), Shard::new(2, 3));
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("1/0").is_err());
+        assert!(Shard::parse("12").is_err());
+        assert!(Shard::parse("a/b").is_err());
+        assert_eq!(Shard::parse("1/4").unwrap().to_string(), "1/4");
+    }
+
+    #[test]
+    fn shards_partition_the_task_ids() {
+        for count in 1..5usize {
+            for task_id in 0..40u64 {
+                let owners = (0..count)
+                    .filter(|&i| Shard::new(i, count).selects(task_id))
+                    .count();
+                assert_eq!(owners, 1, "task {task_id} with {count} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn task_ids_are_stable_positions_in_registry_order() {
+        let runner = SweepRunner::new(tiny_config());
+        let flat = runner.flattened();
+        assert_eq!(flat.len(), runner.task_count());
+        for (expected, &(task_id, _, _)) in flat.iter().enumerate() {
+            assert_eq!(task_id, expected as u64);
+        }
+        // The first experiment's grid owns the first task ids.
+        let first_grid = runner.experiments()[0].grid().len();
+        assert!(flat[..first_grid].iter().all(|&(_, exp, _)| exp == 0));
+    }
+
+    #[test]
+    fn single_experiment_shards_merge_to_the_in_process_outcome() {
+        let config = tiny_config();
+        let experiment = || experiments::find("three_users").unwrap();
+        let runner = SweepRunner::with_experiments(config, vec![experiment()]);
+        let direct = runner.outcomes();
+
+        let mut records = runner.run_shard(Shard::new(0, 2));
+        records.extend(runner.run_shard(Shard::new(1, 2)));
+        let merged = runner.merge(&records).unwrap();
+        assert_eq!(direct, merged);
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_and_duplicated_records() {
+        let config = tiny_config();
+        let runner =
+            SweepRunner::with_experiments(config, vec![experiments::find("milchtaich").unwrap()]);
+        let records = runner.run();
+
+        let partial = &records[..records.len() - 1];
+        assert!(matches!(
+            runner.merge(partial),
+            Err(MergeError::MissingCell { .. })
+        ));
+
+        let mut doubled = records.clone();
+        doubled.push(records[0].clone());
+        assert!(matches!(
+            runner.merge(&doubled),
+            Err(MergeError::DuplicateCell { .. })
+        ));
+
+        let full_registry = SweepRunner::new(config);
+        // Records for a subset of experiments merge fine on a full-registry
+        // runner...
+        assert_eq!(full_registry.merge(&records).unwrap().len(), 1);
+        // ...but unknown experiment ids are rejected.
+        let mut alien = records.clone();
+        alien[0].result.experiment = "alien".into();
+        assert!(matches!(
+            full_registry.merge(&alien),
+            Err(MergeError::UnknownExperiment(_))
+        ));
+    }
+
+    #[test]
+    fn shard_files_round_trip_and_validate_their_configuration() {
+        let config = tiny_config();
+        let runner =
+            SweepRunner::with_experiments(config, vec![experiments::find("milchtaich").unwrap()]);
+        let file = ShardFile::new(&config, runner.run());
+        let json = file.to_json().unwrap();
+        let back = ShardFile::from_json(&json).unwrap();
+        assert_eq!(back, file);
+        assert!(back.check_config(&config).is_ok());
+
+        // Worker counts never affect results, so they don't gate merging.
+        let other_threads = ExperimentConfig {
+            threads: 7,
+            ..config
+        };
+        assert!(back.check_config(&other_threads).is_ok());
+
+        // Result-determining fields do.
+        let other_samples = ExperimentConfig {
+            samples: config.samples + 1,
+            ..config
+        };
+        let err = back.check_config(&other_samples).unwrap_err();
+        assert!(err.contains("samples"), "{err}");
+        let other_seed = ExperimentConfig {
+            seed: config.seed ^ 1,
+            ..config
+        };
+        assert!(back.check_config(&other_seed).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_records_that_disagree_with_the_grid() {
+        let config = tiny_config();
+        let runner =
+            SweepRunner::with_experiments(config, vec![experiments::find("milchtaich").unwrap()]);
+        let mut records = runner.run();
+        records[1].result.table = 9;
+        assert!(matches!(
+            runner.merge(&records),
+            Err(MergeError::MismatchedCell { .. })
+        ));
+    }
+}

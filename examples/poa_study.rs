@@ -1,9 +1,11 @@
 //! Measures the price of anarchy of random instances against the paper's
-//! closed-form bounds (Theorems 4.13 and 4.14).
+//! closed-form bounds (Theorems 4.13 and 4.14), driving the experiment
+//! through the declarative registry and the sharded sweep runner.
 //!
 //! Run with: `cargo run --release --example poa_study [samples]`
 
-use sim_harness::{experiments, ExperimentConfig};
+use sim_harness::sweep::SweepRunner;
+use sim_harness::{experiments, ExperimentConfig, Shard};
 
 fn main() {
     let samples = std::env::args()
@@ -15,9 +17,23 @@ fn main() {
         ..ExperimentConfig::default()
     };
 
-    println!("Measuring coordination ratios on {samples} instances per size...\n");
-    let outcome = experiments::poa::run(&config);
-    print!("{}", outcome.to_markdown());
+    let poa = experiments::find("poa").expect("the PoA experiment is registered");
+    println!(
+        "Measuring coordination ratios on {samples} instances per size ({}; {} grid cells)...\n",
+        poa.description(),
+        poa.grid().len()
+    );
+
+    // Run the experiment as a sweep: half the cells per "shard", merged back
+    // into one report — the same mechanics `run_experiments --shard i/k`
+    // uses across processes, shown here in miniature.
+    let sweep = SweepRunner::with_experiments(config, vec![poa]).with_cache();
+    let mut records = sweep.run_shard(Shard::new(0, 2));
+    records.extend(sweep.run_shard(Shard::new(1, 2)));
+    let outcomes = sweep.merge(&records).expect("both shards present");
+    for outcome in &outcomes {
+        print!("{}", outcome.to_markdown());
+    }
 
     println!(
         "Observed ratios stay well below the bounds — consistent with the paper's remark that \

@@ -1,7 +1,10 @@
 //! Quickstart: build an uncertain routing game, find its equilibria and
-//! measure the price of anarchy.
+//! measure the price of anarchy — then solve it again through a cached
+//! engine to show the memoisation layer at work.
 //!
 //! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
 
 use netuncert_core::prelude::*;
 
@@ -108,6 +111,21 @@ fn main() -> Result<()> {
     println!(
         "  Theorem 4.14 upper bound:      {:.3}",
         cr_bound_general(&eg)
+    );
+
+    // Perturbation sweeps re-solve identical effective games constantly; a
+    // content-addressed cache in front of the engine shortcuts the repeats
+    // while returning bit-identical solutions and telemetry.
+    let cache = Arc::new(SolveCache::new());
+    let engine = SolverEngine::default().with_cache(Arc::clone(&cache));
+    let cold = engine.solve(&eg, &initial)?;
+    let hit = engine.solve(&eg, &initial)?;
+    assert_eq!(cold, hit, "a cache hit replays the cold solve exactly");
+    let stats = cache.stats();
+    println!("\n== Solve cache ==");
+    println!(
+        "  solved the same game twice: {} hit / {} miss ({} entry stored)",
+        stats.hits, stats.misses, stats.entries
     );
 
     Ok(())

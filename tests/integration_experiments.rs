@@ -54,7 +54,7 @@ fn reports_render_and_serialise() {
             outcome.id
         );
     }
-    let json = runner::to_json(&outcomes);
+    let json = runner::to_json(&outcomes).expect("outcomes serialise");
     let back: Vec<ExperimentOutcome> = serde_json::from_str(&json).expect("round trip");
     assert_eq!(back, outcomes);
 }

@@ -1,0 +1,165 @@
+//! Integration tests for the declarative experiment API: shard-merge
+//! equivalence (the sharded sweep reproduces the single-process report
+//! byte-for-byte) and the solve cache (hits replay cold solves exactly and
+//! never change sweep results).
+
+use std::sync::Arc;
+
+use netuncert::core::prelude::*;
+use netuncert::sim::sweep::{ShardFile, SweepRunner};
+use netuncert::sim::{experiments, runner, ExperimentConfig, Shard};
+use proptest::prelude::*;
+
+fn tiny_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        samples: 4,
+        threads: 2,
+        ..ExperimentConfig::quick()
+    }
+}
+
+/// Runs the quick suite split into `count` shards and renders the merged
+/// JSON report.
+fn sharded_report(config: ExperimentConfig, count: usize) -> String {
+    let sweep = SweepRunner::new(config);
+    let mut records = Vec::new();
+    // Collect shards in reverse order: merge must not care about record order.
+    for index in (0..count).rev() {
+        records.extend(sweep.run_shard(Shard::new(index, count)));
+    }
+    let outcomes = sweep.merge(&records).expect("all shards present");
+    runner::to_json(&outcomes).expect("outcomes serialise")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Running the quick suite as 1, 3 and 8 shards and merging yields a
+    /// byte-identical JSON report to the single-process run.
+    #[test]
+    fn shard_merge_reports_are_byte_identical(seed in any::<u64>()) {
+        let config = tiny_config(seed);
+        let single = runner::to_json(&runner::run_all(&config)).expect("outcomes serialise");
+        prop_assert_eq!(&single, &sharded_report(config, 1));
+        prop_assert_eq!(&single, &sharded_report(config, 3));
+        prop_assert_eq!(&single, &sharded_report(config, 8));
+    }
+}
+
+#[test]
+fn shard_record_files_are_disjoint_and_cover_every_task() {
+    let sweep = SweepRunner::new(tiny_config(7));
+    let mut seen = Vec::new();
+    for index in 0..3 {
+        for record in sweep.run_shard(Shard::new(index, 3)) {
+            assert!(
+                !seen.contains(&record.task_id),
+                "task {} owned by two shards",
+                record.task_id
+            );
+            seen.push(record.task_id);
+        }
+    }
+    seen.sort_unstable();
+    let expected: Vec<u64> = (0..sweep.task_count() as u64).collect();
+    assert_eq!(seen, expected, "the shards must partition the sweep");
+}
+
+#[test]
+fn cache_hits_replay_cold_solves_exactly() {
+    let cache = Arc::new(SolveCache::new());
+    let engine = SolverEngine::default().with_cache(Arc::clone(&cache));
+    let game = EffectiveGame::from_rows(
+        vec![3.0, 1.0, 2.0, 5.0],
+        vec![
+            vec![2.0, 2.5, 1.0],
+            vec![1.0, 4.0, 2.0],
+            vec![3.0, 3.0, 0.5],
+            vec![0.5, 6.0, 2.0],
+        ],
+    )
+    .unwrap();
+    let initial = LinkLoads::zero(3);
+
+    let cold = engine.solve(&game, &initial).unwrap();
+    let hit = engine.solve(&game, &initial).unwrap();
+    // The hit returns the identical equilibrium *and* the identical
+    // telemetry (attempts, iterations, recorded wall time).
+    assert_eq!(cold.solution, hit.solution);
+    assert_eq!(cold.telemetry, hit.telemetry);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+    // An uncached engine with the same budgets finds the same equilibrium.
+    let uncached = SolverEngine::default().solve(&game, &initial).unwrap();
+    assert_eq!(uncached.solution, cold.solution);
+}
+
+#[test]
+fn cached_sweeps_hit_on_perturbation_experiments_without_changing_results() {
+    let config = ExperimentConfig {
+        samples: 8,
+        ..tiny_config(0x5EED_CAFE)
+    };
+    // The perturbation-heavy drift study re-solves each group's true network
+    // once per belief perturbation: the cache must record hits there.
+    let cached = SweepRunner::with_experiments(
+        config,
+        vec![
+            experiments::find("conjecture").unwrap(),
+            experiments::find("kp_compare").unwrap(),
+        ],
+    )
+    .with_cache();
+    let cached_outcomes = cached.outcomes();
+    let stats = cached.cache_stats().expect("cache enabled");
+    assert!(
+        stats.hits > 0,
+        "the perturbation study must produce cache hits, got {stats:?}"
+    );
+    assert!(stats.misses > 0);
+
+    let uncached = SweepRunner::with_experiments(
+        config,
+        vec![
+            experiments::find("conjecture").unwrap(),
+            experiments::find("kp_compare").unwrap(),
+        ],
+    );
+    assert_eq!(
+        cached_outcomes,
+        uncached.outcomes(),
+        "caching must never change sweep results"
+    );
+}
+
+#[test]
+fn registry_lookup_and_trait_metadata_agree_with_run_all() {
+    let config = tiny_config(3);
+    let via_registry: Vec<_> = experiments::all()
+        .iter()
+        .map(|e| netuncert::sim::experiment::run_experiment(e.as_ref(), &config))
+        .collect();
+    let via_run_all = runner::run_all(&config);
+    assert_eq!(via_registry, via_run_all);
+
+    // Ids resolve and the grids address every cell exactly once.
+    for experiment in experiments::all() {
+        let again = experiments::find(experiment.id()).expect("id resolves");
+        assert_eq!(again.grid(), experiment.grid());
+    }
+}
+
+#[test]
+fn shard_records_serialise_to_stable_json() {
+    let config = tiny_config(11);
+    let sweep = SweepRunner::with_experiments(config, vec![experiments::find("poa").unwrap()]);
+    let a = ShardFile::new(&config, sweep.run_shard(Shard::new(0, 2)))
+        .to_json()
+        .unwrap();
+    let b = ShardFile::new(&config, sweep.run_shard(Shard::new(0, 2)))
+        .to_json()
+        .unwrap();
+    assert_eq!(a, b, "shard record files must be reproducible");
+}
