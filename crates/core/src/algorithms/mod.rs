@@ -33,6 +33,8 @@ pub enum PureNashMethod {
     UniformBeliefs,
     /// Best-response dynamics converged.
     BestResponse,
+    /// Multi-restart local search with smart starts and annealed tie-breaking.
+    LocalSearch,
     /// Exhaustive enumeration of all pure profiles.
     Exhaustive,
 }

@@ -142,8 +142,9 @@ pub mod prelude {
     pub use crate::solvers::cache::{CacheStats, SolveCache};
     pub use crate::solvers::engine::{
         Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
-        SolverEngine,
+        SolverEngine, SolverKind,
     };
     pub use crate::solvers::exhaustive::{all_pure_nash, social_optimum, SocialOptimum};
+    pub use crate::solvers::local_search::LocalSearch;
     pub use crate::strategy::{LinkLoads, MixedProfile, PureProfile};
 }

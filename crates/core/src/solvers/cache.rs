@@ -150,6 +150,7 @@ fn method_tag(method: PureNashMethod) -> u8 {
         PureNashMethod::UniformBeliefs => 2,
         PureNashMethod::BestResponse => 3,
         PureNashMethod::Exhaustive => 4,
+        PureNashMethod::LocalSearch => 5,
     }
 }
 
@@ -178,6 +179,8 @@ pub(crate) fn canonical_key(
     key.extend_from_slice(&(config.max_steps as u64).to_le_bytes());
     key.push(rule_tag(config.rule));
     key.extend_from_slice(&config.profile_limit.to_le_bytes());
+    key.extend_from_slice(&(config.restarts as u64).to_le_bytes());
+    key.extend_from_slice(&config.ls_seed.to_le_bytes());
     key.extend_from_slice(&(n as u64).to_le_bytes());
     key.extend_from_slice(&(m as u64).to_le_bytes());
     for &w in game.weights() {

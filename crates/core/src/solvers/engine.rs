@@ -32,6 +32,7 @@ use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
 use crate::solvers::cache::{self, CacheStats, SolveCache};
 use crate::solvers::exhaustive;
+use crate::solvers::local_search::{self, LocalSearch};
 use crate::strategy::LinkLoads;
 
 /// How a [`Solver`] relates to a particular instance.
@@ -59,6 +60,12 @@ pub struct SolverConfig {
     pub rule: SelectionRule,
     /// Cap on `mⁿ` for exhaustive enumeration.
     pub profile_limit: u128,
+    /// Restart budget for [`LocalSearch`] (smart starts + perturbations).
+    pub restarts: usize,
+    /// Seed of the deterministic annealed tie-breaking stream used by
+    /// [`LocalSearch`]; part of the instance-independent budgets, so it is
+    /// embedded in cache keys like every other knob.
+    pub ls_seed: u64,
 }
 
 impl Default for SolverConfig {
@@ -68,6 +75,8 @@ impl Default for SolverConfig {
             max_steps: BestResponseDynamics::default().max_steps,
             rule: SelectionRule::RoundRobin,
             profile_limit: exhaustive::DEFAULT_PROFILE_LIMIT,
+            restarts: local_search::DEFAULT_RESTARTS,
+            ls_seed: local_search::DEFAULT_LS_SEED,
         }
     }
 }
@@ -91,6 +100,8 @@ pub struct SolverDetail {
     /// Iterations performed (best-response moves, profiles enumerated); `None`
     /// for closed-form constructions.
     pub iterations: Option<u64>,
+    /// Restarts consumed, for multi-restart methods; `None` otherwise.
+    pub restarts: Option<u64>,
 }
 
 /// One pure-Nash algorithm viewed as an engine component.
@@ -170,6 +181,7 @@ impl Solver for TwoLinks {
                 method: self.method(),
             }),
             iterations: None,
+            restarts: None,
         })
     }
 }
@@ -210,6 +222,7 @@ impl Solver for Symmetric {
                 method: self.method(),
             }),
             iterations: None,
+            restarts: None,
         })
     }
 }
@@ -249,6 +262,7 @@ impl Solver for UniformBeliefs {
                 method: self.method(),
             }),
             iterations: None,
+            restarts: None,
         })
     }
 }
@@ -290,6 +304,7 @@ impl Solver for BestResponse {
         Ok(SolverDetail {
             solution,
             iterations,
+            restarts: None,
         })
     }
 }
@@ -334,6 +349,7 @@ impl Solver for Exhaustive {
         Ok(SolverDetail {
             solution,
             iterations,
+            restarts: None,
         })
     }
 }
@@ -347,10 +363,95 @@ pub struct SolverAttempt {
     pub applicability: Applicability,
     /// Iterations performed, for iterative methods.
     pub iterations: Option<u64>,
+    /// Restarts consumed, for multi-restart methods.
+    pub restarts: Option<u64>,
     /// Whether it produced an equilibrium.
     pub found: bool,
     /// Wall-clock nanoseconds spent inside the solver.
     pub wall_ns: u64,
+}
+
+/// The built-in solver backends, as data — the registry behind
+/// [`SolverEngine::from_kinds`] and the CLI's `--solvers` flag.
+///
+/// Order matters: an engine built from a kind list tries the kinds in the
+/// given order, exactly like [`SolverEngine::with_solvers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// `Atwolinks` — [`TwoLinks`].
+    TwoLinks,
+    /// `Asymmetric` — [`Symmetric`].
+    Symmetric,
+    /// `Auniform` — [`UniformBeliefs`].
+    UniformBeliefs,
+    /// Best-response dynamics — [`BestResponse`].
+    BestResponse,
+    /// Multi-restart local search — [`LocalSearch`].
+    LocalSearch,
+    /// Exhaustive enumeration — [`Exhaustive`].
+    Exhaustive,
+}
+
+impl SolverKind {
+    /// Every backend, in the order a "try everything" engine would use.
+    pub const ALL: [SolverKind; 6] = [
+        SolverKind::TwoLinks,
+        SolverKind::Symmetric,
+        SolverKind::UniformBeliefs,
+        SolverKind::LocalSearch,
+        SolverKind::BestResponse,
+        SolverKind::Exhaustive,
+    ];
+
+    /// The paper's dispatch order ([`SolverEngine::paper_order`]).
+    pub const PAPER_ORDER: [SolverKind; 5] = [
+        SolverKind::TwoLinks,
+        SolverKind::Symmetric,
+        SolverKind::UniformBeliefs,
+        SolverKind::BestResponse,
+        SolverKind::Exhaustive,
+    ];
+
+    /// The stable CLI/registry id of this backend.
+    pub fn id(self) -> &'static str {
+        match self {
+            SolverKind::TwoLinks => "two_links",
+            SolverKind::Symmetric => "symmetric",
+            SolverKind::UniformBeliefs => "uniform",
+            SolverKind::BestResponse => "best_response",
+            SolverKind::LocalSearch => "local_search",
+            SolverKind::Exhaustive => "exhaustive",
+        }
+    }
+
+    /// Parses a CLI/registry id produced by [`SolverKind::id`].
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        SolverKind::ALL.into_iter().find(|k| k.id() == s)
+    }
+
+    /// The method tag the built solver reports.
+    pub fn method(self) -> PureNashMethod {
+        match self {
+            SolverKind::TwoLinks => PureNashMethod::TwoLinks,
+            SolverKind::Symmetric => PureNashMethod::Symmetric,
+            SolverKind::UniformBeliefs => PureNashMethod::UniformBeliefs,
+            SolverKind::BestResponse => PureNashMethod::BestResponse,
+            SolverKind::LocalSearch => PureNashMethod::LocalSearch,
+            SolverKind::Exhaustive => PureNashMethod::Exhaustive,
+        }
+    }
+
+    /// Builds the backend.
+    pub fn build(self) -> Box<dyn Solver> {
+        match self {
+            SolverKind::TwoLinks => Box::new(TwoLinks),
+            SolverKind::Symmetric => Box::new(Symmetric),
+            SolverKind::UniformBeliefs => Box::new(UniformBeliefs),
+            SolverKind::BestResponse => Box::new(BestResponse),
+            SolverKind::LocalSearch => Box::new(LocalSearch),
+            SolverKind::Exhaustive => Box::new(Exhaustive),
+        }
+    }
 }
 
 /// Telemetry for one [`SolverEngine::solve`] call.
@@ -428,6 +529,13 @@ impl SolverEngine {
             parallel: None,
             cache: None,
         }
+    }
+
+    /// An engine over the given [`SolverKind`]s, tried in order — the
+    /// data-driven form of [`with_solvers`](SolverEngine::with_solvers) used
+    /// by the experiment harness's `--solvers` selection.
+    pub fn from_kinds(config: SolverConfig, kinds: &[SolverKind]) -> Self {
+        SolverEngine::with_solvers(config, kinds.iter().map(|k| k.build()).collect())
     }
 
     /// An engine with an explicit solver list.
@@ -544,6 +652,7 @@ impl SolverEngine {
                 method: solver.method(),
                 applicability,
                 iterations: detail.iterations,
+                restarts: detail.restarts,
                 found: detail.solution.is_some(),
                 wall_ns: attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             });

@@ -1,12 +1,17 @@
-//! Equilibrium solvers: the exhaustive reference solver and the unified,
-//! parallel [`engine`] that orchestrates every pure-NE algorithm in the crate.
+//! Equilibrium solvers: the exhaustive reference solver, the multi-restart
+//! [`local_search`] backend for huge games, the unified, parallel [`engine`]
+//! that orchestrates every pure-NE algorithm in the crate, and the
+//! differential-testing [`oracle`] every backend is certified against.
 
 pub mod cache;
 pub mod engine;
 pub mod exhaustive;
+pub mod local_search;
+pub mod oracle;
 
 pub use cache::{CacheStats, SolveCache};
 pub use engine::{
     Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
-    SolverDetail, SolverEngine,
+    SolverDetail, SolverEngine, SolverKind,
 };
+pub use local_search::LocalSearch;

@@ -16,6 +16,12 @@
 //!
 //! # share one content-addressed solve cache across the sweep
 //! run_experiments --cache
+//!
+//! # pick the engine composition (ordered, comma-separated backend ids)
+//! run_experiments --solvers two_links,local_search,exhaustive
+//!
+//! # recompute only the cells missing from an existing record file
+//! run_experiments --resume --json shard0.json --shard 0/3
 //! ```
 //!
 //! Shard runs and the merged report are bit-identical to a single-process
@@ -26,16 +32,22 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use netuncert_core::solvers::SolverKind;
 use sim_harness::sweep::{ShardFile, SweepRunner};
-use sim_harness::{experiments, render_markdown, runner, Experiment, ExperimentConfig, Shard};
+use sim_harness::{
+    experiments, render_markdown, runner, Experiment, ExperimentConfig, Shard, SolverSelection,
+};
 
 struct Args {
     samples: usize,
     seed: u64,
     threads: usize,
+    restarts: usize,
+    solvers: SolverSelection,
     experiment_ids: Vec<String>,
     shard: Shard,
     cache: bool,
+    resume: bool,
     json: Option<PathBuf>,
     merge: Vec<PathBuf>,
     out: Option<PathBuf>,
@@ -44,8 +56,9 @@ struct Args {
 fn usage() -> String {
     let mut out = String::from(
         "usage: run_experiments [--samples N] [--seed S] [--threads T]\n\
+         \x20                      [--solvers LIST] [--restarts N]\n\
          \x20                      [--experiment ID]... [--shard I/K] [--cache]\n\
-         \x20                      [--json FILE] [--merge FILE...] [--out DIR]\n\n\
+         \x20                      [--json FILE] [--resume] [--merge FILE...] [--out DIR]\n\n\
          registered experiments:\n",
     );
     for experiment in experiments::all() {
@@ -55,6 +68,10 @@ fn usage() -> String {
             experiment.description()
         ));
     }
+    out.push_str("\nsolver backends (--solvers, ordered, comma-separated):\n");
+    for kind in SolverKind::ALL {
+        out.push_str(&format!("  {}\n", kind.id()));
+    }
     out
 }
 
@@ -63,9 +80,12 @@ fn parse_args() -> Result<Args, String> {
         samples: ExperimentConfig::default().samples,
         seed: ExperimentConfig::default().seed,
         threads: 0,
+        restarts: ExperimentConfig::default().restarts,
+        solvers: SolverSelection::paper(),
         experiment_ids: Vec::new(),
         shard: Shard::solo(),
         cache: false,
+        resume: false,
         json: None,
         merge: Vec::new(),
         out: None,
@@ -91,6 +111,19 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads requires an integer (0 = machine default)")?;
             }
+            "--restarts" => {
+                args.restarts = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--restarts requires a positive integer")?;
+            }
+            "--solvers" => {
+                let list = iter
+                    .next()
+                    .ok_or("--solvers requires a comma-separated backend list")?;
+                args.solvers = SolverSelection::parse(&list)?;
+            }
+            "--resume" => args.resume = true,
             "--experiment" => {
                 let id = iter.next().ok_or("--experiment requires a registry id")?;
                 if experiments::find(&id).is_none() {
@@ -184,6 +217,8 @@ fn run() -> Result<ExitCode, String> {
         samples: args.samples,
         seed: args.seed,
         threads: args.threads,
+        restarts: args.restarts,
+        solvers: args.solvers,
         ..ExperimentConfig::default()
     };
     let mut sweep =
@@ -194,10 +229,10 @@ fn run() -> Result<ExitCode, String> {
 
     // Merge mode: recombine shard record files into the classic report.
     if !args.merge.is_empty() {
-        if args.shard.count > 1 || args.json.is_some() || args.cache {
+        if args.shard.count > 1 || args.json.is_some() || args.cache || args.resume {
             return Err(
                 "--merge recombines existing record files and computes nothing; it cannot be \
-                 combined with --shard, --json or --cache"
+                 combined with --shard, --json, --cache or --resume"
                     .into(),
             );
         }
@@ -231,6 +266,29 @@ fn run() -> Result<ExitCode, String> {
         return Err("a sharded run needs --json FILE to store its cell records".into());
     }
 
+    // Resume mode: recompute only the cells missing from the record file.
+    let existing = if args.resume {
+        let Some(file) = &args.json else {
+            return Err("--resume needs --json FILE naming the record file to complete".into());
+        };
+        if file.exists() {
+            let json = std::fs::read_to_string(file)
+                .map_err(|e| format!("read {}: {e}", file.display()))?;
+            let shard_file = ShardFile::from_json(&json)
+                .map_err(|e| format!("parse {}: {e:?}", file.display()))?;
+            // Completing a file computed under a different configuration
+            // would mix incompatible cells — the same hard error as --merge.
+            shard_file
+                .check_config(&config)
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            shard_file.records
+        } else {
+            Vec::new()
+        }
+    } else {
+        Vec::new()
+    };
+
     eprintln!(
         "running {} of {} cells (shard {}): samples per setting = {}, seed = {:#x}",
         (0..sweep.task_count())
@@ -243,7 +301,22 @@ fn run() -> Result<ExitCode, String> {
     );
 
     let start = std::time::Instant::now();
-    let records = sweep.run_shard(args.shard);
+    let records = if args.resume {
+        let missing = sweep.missing_in_shard(args.shard, &existing);
+        eprintln!(
+            "resuming: {} of the shard's cells already present, recomputing {}",
+            existing
+                .iter()
+                .filter(|r| args.shard.selects(r.task_id))
+                .count(),
+            missing.len()
+        );
+        sweep
+            .run_missing(args.shard, &existing)
+            .map_err(|e| e.to_string())?
+    } else {
+        sweep.run_shard(args.shard)
+    };
     let elapsed = start.elapsed();
     eprintln!("computed {} cells in {:.1?}", records.len(), elapsed);
     if let Some(stats) = sweep.cache_stats() {

@@ -1,9 +1,134 @@
 //! Shared experiment configuration.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
-use netuncert_core::solvers::engine::{SolverConfig, SolverEngine};
+use netuncert_core::solvers::engine::{SolverConfig, SolverEngine, SolverKind};
 use par_exec::ParallelConfig;
+
+/// An ordered, duplicate-free selection of solver backends — the engine
+/// composition every experiment's generic solves run through, selectable on
+/// the CLI via `run_experiments --solvers` (comma-separated
+/// [`SolverKind::id`]s).
+///
+/// Kept `Copy` (a fixed-capacity inline list) so [`ExperimentConfig`] stays
+/// a plain value type; [`SolverSelection::MAX`] comfortably holds every
+/// built-in backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverSelection {
+    kinds: [SolverKind; SolverSelection::MAX],
+    len: u8,
+}
+
+impl SolverSelection {
+    /// Capacity of a selection (more than the number of built-in backends).
+    pub const MAX: usize = 8;
+
+    /// The paper's dispatch order — the default used when `--solvers` is
+    /// not given, keeping every historical result bit-identical.
+    pub fn paper() -> Self {
+        SolverSelection::new(&SolverKind::PAPER_ORDER)
+            .expect("the paper order is a valid selection")
+    }
+
+    /// A selection from an explicit kind list (non-empty, no duplicates, at
+    /// most [`SolverSelection::MAX`] entries).
+    pub fn new(kinds: &[SolverKind]) -> Result<Self, String> {
+        if kinds.is_empty() {
+            return Err("a solver selection must name at least one solver".into());
+        }
+        if kinds.len() > SolverSelection::MAX {
+            return Err(format!(
+                "a solver selection holds at most {} solvers, got {}",
+                SolverSelection::MAX,
+                kinds.len()
+            ));
+        }
+        let mut stored = [SolverKind::Exhaustive; SolverSelection::MAX];
+        for (i, &kind) in kinds.iter().enumerate() {
+            if kinds[..i].contains(&kind) {
+                return Err(format!("solver `{}` was selected twice", kind.id()));
+            }
+            stored[i] = kind;
+        }
+        Ok(SolverSelection {
+            kinds: stored,
+            len: kinds.len() as u8,
+        })
+    }
+
+    /// Parses the CLI form: comma-separated [`SolverKind::id`]s, e.g.
+    /// `"two_links,local_search,exhaustive"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let kinds: Vec<SolverKind> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                SolverKind::parse(part).ok_or_else(|| {
+                    format!(
+                        "unknown solver `{part}`; known solvers: {}",
+                        SolverKind::ALL.map(|k| k.id()).join(", ")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        SolverSelection::new(&kinds)
+    }
+
+    /// The selected kinds, in engine order.
+    pub fn kinds(&self) -> &[SolverKind] {
+        &self.kinds[..self.len as usize]
+    }
+
+    /// The selected ids, in engine order (the form stamped into shard files).
+    pub fn ids(&self) -> Vec<String> {
+        self.kinds().iter().map(|k| k.id().to_string()).collect()
+    }
+
+    /// Builds a [`SolverEngine`] over this selection.
+    pub fn engine(&self, config: SolverConfig) -> SolverEngine {
+        SolverEngine::from_kinds(config, self.kinds())
+    }
+}
+
+impl Default for SolverSelection {
+    fn default() -> Self {
+        SolverSelection::paper()
+    }
+}
+
+impl fmt::Display for SolverSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ids().join(","))
+    }
+}
+
+impl Serialize for SolverSelection {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.kinds()
+                .iter()
+                .map(|k| serde::Value::Str(k.id().to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for SolverSelection {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ids: Vec<String> = Deserialize::from_value(v)?;
+        let kinds: Vec<SolverKind> = ids
+            .iter()
+            .map(|id| {
+                SolverKind::parse(id)
+                    .ok_or_else(|| serde::Error::custom(format!("unknown solver id `{id}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        SolverSelection::new(&kinds).map_err(serde::Error::custom)
+    }
+}
 
 /// Configuration shared by every experiment in the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,8 +146,13 @@ pub struct ExperimentConfig {
     pub default_threads: usize,
     /// Cap on `mⁿ` for exhaustive enumeration inside experiments.
     pub profile_limit: u128,
-    /// Step budget for best-response dynamics.
+    /// Step budget for best-response dynamics and local search.
     pub max_steps: usize,
+    /// Restart budget for the local-search backend.
+    pub restarts: usize,
+    /// The solver backends (and their order) behind every generic engine
+    /// solve, i.e. [`CellCtx::engine`](crate::experiment::CellCtx::engine).
+    pub solvers: SolverSelection,
 }
 
 impl Default for ExperimentConfig {
@@ -34,6 +164,8 @@ impl Default for ExperimentConfig {
             default_threads: ParallelConfig::from_env().threads(),
             profile_limit: 2_000_000,
             max_steps: 100_000,
+            restarts: SolverConfig::default().restarts,
+            solvers: SolverSelection::paper(),
         }
     }
 }
@@ -72,14 +204,18 @@ impl ExperimentConfig {
         SolverConfig {
             max_steps: self.max_steps,
             profile_limit: self.profile_limit,
+            restarts: self.restarts,
             ..SolverConfig::default()
         }
     }
 
-    /// A paper-order [`SolverEngine`] wired to this configuration's budgets
-    /// and worker pool; experiments route all equilibrium solving through it.
+    /// A [`SolverEngine`] over this configuration's solver selection,
+    /// budgets and worker pool; experiments route all generic equilibrium
+    /// solving through it.
     pub fn solver_engine(&self) -> SolverEngine {
-        SolverEngine::paper_order(self.solver_config()).with_parallelism(self.parallel())
+        self.solvers
+            .engine(self.solver_config())
+            .with_parallelism(self.parallel())
     }
 }
 
@@ -119,5 +255,47 @@ mod tests {
         // An explicit thread count still wins over the frozen default.
         let explicit = ExperimentConfig { threads: 2, ..cfg };
         assert_eq!(explicit.parallel().threads(), 2);
+    }
+
+    #[test]
+    fn the_default_selection_is_the_paper_order() {
+        let selection = SolverSelection::default();
+        assert_eq!(selection.kinds(), &SolverKind::PAPER_ORDER);
+        assert_eq!(
+            selection.to_string(),
+            "two_links,symmetric,uniform,best_response,exhaustive"
+        );
+    }
+
+    #[test]
+    fn selections_parse_validate_and_round_trip() {
+        let parsed = SolverSelection::parse("local_search, exhaustive").unwrap();
+        assert_eq!(
+            parsed.kinds(),
+            &[SolverKind::LocalSearch, SolverKind::Exhaustive]
+        );
+        assert!(SolverSelection::parse("").is_err());
+        assert!(SolverSelection::parse("nonsense").is_err());
+        assert!(SolverSelection::parse("exhaustive,exhaustive").is_err());
+
+        let json = serde_json::to_string(&parsed).unwrap();
+        assert_eq!(json, "[\"local_search\",\"exhaustive\"]");
+        let back: SolverSelection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, parsed);
+        assert!(serde_json::from_str::<SolverSelection>("[\"alien\"]").is_err());
+    }
+
+    #[test]
+    fn the_selection_drives_the_engine_composition() {
+        let cfg = ExperimentConfig {
+            solvers: SolverSelection::parse("local_search,exhaustive").unwrap(),
+            ..ExperimentConfig::default()
+        };
+        use netuncert_core::algorithms::PureNashMethod;
+        assert_eq!(
+            cfg.solver_engine().methods(),
+            vec![PureNashMethod::LocalSearch, PureNashMethod::Exhaustive]
+        );
+        assert_eq!(cfg.solver_config().restarts, cfg.restarts);
     }
 }

@@ -22,7 +22,7 @@ use netuncert_core::solvers::engine::SolverEngine;
 use par_exec::{parallel_map, ParallelConfig};
 
 use crate::config::ExperimentConfig;
-use crate::report::{ExperimentOutcome, Table};
+use crate::report::{ExperimentOutcome, ReportError, Table};
 
 /// One grid point of an experiment: a stable index plus a human label.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,10 +64,12 @@ pub struct CellCtx<'a> {
 }
 
 impl CellCtx<'_> {
-    /// The paper-order engine for this cell, wired to the cell's worker pool
-    /// and (when enabled) the sweep's shared cache.
+    /// The engine for this cell — the configuration's solver selection
+    /// (paper order unless overridden, e.g. by `run_experiments --solvers`)
+    /// wired to the cell's worker pool and (when enabled) the sweep's
+    /// shared cache.
     pub fn engine(&self) -> SolverEngine {
-        self.attach(SolverEngine::paper_order(self.config.solver_config()))
+        self.attach(self.config.solvers.engine(self.config.solver_config()))
     }
 
     /// Wires an arbitrary engine to the cell's worker pool and shared cache;
@@ -154,20 +156,38 @@ pub trait Experiment: Send + Sync {
     fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult;
 
     /// Assembles the classic outcome from the full, index-ordered cell set.
-    fn outcome(&self, config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome;
+    ///
+    /// Fails (instead of panicking) when the cells are malformed — a row
+    /// whose width disagrees with the declared columns, or a cell
+    /// addressing an undeclared table.
+    fn outcome(
+        &self,
+        config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError>;
 }
 
 /// Builds the experiment's output tables by distributing index-ordered cell
-/// rows over per-table `(title, columns)` templates.
-pub fn tables_from_cells(templates: &[(&str, &[&str])], cells: &[CellResult]) -> Vec<Table> {
+/// rows over per-table `(title, columns)` templates. Malformed cells (out
+/// of range table, wrong row width) are errors, not panics.
+pub fn tables_from_cells(
+    templates: &[(&str, &[&str])],
+    cells: &[CellResult],
+) -> Result<Vec<Table>, ReportError> {
     let mut tables: Vec<Table> = templates
         .iter()
         .map(|(title, columns)| Table::new(*title, columns))
         .collect();
     for cell in cells {
-        tables[cell.table].push_row(cell.row.clone());
+        let table = tables
+            .get_mut(cell.table)
+            .ok_or(ReportError::UnknownTable {
+                table: cell.table,
+                tables: templates.len(),
+            })?;
+        table.push_row(cell.row.clone())?;
     }
-    tables
+    Ok(tables)
 }
 
 /// Sizes the worker pool for one cell's inner Monte-Carlo loop: the sweep
@@ -183,7 +203,10 @@ pub fn inner_parallelism(pool: ParallelConfig, cells: usize) -> ParallelConfig {
 /// Runs one experiment in-process: every grid cell over the configuration's
 /// worker pool, then the outcome assembly — the single-process semantics the
 /// sharded sweep is proven against.
-pub fn run_experiment(experiment: &dyn Experiment, config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run_experiment(
+    experiment: &dyn Experiment,
+    config: &ExperimentConfig,
+) -> Result<ExperimentOutcome, ReportError> {
     let grid = experiment.grid();
     let inner = inner_parallelism(config.parallel(), grid.len());
     let cells = parallel_map(&config.parallel(), grid.len(), |i| {
@@ -223,8 +246,34 @@ mod tests {
         a.row = vec!["r0".into()];
         let mut b = CellResult::for_cell("demo", &Cell::new(1, 1, "b"));
         b.row = vec!["r1".into()];
-        let tables = tables_from_cells(&[("first", &["x"]), ("second", &["x"])], &[a, b]);
+        let tables = tables_from_cells(&[("first", &["x"]), ("second", &["x"])], &[a, b]).unwrap();
         assert_eq!(tables[0].rows, vec![vec!["r0".to_string()]]);
         assert_eq!(tables[1].rows, vec![vec!["r1".to_string()]]);
+    }
+
+    #[test]
+    fn malformed_cells_surface_as_report_errors() {
+        // A cell addressing an undeclared table.
+        let mut stray = CellResult::for_cell("demo", &Cell::new(0, 3, "stray"));
+        stray.row = vec!["r".into()];
+        assert_eq!(
+            tables_from_cells(&[("only", &["x"])], &[stray]),
+            Err(ReportError::UnknownTable {
+                table: 3,
+                tables: 1
+            })
+        );
+
+        // A row whose width disagrees with the declared columns.
+        let mut wide = CellResult::for_cell("demo", &Cell::new(0, 0, "wide"));
+        wide.row = vec!["a".into(), "b".into()];
+        assert!(matches!(
+            tables_from_cells(&[("only", &["x"])], &[wide]),
+            Err(ReportError::RowWidth {
+                expected: 1,
+                found: 2,
+                ..
+            })
+        ));
     }
 }

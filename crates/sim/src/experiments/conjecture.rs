@@ -14,7 +14,7 @@ use netuncert_core::solvers::engine::{BestResponse, Exhaustive, SolverEngine};
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{pct, ExperimentOutcome};
+use crate::report::{pct, ExperimentOutcome, ReportError};
 
 /// Per-size tally of how equilibria were found.
 #[derive(Debug, Clone, Copy, Default)]
@@ -129,9 +129,13 @@ impl Experiment for Conjecture {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let all_have_ne = cells.iter().all(|c| c.holds);
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E5".into(),
             name: "Pure Nash equilibrium existence (Conjecture 3.7)".into(),
             paper_claim: "Simulations on numerous small instances suggest every game has a pure \
@@ -147,13 +151,13 @@ impl Experiment for Conjecture {
                     .into()
             },
             holds: all_have_ne,
-            tables: tables_from_cells(&[TABLE], cells),
-        }
+            tables: tables_from_cells(&[TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&Conjecture, config)
 }
 
@@ -165,7 +169,7 @@ mod tests {
     fn quick_run_supports_the_conjecture() {
         let mut config = ExperimentConfig::quick();
         config.samples = 10;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert_eq!(outcome.id, "E5");
         assert!(
             outcome.holds,

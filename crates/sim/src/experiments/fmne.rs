@@ -17,7 +17,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{pct, ExperimentOutcome};
+use crate::report::{pct, ExperimentOutcome, ReportError};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
@@ -182,10 +182,14 @@ impl Experiment for FullyMixed {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let all_verified = cells.iter().filter(|c| c.table == 0).all(|c| c.holds);
         let uniform_holds = cells.iter().filter(|c| c.table == 1).all(|c| c.holds);
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E7/E8".into(),
             name: "Fully mixed Nash equilibria: closed form, uniqueness, uniform beliefs".into(),
             paper_claim: "The closed-form probabilities of Theorem 4.6 characterise the unique \
@@ -198,13 +202,13 @@ impl Experiment for FullyMixed {
                  ({all_verified}); uniform-beliefs instances matched the 1/m law ({uniform_holds})"
             ),
             holds: all_verified && uniform_holds,
-            tables: tables_from_cells(&[GENERAL_TABLE, UNIFORM_TABLE], cells),
-        }
+            tables: tables_from_cells(&[GENERAL_TABLE, UNIFORM_TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&FullyMixed, config)
 }
 
@@ -216,7 +220,7 @@ mod tests {
     fn quick_run_verifies_closed_form() {
         let mut config = ExperimentConfig::quick();
         config.samples = 10;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
         assert_eq!(outcome.tables.len(), 2);
     }

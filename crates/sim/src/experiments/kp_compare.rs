@@ -35,7 +35,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{pct, ExperimentOutcome};
+use crate::report::{pct, ExperimentOutcome, ReportError};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
@@ -204,9 +204,13 @@ impl Experiment for KpCompare {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let holds = cells.iter().filter(|c| c.table == 0).all(|c| c.holds);
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E12".into(),
             name: "KP-model special case and the cost of uncertainty".into(),
             paper_claim: "When every user assigns probability one to the same state the model \
@@ -223,13 +227,13 @@ impl Experiment for KpCompare {
                     .into()
             },
             holds,
-            tables: tables_from_cells(&[KP_TABLE, DRIFT_TABLE], cells),
-        }
+            tables: tables_from_cells(&[KP_TABLE, DRIFT_TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&KpCompare, config)
 }
 
@@ -241,7 +245,7 @@ mod tests {
     fn quick_run_collapses_to_kp() {
         let mut config = ExperimentConfig::quick();
         config.samples = 8;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
         assert_eq!(outcome.tables.len(), 2);
     }

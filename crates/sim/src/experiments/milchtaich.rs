@@ -22,7 +22,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{pct, ExperimentOutcome};
+use crate::report::{pct, ExperimentOutcome, ReportError};
 
 const TABLE: (&str, &[&str]) = (
     "User-specific class vs. belief-induced subclass (3 players, 3 resources)",
@@ -124,7 +124,11 @@ impl Experiment for Milchtaich {
         out
     }
 
-    fn outcome(&self, config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let ce = &cells[0];
         let induced = &cells[2];
         let ce_has_ne = ce.metric_flag("ce_has_ne");
@@ -134,7 +138,7 @@ impl Experiment for Milchtaich {
         let holds =
             !ce_has_ne && ce_cycles && induced_with_ne == config.samples && embeddings_agree;
 
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E11".into(),
             name: "The non-existence counterexample does not apply to the model".into(),
             paper_claim: "Weighted congestion games with user-specific functions may have no pure \
@@ -149,13 +153,13 @@ impl Experiment for Milchtaich {
                 !ce_has_ne, ce_cycles, induced_with_ne, config.samples, embeddings_agree
             ),
             holds,
-            tables: tables_from_cells(&[TABLE], cells),
-        }
+            tables: tables_from_cells(&[TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&Milchtaich, config)
 }
 
@@ -167,7 +171,7 @@ mod tests {
     fn quick_run_separates_the_two_classes() {
         let mut config = ExperimentConfig::quick();
         config.samples = 10;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
         assert_eq!(outcome.tables[0].rows.len(), 3);
     }

@@ -10,11 +10,12 @@ pub mod kp_compare;
 pub mod milchtaich;
 pub mod poa;
 pub mod potential;
+pub mod scaling;
 pub mod three_users;
 pub mod worst_case;
 
 /// Every registered experiment, in report order (the `DESIGN.md` index:
-/// E4, E5, E6, E7/E8, E9, E10, E11, E12).
+/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13).
 pub fn all() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(three_users::ThreeUsers),
@@ -25,6 +26,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(poa::PriceOfAnarchy),
         Box::new(milchtaich::Milchtaich),
         Box::new(kp_compare::KpCompare),
+        Box::new(scaling::Scaling),
     ]
 }
 
@@ -56,6 +58,7 @@ mod tests {
                 "poa",
                 "milchtaich",
                 "kp_compare",
+                "scaling",
             ]
         );
     }

@@ -20,7 +20,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{fmt, ExperimentOutcome};
+use crate::report::{fmt, ExperimentOutcome, ReportError};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
@@ -188,9 +188,13 @@ impl Experiment for PriceOfAnarchy {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let holds = cells.iter().all(|c| c.holds);
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E10".into(),
             name: "Price of anarchy against the paper's upper bounds (Thms 4.13/4.14)".into(),
             paper_claim: "SCᵢ/OPTᵢ ≤ (cmax/cmin)(m+n−1)/m under uniform beliefs, and \
@@ -205,13 +209,13 @@ impl Experiment for PriceOfAnarchy {
                 "a sampled equilibrium exceeded the claimed bound — inspect the table".into()
             },
             holds,
-            tables: tables_from_cells(&[UNIFORM_TABLE, GENERAL_TABLE], cells),
-        }
+            tables: tables_from_cells(&[UNIFORM_TABLE, GENERAL_TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&PriceOfAnarchy, config)
 }
 
@@ -223,7 +227,7 @@ mod tests {
     fn quick_run_respects_both_bounds() {
         let mut config = ExperimentConfig::quick();
         config.samples = 8;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
         assert_eq!(outcome.tables.len(), 2);
     }

@@ -21,7 +21,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{pct, ExperimentOutcome};
+use crate::report::{pct, ExperimentOutcome, ReportError};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
@@ -111,7 +111,11 @@ impl Experiment for Potential {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let any_violation = cells
             .iter()
             .any(|c| c.metric("violations").unwrap_or(0.0) > 0.0);
@@ -123,7 +127,7 @@ impl Experiment for Potential {
         // instance) an improvement cycle. Pure NE nonetheless exist everywhere.
         let holds = any_violation && all_have_ne;
 
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E6".into(),
             name: "The game is not an (exact or ordinal) potential game (Section 3.2)".into(),
             paper_claim: "The game does not admit an exact potential function, and some \
@@ -137,13 +141,13 @@ impl Experiment for Potential {
                  {all_have_ne}"
             ),
             holds,
-            tables: tables_from_cells(&[TABLE], cells),
-        }
+            tables: tables_from_cells(&[TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&Potential, config)
 }
 
@@ -155,7 +159,7 @@ mod tests {
     fn quick_run_detects_exact_potential_violations() {
         let mut config = ExperimentConfig::quick();
         config.samples = 8;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
     }
 }

@@ -16,7 +16,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::ExperimentOutcome;
+use crate::report::{ExperimentOutcome, ReportError};
 
 /// Link counts probed with `n = 3`.
 pub fn link_grid() -> Vec<usize> {
@@ -97,9 +97,13 @@ impl Experiment for ThreeUsers {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let claim_holds = cells.iter().all(|c| c.holds);
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E4".into(),
             name: "Pure NE existence for three users (Section 3.1)".into(),
             paper_claim:
@@ -116,13 +120,13 @@ impl Experiment for ThreeUsers {
                     .into()
             },
             holds: claim_holds,
-            tables: tables_from_cells(&[TABLE], cells),
-        }
+            tables: tables_from_cells(&[TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&ThreeUsers, config)
 }
 
@@ -134,7 +138,7 @@ mod tests {
     fn quick_run_confirms_three_user_existence() {
         let mut config = ExperimentConfig::quick();
         config.samples = 10;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
         assert_eq!(outcome.tables[0].rows.len(), link_grid().len());
     }

@@ -18,7 +18,7 @@ use par_exec::parallel_map;
 
 use crate::config::ExperimentConfig;
 use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
-use crate::report::{fmt, pct, ExperimentOutcome};
+use crate::report::{fmt, pct, ExperimentOutcome, ReportError};
 
 /// The `(n, m)` grid probed by the experiment.
 pub fn size_grid() -> Vec<(usize, usize)> {
@@ -164,9 +164,13 @@ impl Experiment for WorstCase {
         out
     }
 
-    fn outcome(&self, _config: &ExperimentConfig, cells: &[CellResult]) -> ExperimentOutcome {
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
         let holds = cells.iter().all(|c| c.holds);
-        ExperimentOutcome {
+        Ok(ExperimentOutcome {
             id: "E9".into(),
             name: "The fully mixed NE maximises the social cost (Lemma 4.9, Thms 4.11/4.12)".into(),
             paper_claim: "For every Nash equilibrium P and every user i, λᵢ(P) ≤ λᵢ(F); hence the \
@@ -181,13 +185,13 @@ impl Experiment for WorstCase {
                     .into()
             },
             holds,
-            tables: tables_from_cells(&[TABLE], cells),
-        }
+            tables: tables_from_cells(&[TABLE], cells)?,
+        })
     }
 }
 
 /// Runs the experiment (thin wrapper over the [`Experiment`] impl).
-pub fn run(config: &ExperimentConfig) -> ExperimentOutcome {
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
     crate::experiment::run_experiment(&WorstCase, config)
 }
 
@@ -199,7 +203,7 @@ mod tests {
     fn quick_run_confirms_fmne_is_worst() {
         let mut config = ExperimentConfig::quick();
         config.samples = 10;
-        let outcome = run(&config);
+        let outcome = run(&config).expect("report assembles");
         assert!(outcome.holds, "{}", outcome.observed);
     }
 }

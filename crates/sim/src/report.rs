@@ -1,6 +1,53 @@
 //! Experiment outcomes and table rendering.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// Why a report could not be assembled from cell results. Malformed cells —
+/// hand-edited record files, drifted experiment declarations — surface as
+/// values instead of panics, matching the harness's non-panicking
+/// convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// A row's width disagrees with the table's column count.
+    RowWidth {
+        /// The table's caption.
+        table: String,
+        /// Number of columns declared.
+        expected: usize,
+        /// Number of cells in the offending row.
+        found: usize,
+    },
+    /// A cell addresses a table the experiment does not declare.
+    UnknownTable {
+        /// The out-of-range table index.
+        table: usize,
+        /// Number of tables declared.
+        tables: usize,
+    },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::RowWidth {
+                table,
+                expected,
+                found,
+            } => write!(
+                f,
+                "table `{table}` has {expected} columns but the row has {found} cells"
+            ),
+            ReportError::UnknownTable { table, tables } => write!(
+                f,
+                "cell addresses table {table} but only {tables} tables are declared"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
 
 /// A simple column-oriented table carried inside an experiment outcome and
 /// rendered as GitHub-flavoured markdown.
@@ -24,14 +71,17 @@ impl Table {
         }
     }
 
-    /// Appends a row (must match the number of columns).
-    pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.columns.len(),
-            "row width must match columns"
-        );
+    /// Appends a row; fails when its width disagrees with the columns.
+    pub fn push_row(&mut self, cells: Vec<String>) -> Result<(), ReportError> {
+        if cells.len() != self.columns.len() {
+            return Err(ReportError::RowWidth {
+                table: self.title.clone(),
+                expected: self.columns.len(),
+                found: cells.len(),
+            });
+        }
         self.rows.push(cells);
+        Ok(())
     }
 
     /// Renders the table as markdown.
@@ -115,7 +165,7 @@ mod tests {
     #[test]
     fn table_rendering_produces_markdown() {
         let mut t = Table::new("Demo", &["a", "b"]);
-        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["1".into(), "2".into()]).unwrap();
         let md = t.to_markdown();
         assert!(md.contains("| a | b |"));
         assert!(md.contains("| 1 | 2 |"));
@@ -123,10 +173,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row width")]
-    fn mismatched_rows_are_rejected() {
+    fn mismatched_rows_are_rejected_as_values() {
         let mut t = Table::new("Demo", &["a", "b"]);
-        t.push_row(vec!["1".into()]);
+        let err = t.push_row(vec!["1".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            ReportError::RowWidth {
+                table: "Demo".into(),
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(err.to_string().contains("2 columns"));
+        assert!(t.rows.is_empty(), "a rejected row must not be stored");
     }
 
     #[test]

@@ -21,10 +21,10 @@ use serde::{Deserialize, Serialize};
 use netuncert_core::solvers::cache::{CacheStats, SolveCache};
 use par_exec::parallel_map;
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, SolverSelection};
 use crate::experiment::{Cell, CellCtx, CellResult, Experiment};
 use crate::experiments;
-use crate::report::ExperimentOutcome;
+use crate::report::{ExperimentOutcome, ReportError};
 
 /// One slice of a sweep: run the cells whose `task_id % count == index`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,6 +127,9 @@ pub enum MergeError {
         /// The first missing cell index.
         index: usize,
     },
+    /// The records merged, but an outcome could not be assembled from them
+    /// (malformed rows — see [`ReportError`]).
+    Report(ReportError),
 }
 
 impl fmt::Display for MergeError {
@@ -150,6 +153,7 @@ impl fmt::Display for MergeError {
                 f,
                 "cell {index} of experiment `{experiment}` is missing — merge all shard files"
             ),
+            MergeError::Report(err) => write!(f, "assembling the report failed: {err}"),
         }
     }
 }
@@ -306,16 +310,114 @@ impl SweepRunner {
                 });
             }
             let cells: Vec<CellResult> = cells.into_iter().map(Option::unwrap).collect();
-            outcomes.push(experiment.outcome(&self.config, &cells));
+            outcomes.push(
+                experiment
+                    .outcome(&self.config, &cells)
+                    .map_err(MergeError::Report)?,
+            );
         }
         Ok(outcomes)
     }
 
+    /// The task ids `shard` owns whose cells are absent from `existing` —
+    /// the work list of a `--resume` run.
+    pub fn missing_in_shard(&self, shard: Shard, existing: &[CellRecord]) -> Vec<u64> {
+        let mut have: Vec<u64> = existing.iter().map(|r| r.task_id).collect();
+        have.sort_unstable();
+        (0..self.task_count() as u64)
+            .filter(|&task_id| shard.selects(task_id) && have.binary_search(&task_id).is_err())
+            .collect()
+    }
+
+    /// Resumes a shard run: recomputes only the cells `shard` owns that are
+    /// missing from `existing`, and returns the union in task-id order.
+    ///
+    /// Records in `existing` are validated against the grids first (unknown
+    /// experiments, out-of-range cells, grid mismatches and duplicates are
+    /// the same hard errors as in [`merge`](SweepRunner::merge)), so a
+    /// corrupted record file cannot be silently "completed". Because every
+    /// cell derives its randomness from `(seed, cell index)` alone, resumed
+    /// records are bit-identical to the ones a from-scratch run computes.
+    pub fn run_missing(
+        &self,
+        shard: Shard,
+        existing: &[CellRecord],
+    ) -> Result<Vec<CellRecord>, MergeError> {
+        self.validate_records(existing)?;
+        let missing = self.missing_in_shard(shard, existing);
+        let flattened = self.flattened();
+        let selected: Vec<&(u64, usize, Cell)> = flattened
+            .iter()
+            .filter(|(task_id, _, _)| missing.binary_search(task_id).is_ok())
+            .collect();
+        let inner = crate::experiment::inner_parallelism(self.config.parallel(), selected.len());
+        let fresh = parallel_map(&self.config.parallel(), selected.len(), |i| {
+            let (task_id, exp_idx, cell) = selected[i];
+            let ctx = CellCtx {
+                config: &self.config,
+                cell,
+                parallel: inner,
+                cache: self.cache.as_ref(),
+            };
+            CellRecord {
+                task_id: *task_id,
+                result: self.experiments[*exp_idx].run_cell(&ctx),
+            }
+        });
+        let mut combined: Vec<CellRecord> = existing.to_vec();
+        combined.extend(fresh);
+        combined.sort_by_key(|r| r.task_id);
+        Ok(combined)
+    }
+
+    /// Validates records against the experiment grids without requiring
+    /// completeness (the merge-time checks minus [`MergeError::MissingCell`]).
+    /// Grids are built once per experiment (lazily) and duplicates tracked
+    /// by dense index, so validating a wide shard file stays linear.
+    fn validate_records(&self, records: &[CellRecord]) -> Result<(), MergeError> {
+        let mut grids: Vec<Option<Vec<Cell>>> = vec![None; self.experiments.len()];
+        let mut seen: Vec<Vec<bool>> = vec![Vec::new(); self.experiments.len()];
+        for record in records {
+            let result = &record.result;
+            let exp_idx = self
+                .experiments
+                .iter()
+                .position(|e| e.id() == result.experiment)
+                .ok_or_else(|| MergeError::UnknownExperiment(result.experiment.clone()))?;
+            let grid = grids[exp_idx]
+                .get_or_insert_with(|| self.experiments[exp_idx].grid())
+                .as_slice();
+            if result.index >= grid.len() {
+                return Err(MergeError::UnknownCell {
+                    experiment: result.experiment.clone(),
+                    index: result.index,
+                });
+            }
+            let cell = &grid[result.index];
+            if result.table != cell.table || result.label != cell.label {
+                return Err(MergeError::MismatchedCell {
+                    experiment: result.experiment.clone(),
+                    index: result.index,
+                });
+            }
+            let seen = &mut seen[exp_idx];
+            seen.resize(grid.len(), false);
+            if seen[result.index] {
+                return Err(MergeError::DuplicateCell {
+                    experiment: result.experiment.clone(),
+                    index: result.index,
+                });
+            }
+            seen[result.index] = true;
+        }
+        Ok(())
+    }
+
     /// Runs the whole sweep and merges it — the single-process semantics
-    /// shard runs are proven against.
-    pub fn outcomes(&self) -> Vec<ExperimentOutcome> {
+    /// shard runs are proven against. Fails only when an experiment's cells
+    /// cannot be assembled into a report ([`MergeError::Report`]).
+    pub fn outcomes(&self) -> Result<Vec<ExperimentOutcome>, MergeError> {
         self.merge(&self.run())
-            .expect("an in-process sweep is always complete")
     }
 }
 
@@ -331,8 +433,13 @@ pub struct ShardFile {
     pub seed: u64,
     /// Exhaustive-enumeration cap the records were computed with.
     pub profile_limit: u128,
-    /// Best-response step budget the records were computed with.
+    /// Best-response/local-search step budget the records were computed with.
     pub max_steps: usize,
+    /// Local-search restart budget the records were computed with.
+    pub restarts: usize,
+    /// The solver selection (engine composition) the records were computed
+    /// with, as [`SolverKind::id`](netuncert_core::solvers::SolverKind::id)s.
+    pub solvers: SolverSelection,
     /// The cell records.
     pub records: Vec<CellRecord>,
 }
@@ -345,6 +452,8 @@ impl ShardFile {
             seed: config.seed,
             profile_limit: config.profile_limit,
             max_steps: config.max_steps,
+            restarts: config.restarts,
+            solvers: config.solvers,
             records,
         }
     }
@@ -371,6 +480,12 @@ impl ShardFile {
                 "max_steps {} vs {}",
                 self.max_steps, config.max_steps
             ));
+        }
+        if self.restarts != config.restarts {
+            mismatches.push(format!("restarts {} vs {}", self.restarts, config.restarts));
+        }
+        if self.solvers != config.solvers {
+            mismatches.push(format!("solvers {} vs {}", self.solvers, config.solvers));
         }
         if mismatches.is_empty() {
             Ok(())
@@ -446,7 +561,7 @@ mod tests {
         let config = tiny_config();
         let experiment = || experiments::find("three_users").unwrap();
         let runner = SweepRunner::with_experiments(config, vec![experiment()]);
-        let direct = runner.outcomes();
+        let direct = runner.outcomes().unwrap();
 
         let mut records = runner.run_shard(Shard::new(0, 2));
         records.extend(runner.run_shard(Shard::new(1, 2)));
@@ -517,6 +632,18 @@ mod tests {
             ..config
         };
         assert!(back.check_config(&other_seed).is_err());
+        let other_restarts = ExperimentConfig {
+            restarts: config.restarts + 1,
+            ..config
+        };
+        let err = back.check_config(&other_restarts).unwrap_err();
+        assert!(err.contains("restarts"), "{err}");
+        let other_solvers = ExperimentConfig {
+            solvers: crate::config::SolverSelection::parse("local_search,exhaustive").unwrap(),
+            ..config
+        };
+        let err = back.check_config(&other_solvers).unwrap_err();
+        assert!(err.contains("solvers"), "{err}");
     }
 
     #[test]

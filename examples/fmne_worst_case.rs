@@ -50,7 +50,7 @@ fn main() -> Result<()> {
         ..ExperimentConfig::default()
     };
     println!("== Statistical check on {samples} random instances per size ==\n");
-    let outcome = experiments::worst_case::run(&config);
+    let outcome = experiments::worst_case::run(&config).expect("report assembles");
     print!("{}", outcome.to_markdown());
     Ok(())
 }

@@ -16,10 +16,10 @@ fn main() {
     };
 
     println!("Searching for pure Nash equilibria on {samples} random instances per size...\n");
-    let outcome = experiments::conjecture::run(&config);
+    let outcome = experiments::conjecture::run(&config).expect("report assembles");
     print!("{}", outcome.to_markdown());
 
-    let three = experiments::three_users::run(&config);
+    let three = experiments::three_users::run(&config).expect("report assembles");
     print!("{}", three.to_markdown());
 
     if outcome.holds && three.holds {

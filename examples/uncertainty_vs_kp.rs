@@ -66,7 +66,7 @@ fn main() -> Result<()> {
         ..ExperimentConfig::default()
     };
     println!("== Statistical KP-collapse check ({samples} instances per size) ==\n");
-    let outcome = experiments::kp_compare::run(&config);
+    let outcome = experiments::kp_compare::run(&config).expect("report assembles");
     print!("{}", outcome.to_markdown());
     Ok(())
 }

@@ -1,0 +1,91 @@
+//! Golden snapshot tests: one tiny deterministic-seed grid per registered
+//! experiment, pinned byte-for-byte.
+//!
+//! Each snapshot under `tests/golden/` is the serialised `ShardFile` (the
+//! durable cell-record format, configuration stamp included) of a
+//! two-sample, fixed-seed run of one experiment. Refactors of the
+//! experiment layer — new engine compositions, sweep plumbing, report
+//! assembly — must reproduce these files exactly; a diff here means
+//! results drifted, not just code.
+//!
+//! To regenerate after an *intentional* change (new experiment, changed
+//! stamp format, redesigned grid):
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_experiments
+//! git diff tests/golden/   # review every byte you are blessing
+//! ```
+
+use std::path::PathBuf;
+
+use netuncert::sim::sweep::ShardFile;
+use netuncert::sim::{experiments, ExperimentConfig, SweepRunner};
+
+/// The pinned snapshot configuration. Changing any result-determining
+/// field here invalidates every golden file by design (the stamp is part
+/// of the snapshot).
+fn golden_config() -> ExperimentConfig {
+    ExperimentConfig {
+        samples: 2,
+        seed: 0x601D_CAFE,
+        threads: 2,
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{id}.json"))
+}
+
+#[test]
+fn every_registered_experiment_matches_its_golden_snapshot() {
+    let config = golden_config();
+    let update = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let mut drifted = Vec::new();
+    for experiment in experiments::all() {
+        let id = experiment.id();
+        let runner = SweepRunner::with_experiments(config, vec![experiments::find(id).unwrap()]);
+        let json = ShardFile::new(&config, runner.run())
+            .to_json()
+            .expect("records serialise");
+        let path = golden_path(id);
+        if update {
+            std::fs::write(&path, &json).expect("write golden file");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); run UPDATE_GOLDENS=1 cargo test --test \
+                 golden_experiments and review the diff",
+                path.display()
+            )
+        });
+        if json != golden {
+            drifted.push(id.to_string());
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "experiment results drifted from their golden snapshots: {drifted:?}; if the change is \
+         intentional, regenerate with UPDATE_GOLDENS=1 and review the diff"
+    );
+}
+
+#[test]
+fn there_is_no_orphaned_golden_snapshot() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let ids = experiments::ids();
+    for entry in std::fs::read_dir(&dir).expect("golden directory exists") {
+        let name = entry.expect("readable entry").file_name();
+        let name = name.to_string_lossy();
+        let Some(stem) = name.strip_suffix(".json") else {
+            panic!("unexpected file in tests/golden: {name}");
+        };
+        assert!(
+            ids.contains(&stem),
+            "golden snapshot `{name}` does not correspond to a registered experiment"
+        );
+    }
+}

@@ -14,8 +14,8 @@ fn tiny_config() -> ExperimentConfig {
 
 #[test]
 fn the_full_suite_is_consistent_with_the_paper() {
-    let outcomes = run_all(&tiny_config());
-    assert_eq!(outcomes.len(), 8, "every experiment in DESIGN.md must run");
+    let outcomes = run_all(&tiny_config()).expect("reports assemble");
+    assert_eq!(outcomes.len(), 9, "every experiment in DESIGN.md must run");
     let failing: Vec<&ExperimentOutcome> = outcomes.iter().filter(|o| !o.holds).collect();
     assert!(
         failing.is_empty(),
@@ -29,17 +29,17 @@ fn the_full_suite_is_consistent_with_the_paper() {
 
 #[test]
 fn experiment_ids_match_the_design_document() {
-    let outcomes = run_all(&tiny_config());
+    let outcomes = run_all(&tiny_config()).expect("reports assemble");
     let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
     assert_eq!(
         ids,
-        vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12"]
+        vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12", "E13"]
     );
 }
 
 #[test]
 fn reports_render_and_serialise() {
-    let outcomes = run_all(&tiny_config());
+    let outcomes = run_all(&tiny_config()).expect("reports assemble");
     let md = render_markdown(&outcomes);
     assert!(md.contains("# Experiment report"));
     for outcome in &outcomes {
@@ -61,8 +61,8 @@ fn reports_render_and_serialise() {
 
 #[test]
 fn results_are_deterministic_in_the_seed() {
-    let a = run_all(&tiny_config());
-    let b = run_all(&tiny_config());
+    let a = run_all(&tiny_config()).expect("reports assemble");
+    let b = run_all(&tiny_config()).expect("reports assemble");
     assert_eq!(
         a, b,
         "same seed and sample count must reproduce identical reports"
@@ -72,7 +72,7 @@ fn results_are_deterministic_in_the_seed() {
         seed: 99,
         ..tiny_config()
     };
-    let c = run_all(&different_seed);
+    let c = run_all(&different_seed).expect("reports assemble");
     // Different seed changes the numbers (tables), though claims still hold.
     assert_ne!(a, c);
     assert!(c.iter().all(|o| o.holds));
@@ -88,5 +88,8 @@ fn thread_count_does_not_change_results() {
         threads: 4,
         ..tiny_config()
     };
-    assert_eq!(run_all(&sequential), run_all(&parallel));
+    assert_eq!(
+        run_all(&sequential).expect("reports assemble"),
+        run_all(&parallel).expect("reports assemble")
+    );
 }

@@ -40,7 +40,8 @@ proptest! {
     #[test]
     fn shard_merge_reports_are_byte_identical(seed in any::<u64>()) {
         let config = tiny_config(seed);
-        let single = runner::to_json(&runner::run_all(&config)).expect("outcomes serialise");
+        let single = runner::to_json(&runner::run_all(&config).expect("reports assemble"))
+            .expect("outcomes serialise");
         prop_assert_eq!(&single, &sharded_report(config, 1));
         prop_assert_eq!(&single, &sharded_report(config, 3));
         prop_assert_eq!(&single, &sharded_report(config, 8));
@@ -112,7 +113,7 @@ fn cached_sweeps_hit_on_perturbation_experiments_without_changing_results() {
         ],
     )
     .with_cache();
-    let cached_outcomes = cached.outcomes();
+    let cached_outcomes = cached.outcomes().expect("reports assemble");
     let stats = cached.cache_stats().expect("cache enabled");
     assert!(
         stats.hits > 0,
@@ -129,7 +130,7 @@ fn cached_sweeps_hit_on_perturbation_experiments_without_changing_results() {
     );
     assert_eq!(
         cached_outcomes,
-        uncached.outcomes(),
+        uncached.outcomes().expect("reports assemble"),
         "caching must never change sweep results"
     );
 }
@@ -139,15 +140,147 @@ fn registry_lookup_and_trait_metadata_agree_with_run_all() {
     let config = tiny_config(3);
     let via_registry: Vec<_> = experiments::all()
         .iter()
-        .map(|e| netuncert::sim::experiment::run_experiment(e.as_ref(), &config))
+        .map(|e| {
+            netuncert::sim::experiment::run_experiment(e.as_ref(), &config)
+                .expect("report assembles")
+        })
         .collect();
-    let via_run_all = runner::run_all(&config);
+    let via_run_all = runner::run_all(&config).expect("reports assemble");
     assert_eq!(via_registry, via_run_all);
 
     // Ids resolve and the grids address every cell exactly once.
     for experiment in experiments::all() {
         let again = experiments::find(experiment.id()).expect("id resolves");
         assert_eq!(again.grid(), experiment.grid());
+    }
+}
+
+#[test]
+fn deleting_cells_and_resuming_reproduces_the_original_records() {
+    let config = tiny_config(0xFE5);
+    let sweep = SweepRunner::new(config);
+    let original = sweep.run();
+    assert!(original.len() > 4);
+
+    // Delete a scattering of cells (including the first and last).
+    let mut damaged = original.clone();
+    let victims = [0usize, 2, damaged.len() - 1];
+    for &v in victims.iter().rev() {
+        damaged.remove(v);
+    }
+
+    // Resume recomputes exactly the missing task ids...
+    let missing = sweep.missing_in_shard(Shard::solo(), &damaged);
+    assert_eq!(
+        missing,
+        victims
+            .iter()
+            .map(|&v| original[v].task_id)
+            .collect::<Vec<_>>()
+    );
+    // ...and the completed record set is bit-identical to the original.
+    let resumed = sweep
+        .run_missing(Shard::solo(), &damaged)
+        .expect("records validate");
+    assert_eq!(resumed, original);
+
+    // Resuming a complete file recomputes nothing and changes nothing.
+    assert!(sweep.missing_in_shard(Shard::solo(), &original).is_empty());
+    assert_eq!(
+        sweep
+            .run_missing(Shard::solo(), &original)
+            .expect("records validate"),
+        original
+    );
+
+    // Under sharding, only the shard's own missing cells are recomputed:
+    // with every record deleted, shard 0/2 completes exactly its half.
+    let half = sweep
+        .run_missing(Shard::new(0, 2), &[])
+        .expect("records validate");
+    let expected: Vec<_> = original
+        .iter()
+        .filter(|r| Shard::new(0, 2).selects(r.task_id))
+        .cloned()
+        .collect();
+    assert_eq!(half, expected);
+
+    // Corrupted records are rejected instead of being "completed".
+    let mut corrupted = original.clone();
+    corrupted[1].result.label = "not the grid's label".into();
+    assert!(sweep.run_missing(Shard::solo(), &corrupted).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A `SolveCache` hit replays the cold solve bit-identically — the
+    /// solution *and* the full telemetry (method, iterations, restarts,
+    /// recorded wall time) — under arbitrary interleavings of repeated
+    /// instances.
+    #[test]
+    fn cache_hits_replay_cold_solves_under_arbitrary_interleavings(
+        seed in any::<u64>(),
+        order in proptest::collection::vec(0usize..4, 1..24),
+    ) {
+        use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
+
+        // Four distinct instances; reference solutions from an uncached
+        // engine of the same composition and budgets.
+        let games: Vec<EffectiveGame> = (0..4)
+            .map(|i| {
+                EffectiveSpec::General {
+                    users: 4,
+                    links: 3,
+                    capacity: CapacityDist::Uniform { lo: 0.5, hi: 2.0 },
+                    weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+                }
+                .generate(&mut instance_gen::rng(seed, 0xCACE + i))
+            })
+            .collect();
+        let reference: Vec<EngineSolution> = games
+            .iter()
+            .map(|g| {
+                SolverEngine::default()
+                    .solve(g, &LinkLoads::zero(3))
+                    .unwrap()
+            })
+            .collect();
+
+        let cache = std::sync::Arc::new(SolveCache::new());
+        let cached = SolverEngine::default().with_cache(std::sync::Arc::clone(&cache));
+        let mut first_seen: Vec<Option<EngineSolution>> = vec![None; games.len()];
+        for &i in &order {
+            let solved = cached.solve(&games[i], &LinkLoads::zero(3)).unwrap();
+            // Every solve — cold or hit, wherever it lands in the
+            // interleaving — must be bit-identical to the uncached
+            // reference, including telemetry.
+            match &first_seen[i] {
+                None => {
+                    prop_assert_eq!(&solved.solution, &reference[i].solution);
+                    // Deterministic telemetry must match the reference;
+                    // wall-clock nanoseconds are legitimately noisy across
+                    // engines, so they are compared only hit-vs-cold below.
+                    let refs = &reference[i].telemetry.attempts;
+                    prop_assert_eq!(solved.telemetry.attempts.len(), refs.len());
+                    for (a, b) in solved.telemetry.attempts.iter().zip(refs) {
+                        prop_assert_eq!(a.method, b.method);
+                        prop_assert_eq!(a.applicability, b.applicability);
+                        prop_assert_eq!(a.iterations, b.iterations);
+                        prop_assert_eq!(a.restarts, b.restarts);
+                        prop_assert_eq!(a.found, b.found);
+                    }
+                    first_seen[i] = Some(solved);
+                }
+                // A hit replays the stored cold solve *bit-identically*,
+                // recorded wall time included.
+                Some(cold) => prop_assert_eq!(&solved, cold),
+            }
+        }
+        let distinct = first_seen.iter().filter(|s| s.is_some()).count() as u64;
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses, distinct);
+        prop_assert_eq!(stats.hits, order.len() as u64 - distinct);
     }
 }
 
