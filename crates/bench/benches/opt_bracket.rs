@@ -1,0 +1,81 @@
+//! The `opt` bracketing engine vs its exact alternatives at growing `n`:
+//! exhaustive enumeration, pruned branch-and-bound, and the bounds-only
+//! composition (greedy + descent upper, relaxation lower) that carries the
+//! PoA-at-scale experiment past the exhaustive wall. These are the numbers
+//! behind the `BENCHMARKS.md` "opt_bracket" table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::general_instance;
+use netuncert_core::opt::{OptBackendKind, OptConfig, OptEngine};
+use netuncert_core::solvers::exhaustive::profile_count;
+use netuncert_core::strategy::LinkLoads;
+
+fn engine(kinds: &[OptBackendKind]) -> OptEngine {
+    OptEngine::from_kinds(OptConfig::default(), kinds)
+}
+
+fn bench_opt_bracket(c: &mut Criterion) {
+    let config = OptConfig::default();
+    let bounds_only = [
+        OptBackendKind::LptGreedy,
+        OptBackendKind::Descent,
+        OptBackendKind::Relaxation,
+    ];
+
+    // Exact regime: every backend applies; exhaustive is the ground truth
+    // the branch-and-bound search must reproduce bit-for-bit.
+    let mut exact = c.benchmark_group("opt_bracket_exact");
+    exact.sample_size(10);
+    for &(n, m) in &[(8usize, 4usize), (10, 4)] {
+        let game = general_instance(n, m, 45);
+        let initial = LinkLoads::zero(m);
+        for (label, kinds) in [
+            ("exhaustive", &[OptBackendKind::Exhaustive][..]),
+            ("branch_and_bound", &[OptBackendKind::BranchAndBound][..]),
+            ("bracket", &bounds_only[..]),
+        ] {
+            let e = engine(kinds);
+            let outcome = e.estimate(&game, &initial).unwrap();
+            assert!(outcome.opt1.upper.is_finite());
+            exact.bench_with_input(
+                BenchmarkId::new(label, format!("n{n}_m{m}")),
+                &label,
+                |b, _| b.iter(|| e.estimate(black_box(&game), black_box(&initial))),
+            );
+        }
+    }
+    exact.finish();
+
+    // Beyond the wall: only the bounds composition applies; the bracket it
+    // returns is the one the `poa_scaling` experiment consumes.
+    let mut huge = c.benchmark_group("opt_bracket_huge");
+    huge.sample_size(10);
+    for &(n, m) in &[(32usize, 8usize), (128, 8), (512, 16)] {
+        assert!(profile_count(n, m) > config.profile_limit);
+        let game = general_instance(n, m, 46);
+        let initial = LinkLoads::zero(m);
+        let e = engine(&bounds_only);
+        let outcome = e.estimate(&game, &initial).unwrap();
+        assert!(
+            outcome.opt1.width() <= 1.5 && outcome.opt2.width() <= 1.5,
+            "bracket widths {:.3}/{:.3} out of spec at n={n}",
+            outcome.opt1.width(),
+            outcome.opt2.width()
+        );
+        huge.bench_with_input(
+            BenchmarkId::new("bracket", format!("n{n}_m{m}")),
+            &n,
+            |b, _| b.iter(|| e.estimate(black_box(&game), black_box(&initial))),
+        );
+    }
+    huge.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_opt_bracket
+}
+criterion_main!(benches);

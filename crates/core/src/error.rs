@@ -59,6 +59,16 @@ pub enum GameError {
     },
     /// The requested exhaustive computation is too large (`m^n` over the cap).
     TooLarge { profiles: u128, limit: u128 },
+    /// A coordination ratio `SC / OPT` is undefined because the optimum (or
+    /// the lower end of its bracket) is zero or not finite.
+    ZeroOptimum { which: &'static str, value: f64 },
+    /// An optimum bracket is unusable: no finite upper bound was produced, or
+    /// the certified bounds cross (`lower > upper`) — a backend bug.
+    EmptyBracket {
+        which: &'static str,
+        lower: f64,
+        upper: f64,
+    },
 }
 
 /// Reasons a belief vector fails validation.
@@ -157,6 +167,22 @@ impl fmt::Display for GameError {
                 write!(
                     f,
                     "exhaustive enumeration of {profiles} profiles exceeds the limit of {limit}"
+                )
+            }
+            GameError::ZeroOptimum { which, value } => {
+                write!(
+                    f,
+                    "coordination ratio over {which} is undefined: the optimum is {value}"
+                )
+            }
+            GameError::EmptyBracket {
+                which,
+                lower,
+                upper,
+            } => {
+                write!(
+                    f,
+                    "the {which} bracket [{lower}, {upper}] is empty (no usable certified bounds)"
                 )
             }
         }

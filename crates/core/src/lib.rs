@@ -27,6 +27,10 @@
 //!   ratios, and the bounds of Theorems 4.13/4.14.
 //! * [`solvers`] — exhaustive reference solvers for small games, plus the
 //!   unified [`SolverEngine`](solvers::engine::SolverEngine).
+//! * [`opt`] — the certified social-optimum bracketing engine
+//!   ([`OptEngine`](opt::OptEngine)): exact, upper-bound and lower-bound
+//!   backends merged into `OPT1`/`OPT2` brackets for games beyond the
+//!   exhaustive wall.
 //! * [`game_graph`] — explicit defection graphs, equilibrium sinks and cycle
 //!   detection (used by the `n = 3` and potential-game analyses).
 //! * [`potential`] — exact/ordinal potential analysis (Section 3.2).
@@ -112,6 +116,7 @@ pub mod game_graph;
 pub mod latency;
 pub mod model;
 pub mod numeric;
+pub mod opt;
 pub mod potential;
 pub mod social_cost;
 pub mod solvers;
@@ -135,9 +140,14 @@ pub mod prelude {
         Belief, BeliefProfile, CapacityState, EffectiveCapacities, EffectiveGame, Game, StateSpace,
     };
     pub use crate::numeric::Tolerance;
+    pub use crate::opt::{
+        OptBackendKind, OptBracket, OptCache, OptConfig, OptEngine, OptEstimator, OptMethod,
+        OptOutcome,
+    };
     pub use crate::social_cost::{
-        cr_bound_general, cr_bound_uniform_beliefs, measure, pure_equilibrium_spectrum,
-        pure_poa_and_pos, sc1, sc2, CostReport, EquilibriumSpectrum,
+        checked_ratio, cr_bound_general, cr_bound_uniform_beliefs, measure, measure_bracketed,
+        pure_equilibrium_spectrum, pure_poa_and_pos, ratio_bracket, sc1, sc2, BracketedCostReport,
+        CostReport, EquilibriumSpectrum, RatioBracket,
     };
     pub use crate::solvers::cache::{CacheStats, SolveCache};
     pub use crate::solvers::engine::{

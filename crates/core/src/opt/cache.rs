@@ -1,0 +1,219 @@
+//! Content-addressed memoisation for [`OptEngine::estimate`].
+//!
+//! The key discipline mirrors the solve cache
+//! ([`solvers::cache`](crate::solvers::cache)): the canonical bytes of
+//! everything that determines the engine's answer — the estimator method
+//! list, **every** [`OptConfig`] budget (profile limit, node limit,
+//! branch-and-bound user cap, restarts, move budget, opt seed, tolerance)
+//! and the instance bit patterns — so a hit replays the cold estimate
+//! exactly, telemetry included. Caching never changes brackets, only skips
+//! repeated work (e.g. the fixed true network behind a group of belief
+//! perturbations, measured once per perturbed equilibrium).
+//!
+//! [`OptEngine::estimate`]: super::engine::OptEngine::estimate
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::model::EffectiveGame;
+use crate::opt::engine::{OptConfig, OptMethod, OptOutcome};
+use crate::solvers::cache::CacheStats;
+use crate::strategy::LinkLoads;
+
+/// Entry cap used by [`OptCache::new`] (same rationale as the solve cache).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A thread-safe memoisation table in front of the opt engine's estimate
+/// path. Stops growing at `capacity` entries (hits on the stored prefix
+/// keep working); see the [module docs](self) for the key discipline.
+#[derive(Debug)]
+pub struct OptCache {
+    map: Mutex<HashMap<Vec<u8>, OptOutcome>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for OptCache {
+    fn default() -> Self {
+        OptCache::bounded(DEFAULT_CAPACITY)
+    }
+}
+
+impl OptCache {
+    /// An empty cache holding at most [`DEFAULT_CAPACITY`] entries.
+    pub fn new() -> Self {
+        OptCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        OptCache {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("cache lock poisoned").len() as u64,
+        }
+    }
+
+    /// Number of distinct estimated instances stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn lookup(&self, key: &[u8]) -> Option<OptOutcome> {
+        let found = self
+            .map
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    pub(crate) fn insert(&self, key: Vec<u8>, outcome: OptOutcome) {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        if map.len() < self.capacity || map.contains_key(&key) {
+            map.insert(key, outcome);
+        }
+    }
+}
+
+fn method_tag(method: OptMethod) -> u8 {
+    match method {
+        OptMethod::Exhaustive => 0,
+        OptMethod::BranchAndBound => 1,
+        OptMethod::LptGreedy => 2,
+        OptMethod::Descent => 3,
+        OptMethod::Relaxation => 4,
+    }
+}
+
+/// Builds the canonical cache key for one estimate: engine method list, the
+/// full opt budget set, then the bit patterns of the instance itself.
+pub(crate) fn canonical_key(
+    methods: &[OptMethod],
+    config: &OptConfig,
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+) -> Vec<u8> {
+    let n = game.users();
+    let m = game.links();
+    let mut key = Vec::with_capacity(80 + 8 * (n + n * m + m));
+    key.extend_from_slice(b"netuncert-opt-v1");
+    key.push(methods.len() as u8);
+    key.extend(methods.iter().map(|&mth| method_tag(mth)));
+    key.extend_from_slice(&config.tol.eps().to_bits().to_le_bytes());
+    key.extend_from_slice(&config.profile_limit.to_le_bytes());
+    key.extend_from_slice(&config.node_limit.to_le_bytes());
+    key.extend_from_slice(&(config.bb_max_users as u64).to_le_bytes());
+    key.extend_from_slice(&(config.restarts as u64).to_le_bytes());
+    key.extend_from_slice(&config.max_moves.to_le_bytes());
+    key.extend_from_slice(&config.opt_seed.to_le_bytes());
+    key.extend_from_slice(&(n as u64).to_le_bytes());
+    key.extend_from_slice(&(m as u64).to_le_bytes());
+    for &w in game.weights() {
+        key.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    for user in 0..n {
+        for &c in game.capacities().row(user) {
+            key.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
+    for &t in initial.as_slice() {
+        key.extend_from_slice(&t.to_bits().to_le_bytes());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::engine::{OptBracket, OptTelemetry};
+
+    fn game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keys_separate_games_budgets_and_method_lists() {
+        let config = OptConfig::default();
+        let initial = LinkLoads::zero(3);
+        let methods = vec![OptMethod::Exhaustive, OptMethod::Relaxation];
+        let base = canonical_key(&methods, &config, &game(), &initial);
+
+        for other in [
+            OptConfig {
+                node_limit: 7,
+                ..config
+            },
+            OptConfig {
+                bb_max_users: 3,
+                ..config
+            },
+            OptConfig {
+                max_moves: 9,
+                ..config
+            },
+            OptConfig {
+                opt_seed: 1,
+                ..config
+            },
+        ] {
+            assert_ne!(base, canonical_key(&methods, &other, &game(), &initial));
+        }
+
+        let reordered = vec![OptMethod::Relaxation, OptMethod::Exhaustive];
+        assert_ne!(base, canonical_key(&reordered, &config, &game(), &initial));
+
+        let busy = LinkLoads::new(vec![1.0, 0.0, 0.0]).unwrap();
+        assert_ne!(base, canonical_key(&methods, &config, &game(), &busy));
+
+        assert_eq!(base, canonical_key(&methods, &config, &game(), &initial));
+    }
+
+    #[test]
+    fn a_full_cache_stops_growing_but_keeps_serving() {
+        let cache = OptCache::bounded(1);
+        assert!(cache.is_empty());
+        let outcome = OptOutcome {
+            opt1: OptBracket::exact(1.0),
+            opt2: OptBracket::exact(1.0),
+            telemetry: OptTelemetry::default(),
+        };
+        cache.insert(vec![1], outcome.clone());
+        cache.insert(vec![2], outcome.clone());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&[1]).is_some());
+        assert!(cache.lookup(&[2]).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+}

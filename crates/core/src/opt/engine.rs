@@ -1,0 +1,638 @@
+//! The certified social-optimum bracketing engine.
+//!
+//! Mirrors the design of [`solvers::engine`](crate::solvers::engine): each
+//! estimation algorithm is an [`OptEstimator`] that classifies its own
+//! [`Applicability`] to an instance and runs under shared [`OptConfig`]
+//! budgets, and an [`OptEngine`] walks an ordered estimator list, merging
+//! every contribution into one certified [`OptBracket`] per objective
+//! (`OPT1`, the minimum total expected latency, and `OPT2`, the minimum of
+//! the maximum expected latency) while recording per-attempt
+//! [`OptTelemetry`].
+//!
+//! The contract is interval-shaped rather than point-shaped: exact backends
+//! (exhaustive enumeration, a completed branch-and-bound search) collapse a
+//! bracket to a point, upper-bound backends certify by exhibiting an actual
+//! assignment, and lower-bound backends certify by closed-form relaxation
+//! arguments. The engine intersects everything it is given — `lower` is the
+//! max of the certified lower bounds, `upper` the min of the certified upper
+//! bounds — and stops early once both brackets are exact. A bracket that
+//! ends up unusable (no finite upper bound, or crossed bounds beyond
+//! floating-point noise) is a typed [`GameError::EmptyBracket`] error, never
+//! a silent NaN.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GameError, Result};
+use crate::model::EffectiveGame;
+use crate::numeric::Tolerance;
+use crate::opt::branch_and_bound::BranchAndBound;
+use crate::opt::cache::{self, OptCache};
+use crate::opt::descent::Descent;
+use crate::opt::exhaustive::Exhaustive;
+use crate::opt::greedy::LptGreedy;
+use crate::opt::relaxation::Relaxation;
+use crate::solvers::cache::CacheStats;
+use crate::solvers::engine::Applicability;
+use crate::solvers::exhaustive::DEFAULT_PROFILE_LIMIT;
+use crate::strategy::LinkLoads;
+
+/// Default node budget shared by the two branch-and-bound searches.
+pub const DEFAULT_NODE_LIMIT: u64 = 2_000_000;
+
+/// Default user cap for branch-and-bound applicability: beyond this the
+/// search space is too deep for load-based pruning to finish predictably,
+/// and the bound backends take over.
+pub const DEFAULT_BB_MAX_USERS: usize = 20;
+
+/// Default restart budget of the descent upper-bound backend. Deliberately
+/// higher than `LocalSearch`'s solver-side default: an equilibrium search
+/// stops at its first certified fixed point, while a bound search profits
+/// from every extra perturbed start that escapes an objective plateau.
+pub const DEFAULT_OPT_RESTARTS: usize = 24;
+
+/// Default move budget shared by all descent restarts.
+pub const DEFAULT_OPT_MOVES: u64 = 100_000;
+
+/// Default seed of the descent backend's deterministic perturbation stream.
+pub const DEFAULT_OPT_SEED: u64 = 0x000B_7A11_5EED_CAFE;
+
+/// The estimation method an [`OptEstimator`] reports in telemetry and cache
+/// keys (the opt-side analogue of `PureNashMethod`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptMethod {
+    /// Exact enumeration of all `mⁿ` assignments.
+    Exhaustive,
+    /// Exact depth-first search with load-based pruning.
+    BranchAndBound,
+    /// Upper bounds from the greedy start portfolio (LPT and friends).
+    LptGreedy,
+    /// Upper bounds from seeded multi-restart objective descent.
+    Descent,
+    /// Closed-form fractional-relaxation / volume lower bounds.
+    Relaxation,
+}
+
+/// Shared per-estimate budgets and numeric tolerance (the opt-side analogue
+/// of `SolverConfig`; every knob is embedded in [`OptCache`] keys).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptConfig {
+    /// Comparison tolerance used by the descent acceptance tests.
+    pub tol: Tolerance,
+    /// Cap on `mⁿ` for exhaustive enumeration.
+    pub profile_limit: u128,
+    /// Node budget for each branch-and-bound search.
+    pub node_limit: u64,
+    /// Branch-and-bound applicability cap on the number of users.
+    pub bb_max_users: usize,
+    /// Restart budget of the descent backend.
+    pub restarts: usize,
+    /// Move budget shared by all descent restarts.
+    pub max_moves: u64,
+    /// Seed of the descent backend's deterministic perturbation stream.
+    pub opt_seed: u64,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            tol: Tolerance::default(),
+            profile_limit: DEFAULT_PROFILE_LIMIT,
+            node_limit: DEFAULT_NODE_LIMIT,
+            bb_max_users: DEFAULT_BB_MAX_USERS,
+            restarts: DEFAULT_OPT_RESTARTS,
+            max_moves: DEFAULT_OPT_MOVES,
+            opt_seed: DEFAULT_OPT_SEED,
+        }
+    }
+}
+
+/// A certified two-sided bracket `lower ≤ OPT ≤ upper` for one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptBracket {
+    /// Certified lower bound (`0.0` until a lower-bound backend runs).
+    pub lower: f64,
+    /// Certified upper bound (`+∞` until an upper-bound backend runs).
+    pub upper: f64,
+    /// Whether an exact backend collapsed the bracket to the optimum.
+    pub exact: bool,
+}
+
+impl OptBracket {
+    /// The bracket no backend has tightened yet.
+    pub fn unresolved() -> Self {
+        OptBracket {
+            lower: 0.0,
+            upper: f64::INFINITY,
+            exact: false,
+        }
+    }
+
+    /// A point bracket around an exactly known optimum.
+    pub fn exact(value: f64) -> Self {
+        OptBracket {
+            lower: value,
+            upper: value,
+            exact: true,
+        }
+    }
+
+    /// Whether `value` lies inside the bracket (up to `eps` relative slack).
+    pub fn contains(&self, value: f64, eps: f64) -> bool {
+        let margin = eps * 1.0_f64.max(value.abs());
+        self.lower <= value + margin && value <= self.upper + margin
+    }
+
+    /// The multiplicative width `upper / lower` (`+∞` while unresolved).
+    pub fn width(&self) -> f64 {
+        if self.lower > 0.0 {
+            self.upper / self.lower
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Folds one backend's contribution into the bracket. Exact values win
+    /// outright; bounds intersect.
+    fn merge(&mut self, lower: Option<f64>, upper: Option<f64>, exact: bool) {
+        if self.exact {
+            return;
+        }
+        if exact {
+            if let (Some(lo), Some(hi)) = (lower, upper) {
+                debug_assert!(lo == hi, "an exact contribution must be a point");
+                *self = OptBracket::exact(lo);
+                return;
+            }
+        }
+        if let Some(lo) = lower {
+            self.lower = self.lower.max(lo);
+        }
+        if let Some(hi) = upper {
+            self.upper = self.upper.min(hi);
+        }
+    }
+
+    /// Validates the final bracket: clamps sub-tolerance floating-point
+    /// crossings of the certified bounds, errors on anything worse.
+    fn finalize(mut self, which: &'static str) -> Result<OptBracket> {
+        if !self.upper.is_finite() {
+            return Err(GameError::EmptyBracket {
+                which,
+                lower: self.lower,
+                upper: self.upper,
+            });
+        }
+        if self.lower > self.upper {
+            // Both bounds are mathematically certified, so a crossing can
+            // only be floating-point noise; anything beyond noise is a
+            // backend bug and must surface.
+            let margin = 1e-9 * 1.0_f64.max(self.lower.abs());
+            if self.lower > self.upper + margin {
+                return Err(GameError::EmptyBracket {
+                    which,
+                    lower: self.lower,
+                    upper: self.upper,
+                });
+            }
+            self.lower = self.upper;
+        }
+        Ok(self)
+    }
+}
+
+/// One backend's contribution to the two brackets: any subset of certified
+/// bounds, plus per-objective exactness claims.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptEstimate {
+    /// Certified lower bound on `OPT1`, if any.
+    pub opt1_lower: Option<f64>,
+    /// Certified upper bound on `OPT1`, if any.
+    pub opt1_upper: Option<f64>,
+    /// Certified lower bound on `OPT2`, if any.
+    pub opt2_lower: Option<f64>,
+    /// Certified upper bound on `OPT2`, if any.
+    pub opt2_upper: Option<f64>,
+    /// `OPT1` was computed exactly (`opt1_lower == opt1_upper`).
+    pub opt1_exact: bool,
+    /// `OPT2` was computed exactly (`opt2_lower == opt2_upper`).
+    pub opt2_exact: bool,
+    /// Work performed (profiles enumerated, nodes expanded, moves made);
+    /// `None` for closed-form bounds.
+    pub iterations: Option<u64>,
+}
+
+impl OptEstimate {
+    /// An exact estimate for both objectives.
+    pub fn exact(opt1: f64, opt2: f64, iterations: Option<u64>) -> Self {
+        OptEstimate {
+            opt1_lower: Some(opt1),
+            opt1_upper: Some(opt1),
+            opt2_lower: Some(opt2),
+            opt2_upper: Some(opt2),
+            opt1_exact: true,
+            opt2_exact: true,
+            iterations,
+        }
+    }
+}
+
+/// One social-optimum estimation algorithm viewed as an engine component.
+///
+/// Implementations must be stateless and deterministic: everything they
+/// randomise derives from [`OptConfig::opt_seed`], never from global state,
+/// so brackets are bit-identical across threads and shards. Every bound an
+/// estimator returns must be *certified*: upper bounds by exhibiting an
+/// actual assignment's cost, lower bounds by a relaxation argument that
+/// holds for every assignment.
+pub trait OptEstimator: Send + Sync {
+    /// The method tag this estimator reports in telemetry and cache keys.
+    fn method(&self) -> OptMethod;
+
+    /// Whether this estimator applies to `game` from `initial` under
+    /// `config`. [`Applicability::Conclusive`] means "within budget, the
+    /// returned brackets are exact".
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &OptConfig,
+    ) -> Applicability;
+
+    /// Runs the estimator. Only called when
+    /// [`applicability`](OptEstimator::applicability) did not return
+    /// [`Applicability::NotApplicable`].
+    fn estimate(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &OptConfig,
+    ) -> Result<OptEstimate>;
+}
+
+/// The built-in estimator backends, as data — the registry behind
+/// [`OptEngine::from_kinds`] and the CLI's `--opt-backends` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptBackendKind {
+    /// Exact enumeration — [`Exhaustive`].
+    Exhaustive,
+    /// Exact pruned search — [`BranchAndBound`].
+    BranchAndBound,
+    /// Greedy-portfolio upper bounds — [`LptGreedy`].
+    LptGreedy,
+    /// Multi-restart descent upper bounds — [`Descent`].
+    Descent,
+    /// Relaxation lower bounds — [`Relaxation`].
+    Relaxation,
+}
+
+impl OptBackendKind {
+    /// Every backend, in the default engine order: exact methods first, then
+    /// upper bounds from cheapest to strongest, then the lower bounds.
+    pub const ALL: [OptBackendKind; 5] = [
+        OptBackendKind::Exhaustive,
+        OptBackendKind::BranchAndBound,
+        OptBackendKind::LptGreedy,
+        OptBackendKind::Descent,
+        OptBackendKind::Relaxation,
+    ];
+
+    /// The stable CLI/registry id of this backend.
+    pub fn id(self) -> &'static str {
+        match self {
+            OptBackendKind::Exhaustive => "exhaustive",
+            OptBackendKind::BranchAndBound => "branch_and_bound",
+            OptBackendKind::LptGreedy => "lpt",
+            OptBackendKind::Descent => "descent",
+            OptBackendKind::Relaxation => "relaxation",
+        }
+    }
+
+    /// Parses a CLI/registry id produced by [`OptBackendKind::id`].
+    pub fn parse(s: &str) -> Option<OptBackendKind> {
+        OptBackendKind::ALL.into_iter().find(|k| k.id() == s)
+    }
+
+    /// The method tag the built estimator reports.
+    pub fn method(self) -> OptMethod {
+        match self {
+            OptBackendKind::Exhaustive => OptMethod::Exhaustive,
+            OptBackendKind::BranchAndBound => OptMethod::BranchAndBound,
+            OptBackendKind::LptGreedy => OptMethod::LptGreedy,
+            OptBackendKind::Descent => OptMethod::Descent,
+            OptBackendKind::Relaxation => OptMethod::Relaxation,
+        }
+    }
+
+    /// Builds the backend.
+    pub fn build(self) -> Box<dyn OptEstimator> {
+        match self {
+            OptBackendKind::Exhaustive => Box::new(Exhaustive),
+            OptBackendKind::BranchAndBound => Box::new(BranchAndBound),
+            OptBackendKind::LptGreedy => Box::new(LptGreedy),
+            OptBackendKind::Descent => Box::new(Descent),
+            OptBackendKind::Relaxation => Box::new(Relaxation),
+        }
+    }
+}
+
+/// One engine attempt at running an estimator, as recorded in telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptAttempt {
+    /// Which estimator ran.
+    pub method: OptMethod,
+    /// Its applicability classification at the time.
+    pub applicability: Applicability,
+    /// Work performed, for iterative methods.
+    pub iterations: Option<u64>,
+    /// Whether the attempt returned exact values for both objectives.
+    pub exact: bool,
+    /// Wall-clock nanoseconds spent inside the estimator.
+    pub wall_ns: u64,
+}
+
+/// Telemetry for one [`OptEngine::estimate`] call.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OptTelemetry {
+    /// Every estimator attempt, in engine order (skipped backends omitted).
+    pub attempts: Vec<OptAttempt>,
+    /// Total wall-clock nanoseconds including engine overhead.
+    pub total_wall_ns: u64,
+}
+
+/// The certified brackets for both objectives, plus how the engine got them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptOutcome {
+    /// Certified bracket around `OPT1` (minimum total expected latency).
+    pub opt1: OptBracket,
+    /// Certified bracket around `OPT2` (minimum of the maximum latency).
+    pub opt2: OptBracket,
+    /// Per-attempt telemetry.
+    pub telemetry: OptTelemetry,
+}
+
+impl OptOutcome {
+    /// Whether both optima are known exactly.
+    pub fn exact(&self) -> bool {
+        self.opt1.exact && self.opt2.exact
+    }
+}
+
+/// An ordered list of [`OptEstimator`]s run under shared budgets.
+pub struct OptEngine {
+    estimators: Vec<Box<dyn OptEstimator>>,
+    config: OptConfig,
+    /// Opt-in memoisation layer ([`OptEngine::with_cache`]).
+    cache: Option<Arc<OptCache>>,
+}
+
+impl Default for OptEngine {
+    fn default() -> Self {
+        OptEngine::default_order(OptConfig::default())
+    }
+}
+
+impl OptEngine {
+    /// The default composition: every built-in backend in
+    /// [`OptBackendKind::ALL`] order.
+    pub fn default_order(config: OptConfig) -> Self {
+        OptEngine::from_kinds(config, &OptBackendKind::ALL)
+    }
+
+    /// An engine over the given backends, tried in order — the data-driven
+    /// form used by the experiment harness's `--opt-backends` selection.
+    pub fn from_kinds(config: OptConfig, kinds: &[OptBackendKind]) -> Self {
+        OptEngine::with_estimators(config, kinds.iter().map(|k| k.build()).collect())
+    }
+
+    /// An engine with an explicit estimator list.
+    pub fn with_estimators(config: OptConfig, estimators: Vec<Box<dyn OptEstimator>>) -> Self {
+        OptEngine {
+            estimators,
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a content-addressed [`OptCache`]. Keys embed the engine's
+    /// method list, every [`OptConfig`] budget and the instance bit
+    /// patterns, so hits replay the cold estimate exactly — telemetry
+    /// included — and results can never change.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<OptCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Hit/miss counters of the attached cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The shared budgets.
+    pub fn config(&self) -> &OptConfig {
+        &self.config
+    }
+
+    /// The methods in engine order.
+    pub fn methods(&self) -> Vec<OptMethod> {
+        self.estimators.iter().map(|e| e.method()).collect()
+    }
+
+    /// Brackets both social optima of `game` with initial traffic `initial`.
+    ///
+    /// Walks the estimator list in order, merging every contribution; stops
+    /// early once both brackets are exact.
+    ///
+    /// # Errors
+    /// [`GameError::EmptyBracket`] when the composition produced no finite
+    /// upper bound (e.g. an engine with only lower-bound backends), or when
+    /// certified bounds cross beyond floating-point noise; estimator-level
+    /// errors propagate.
+    pub fn estimate(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<OptOutcome> {
+        let Some(cache) = &self.cache else {
+            return self.estimate_cold(game, initial);
+        };
+        let key = cache::canonical_key(&self.methods(), &self.config, game, initial);
+        if let Some(hit) = cache.lookup(&key) {
+            return Ok(hit);
+        }
+        let outcome = self.estimate_cold(game, initial)?;
+        cache.insert(key, outcome.clone());
+        Ok(outcome)
+    }
+
+    fn estimate_cold(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<OptOutcome> {
+        let start = Instant::now();
+        let mut opt1 = OptBracket::unresolved();
+        let mut opt2 = OptBracket::unresolved();
+        let mut attempts = Vec::new();
+        for estimator in &self.estimators {
+            let applicability = estimator.applicability(game, initial, &self.config);
+            if applicability == Applicability::NotApplicable {
+                continue;
+            }
+            let attempt_start = Instant::now();
+            let estimate = estimator.estimate(game, initial, &self.config)?;
+            attempts.push(OptAttempt {
+                method: estimator.method(),
+                applicability,
+                iterations: estimate.iterations,
+                exact: estimate.opt1_exact && estimate.opt2_exact,
+                wall_ns: attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            });
+            opt1.merge(
+                estimate.opt1_lower,
+                estimate.opt1_upper,
+                estimate.opt1_exact,
+            );
+            opt2.merge(
+                estimate.opt2_lower,
+                estimate.opt2_upper,
+                estimate.opt2_exact,
+            );
+            if opt1.exact && opt2.exact {
+                break;
+            }
+        }
+        Ok(OptOutcome {
+            opt1: opt1.finalize("OPT1")?,
+            opt2: opt2.finalize("OPT2")?,
+            telemetry: OptTelemetry {
+                attempts,
+                total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mild_game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![1.0, 1.5, 2.0],
+            vec![vec![2.0, 2.2], vec![2.1, 1.9], vec![2.0, 2.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn the_default_engine_is_exact_on_small_instances() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        let engine = OptEngine::default();
+        let outcome = engine.estimate(&game, &initial).unwrap();
+        assert!(outcome.exact());
+        let exact = crate::opt::exhaustive::social_optimum(&game, &initial, 1_000_000).unwrap();
+        assert_eq!(outcome.opt1.lower, exact.opt1);
+        assert_eq!(outcome.opt1.upper, exact.opt1);
+        assert_eq!(outcome.opt2.lower, exact.opt2);
+        assert_eq!(outcome.opt2.upper, exact.opt2);
+        // Exhaustive settles the estimate in one conclusive attempt.
+        assert_eq!(outcome.telemetry.attempts.len(), 1);
+        assert_eq!(outcome.telemetry.attempts[0].method, OptMethod::Exhaustive);
+        assert_eq!(
+            outcome.telemetry.attempts[0].applicability,
+            Applicability::Conclusive
+        );
+    }
+
+    #[test]
+    fn bound_backends_alone_produce_a_valid_bracket() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        let engine = OptEngine::from_kinds(
+            OptConfig::default(),
+            &[
+                OptBackendKind::LptGreedy,
+                OptBackendKind::Descent,
+                OptBackendKind::Relaxation,
+            ],
+        );
+        let outcome = engine.estimate(&game, &initial).unwrap();
+        assert!(!outcome.exact());
+        let exact = crate::opt::exhaustive::social_optimum(&game, &initial, 1_000_000).unwrap();
+        assert!(
+            outcome.opt1.contains(exact.opt1, 1e-9),
+            "{:?}",
+            outcome.opt1
+        );
+        assert!(
+            outcome.opt2.contains(exact.opt2, 1e-9),
+            "{:?}",
+            outcome.opt2
+        );
+        assert!(outcome.opt1.lower > 0.0);
+        assert!(outcome.opt2.lower > 0.0);
+        assert!(outcome.opt1.width() >= 1.0);
+    }
+
+    #[test]
+    fn an_engine_without_upper_bound_backends_errors_typed() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        let engine = OptEngine::from_kinds(OptConfig::default(), &[OptBackendKind::Relaxation]);
+        assert!(matches!(
+            engine.estimate(&game, &initial),
+            Err(GameError::EmptyBracket { which: "OPT1", .. })
+        ));
+        let empty = OptEngine::with_estimators(OptConfig::default(), Vec::new());
+        assert!(matches!(
+            empty.estimate(&game, &initial),
+            Err(GameError::EmptyBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_hits_replay_the_cold_estimate_exactly() {
+        let cache = Arc::new(OptCache::new());
+        let engine = OptEngine::default().with_cache(Arc::clone(&cache));
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        let cold = engine.estimate(&game, &initial).unwrap();
+        let hit = engine.estimate(&game, &initial).unwrap();
+        assert_eq!(cold, hit);
+        let stats = engine.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+        // A different budget is a different key even on the same instance.
+        let tighter = OptEngine::default_order(OptConfig {
+            node_limit: 7,
+            ..OptConfig::default()
+        })
+        .with_cache(Arc::clone(&cache));
+        tighter.estimate(&game, &initial).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn backend_ids_round_trip() {
+        for kind in OptBackendKind::ALL {
+            assert_eq!(OptBackendKind::parse(kind.id()), Some(kind));
+            assert_eq!(kind.build().method(), kind.method());
+        }
+        assert_eq!(OptBackendKind::parse("alien"), None);
+    }
+
+    #[test]
+    fn brackets_merge_by_intersection_and_exactness_wins() {
+        let mut bracket = OptBracket::unresolved();
+        bracket.merge(Some(1.0), None, false);
+        bracket.merge(None, Some(3.0), false);
+        bracket.merge(Some(0.5), Some(4.0), false); // looser bounds are ignored
+        assert_eq!((bracket.lower, bracket.upper), (1.0, 3.0));
+        assert!(!bracket.exact);
+        bracket.merge(Some(2.0), Some(2.0), true);
+        assert_eq!(bracket, OptBracket::exact(2.0));
+        // Once exact, later contributions cannot move it.
+        bracket.merge(Some(2.5), Some(1.5), false);
+        assert_eq!(bracket, OptBracket::exact(2.0));
+        assert_eq!(bracket.width(), 1.0);
+        assert!(bracket.contains(2.0, 0.0));
+    }
+}

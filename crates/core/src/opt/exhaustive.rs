@@ -1,0 +1,191 @@
+//! Exact social optima by exhaustive enumeration — the ground truth the
+//! whole `opt` subsystem is certified against.
+//!
+//! The enumeration itself (moved here from `solvers::exhaustive`, which
+//! re-exports it for compatibility) visits all `mⁿ` pure assignments and is
+//! therefore only applicable below [`OptConfig::profile_limit`]; behind the
+//! [`OptEstimator`] trait it is the conclusive backend the engine tries
+//! first.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::latency::pure_user_latency;
+use crate::model::EffectiveGame;
+use crate::numeric::stable_sum;
+use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::solvers::engine::Applicability;
+use crate::solvers::exhaustive::{ensure_within_limit, for_each_profile, profile_count};
+use crate::strategy::{LinkLoads, PureProfile};
+
+/// The exact social optima of a game (Section 2): the minimum over all pure
+/// assignments of the sum (`OPT1`) and of the maximum (`OPT2`) of the users'
+/// expected latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocialOptimum {
+    /// `OPT1(G)`: minimum total expected latency.
+    pub opt1: f64,
+    /// A profile attaining `OPT1`.
+    pub opt1_profile: PureProfile,
+    /// `OPT2(G)`: minimum of the maximum expected latency.
+    pub opt2: f64,
+    /// A profile attaining `OPT2`.
+    pub opt2_profile: PureProfile,
+}
+
+/// Computes [`SocialOptimum`] exactly by enumerating all pure profiles.
+///
+/// # Errors
+/// Fails when `mⁿ` exceeds `limit`.
+pub fn social_optimum(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    limit: u128,
+) -> Result<SocialOptimum> {
+    ensure_within_limit(game, limit)?;
+    let mut best: Option<SocialOptimum> = None;
+    for_each_profile(game.users(), game.links(), |profile| {
+        let latencies: Vec<f64> = (0..game.users())
+            .map(|i| pure_user_latency(game, profile, initial, i))
+            .collect();
+        let sum = stable_sum(&latencies);
+        let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
+        match &mut best {
+            None => {
+                best = Some(SocialOptimum {
+                    opt1: sum,
+                    opt1_profile: profile.clone(),
+                    opt2: max,
+                    opt2_profile: profile.clone(),
+                });
+            }
+            Some(b) => {
+                if sum < b.opt1 {
+                    b.opt1 = sum;
+                    b.opt1_profile = profile.clone();
+                }
+                if max < b.opt2 {
+                    b.opt2 = max;
+                    b.opt2_profile = profile.clone();
+                }
+            }
+        }
+    });
+    Ok(best.expect("a validated game has at least one profile"))
+}
+
+/// Exhaustive enumeration behind the [`OptEstimator`] trait (conclusive
+/// within the profile budget).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl OptEstimator for Exhaustive {
+    fn method(&self) -> OptMethod {
+        OptMethod::Exhaustive
+    }
+
+    fn applicability(
+        &self,
+        game: &EffectiveGame,
+        _initial: &LinkLoads,
+        config: &OptConfig,
+    ) -> Applicability {
+        if profile_count(game.users(), game.links()) <= config.profile_limit {
+            Applicability::Conclusive
+        } else {
+            Applicability::NotApplicable
+        }
+    }
+
+    fn estimate(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &OptConfig,
+    ) -> Result<OptEstimate> {
+        let optimum = social_optimum(game, initial, config.profile_limit)?;
+        let iterations =
+            Some(profile_count(game.users(), game.links()).min(u64::MAX as u128) as u64);
+        Ok(OptEstimate::exact(optimum.opt1, optimum.opt2, iterations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GameError;
+
+    fn opposed_game() -> EffectiveGame {
+        EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]]).unwrap()
+    }
+
+    #[test]
+    fn social_optimum_on_opposed_game_separates_users() {
+        let g = opposed_game();
+        let t = LinkLoads::zero(2);
+        let opt = social_optimum(&g, &t, 1_000).unwrap();
+        assert_eq!(opt.opt1_profile.choices(), &[0, 1]);
+        assert_eq!(opt.opt2_profile.choices(), &[0, 1]);
+        // Each user alone on its fast (capacity 10) link: latency 0.1 each.
+        assert!((opt.opt1 - 0.2).abs() < 1e-12);
+        assert!((opt.opt2 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opt1_is_never_larger_than_n_times_opt2() {
+        // Simple sanity relation: sum ≤ n·max for the same profile, hence
+        // OPT1 ≤ n·OPT2.
+        let g = EffectiveGame::from_rows(
+            vec![2.0, 1.0, 3.0],
+            vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.5]],
+        )
+        .unwrap();
+        let t = LinkLoads::zero(2);
+        let opt = social_optimum(&g, &t, 1_000).unwrap();
+        assert!(opt.opt1 <= 3.0 * opt.opt2 + 1e-12);
+        assert!(opt.opt2 <= opt.opt1 + 1e-12);
+    }
+
+    #[test]
+    fn initial_traffic_shifts_the_optimum() {
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let heavy = LinkLoads::new(vec![10.0, 0.0]).unwrap();
+        let opt = social_optimum(&g, &heavy, 1_000).unwrap();
+        // With link 0 saturated, the optimum puts both users on link 1.
+        assert_eq!(opt.opt1_profile.choices(), &[1, 1]);
+    }
+
+    #[test]
+    fn the_limit_is_enforced_and_gates_applicability() {
+        let g = opposed_game();
+        let t = LinkLoads::zero(2);
+        assert!(matches!(
+            social_optimum(&g, &t, 3),
+            Err(GameError::TooLarge { .. })
+        ));
+        let config = OptConfig {
+            profile_limit: 3,
+            ..OptConfig::default()
+        };
+        assert_eq!(
+            Exhaustive.applicability(&g, &t, &config),
+            Applicability::NotApplicable
+        );
+        assert_eq!(
+            Exhaustive.applicability(&g, &t, &OptConfig::default()),
+            Applicability::Conclusive
+        );
+    }
+
+    #[test]
+    fn the_estimator_returns_point_brackets() {
+        let g = opposed_game();
+        let t = LinkLoads::zero(2);
+        let estimate = Exhaustive.estimate(&g, &t, &OptConfig::default()).unwrap();
+        assert!(estimate.opt1_exact && estimate.opt2_exact);
+        assert_eq!(estimate.opt1_lower, estimate.opt1_upper);
+        assert_eq!(estimate.opt2_lower, estimate.opt2_upper);
+        assert_eq!(estimate.iterations, Some(4));
+    }
+}

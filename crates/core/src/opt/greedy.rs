@@ -1,0 +1,121 @@
+//! Constructive upper bounds from the greedy start portfolio.
+//!
+//! Graham's LPT rule is the classical 4/3-style approximation for makespan
+//! scheduling; here its latency-aware variant (and the rest of the
+//! [`local_search`](crate::solvers::local_search) start portfolio) is
+//! evaluated under **both** social costs, and the cheapest profile per
+//! objective certifies an upper bound — a bound witnessed by an actual
+//! assignment can never undercut the optimum. This is the cheap `O(nm log n)`
+//! backend; the [`Descent`](crate::opt::descent::Descent) backend refines
+//! these same starts when a tighter bracket is worth more moves.
+
+use crate::algorithms::best_response::greedy_profile;
+use crate::error::Result;
+use crate::model::EffectiveGame;
+use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::social_cost::{pure_sc1, pure_sc2};
+use crate::solvers::engine::Applicability;
+use crate::solvers::local_search::{load_balanced_profile, lpt_greedy_profile, spread_profile};
+use crate::strategy::{LinkLoads, PureProfile};
+
+/// The start portfolio shared with `LocalSearch`: LPT-style greedy,
+/// index-order greedy, load-balanced, uniform spread.
+pub(crate) fn portfolio(game: &EffectiveGame, initial: &LinkLoads) -> Vec<PureProfile> {
+    vec![
+        lpt_greedy_profile(game, initial),
+        greedy_profile(game, initial),
+        load_balanced_profile(game, initial),
+        spread_profile(game),
+    ]
+}
+
+/// Evaluates `profiles` under both social costs and returns the cheapest
+/// `(sc1, sc2)` pair — each a certified upper bound on the corresponding
+/// optimum.
+pub(crate) fn cheapest_costs(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    profiles: &[PureProfile],
+) -> (f64, f64) {
+    let mut best1 = f64::INFINITY;
+    let mut best2 = f64::INFINITY;
+    for profile in profiles {
+        best1 = best1.min(pure_sc1(game, profile, initial));
+        best2 = best2.min(pure_sc2(game, profile, initial));
+    }
+    (best1, best2)
+}
+
+/// The greedy-portfolio upper-bound backend (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LptGreedy;
+
+impl OptEstimator for LptGreedy {
+    fn method(&self) -> OptMethod {
+        OptMethod::LptGreedy
+    }
+
+    fn applicability(
+        &self,
+        _game: &EffectiveGame,
+        _initial: &LinkLoads,
+        _config: &OptConfig,
+    ) -> Applicability {
+        Applicability::Heuristic
+    }
+
+    fn estimate(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        _config: &OptConfig,
+    ) -> Result<OptEstimate> {
+        let profiles = portfolio(game, initial);
+        let (upper1, upper2) = cheapest_costs(game, initial, &profiles);
+        Ok(OptEstimate {
+            opt1_upper: Some(upper1),
+            opt2_upper: Some(upper2),
+            iterations: Some(profiles.len() as u64),
+            ..OptEstimate::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::exhaustive::social_optimum;
+
+    fn mild_game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![1.0, 1.5, 2.0],
+            vec![vec![2.0, 2.2], vec![2.1, 1.9], vec![2.0, 2.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_upper_bounds_dominate_the_exact_optimum() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let estimate = LptGreedy.estimate(&g, &t, &OptConfig::default()).unwrap();
+        let exact = social_optimum(&g, &t, 1_000_000).unwrap();
+        assert!(estimate.opt1_upper.unwrap() >= exact.opt1 - 1e-12);
+        assert!(estimate.opt2_upper.unwrap() >= exact.opt2 - 1e-12);
+        assert!(!estimate.opt1_exact && !estimate.opt2_exact);
+        assert!(estimate.opt1_lower.is_none());
+    }
+
+    #[test]
+    fn the_portfolio_evaluates_every_start() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let profiles = portfolio(&g, &t);
+        assert_eq!(profiles.len(), 4);
+        let (best1, best2) = cheapest_costs(&g, &t, &profiles);
+        for p in &profiles {
+            assert!(pure_sc1(&g, p, &t) >= best1);
+            assert!(pure_sc2(&g, p, &t) >= best2);
+        }
+    }
+}

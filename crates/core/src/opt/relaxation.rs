@@ -1,0 +1,347 @@
+//! Certified closed-form lower bounds on the social optima.
+//!
+//! Three relaxation arguments, each valid for *every* pure assignment, so
+//! their maxima are certified lower bounds on `OPT1`/`OPT2`:
+//!
+//! * **Singleton (fractional) bound.** Dropping all congestion, user `i`
+//!   pays at least `sᵢ = min_ℓ (tₗ + wᵢ)/cᵢℓ` wherever it routes — the cost
+//!   of being alone on its best link. Hence `OPT1 ≥ Σᵢ sᵢ` and
+//!   `OPT2 ≥ maxᵢ sᵢ`.
+//! * **Volume bound (capacity-allocation DP + τ-feasibility bisection).**
+//!   In any assignment with max latency `τ`, every link obeys
+//!   `Lₗ ≤ τ · min_{i∈Sₗ} cᵢℓ`, and a group of `kₗ` users can push its
+//!   column minimum no higher than the `kₗ`-th largest capacity in column
+//!   `ℓ`. Summing over links, `W ≤ τ · Σₗ colcapₗ(kₗ)` for the actual
+//!   group sizes, so `OPT2 ≥ W / max{Σₗ colcapₗ(kₗ) : Σₗ kₗ = n}` — the
+//!   maximum computed exactly by an `O(n²m)` allocation DP over the column
+//!   order statistics (greedy is unsound: the order statistics need not
+//!   have concave differences, and the bound must dominate every real
+//!   assignment). The fractional-relaxation refinement then bisects on
+//!   `τ`: at a candidate `τ`, user `i` can only sit on links with
+//!   `(tₗ + wᵢ)/cᵢℓ ≤ τ` (its own latency already exceeds `τ` anywhere
+//!   else), so the DP runs over *filtered* columns; if even then
+//!   `τ · max Σ < W`, no assignment achieves `τ` and `OPT2 > τ`. This is
+//!   what keeps the `OPT2` bracket tight when `n/m` is large: with many
+//!   users per link the attainable minima sit well below `c_max`, heavy
+//!   users are barred from their slow links, and the DP knows both.
+//! * **Interaction bound (size-partition DP).** Splitting user `i`'s
+//!   latency as `(tₗ + wᵢ)/cᵢℓ + (Lₗ − wᵢ)/cᵢℓ` and relaxing the second
+//!   term's capacity to `c_max` gives
+//!   `SC1(σ) ≥ Σᵢ sᵢ + (Σₗ kₗ·Lₗ − W)/c_max`, where `kₗ = |Sₗ|`. The
+//!   congestion mass `Σₗ kₗ·Lₗ` is minimised, over **all** assignments, by
+//!   putting the heaviest users into the smallest groups (an exchange
+//!   argument), so its minimum is computable by a small dynamic program
+//!   over blocks of the weight sequence sorted in decreasing order —
+//!   `O(n²m)`, independent of `mⁿ`. This is the term that keeps the `OPT1`
+//!   bracket tight at `n = 512`, where congestion (not solo latency)
+//!   dominates the optimum.
+//!
+//! Finally `OPT1 ≥ OPT2` always (the sum dominates the max of the same
+//! assignment), so the `OPT1` bound also takes the max with the `OPT2`
+//! bound.
+
+use crate::error::Result;
+use crate::model::EffectiveGame;
+use crate::numeric::stable_sum;
+use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::solvers::engine::Applicability;
+use crate::strategy::LinkLoads;
+
+/// `sᵢ = min_ℓ (tₗ + wᵢ)/cᵢℓ`: the latency user `i` pays when alone on its
+/// best link — a per-user lower bound in every assignment.
+fn singleton_costs(game: &EffectiveGame, initial: &LinkLoads) -> Vec<f64> {
+    (0..game.users())
+        .map(|i| {
+            let w = game.weight(i);
+            (0..game.links())
+                .map(|l| (initial.load(l) + w) / game.capacity(i, l))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// The minimum possible congestion mass `Σₗ kₗ·Lₗ` over all assignments of
+/// the users into at most `m` groups (`kₗ` = group size, `Lₗ` = group
+/// weight).
+///
+/// For a fixed multiset of group sizes the mass is minimised by filling the
+/// smallest groups with the heaviest users (exchange argument), so the
+/// optimum partitions the weights, sorted in decreasing order, into at most
+/// `m` contiguous blocks — a textbook interval-partition DP over prefix
+/// sums. Relaxing the block order (the DP does not force sizes to be
+/// non-decreasing) only enlarges the search space, so the DP value is a
+/// certified lower bound on the mass of every real assignment.
+fn min_congestion_mass(game: &EffectiveGame) -> f64 {
+    let n = game.users();
+    let m = game.links();
+    let mut weights: Vec<f64> = game.weights().to_vec();
+    weights.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, &w) in weights.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + w;
+    }
+    // dp[r] = min mass covering the first r (heaviest) users with the
+    // blocks allowed so far; one more block per outer round.
+    let mut dp = vec![f64::INFINITY; n + 1];
+    dp[0] = 0.0;
+    for _block in 0..m.min(n) {
+        let mut next = dp.clone();
+        for r in 0..n {
+            if !dp[r].is_finite() {
+                continue;
+            }
+            for end in (r + 1)..=n {
+                let size = (end - r) as f64;
+                let mass = dp[r] + size * (prefix[end] - prefix[r]);
+                if mass < next[end] {
+                    next[end] = mass;
+                }
+            }
+        }
+        dp = next;
+    }
+    dp[n]
+}
+
+/// The largest value `Σₗ colcapₗ(kₗ)` can take over all ways of placing the
+/// `n` users onto the links (`colcapₗ(k)` = `k`-th largest capacity in
+/// column `ℓ`; empty links contribute nothing), with each column restricted
+/// to the capacities in `columns`. Returns `None` when the columns cannot
+/// host all `n` users at once. An exact allocation DP over links.
+fn allocation_value(n: usize, columns: &[Vec<f64>]) -> Option<f64> {
+    let mut dp = vec![f64::NEG_INFINITY; n + 1];
+    dp[0] = 0.0;
+    for column in columns {
+        let mut next = dp.clone(); // k = 0: the link stays empty
+        for placed in 0..n {
+            if !dp[placed].is_finite() {
+                continue;
+            }
+            for k in 1..=column.len().min(n - placed) {
+                let value = dp[placed] + column[k - 1];
+                if value > next[placed + k] {
+                    next[placed + k] = value;
+                }
+            }
+        }
+        dp = next;
+    }
+    dp[n].is_finite().then_some(dp[n])
+}
+
+/// The unfiltered per-link capacity columns, sorted in decreasing order.
+fn sorted_columns(game: &EffectiveGame) -> Vec<Vec<f64>> {
+    (0..game.links())
+        .map(|link| {
+            let mut column: Vec<f64> = (0..game.users()).map(|i| game.capacity(i, link)).collect();
+            column.sort_by(|a, b| b.partial_cmp(a).expect("finite capacities"));
+            column
+        })
+        .collect()
+}
+
+/// `max Σₗ colcapₗ(kₗ)` with every user placeable everywhere (a validated
+/// game always admits this allocation).
+fn max_total_min_capacity(game: &EffectiveGame) -> f64 {
+    allocation_value(game.users(), &sorted_columns(game))
+        .expect("unfiltered columns host every user")
+}
+
+/// As [`max_total_min_capacity`], but columns only keep the capacities of
+/// users whose *solo* latency on that link fits under `tau` — anyone else
+/// cannot sit there in an assignment with `SC2 ≤ tau`.
+fn filtered_allocation_value(game: &EffectiveGame, initial: &LinkLoads, tau: f64) -> Option<f64> {
+    let columns: Vec<Vec<f64>> = (0..game.links())
+        .map(|link| {
+            let mut column: Vec<f64> = (0..game.users())
+                .filter(|&i| (initial.load(link) + game.weight(i)) / game.capacity(i, link) <= tau)
+                .map(|i| game.capacity(i, link))
+                .collect();
+            column.sort_by(|a, b| b.partial_cmp(a).expect("finite capacities"));
+            column
+        })
+        .collect();
+    allocation_value(game.users(), &columns)
+}
+
+/// The bisected volume bound on `OPT2`: the largest `τ` (within a fixed
+/// bisection depth) at which the filtered allocation DP proves that no
+/// assignment can keep every latency at or below `τ`.
+fn volume_bound(game: &EffectiveGame, initial: &LinkLoads, total: f64) -> f64 {
+    let base = total / max_total_min_capacity(game);
+    let infeasible = |tau: f64| match filtered_allocation_value(game, initial, tau) {
+        None => true,
+        Some(value) => tau * value < total,
+    };
+    // `h(τ) = τ·maxΣ(τ)` is nondecreasing, so infeasibility is downward
+    // closed and bisection applies. `base` is infeasible by construction
+    // (`base·maxΣ(base) ≤ base·maxΣ(∞) = W`); widen upward from there.
+    let mut lo = base;
+    let mut hi = base * 8.0;
+    if infeasible(hi) {
+        return hi;
+    }
+    for _ in 0..30 {
+        let mid = 0.5 * (lo + hi);
+        if infeasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The certified lower bounds `(opt1_lower, opt2_lower)` described in the
+/// [module docs](self).
+pub fn lower_bounds(game: &EffectiveGame, initial: &LinkLoads) -> (f64, f64) {
+    let singles = singleton_costs(game, initial);
+    let singleton_sum = stable_sum(&singles);
+    let singleton_max = singles.iter().cloned().fold(0.0f64, f64::max);
+
+    let total: f64 = game.total_traffic();
+    let c_max = game.capacities().max();
+    let volume2 = volume_bound(game, initial, total);
+    let opt2 = singleton_max.max(volume2);
+
+    let interaction = (min_congestion_mass(game) - total).max(0.0) / c_max;
+    let opt1 = (singleton_sum + interaction).max(opt2);
+    (opt1, opt2)
+}
+
+/// The relaxation lower-bound backend (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relaxation;
+
+impl OptEstimator for Relaxation {
+    fn method(&self) -> OptMethod {
+        OptMethod::Relaxation
+    }
+
+    fn applicability(
+        &self,
+        _game: &EffectiveGame,
+        _initial: &LinkLoads,
+        _config: &OptConfig,
+    ) -> Applicability {
+        // Closed forms always apply, but a bound never settles exactness.
+        Applicability::Heuristic
+    }
+
+    fn estimate(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        _config: &OptConfig,
+    ) -> Result<OptEstimate> {
+        let (opt1, opt2) = lower_bounds(game, initial);
+        Ok(OptEstimate {
+            opt1_lower: Some(opt1),
+            opt2_lower: Some(opt2),
+            ..OptEstimate::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::exhaustive::social_optimum;
+
+    fn mild_game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![1.0, 1.5, 2.0],
+            vec![vec![2.0, 2.2], vec![2.1, 1.9], vec![2.0, 2.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bounds_are_positive_and_below_the_exact_optimum() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let (lb1, lb2) = lower_bounds(&g, &t);
+        let exact = social_optimum(&g, &t, 1_000_000).unwrap();
+        assert!(lb1 > 0.0 && lb2 > 0.0);
+        assert!(lb1 <= exact.opt1 + 1e-12, "lb1 {lb1} > OPT1 {}", exact.opt1);
+        assert!(lb2 <= exact.opt2 + 1e-12, "lb2 {lb2} > OPT2 {}", exact.opt2);
+        assert!(lb1 >= lb2, "OPT1 dominates OPT2, so must the bounds");
+    }
+
+    #[test]
+    fn singleton_bound_is_tight_when_users_fit_alone() {
+        // Two users, two links, opposed preferences: the optimum puts each
+        // user alone on its fast link, which is exactly the singleton bound.
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]])
+            .unwrap();
+        let t = LinkLoads::zero(2);
+        let (lb1, lb2) = lower_bounds(&g, &t);
+        let exact = social_optimum(&g, &t, 1_000).unwrap();
+        assert!((lb1 - exact.opt1).abs() < 1e-12);
+        assert!((lb2 - exact.opt2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_mass_dp_matches_hand_computation() {
+        // Weights {3, 1} into ≤ 2 groups: splitting gives 1·3 + 1·1 = 4,
+        // sharing gives 2·4 = 8 — the DP must pick 4.
+        let g =
+            EffectiveGame::from_rows(vec![3.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!((min_congestion_mass(&g) - 4.0).abs() < 1e-12);
+
+        // Three identical users on two links: best split is {2, 1} with
+        // mass 2·2 + 1·1 = 5.
+        let g3 = EffectiveGame::from_rows(
+            vec![1.0, 1.0, 1.0],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        assert!((min_congestion_mass(&g3) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_allocation_dp_is_exact_on_the_opposed_game() {
+        // Two users, two links, caps 10 on the own-fast link: the best
+        // split puts one user per link at its cap-10 link, so the DP's
+        // maximum is 20 and the volume bound hits the true OPT2 = 0.2/?…
+        // here exactly (each user alone: latency 1/10).
+        let g = EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![10.0, 1.0], vec![1.0, 10.0]])
+            .unwrap();
+        assert!((max_total_min_capacity(&g) - 20.0).abs() < 1e-12);
+        let t = LinkLoads::zero(2);
+        let (_, lb2) = lower_bounds(&g, &t);
+        let exact = social_optimum(&g, &t, 1_000).unwrap();
+        assert!((lb2 - exact.opt2).abs() < 1e-12, "lb2 {lb2}");
+    }
+
+    #[test]
+    fn the_allocation_dp_beats_the_global_cmax_volume_bound() {
+        // 8 users on 2 links: a group of 4 cannot keep its column minimum
+        // at c_max, so the DP denominator is strictly below m·c_max and the
+        // bound strictly tighter.
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![2.0 - 0.1 * i as f64, 1.0 + 0.1 * i as f64])
+            .collect();
+        let g = EffectiveGame::from_rows(vec![1.0; 8], rows).unwrap();
+        let denominator = max_total_min_capacity(&g);
+        let c_max = g.capacities().max();
+        assert!(denominator < 2.0 * c_max - 1e-9, "DP {denominator}");
+        let t = LinkLoads::zero(2);
+        let (_, lb2) = lower_bounds(&g, &t);
+        assert!(lb2 > g.total_traffic() / (2.0 * c_max) + 1e-12);
+        let exact = social_optimum(&g, &t, 1_000_000).unwrap();
+        assert!(lb2 <= exact.opt2 + 1e-12);
+    }
+
+    #[test]
+    fn initial_traffic_raises_the_singleton_bound() {
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let idle = LinkLoads::zero(2);
+        let busy = LinkLoads::new(vec![5.0, 5.0]).unwrap();
+        let (idle1, idle2) = lower_bounds(&g, &idle);
+        let (busy1, busy2) = lower_bounds(&g, &busy);
+        assert!(busy1 > idle1);
+        assert!(busy2 > idle2);
+    }
+}

@@ -11,14 +11,23 @@
 //! and coordination ratios `CRᵢ = SCᵢ / OPTᵢ`. Theorems 4.13 and 4.14 give
 //! closed-form upper bounds on the coordination ratio, reproduced here as
 //! [`cr_bound_uniform_beliefs`] and [`cr_bound_general`].
+//!
+//! Optimum computation is delegated to the [`opt`](crate::opt) subsystem:
+//! [`social_optimum`] is its exhaustive backend (exact, small games), and
+//! [`measure_bracketed`] consumes a whole [`OptEngine`] to report *interval*
+//! coordination ratios `CRᵢ ∈ [SCᵢ/upperᵢ, SCᵢ/lowerᵢ]` from certified
+//! brackets — the form that scales to `n = 512`. Every ratio path is
+//! guarded by [`checked_ratio`]: a degenerate (zero) optimum is a typed
+//! error, never a NaN or ∞ in a report.
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::Result;
+use crate::error::{GameError, Result};
 use crate::latency::{mixed_min_latencies, pure_user_latency};
 use crate::model::EffectiveGame;
 use crate::numeric::stable_sum;
-use crate::solvers::exhaustive::{self, SocialOptimum};
+use crate::opt::{self, OptBracket, OptEngine, OptOutcome, SocialOptimum};
+use crate::solvers::exhaustive;
 use crate::strategy::{LinkLoads, MixedProfile, PureProfile};
 
 /// `SC1(G, P)`: the sum of the users' minimum expected latency costs.
@@ -50,7 +59,9 @@ pub fn pure_sc2(game: &EffectiveGame, profile: &PureProfile, initial: &LinkLoads
         .fold(f64::MIN, f64::max)
 }
 
-/// Computes the exact social optima by exhaustive enumeration.
+/// Computes the exact social optima by exhaustive enumeration (the
+/// conclusive backend of the [`opt`] bracketing subsystem; use an
+/// [`OptEngine`] via [`measure_bracketed`] for games beyond the limit).
 ///
 /// # Errors
 /// Fails when the profile space exceeds `limit`.
@@ -59,7 +70,20 @@ pub fn social_optimum(
     initial: &LinkLoads,
     limit: u128,
 ) -> Result<SocialOptimum> {
-    exhaustive::social_optimum(game, initial, limit)
+    opt::exhaustive::social_optimum(game, initial, limit)
+}
+
+/// `sc / opt`, with a typed error instead of a NaN/∞ ratio when the optimum
+/// is zero or not finite — the guard every coordination-ratio path in the
+/// workspace (including the KP baseline) routes through.
+///
+/// # Errors
+/// [`GameError::ZeroOptimum`] when `opt ≤ 0` or `opt` is not finite.
+pub fn checked_ratio(sc: f64, opt: f64, which: &'static str) -> Result<f64> {
+    if !(opt.is_finite() && opt > 0.0) {
+        return Err(GameError::ZeroOptimum { which, value: opt });
+    }
+    Ok(sc / opt)
 }
 
 /// Both social costs and both coordination ratios of a mixed profile, measured
@@ -83,7 +107,9 @@ pub struct CostReport {
 /// Measures a mixed profile against the exact social optima of the game.
 ///
 /// # Errors
-/// Fails when the profile space exceeds `limit`.
+/// Fails when the profile space exceeds `limit`, or with
+/// [`GameError::ZeroOptimum`] when an optimum degenerates to zero (a ratio
+/// is never reported as NaN/∞).
 pub fn measure(
     game: &EffectiveGame,
     profile: &MixedProfile,
@@ -98,8 +124,85 @@ pub fn measure(
         sc2,
         opt1: optimum.opt1,
         opt2: optimum.opt2,
-        cr1: sc1 / optimum.opt1,
-        cr2: sc2 / optimum.opt2,
+        cr1: checked_ratio(sc1, optimum.opt1, "OPT1")?,
+        cr2: checked_ratio(sc2, optimum.opt2, "OPT2")?,
+    })
+}
+
+/// An interval around a coordination ratio, induced by an [`OptBracket`]:
+/// `SC/OPT ∈ [sc/upper, sc/lower]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioBracket {
+    /// `sc / bracket.upper` — the ratio if the optimum is as expensive as
+    /// the certified upper bound allows.
+    pub lower: f64,
+    /// `sc / bracket.lower` — the ratio if the optimum is as cheap as the
+    /// certified lower bound allows.
+    pub upper: f64,
+}
+
+/// The interval coordination ratio induced by a certified optimum bracket.
+///
+/// # Errors
+/// [`GameError::ZeroOptimum`] when the bracket's lower end is zero (the
+/// upper ratio would be ∞); [`GameError::EmptyBracket`] when the bracket is
+/// unusable (no finite upper bound, or crossed bounds).
+pub fn ratio_bracket(sc: f64, bracket: &OptBracket, which: &'static str) -> Result<RatioBracket> {
+    if !bracket.upper.is_finite() || bracket.lower > bracket.upper {
+        return Err(GameError::EmptyBracket {
+            which,
+            lower: bracket.lower,
+            upper: bracket.upper,
+        });
+    }
+    Ok(RatioBracket {
+        lower: checked_ratio(sc, bracket.upper, which)?,
+        upper: checked_ratio(sc, bracket.lower, which)?,
+    })
+}
+
+/// Both social costs and both *interval* coordination ratios of a mixed
+/// profile, measured against certified optimum brackets — the form of
+/// [`CostReport`] that survives past the exhaustive wall. When the engine's
+/// brackets are exact this degenerates to the classic point report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BracketedCostReport {
+    /// `SC1(G, P)`.
+    pub sc1: f64,
+    /// `SC2(G, P)`.
+    pub sc2: f64,
+    /// Certified bracket around `OPT1(G)`.
+    pub opt1: OptBracket,
+    /// Certified bracket around `OPT2(G)`.
+    pub opt2: OptBracket,
+    /// `SC1/OPT1 ∈ [cr1.lower, cr1.upper]`.
+    pub cr1: RatioBracket,
+    /// `SC2/OPT2 ∈ [cr2.lower, cr2.upper]`.
+    pub cr2: RatioBracket,
+}
+
+/// Measures a mixed profile against the certified optimum brackets of an
+/// [`OptEngine`] — the scale-robust counterpart of [`measure`].
+///
+/// # Errors
+/// Engine errors propagate; [`GameError::ZeroOptimum`] /
+/// [`GameError::EmptyBracket`] when a ratio interval cannot be formed.
+pub fn measure_bracketed(
+    game: &EffectiveGame,
+    profile: &MixedProfile,
+    initial: &LinkLoads,
+    engine: &OptEngine,
+) -> Result<BracketedCostReport> {
+    let outcome: OptOutcome = engine.estimate(game, initial)?;
+    let sc1 = sc1(game, profile);
+    let sc2 = sc2(game, profile);
+    Ok(BracketedCostReport {
+        sc1,
+        sc2,
+        cr1: ratio_bracket(sc1, &outcome.opt1, "OPT1")?,
+        cr2: ratio_bracket(sc2, &outcome.opt2, "OPT2")?,
+        opt1: outcome.opt1,
+        opt2: outcome.opt2,
     })
 }
 
@@ -162,7 +265,8 @@ pub fn pure_equilibrium_spectrum(
 /// equilibrium exists.
 ///
 /// # Errors
-/// Fails when the profile space exceeds `limit`.
+/// Fails when the profile space exceeds `limit`, or with
+/// [`GameError::ZeroOptimum`] when the optimum degenerates to zero.
 pub fn pure_poa_and_pos(
     game: &EffectiveGame,
     initial: &LinkLoads,
@@ -174,8 +278,8 @@ pub fn pure_poa_and_pos(
     };
     let optimum = social_optimum(game, initial, limit)?;
     Ok(Some((
-        spectrum.worst_sc1 / optimum.opt1,
-        spectrum.best_sc1 / optimum.opt1,
+        checked_ratio(spectrum.worst_sc1, optimum.opt1, "OPT1")?,
+        checked_ratio(spectrum.best_sc1, optimum.opt1, "OPT1")?,
     )))
 }
 
@@ -344,6 +448,87 @@ mod tests {
         let t = LinkLoads::zero(2);
         assert!(pure_equilibrium_spectrum(&g, &t, Tolerance::default(), 2).is_err());
         assert!(pure_poa_and_pos(&g, &t, Tolerance::default(), 2).is_err());
+    }
+
+    #[test]
+    fn degenerate_optima_are_typed_errors_not_nans() {
+        assert!((checked_ratio(3.0, 2.0, "OPT1").unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(
+            checked_ratio(3.0, 0.0, "OPT1"),
+            Err(GameError::ZeroOptimum {
+                which: "OPT1",
+                value: 0.0
+            })
+        );
+        assert!(checked_ratio(3.0, -1.0, "OPT2").is_err());
+        assert!(checked_ratio(3.0, f64::INFINITY, "OPT2").is_err());
+        assert!(checked_ratio(3.0, f64::NAN, "OPT2").is_err());
+    }
+
+    #[test]
+    fn empty_or_zero_brackets_are_typed_errors() {
+        let zero_lower = OptBracket {
+            lower: 0.0,
+            upper: 2.0,
+            exact: false,
+        };
+        assert!(matches!(
+            ratio_bracket(1.0, &zero_lower, "OPT1"),
+            Err(GameError::ZeroOptimum { which: "OPT1", .. })
+        ));
+        let unresolved = OptBracket::unresolved();
+        assert!(matches!(
+            ratio_bracket(1.0, &unresolved, "OPT2"),
+            Err(GameError::EmptyBracket { which: "OPT2", .. })
+        ));
+        let crossed = OptBracket {
+            lower: 3.0,
+            upper: 2.0,
+            exact: false,
+        };
+        assert!(matches!(
+            ratio_bracket(1.0, &crossed, "OPT1"),
+            Err(GameError::EmptyBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bracketed_measurement_degenerates_to_the_exact_report_on_small_games() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let p = MixedProfile::uniform(3, 2);
+        let exact = measure(&g, &p, &t, 10_000).unwrap();
+        let engine = OptEngine::default();
+        let bracketed = measure_bracketed(&g, &p, &t, &engine).unwrap();
+        assert!(bracketed.opt1.exact && bracketed.opt2.exact);
+        assert_eq!(bracketed.sc1, exact.sc1);
+        assert_eq!(bracketed.opt1.lower, exact.opt1);
+        assert_eq!(bracketed.opt2.upper, exact.opt2);
+        assert_eq!(bracketed.cr1.lower, exact.cr1);
+        assert_eq!(bracketed.cr1.upper, exact.cr1);
+        assert_eq!(bracketed.cr2.lower, exact.cr2);
+    }
+
+    #[test]
+    fn bracketed_ratios_contain_the_exact_ratio_under_bound_backends() {
+        use crate::opt::OptBackendKind;
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let p = MixedProfile::uniform(3, 2);
+        let exact = measure(&g, &p, &t, 10_000).unwrap();
+        let engine = OptEngine::from_kinds(
+            crate::opt::OptConfig::default(),
+            &[
+                OptBackendKind::LptGreedy,
+                OptBackendKind::Descent,
+                OptBackendKind::Relaxation,
+            ],
+        );
+        let bracketed = measure_bracketed(&g, &p, &t, &engine).unwrap();
+        assert!(bracketed.cr1.lower <= exact.cr1 + 1e-9);
+        assert!(bracketed.cr1.upper >= exact.cr1 - 1e-9);
+        assert!(bracketed.cr2.lower <= exact.cr2 + 1e-9);
+        assert!(bracketed.cr2.upper >= exact.cr2 - 1e-9);
     }
 
     #[test]

@@ -1,16 +1,16 @@
 //! Exhaustive enumeration over the `mⁿ` pure profiles.
 //!
-//! Used as a ground-truth reference: enumeration of all pure Nash equilibria,
-//! and exact computation of the social optima OPT1/OPT2 that appear in the
-//! coordination-ratio definitions of Section 2.
+//! Used as a ground-truth reference for the enumeration of all pure Nash
+//! equilibria. The exact social optima OPT1/OPT2 of Section 2 historically
+//! lived here too; they moved behind the [`crate::opt`] estimator trait
+//! ([`crate::opt::exhaustive`]) and are re-exported for compatibility.
 
-use serde::{Deserialize, Serialize};
+pub use crate::opt::exhaustive::{social_optimum, SocialOptimum};
 
 use crate::equilibrium::is_pure_nash;
 use crate::error::{GameError, Result};
-use crate::latency::pure_user_latency;
 use crate::model::EffectiveGame;
-use crate::numeric::{stable_sum, Tolerance};
+use crate::numeric::Tolerance;
 use crate::strategy::{LinkLoads, PureProfile};
 
 /// Default cap on the number of profiles an exhaustive routine will visit.
@@ -21,7 +21,7 @@ pub fn profile_count(users: usize, links: usize) -> u128 {
     (links as u128).saturating_pow(users as u32)
 }
 
-fn ensure_within_limit(game: &EffectiveGame, limit: u128) -> Result<()> {
+pub(crate) fn ensure_within_limit(game: &EffectiveGame, limit: u128) -> Result<()> {
     let profiles = profile_count(game.users(), game.links());
     if profiles > limit {
         return Err(GameError::TooLarge { profiles, limit });
@@ -71,62 +71,6 @@ pub fn all_pure_nash(
     Ok(equilibria)
 }
 
-/// The exact social optima of a game (Section 2): the minimum over all pure
-/// assignments of the sum (`OPT1`) and of the maximum (`OPT2`) of the users'
-/// expected latencies.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SocialOptimum {
-    /// `OPT1(G)`: minimum total expected latency.
-    pub opt1: f64,
-    /// A profile attaining `OPT1`.
-    pub opt1_profile: PureProfile,
-    /// `OPT2(G)`: minimum of the maximum expected latency.
-    pub opt2: f64,
-    /// A profile attaining `OPT2`.
-    pub opt2_profile: PureProfile,
-}
-
-/// Computes [`SocialOptimum`] exactly by enumerating all pure profiles.
-///
-/// # Errors
-/// Fails when `mⁿ` exceeds `limit`.
-pub fn social_optimum(
-    game: &EffectiveGame,
-    initial: &LinkLoads,
-    limit: u128,
-) -> Result<SocialOptimum> {
-    ensure_within_limit(game, limit)?;
-    let mut best: Option<SocialOptimum> = None;
-    for_each_profile(game.users(), game.links(), |profile| {
-        let latencies: Vec<f64> = (0..game.users())
-            .map(|i| pure_user_latency(game, profile, initial, i))
-            .collect();
-        let sum = stable_sum(&latencies);
-        let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
-        match &mut best {
-            None => {
-                best = Some(SocialOptimum {
-                    opt1: sum,
-                    opt1_profile: profile.clone(),
-                    opt2: max,
-                    opt2_profile: profile.clone(),
-                });
-            }
-            Some(b) => {
-                if sum < b.opt1 {
-                    b.opt1 = sum;
-                    b.opt1_profile = profile.clone();
-                }
-                if max < b.opt2 {
-                    b.opt2 = max;
-                    b.opt2_profile = profile.clone();
-                }
-            }
-        }
-    });
-    Ok(best.expect("a validated game has at least one profile"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,7 +104,6 @@ mod tests {
             all_pure_nash(&g, &t, Tolerance::default(), 3),
             Err(GameError::TooLarge { .. })
         ));
-        assert!(social_optimum(&g, &t, 3).is_err());
     }
 
     #[test]
@@ -184,42 +127,5 @@ mod tests {
         for p in &all {
             assert_ne!(p.link(0), p.link(1));
         }
-    }
-
-    #[test]
-    fn social_optimum_on_opposed_game_separates_users() {
-        let g = opposed_game();
-        let t = LinkLoads::zero(2);
-        let opt = social_optimum(&g, &t, 1_000).unwrap();
-        assert_eq!(opt.opt1_profile.choices(), &[0, 1]);
-        assert_eq!(opt.opt2_profile.choices(), &[0, 1]);
-        // Each user alone on its fast (capacity 10) link: latency 0.1 each.
-        assert!((opt.opt1 - 0.2).abs() < 1e-12);
-        assert!((opt.opt2 - 0.1).abs() < 1e-12);
-    }
-
-    #[test]
-    fn opt1_is_never_larger_than_n_times_opt2() {
-        // Simple sanity relation: sum ≤ n·max for the same profile, hence
-        // OPT1 ≤ n·OPT2.
-        let g = EffectiveGame::from_rows(
-            vec![2.0, 1.0, 3.0],
-            vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.5]],
-        )
-        .unwrap();
-        let t = LinkLoads::zero(2);
-        let opt = social_optimum(&g, &t, 1_000).unwrap();
-        assert!(opt.opt1 <= 3.0 * opt.opt2 + 1e-12);
-        assert!(opt.opt2 <= opt.opt1 + 1e-12);
-    }
-
-    #[test]
-    fn initial_traffic_shifts_the_optimum() {
-        let g =
-            EffectiveGame::from_rows(vec![1.0, 1.0], vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
-        let heavy = LinkLoads::new(vec![10.0, 0.0]).unwrap();
-        let opt = social_optimum(&g, &heavy, 1_000).unwrap();
-        // With link 0 saturated, the optimum puts both users on link 1.
-        assert_eq!(opt.opt1_profile.choices(), &[1, 1]);
     }
 }

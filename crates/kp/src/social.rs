@@ -7,9 +7,18 @@
 //! for the small instances the experiments use), along with the social
 //! optimum and the resulting price-of-anarchy measurements used as the
 //! baseline against the paper's subjective social costs.
+//!
+//! The KP optimum is a special case of the general machinery: the makespan
+//! of an assignment equals `SC2` of the corresponding effective game (empty
+//! links cost nobody anything), so [`social_optimum`] delegates to the
+//! `netuncert_core::opt` subsystem's exhaustive backend and
+//! [`coordination_ratio`] is guarded by the same
+//! [`checked_ratio`](netuncert_core::social_cost::checked_ratio) used by
+//! the subjective ratio paths — a zero optimum is a typed error, not ∞.
 
 use netuncert_core::error::{GameError, Result};
-use netuncert_core::strategy::{MixedProfile, PureProfile};
+use netuncert_core::social_cost::checked_ratio;
+use netuncert_core::strategy::{LinkLoads, MixedProfile, PureProfile};
 
 use crate::game::KpGame;
 
@@ -74,52 +83,31 @@ pub fn expected_max_congestion(game: &KpGame, profile: &MixedProfile, limit: u12
 
 /// The KP social optimum: the minimum makespan over all pure assignments.
 ///
+/// The makespan of a pure assignment equals the `SC2` cost of the
+/// corresponding (user-independent) effective game — a user on link `ℓ`
+/// pays exactly `loadₗ / cₗ`, and links with no users cost nobody anything
+/// — so this is `OPT2` as computed by the unified
+/// `netuncert_core::opt` exhaustive backend, profile and value alike.
+///
 /// # Errors
 /// Fails when `mⁿ` exceeds `limit`.
 pub fn social_optimum(game: &KpGame, limit: u128) -> Result<(f64, PureProfile)> {
-    let n = game.users();
-    let m = game.links();
-    let outcomes = (m as u128).saturating_pow(n as u32);
-    if outcomes > limit {
-        return Err(GameError::TooLarge {
-            profiles: outcomes,
-            limit,
-        });
-    }
-    let mut best = f64::INFINITY;
-    let mut best_profile = PureProfile::all_on(n, 0);
-    let mut choices = vec![0usize; n];
-    loop {
-        let profile = PureProfile::new(choices.clone());
-        let cost = max_congestion(game, &profile);
-        if cost < best {
-            best = cost;
-            best_profile = profile;
-        }
-        let mut pos = 0;
-        loop {
-            if pos == n {
-                return Ok((best, best_profile));
-            }
-            choices[pos] += 1;
-            if choices[pos] < m {
-                break;
-            }
-            choices[pos] = 0;
-            pos += 1;
-        }
-    }
+    let eg = game.to_effective_game();
+    let optimum = netuncert_core::opt::social_optimum(&eg, &LinkLoads::zero(game.links()), limit)?;
+    Ok((optimum.opt2, optimum.opt2_profile))
 }
 
 /// The coordination ratio of a mixed profile in the KP sense:
 /// `E[max congestion] / OPT`.
 ///
 /// # Errors
-/// Fails when the outcome space exceeds `limit`.
+/// Fails when the outcome space exceeds `limit`, or with
+/// [`GameError::ZeroOptimum`](netuncert_core::error::GameError::ZeroOptimum)
+/// when the optimum degenerates to zero.
 pub fn coordination_ratio(game: &KpGame, profile: &MixedProfile, limit: u128) -> Result<f64> {
     let sc = expected_max_congestion(game, profile, limit)?;
     let (opt, _) = social_optimum(game, limit)?;
-    Ok(sc / opt)
+    checked_ratio(sc, opt, "KP OPT")
 }
 
 /// The classical upper bound on the *pure* price of anarchy for identical
@@ -196,6 +184,40 @@ mod tests {
         let lpt = MixedProfile::from_pure(&lpt_assignment(&g), 2);
         let sc_lpt = expected_max_congestion(&g, &lpt, 1_000).unwrap();
         assert!(sc_fm >= sc_lpt - 1e-12);
+    }
+
+    #[test]
+    fn unified_social_optimum_matches_direct_makespan_enumeration() {
+        // The opt-subsystem delegation must reproduce the historical
+        // behaviour bit-for-bit: enumerate every assignment here and compare
+        // value and witness profile.
+        let g = KpGame::new(vec![3.0, 1.0, 2.0, 1.5], vec![1.0, 2.0, 0.5]).unwrap();
+        let mut best = f64::INFINITY;
+        let mut best_profile = PureProfile::all_on(4, 0);
+        let mut choices = vec![0usize; 4];
+        'outer: loop {
+            let profile = PureProfile::new(choices.clone());
+            let cost = max_congestion(&g, &profile);
+            if cost < best {
+                best = cost;
+                best_profile = profile;
+            }
+            let mut pos = 0;
+            loop {
+                if pos == 4 {
+                    break 'outer;
+                }
+                choices[pos] += 1;
+                if choices[pos] < 3 {
+                    break;
+                }
+                choices[pos] = 0;
+                pos += 1;
+            }
+        }
+        let (opt, opt_profile) = social_optimum(&g, 1_000_000).unwrap();
+        assert_eq!(opt, best);
+        assert_eq!(opt_profile, best_profile);
     }
 
     #[test]

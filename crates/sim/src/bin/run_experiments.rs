@@ -32,10 +32,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use netuncert_core::opt::OptBackendKind;
 use netuncert_core::solvers::SolverKind;
 use sim_harness::sweep::{ShardFile, SweepRunner};
 use sim_harness::{
-    experiments, render_markdown, runner, Experiment, ExperimentConfig, Shard, SolverSelection,
+    experiments, render_markdown, runner, Experiment, ExperimentConfig, OptSelection, Shard,
+    SolverSelection,
 };
 
 struct Args {
@@ -44,23 +46,20 @@ struct Args {
     threads: usize,
     restarts: usize,
     solvers: SolverSelection,
+    opt_backends: OptSelection,
     experiment_ids: Vec<String>,
     shard: Shard,
     cache: bool,
     resume: bool,
+    list: bool,
     json: Option<PathBuf>,
     merge: Vec<PathBuf>,
     out: Option<PathBuf>,
 }
 
-fn usage() -> String {
-    let mut out = String::from(
-        "usage: run_experiments [--samples N] [--seed S] [--threads T]\n\
-         \x20                      [--solvers LIST] [--restarts N]\n\
-         \x20                      [--experiment ID]... [--shard I/K] [--cache]\n\
-         \x20                      [--json FILE] [--resume] [--merge FILE...] [--out DIR]\n\n\
-         registered experiments:\n",
-    );
+/// The `--list` output: every registry experiment id with its description.
+fn experiment_listing() -> String {
+    let mut out = String::new();
     for experiment in experiments::all() {
         out.push_str(&format!(
             "  {:12} {}\n",
@@ -68,8 +67,24 @@ fn usage() -> String {
             experiment.description()
         ));
     }
+    out
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: run_experiments [--samples N] [--seed S] [--threads T]\n\
+         \x20                      [--solvers LIST] [--opt-backends LIST] [--restarts N]\n\
+         \x20                      [--experiment ID]... [--shard I/K] [--cache] [--list]\n\
+         \x20                      [--json FILE] [--resume] [--merge FILE...] [--out DIR]\n\n\
+         registered experiments:\n",
+    );
+    out.push_str(&experiment_listing());
     out.push_str("\nsolver backends (--solvers, ordered, comma-separated):\n");
     for kind in SolverKind::ALL {
+        out.push_str(&format!("  {}\n", kind.id()));
+    }
+    out.push_str("\nopt backends (--opt-backends, ordered, comma-separated):\n");
+    for kind in OptBackendKind::ALL {
         out.push_str(&format!("  {}\n", kind.id()));
     }
     out
@@ -82,10 +97,12 @@ fn parse_args() -> Result<Args, String> {
         threads: 0,
         restarts: ExperimentConfig::default().restarts,
         solvers: SolverSelection::paper(),
+        opt_backends: OptSelection::default_order(),
         experiment_ids: Vec::new(),
         shard: Shard::solo(),
         cache: false,
         resume: false,
+        list: false,
         json: None,
         merge: Vec::new(),
         out: None,
@@ -123,6 +140,13 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--solvers requires a comma-separated backend list")?;
                 args.solvers = SolverSelection::parse(&list)?;
             }
+            "--opt-backends" => {
+                let list = iter
+                    .next()
+                    .ok_or("--opt-backends requires a comma-separated backend list")?;
+                args.opt_backends = OptSelection::parse(&list)?;
+            }
+            "--list" => args.list = true,
             "--resume" => args.resume = true,
             "--experiment" => {
                 let id = iter.next().ok_or("--experiment requires a registry id")?;
@@ -213,12 +237,17 @@ fn report_and_exit(
 
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    if args.list {
+        print!("{}", experiment_listing());
+        return Ok(ExitCode::SUCCESS);
+    }
     let config = ExperimentConfig {
         samples: args.samples,
         seed: args.seed,
         threads: args.threads,
         restarts: args.restarts,
         solvers: args.solvers,
+        opt_backends: args.opt_backends,
         ..ExperimentConfig::default()
     };
     let mut sweep =
@@ -322,6 +351,15 @@ fn run() -> Result<ExitCode, String> {
     if let Some(stats) = sweep.cache_stats() {
         eprintln!(
             "solve cache: {} hits / {} misses ({:.1}% hit rate, {} entries)",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.entries
+        );
+    }
+    if let Some(stats) = sweep.opt_cache_stats() {
+        eprintln!(
+            "opt cache: {} hits / {} misses ({:.1}% hit rate, {} entries)",
             stats.hits,
             stats.misses,
             100.0 * stats.hit_rate(),

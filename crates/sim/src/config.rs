@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::opt::{OptBackendKind, OptConfig, OptEngine};
 use netuncert_core::solvers::engine::{SolverConfig, SolverEngine, SolverKind};
 use par_exec::ParallelConfig;
 
@@ -130,6 +131,124 @@ impl Deserialize for SolverSelection {
     }
 }
 
+/// An ordered, duplicate-free selection of OPT-estimator backends — the
+/// engine composition behind every certified optimum bracket, selectable on
+/// the CLI via `run_experiments --opt-backends` (comma-separated
+/// [`OptBackendKind::id`]s). The opt-side twin of [`SolverSelection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptSelection {
+    kinds: [OptBackendKind; OptSelection::MAX],
+    len: u8,
+}
+
+impl OptSelection {
+    /// Capacity of a selection (more than the number of built-in backends).
+    pub const MAX: usize = 8;
+
+    /// The default composition: every built-in backend in
+    /// [`OptBackendKind::ALL`] order (exact first, then bounds).
+    pub fn default_order() -> Self {
+        OptSelection::new(&OptBackendKind::ALL).expect("the default order is a valid selection")
+    }
+
+    /// A selection from an explicit kind list (non-empty, no duplicates, at
+    /// most [`OptSelection::MAX`] entries).
+    pub fn new(kinds: &[OptBackendKind]) -> Result<Self, String> {
+        if kinds.is_empty() {
+            return Err("an opt selection must name at least one backend".into());
+        }
+        if kinds.len() > OptSelection::MAX {
+            return Err(format!(
+                "an opt selection holds at most {} backends, got {}",
+                OptSelection::MAX,
+                kinds.len()
+            ));
+        }
+        let mut stored = [OptBackendKind::Exhaustive; OptSelection::MAX];
+        for (i, &kind) in kinds.iter().enumerate() {
+            if kinds[..i].contains(&kind) {
+                return Err(format!("opt backend `{}` was selected twice", kind.id()));
+            }
+            stored[i] = kind;
+        }
+        Ok(OptSelection {
+            kinds: stored,
+            len: kinds.len() as u8,
+        })
+    }
+
+    /// Parses the CLI form: comma-separated [`OptBackendKind::id`]s, e.g.
+    /// `"exhaustive,descent,relaxation"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let kinds: Vec<OptBackendKind> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                OptBackendKind::parse(part).ok_or_else(|| {
+                    format!(
+                        "unknown opt backend `{part}`; known backends: {}",
+                        OptBackendKind::ALL.map(|k| k.id()).join(", ")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        OptSelection::new(&kinds)
+    }
+
+    /// The selected kinds, in engine order.
+    pub fn kinds(&self) -> &[OptBackendKind] {
+        &self.kinds[..self.len as usize]
+    }
+
+    /// The selected ids, in engine order (the form stamped into shard files).
+    pub fn ids(&self) -> Vec<String> {
+        self.kinds().iter().map(|k| k.id().to_string()).collect()
+    }
+
+    /// Builds an [`OptEngine`] over this selection.
+    pub fn engine(&self, config: OptConfig) -> OptEngine {
+        OptEngine::from_kinds(config, self.kinds())
+    }
+}
+
+impl Default for OptSelection {
+    fn default() -> Self {
+        OptSelection::default_order()
+    }
+}
+
+impl fmt::Display for OptSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ids().join(","))
+    }
+}
+
+impl Serialize for OptSelection {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.kinds()
+                .iter()
+                .map(|k| serde::Value::Str(k.id().to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for OptSelection {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ids: Vec<String> = Deserialize::from_value(v)?;
+        let kinds: Vec<OptBackendKind> = ids
+            .iter()
+            .map(|id| {
+                OptBackendKind::parse(id)
+                    .ok_or_else(|| serde::Error::custom(format!("unknown opt backend id `{id}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        OptSelection::new(&kinds).map_err(serde::Error::custom)
+    }
+}
+
 /// Configuration shared by every experiment in the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -153,6 +272,9 @@ pub struct ExperimentConfig {
     /// The solver backends (and their order) behind every generic engine
     /// solve, i.e. [`CellCtx::engine`](crate::experiment::CellCtx::engine).
     pub solvers: SolverSelection,
+    /// The OPT-estimator backends (and their order) behind every certified
+    /// optimum bracket, i.e. [`CellCtx::opt_engine`](crate::experiment::CellCtx::opt_engine).
+    pub opt_backends: OptSelection,
 }
 
 impl Default for ExperimentConfig {
@@ -166,6 +288,7 @@ impl Default for ExperimentConfig {
             max_steps: 100_000,
             restarts: SolverConfig::default().restarts,
             solvers: SolverSelection::paper(),
+            opt_backends: OptSelection::default_order(),
         }
     }
 }
@@ -216,6 +339,26 @@ impl ExperimentConfig {
         self.solvers
             .engine(self.solver_config())
             .with_parallelism(self.parallel())
+    }
+
+    /// The OPT-estimator budgets implied by this configuration: the shared
+    /// knobs (`profile_limit`, `max_steps`) feed the opt side under their
+    /// opt names; the remaining budgets — including the descent restart
+    /// count, which deliberately exceeds the solver-side `--restarts`
+    /// default because bound tightness keeps paying for extra starts —
+    /// keep their [`OptConfig`] defaults.
+    pub fn opt_config(&self) -> OptConfig {
+        OptConfig {
+            profile_limit: self.profile_limit,
+            max_moves: self.max_steps as u64,
+            ..OptConfig::default()
+        }
+    }
+
+    /// An [`OptEngine`] over this configuration's opt-backend selection and
+    /// budgets; experiments route all social-optimum bracketing through it.
+    pub fn opt_engine(&self) -> OptEngine {
+        self.opt_backends.engine(self.opt_config())
     }
 }
 
@@ -283,6 +426,43 @@ mod tests {
         let back: SolverSelection = serde_json::from_str(&json).unwrap();
         assert_eq!(back, parsed);
         assert!(serde_json::from_str::<SolverSelection>("[\"alien\"]").is_err());
+    }
+
+    #[test]
+    fn opt_selections_parse_validate_and_round_trip() {
+        use netuncert_core::opt::OptMethod;
+        let default = OptSelection::default();
+        assert_eq!(default.kinds(), &OptBackendKind::ALL);
+        assert_eq!(
+            default.to_string(),
+            "exhaustive,branch_and_bound,lpt,descent,relaxation"
+        );
+
+        let parsed = OptSelection::parse("descent, relaxation").unwrap();
+        assert_eq!(
+            parsed.kinds(),
+            &[OptBackendKind::Descent, OptBackendKind::Relaxation]
+        );
+        assert!(OptSelection::parse("").is_err());
+        assert!(OptSelection::parse("nonsense").is_err());
+        assert!(OptSelection::parse("descent,descent").is_err());
+
+        let json = serde_json::to_string(&parsed).unwrap();
+        assert_eq!(json, "[\"descent\",\"relaxation\"]");
+        let back: OptSelection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, parsed);
+        assert!(serde_json::from_str::<OptSelection>("[\"alien\"]").is_err());
+
+        let cfg = ExperimentConfig {
+            opt_backends: parsed,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(
+            cfg.opt_engine().methods(),
+            vec![OptMethod::Descent, OptMethod::Relaxation]
+        );
+        assert_eq!(cfg.opt_config().profile_limit, cfg.profile_limit);
+        assert_eq!(cfg.opt_config().max_moves, cfg.max_steps as u64);
     }
 
     #[test]

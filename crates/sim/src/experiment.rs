@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::opt::{OptCache, OptEngine};
 use netuncert_core::solvers::cache::SolveCache;
 use netuncert_core::solvers::engine::SolverEngine;
 use par_exec::{parallel_map, ParallelConfig};
@@ -61,6 +62,9 @@ pub struct CellCtx<'a> {
     /// Content-addressed solve cache shared across the whole sweep, if the
     /// caller opted in.
     pub cache: Option<&'a Arc<SolveCache>>,
+    /// Content-addressed optimum-bracket cache shared across the whole
+    /// sweep, if the caller opted in (enabled together with `cache`).
+    pub opt_cache: Option<&'a Arc<OptCache>>,
 }
 
 impl CellCtx<'_> {
@@ -77,6 +81,18 @@ impl CellCtx<'_> {
     pub fn attach(&self, engine: SolverEngine) -> SolverEngine {
         let engine = engine.with_parallelism(self.parallel);
         match self.cache {
+            Some(cache) => engine.with_cache(Arc::clone(cache)),
+            None => engine,
+        }
+    }
+
+    /// The optimum-bracketing engine for this cell — the configuration's
+    /// opt-backend selection (default order unless overridden, e.g. by
+    /// `run_experiments --opt-backends`) wired to the sweep's shared opt
+    /// cache when enabled.
+    pub fn opt_engine(&self) -> OptEngine {
+        let engine = self.config.opt_engine();
+        match self.opt_cache {
             Some(cache) => engine.with_cache(Arc::clone(cache)),
             None => engine,
         }
@@ -215,6 +231,7 @@ pub fn run_experiment(
             cell: &grid[i],
             parallel: inner,
             cache: None,
+            opt_cache: None,
         };
         experiment.run_cell(&ctx)
     });

@@ -9,13 +9,14 @@ pub mod fmne;
 pub mod kp_compare;
 pub mod milchtaich;
 pub mod poa;
+pub mod poa_scaling;
 pub mod potential;
 pub mod scaling;
 pub mod three_users;
 pub mod worst_case;
 
 /// Every registered experiment, in report order (the `DESIGN.md` index:
-/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13).
+/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13, E14).
 pub fn all() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(three_users::ThreeUsers),
@@ -27,6 +28,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(milchtaich::Milchtaich),
         Box::new(kp_compare::KpCompare),
         Box::new(scaling::Scaling),
+        Box::new(poa_scaling::PoaScaling),
     ]
 }
 
@@ -59,6 +61,7 @@ mod tests {
                 "milchtaich",
                 "kp_compare",
                 "scaling",
+                "poa_scaling",
             ]
         );
     }

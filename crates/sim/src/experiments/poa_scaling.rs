@@ -1,0 +1,270 @@
+//! E14 — the price of anarchy at scale: interval coordination ratios from
+//! certified `OPT1`/`OPT2` brackets where exhaustive optima are infeasible.
+//!
+//! E10 measures `SC/OPT` against *exact* optima and therefore stops at the
+//! exhaustive wall; E13 certifies equilibria at `n = 512` but says nothing
+//! about how costly they are. This experiment closes the gap — the paper's
+//! actual object of study at the huge-game scale: random general instances
+//! are solved by [`LocalSearch`] (every profile re-certified by the
+//! equilibrium checker), the [`OptEngine`] brackets both optima
+//! (`lower ≤ OPT ≤ upper`, exact below the wall, certified bounds above
+//! it), and the equilibrium cost is reported as an *interval* coordination
+//! ratio `CRᵢ ∈ [SCᵢ/upperᵢ, SCᵢ/lowerᵢ]`.
+//!
+//! A cell `holds` when every sample's equilibrium is checker-certified,
+//! every bracket is usable (typed ratio errors count as failures, they
+//! never surface as NaN), brackets on exhaustive-sized instances contain
+//! the exact optimum (the differential anchor, checked whenever the engine
+//! composition is not already exact), and the bracket stays tight:
+//! `upper/lower ≤` [`BRACKET_WIDTH_GOAL`] on every sample — the acceptance
+//! bar that makes an interval ratio at `n = 512, m = 16` informative
+//! rather than vacuous.
+//!
+//! [`LocalSearch`]: netuncert_core::solvers::LocalSearch
+//! [`OptEngine`]: netuncert_core::opt::OptEngine
+
+use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
+use netuncert_core::equilibrium::is_pure_nash;
+use netuncert_core::opt::exhaustive::social_optimum;
+use netuncert_core::social_cost::{pure_sc1, pure_sc2, ratio_bracket};
+use netuncert_core::solvers::exhaustive::profile_count;
+use netuncert_core::solvers::{SolverEngine, SolverKind};
+use netuncert_core::strategy::LinkLoads;
+use par_exec::parallel_map;
+
+use crate::config::ExperimentConfig;
+use crate::experiment::{tables_from_cells, Cell, CellCtx, CellResult, Experiment};
+use crate::report::{fmt, pct, ExperimentOutcome, ReportError};
+
+/// The acceptance bar on the multiplicative bracket width `upper/lower`.
+pub const BRACKET_WIDTH_GOAL: f64 = 1.5;
+
+/// The `(n, m)` grid: one exhaustive-anchored size, then the climb to the
+/// huge-game regime E13 opened.
+pub fn size_grid() -> Vec<(usize, usize)> {
+    vec![(8, 4), (32, 8), (128, 8), (512, 16)]
+}
+
+const TABLE: (&str, &[&str]) = (
+    "Interval coordination ratios of certified equilibria vs certified OPT brackets",
+    &[
+        "n",
+        "m",
+        "instances",
+        "NE certified",
+        "max CR1 ≤",
+        "max CR2 ≤",
+        "width1 (max)",
+        "width2 (max)",
+        "exact optima",
+    ],
+);
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    certified: bool,
+    bracket_ok: bool,
+    anchored: bool,
+    exact: bool,
+    cr1_hi: f64,
+    cr2_hi: f64,
+    width1: f64,
+    width2: f64,
+}
+
+/// E14 as a registry entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoaScaling;
+
+impl Experiment for PoaScaling {
+    fn id(&self) -> &'static str {
+        "poa_scaling"
+    }
+
+    fn description(&self) -> &'static str {
+        "E14 — interval coordination ratios at n up to 512 via certified OPT brackets"
+    }
+
+    fn grid(&self) -> Vec<Cell> {
+        size_grid()
+            .iter()
+            .enumerate()
+            .map(|(idx, &(n, m))| Cell::new(idx, 0, format!("n={n} m={m}")))
+            .collect()
+    }
+
+    fn run_cell(&self, ctx: &CellCtx<'_>) -> CellResult {
+        let config = ctx.config;
+        let grid_idx = ctx.cell.index;
+        let (n, m) = size_grid()[grid_idx];
+        let spec = EffectiveSpec::General {
+            users: n,
+            links: m,
+            capacity: CapacityDist::Uniform { lo: 0.5, hi: 2.0 },
+            weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+        };
+        let solver_config = config.solver_config();
+        let solver = ctx.attach(SolverEngine::from_kinds(
+            solver_config,
+            &[SolverKind::LocalSearch],
+        ));
+        let opt_engine = ctx.opt_engine();
+        let exhaustive_applies = profile_count(n, m) <= config.profile_limit;
+        let initial = LinkLoads::zero(m);
+        let results = parallel_map(&ctx.parallel, config.samples, |sample| {
+            let stream = 0xE14A_0000_0000u64 | (grid_idx as u64) << 24 | sample as u64;
+            let mut rng = instance_gen::rng(config.seed, stream);
+            let game = spec.generate(&mut rng);
+            let mut out = Sample {
+                certified: false,
+                bracket_ok: false,
+                anchored: true,
+                exact: false,
+                cr1_hi: f64::NAN,
+                cr2_hi: f64::NAN,
+                width1: f64::INFINITY,
+                width2: f64::INFINITY,
+            };
+            let solved = solver
+                .solve(&game, &initial)
+                .expect("heuristic backends never error");
+            let Some(solution) = solved.solution else {
+                return out;
+            };
+            out.certified = is_pure_nash(&game, &solution.profile, &initial, solver_config.tol);
+            if !out.certified {
+                return out;
+            }
+            let sc1 = pure_sc1(&game, &solution.profile, &initial);
+            let sc2 = pure_sc2(&game, &solution.profile, &initial);
+            let Ok(outcome) = opt_engine.estimate(&game, &initial) else {
+                return out;
+            };
+            let (Ok(cr1), Ok(cr2)) = (
+                ratio_bracket(sc1, &outcome.opt1, "OPT1"),
+                ratio_bracket(sc2, &outcome.opt2, "OPT2"),
+            ) else {
+                return out;
+            };
+            out.bracket_ok = cr1.lower.is_finite()
+                && cr1.upper.is_finite()
+                && cr2.lower.is_finite()
+                && cr2.upper.is_finite();
+            out.exact = outcome.exact();
+            out.cr1_hi = cr1.upper;
+            out.cr2_hi = cr2.upper;
+            out.width1 = outcome.opt1.width();
+            out.width2 = outcome.opt2.width();
+            // The differential anchor: on exhaustive-sized instances a
+            // non-exact composition must still bracket the true optima.
+            if exhaustive_applies && !outcome.exact() {
+                let exact = social_optimum(&game, &initial, config.profile_limit)
+                    .expect("the size gate admits enumeration");
+                out.anchored = outcome.opt1.contains(exact.opt1, 1e-9)
+                    && outcome.opt2.contains(exact.opt2, 1e-9);
+            }
+            out
+        });
+        let samples = config.samples;
+        let certified = results.iter().filter(|s| s.certified).count();
+        let bracketed = results.iter().filter(|s| s.bracket_ok).count();
+        let anchored = results.iter().all(|s| s.anchored);
+        let exact = results.iter().filter(|s| s.exact).count();
+        let cr1_hi = results.iter().map(|s| s.cr1_hi).fold(0.0f64, f64::max);
+        let cr2_hi = results.iter().map(|s| s.cr2_hi).fold(0.0f64, f64::max);
+        let width1 = results.iter().map(|s| s.width1).fold(1.0f64, f64::max);
+        let width2 = results.iter().map(|s| s.width2).fold(1.0f64, f64::max);
+        let tight = width1 <= BRACKET_WIDTH_GOAL && width2 <= BRACKET_WIDTH_GOAL;
+
+        let mut out = CellResult::for_cell(self.id(), ctx.cell);
+        out.holds = certified == samples && bracketed == samples && anchored && tight;
+        out.push_metric("certified", certified as f64);
+        out.push_metric("bracketed", bracketed as f64);
+        out.push_metric("anchored", f64::from(anchored));
+        out.push_metric("exact", exact as f64);
+        out.push_metric("exhaustive_applies", f64::from(exhaustive_applies));
+        out.push_metric("max_cr1_upper", cr1_hi);
+        out.push_metric("max_cr2_upper", cr2_hi);
+        out.push_metric("max_width1", width1);
+        out.push_metric("max_width2", width2);
+        out.row = vec![
+            n.to_string(),
+            m.to_string(),
+            samples.to_string(),
+            pct(certified, samples),
+            fmt(cr1_hi),
+            fmt(cr2_hi),
+            fmt(width1),
+            fmt(width2),
+            pct(exact, samples),
+        ];
+        out
+    }
+
+    fn outcome(
+        &self,
+        _config: &ExperimentConfig,
+        cells: &[CellResult],
+    ) -> Result<ExperimentOutcome, ReportError> {
+        let holds = cells.iter().all(|c| c.holds);
+        let beyond_wall = cells
+            .iter()
+            .any(|c| !c.metric_flag("exhaustive_applies") && c.holds);
+        Ok(ExperimentOutcome {
+            id: "E14".into(),
+            name: "Price of anarchy at scale via certified OPT brackets".into(),
+            paper_claim: "The coordination ratios SC1/OPT1 and SC2/OPT2 are the paper's headline \
+                          quantities; its own measurements stop where exhaustive computation of \
+                          OPT becomes infeasible."
+                .into(),
+            observed: if holds && beyond_wall {
+                format!(
+                    "every sampled equilibrium was checker-certified and measured against a \
+                     certified OPT bracket of width ≤ {BRACKET_WIDTH_GOAL} — finite interval \
+                     coordination ratios all the way to n = 512, past the exhaustive wall"
+                )
+            } else if holds {
+                "every cell held, but no configured cell lies beyond the exhaustive regime".into()
+            } else {
+                "a cell failed certification, bracketing or the width goal — inspect the table"
+                    .into()
+            },
+            holds,
+            tables: tables_from_cells(&[TABLE], cells)?,
+        })
+    }
+}
+
+/// Runs the experiment (thin wrapper over the [`Experiment`] impl).
+pub fn run(config: &ExperimentConfig) -> Result<ExperimentOutcome, ReportError> {
+    crate::experiment::run_experiment(&PoaScaling, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptSelection;
+
+    #[test]
+    fn quick_run_brackets_every_size_within_the_width_goal() {
+        let mut config = ExperimentConfig::quick();
+        config.samples = 2;
+        let outcome = run(&config).expect("report assembles");
+        assert!(outcome.holds, "{}", outcome.observed);
+        // The grid must actually reach past the exhaustive regime.
+        assert!(size_grid()
+            .iter()
+            .any(|&(n, m)| profile_count(n, m) > config.profile_limit));
+    }
+
+    #[test]
+    fn a_bounds_only_composition_is_anchored_against_the_oracle() {
+        // Exclude the exact backends: the small cell now exercises the
+        // contains-the-exhaustive-optimum anchor instead of exactness.
+        let mut config = ExperimentConfig::quick();
+        config.samples = 2;
+        config.opt_backends = OptSelection::parse("lpt,descent,relaxation").unwrap();
+        let outcome = run(&config).expect("report assembles");
+        assert!(outcome.holds, "{}", outcome.observed);
+    }
+}

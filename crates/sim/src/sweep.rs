@@ -18,10 +18,11 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::opt::OptCache;
 use netuncert_core::solvers::cache::{CacheStats, SolveCache};
 use par_exec::parallel_map;
 
-use crate::config::{ExperimentConfig, SolverSelection};
+use crate::config::{ExperimentConfig, OptSelection, SolverSelection};
 use crate::experiment::{Cell, CellCtx, CellResult, Experiment};
 use crate::experiments;
 use crate::report::{ExperimentOutcome, ReportError};
@@ -166,6 +167,7 @@ pub struct SweepRunner {
     experiments: Vec<Box<dyn Experiment>>,
     config: ExperimentConfig,
     cache: Option<Arc<SolveCache>>,
+    opt_cache: Option<Arc<OptCache>>,
 }
 
 impl SweepRunner {
@@ -184,22 +186,31 @@ impl SweepRunner {
             experiments,
             config,
             cache: None,
+            opt_cache: None,
         }
     }
 
-    /// Enables a content-addressed [`SolveCache`] shared by every cell of
-    /// this runner's sweeps. Results are unchanged (hits replay the cold
-    /// solve bit-for-bit); repeated instances — e.g. the fixed true network
-    /// behind a group of belief perturbations — just stop being re-solved.
+    /// Enables the content-addressed caches shared by every cell of this
+    /// runner's sweeps: a [`SolveCache`] for equilibrium solves and an
+    /// [`OptCache`] for optimum brackets. Results are unchanged (hits replay
+    /// the cold computation bit-for-bit); repeated instances — e.g. the
+    /// fixed true network behind a group of belief perturbations — just
+    /// stop being re-computed.
     #[must_use]
     pub fn with_cache(mut self) -> Self {
         self.cache = Some(Arc::new(SolveCache::new()));
+        self.opt_cache = Some(Arc::new(OptCache::new()));
         self
     }
 
-    /// Hit/miss counters of the shared cache, if enabled.
+    /// Hit/miss counters of the shared solve cache, if enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Hit/miss counters of the shared optimum-bracket cache, if enabled.
+    pub fn opt_cache_stats(&self) -> Option<CacheStats> {
+        self.opt_cache.as_ref().map(|c| c.stats())
     }
 
     /// The experiment selection, in task-id order.
@@ -244,6 +255,7 @@ impl SweepRunner {
                 cell,
                 parallel: inner,
                 cache: self.cache.as_ref(),
+                opt_cache: self.opt_cache.as_ref(),
             };
             CellRecord {
                 task_id: *task_id,
@@ -358,6 +370,7 @@ impl SweepRunner {
                 cell,
                 parallel: inner,
                 cache: self.cache.as_ref(),
+                opt_cache: self.opt_cache.as_ref(),
             };
             CellRecord {
                 task_id: *task_id,
@@ -440,6 +453,9 @@ pub struct ShardFile {
     /// The solver selection (engine composition) the records were computed
     /// with, as [`SolverKind::id`](netuncert_core::solvers::SolverKind::id)s.
     pub solvers: SolverSelection,
+    /// The OPT-backend selection the records were computed with, as
+    /// [`OptBackendKind::id`](netuncert_core::opt::OptBackendKind::id)s.
+    pub opt_backends: OptSelection,
     /// The cell records.
     pub records: Vec<CellRecord>,
 }
@@ -454,6 +470,7 @@ impl ShardFile {
             max_steps: config.max_steps,
             restarts: config.restarts,
             solvers: config.solvers,
+            opt_backends: config.opt_backends,
             records,
         }
     }
@@ -486,6 +503,12 @@ impl ShardFile {
         }
         if self.solvers != config.solvers {
             mismatches.push(format!("solvers {} vs {}", self.solvers, config.solvers));
+        }
+        if self.opt_backends != config.opt_backends {
+            mismatches.push(format!(
+                "opt_backends {} vs {}",
+                self.opt_backends, config.opt_backends
+            ));
         }
         if mismatches.is_empty() {
             Ok(())
@@ -644,6 +667,12 @@ mod tests {
         };
         let err = back.check_config(&other_solvers).unwrap_err();
         assert!(err.contains("solvers"), "{err}");
+        let other_opt = ExperimentConfig {
+            opt_backends: crate::config::OptSelection::parse("descent,relaxation").unwrap(),
+            ..config
+        };
+        let err = back.check_config(&other_opt).unwrap_err();
+        assert!(err.contains("opt_backends"), "{err}");
     }
 
     #[test]
