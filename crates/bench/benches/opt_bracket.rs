@@ -71,6 +71,50 @@ fn bench_opt_bracket(c: &mut Criterion) {
         );
     }
     huge.finish();
+
+    // The adaptive width-goal mode vs the same composition on fixed
+    // budgets, on a moderate at-scale capacity band (uniform 2–4, the
+    // E14/E15 regime): past the wall the cheap LptGreedy + Relaxation pair
+    // meets the 1.5 goal, so the 24-restart descent run is skipped
+    // entirely — the per-bracket saving the `belief_noise` sweep banks on.
+    // (On harsher capacity spreads like `general_instance`'s 16× band the
+    // goal is not met early and the adaptive mode honestly degrades to
+    // fixed cost.)
+    let mut adaptive = c.benchmark_group("opt_bracket_adaptive");
+    adaptive.sample_size(10);
+    for &(n, m) in &[(128usize, 8usize), (512, 16)] {
+        let game = instance_gen::EffectiveSpec::General {
+            users: n,
+            links: m,
+            capacity: instance_gen::CapacityDist::Uniform { lo: 2.0, hi: 4.0 },
+            weights: instance_gen::WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+        }
+        .generate(&mut instance_gen::rng(46, 0xADA));
+        let initial = LinkLoads::zero(m);
+        for (label, width_goal) in [("fixed", None), ("adaptive", Some(1.5))] {
+            let e = OptEngine::from_kinds(
+                OptConfig {
+                    width_goal,
+                    ..OptConfig::default()
+                },
+                &bounds_only,
+            );
+            let outcome = e.estimate(&game, &initial).unwrap();
+            assert!(outcome.opt1.width() <= 1.5 && outcome.opt2.width() <= 1.5);
+            if width_goal.is_some() {
+                assert!(
+                    !outcome.telemetry.skipped.is_empty(),
+                    "the adaptive mode must skip the descent run at n={n}"
+                );
+            }
+            adaptive.bench_with_input(
+                BenchmarkId::new(label, format!("n{n}_m{m}")),
+                &label,
+                |b, _| b.iter(|| e.estimate(black_box(&game), black_box(&initial))),
+            );
+        }
+    }
+    adaptive.finish();
 }
 
 criterion_group! {

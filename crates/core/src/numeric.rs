@@ -88,6 +88,20 @@ impl Tolerance {
     }
 }
 
+/// The canonical bit pattern of `x` for content-addressed hashing: `-0.0`
+/// maps to `+0.0` and every NaN payload maps to one canonical quiet NaN, so
+/// semantically identical instances can never produce distinct cache keys.
+/// All other values keep their exact bits.
+pub fn canonical_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0 // +0.0: `-0.0 == 0.0`, so both branches land here.
+    } else if x.is_nan() {
+        0x7FF8_0000_0000_0000 // the canonical quiet NaN
+    } else {
+        x.to_bits()
+    }
+}
+
 /// Returns the index of the minimum of `values` (ties broken by lowest index).
 ///
 /// Panics if `values` is empty or contains NaN.
@@ -211,5 +225,26 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_tolerance_rejected() {
         Tolerance::new(-1.0);
+    }
+
+    #[test]
+    fn canonical_bits_identify_zero_signs_and_nan_payloads() {
+        assert_eq!(canonical_bits(0.0), canonical_bits(-0.0));
+        assert_eq!(canonical_bits(0.0), 0);
+        assert_ne!((-0.0f64).to_bits(), 0, "the raw patterns really differ");
+        let weird_nan = f64::from_bits(0x7FF8_0000_0000_0001);
+        assert_eq!(canonical_bits(weird_nan), canonical_bits(f64::NAN));
+        // Ordinary values keep their exact bit patterns.
+        for v in [
+            1.0,
+            -1.0,
+            1e-300,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            assert_eq!(canonical_bits(v), v.to_bits());
+        }
+        assert_ne!(canonical_bits(1.0), canonical_bits(1.0 + f64::EPSILON));
     }
 }

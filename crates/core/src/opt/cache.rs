@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::model::EffectiveGame;
+use crate::numeric::canonical_bits;
 use crate::opt::engine::{OptConfig, OptMethod, OptOutcome};
 use crate::solvers::cache::CacheStats;
 use crate::strategy::LinkLoads;
@@ -109,7 +110,10 @@ fn method_tag(method: OptMethod) -> u8 {
 }
 
 /// Builds the canonical cache key for one estimate: engine method list, the
-/// full opt budget set, then the bit patterns of the instance itself.
+/// full opt budget set (the adaptive width goal included), then the
+/// canonicalised bit patterns of the instance itself ([`canonical_bits`]
+/// folds `±0.0` and NaN payloads together, so semantically identical
+/// instances always share a key).
 pub(crate) fn canonical_key(
     methods: &[OptMethod],
     config: &OptConfig,
@@ -118,29 +122,36 @@ pub(crate) fn canonical_key(
 ) -> Vec<u8> {
     let n = game.users();
     let m = game.links();
-    let mut key = Vec::with_capacity(80 + 8 * (n + n * m + m));
-    key.extend_from_slice(b"netuncert-opt-v1");
+    let mut key = Vec::with_capacity(96 + 8 * (n + n * m + m));
+    key.extend_from_slice(b"netuncert-opt-v2");
     key.push(methods.len() as u8);
     key.extend(methods.iter().map(|&mth| method_tag(mth)));
-    key.extend_from_slice(&config.tol.eps().to_bits().to_le_bytes());
+    key.extend_from_slice(&canonical_bits(config.tol.eps()).to_le_bytes());
     key.extend_from_slice(&config.profile_limit.to_le_bytes());
     key.extend_from_slice(&config.node_limit.to_le_bytes());
     key.extend_from_slice(&(config.bb_max_users as u64).to_le_bytes());
     key.extend_from_slice(&(config.restarts as u64).to_le_bytes());
     key.extend_from_slice(&config.max_moves.to_le_bytes());
     key.extend_from_slice(&config.opt_seed.to_le_bytes());
+    match config.width_goal {
+        Some(goal) => {
+            key.push(1);
+            key.extend_from_slice(&canonical_bits(goal).to_le_bytes());
+        }
+        None => key.push(0),
+    }
     key.extend_from_slice(&(n as u64).to_le_bytes());
     key.extend_from_slice(&(m as u64).to_le_bytes());
     for &w in game.weights() {
-        key.extend_from_slice(&w.to_bits().to_le_bytes());
+        key.extend_from_slice(&canonical_bits(w).to_le_bytes());
     }
     for user in 0..n {
         for &c in game.capacities().row(user) {
-            key.extend_from_slice(&c.to_bits().to_le_bytes());
+            key.extend_from_slice(&canonical_bits(c).to_le_bytes());
         }
     }
     for &t in initial.as_slice() {
-        key.extend_from_slice(&t.to_bits().to_le_bytes());
+        key.extend_from_slice(&canonical_bits(t).to_le_bytes());
     }
     key
 }
@@ -197,6 +208,35 @@ mod tests {
         assert_ne!(base, canonical_key(&methods, &config, &game(), &busy));
 
         assert_eq!(base, canonical_key(&methods, &config, &game(), &initial));
+    }
+
+    #[test]
+    fn keys_identify_signed_zero_initial_loads_and_separate_width_goals() {
+        let config = OptConfig::default();
+        let methods = vec![OptMethod::LptGreedy, OptMethod::Relaxation];
+        let pos = LinkLoads::new(vec![0.0, 0.5, 0.0]).unwrap();
+        let neg = LinkLoads::new(vec![-0.0, 0.5, -0.0]).unwrap();
+        assert_eq!(
+            canonical_key(&methods, &config, &game(), &pos),
+            canonical_key(&methods, &config, &game(), &neg)
+        );
+        // The adaptive width goal is result-determining, so it must key.
+        let adaptive = OptConfig {
+            width_goal: Some(1.5),
+            ..config
+        };
+        assert_ne!(
+            canonical_key(&methods, &config, &game(), &pos),
+            canonical_key(&methods, &adaptive, &game(), &pos)
+        );
+        let tighter = OptConfig {
+            width_goal: Some(1.1),
+            ..config
+        };
+        assert_ne!(
+            canonical_key(&methods, &adaptive, &game(), &pos),
+            canonical_key(&methods, &tighter, &game(), &pos)
+        );
     }
 
     #[test]

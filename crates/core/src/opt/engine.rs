@@ -75,6 +75,23 @@ pub enum OptMethod {
     Relaxation,
 }
 
+impl OptMethod {
+    /// Static cost rank used by the adaptive ([`OptConfig::width_goal`])
+    /// engine mode: cheap certified bounds first (the greedy portfolio and
+    /// the closed-form relaxations), the exact searches next, the
+    /// restart-hungry descent last — so a bracket that meets the width goal
+    /// early never pays for the expensive backends at all.
+    pub fn cost_rank(self) -> u8 {
+        match self {
+            OptMethod::LptGreedy => 0,
+            OptMethod::Relaxation => 1,
+            OptMethod::BranchAndBound => 2,
+            OptMethod::Exhaustive => 3,
+            OptMethod::Descent => 4,
+        }
+    }
+}
+
 /// Shared per-estimate budgets and numeric tolerance (the opt-side analogue
 /// of `SolverConfig`; every knob is embedded in [`OptCache`] keys).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +110,16 @@ pub struct OptConfig {
     pub max_moves: u64,
     /// Seed of the descent backend's deterministic perturbation stream.
     pub opt_seed: u64,
+    /// Adaptive bracket-driven budget mode. `None` (the default) keeps the
+    /// classic fixed-budget behaviour: every applicable estimator in the
+    /// engine's list order runs, stopping only once both brackets are
+    /// exact. `Some(goal)` switches the engine to **cost order**
+    /// ([`OptMethod::cost_rank`]) and stops as soon as both brackets
+    /// satisfy `upper / lower ≤ goal` — the estimators that would have run
+    /// are recorded in [`OptTelemetry::skipped`], so the telemetry proves
+    /// what the adaptive mode saved. Must be finite and `> 1.0` — enforced
+    /// by the [`OptEngine`] constructors.
+    pub width_goal: Option<f64>,
 }
 
 impl Default for OptConfig {
@@ -105,6 +132,7 @@ impl Default for OptConfig {
             restarts: DEFAULT_OPT_RESTARTS,
             max_moves: DEFAULT_OPT_MOVES,
             opt_seed: DEFAULT_OPT_SEED,
+            width_goal: None,
         }
     }
 }
@@ -152,6 +180,13 @@ impl OptBracket {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Whether the bracket is tight enough for a multiplicative width
+    /// `goal`: exact, or both bounds resolved with `upper ≤ goal · lower`.
+    pub fn meets_goal(&self, goal: f64) -> bool {
+        self.exact
+            || (self.lower > 0.0 && self.upper.is_finite() && self.upper <= goal * self.lower)
     }
 
     /// Folds one backend's contribution into the bracket. Exact values win
@@ -353,11 +388,28 @@ pub struct OptAttempt {
     pub wall_ns: u64,
 }
 
+/// An estimator the engine decided **not** to run because an early exit
+/// (exactness, or the adaptive [`OptConfig::width_goal`]) fired first —
+/// the telemetry record proving what an adaptive estimate saved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptSkip {
+    /// The estimator that would have run next.
+    pub method: OptMethod,
+    /// Its applicability to the instance at the time of the early exit.
+    pub applicability: Applicability,
+}
+
 /// Telemetry for one [`OptEngine::estimate`] call.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct OptTelemetry {
-    /// Every estimator attempt, in engine order (skipped backends omitted).
+    /// Every estimator attempt, in run order (inapplicable backends
+    /// omitted): the engine's list order in fixed-budget mode,
+    /// [`OptMethod::cost_rank`] order in adaptive mode.
     pub attempts: Vec<OptAttempt>,
+    /// Applicable estimators an early exit left unrun — empty when every
+    /// applicable backend ran. A skipped [`OptMethod::Descent`] entry means
+    /// the adaptive mode saved the entire restart budget on this instance.
+    pub skipped: Vec<OptSkip>,
     /// Total wall-clock nanoseconds including engine overhead.
     pub total_wall_ns: u64,
 }
@@ -408,7 +460,18 @@ impl OptEngine {
     }
 
     /// An engine with an explicit estimator list.
+    ///
+    /// Panics on a degenerate [`OptConfig::width_goal`] (non-finite or
+    /// `≤ 1.0`) — a NaN/∞ goal would silently degrade the adaptive mode to
+    /// something the caller did not ask for, the same constructor-contract
+    /// style as `Tolerance::new` and `Shard::new`.
     pub fn with_estimators(config: OptConfig, estimators: Vec<Box<dyn OptEstimator>>) -> Self {
+        if let Some(goal) = config.width_goal {
+            assert!(
+                goal.is_finite() && goal > 1.0,
+                "a width goal must be a finite ratio above 1.0, got {goal}"
+            );
+        }
         OptEngine {
             estimators,
             config,
@@ -469,7 +532,15 @@ impl OptEngine {
         let mut opt1 = OptBracket::unresolved();
         let mut opt2 = OptBracket::unresolved();
         let mut attempts = Vec::new();
-        for estimator in &self.estimators {
+        let mut skipped = Vec::new();
+        // Adaptive mode runs the composition in cost order so the cheap
+        // certified bounds get the first shot at meeting the width goal;
+        // fixed-budget mode preserves the caller's list order exactly.
+        let mut order: Vec<&dyn OptEstimator> = self.estimators.iter().map(Box::as_ref).collect();
+        if self.config.width_goal.is_some() {
+            order.sort_by_key(|e| e.method().cost_rank());
+        }
+        for (ran, estimator) in order.iter().enumerate() {
             let applicability = estimator.applicability(game, initial, &self.config);
             if applicability == Applicability::NotApplicable {
                 continue;
@@ -493,7 +564,23 @@ impl OptEngine {
                 estimate.opt2_upper,
                 estimate.opt2_exact,
             );
-            if opt1.exact && opt2.exact {
+            let exact_exit = opt1.exact && opt2.exact;
+            let goal_exit = self
+                .config
+                .width_goal
+                .is_some_and(|goal| opt1.meets_goal(goal) && opt2.meets_goal(goal));
+            if exact_exit || goal_exit {
+                // Record what the early exit saved: every remaining backend
+                // that would have run on this instance.
+                for rest in &order[ran + 1..] {
+                    let applicability = rest.applicability(game, initial, &self.config);
+                    if applicability != Applicability::NotApplicable {
+                        skipped.push(OptSkip {
+                            method: rest.method(),
+                            applicability,
+                        });
+                    }
+                }
                 break;
             }
         }
@@ -502,6 +589,7 @@ impl OptEngine {
             opt2: opt2.finalize("OPT2")?,
             telemetry: OptTelemetry {
                 attempts,
+                skipped,
                 total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             },
         })
@@ -617,6 +705,114 @@ mod tests {
             assert_eq!(kind.build().method(), kind.method());
         }
         assert_eq!(OptBackendKind::parse("alien"), None);
+    }
+
+    #[test]
+    fn the_adaptive_mode_stops_at_the_width_goal_and_records_the_savings() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        // A permissive goal over the bound backends: the cheap pair
+        // (LptGreedy upper + Relaxation lower) must satisfy it and the
+        // restart-hungry Descent must be skipped — with the skip recorded.
+        let kinds = [
+            OptBackendKind::Descent,   // deliberately listed first:
+            OptBackendKind::LptGreedy, // adaptive mode must reorder by cost
+            OptBackendKind::Relaxation,
+        ];
+        let adaptive = OptEngine::from_kinds(
+            OptConfig {
+                width_goal: Some(10.0),
+                ..OptConfig::default()
+            },
+            &kinds,
+        );
+        let outcome = adaptive.estimate(&game, &initial).unwrap();
+        assert!(outcome.opt1.meets_goal(10.0) && outcome.opt2.meets_goal(10.0));
+        let ran: Vec<OptMethod> = outcome
+            .telemetry
+            .attempts
+            .iter()
+            .map(|a| a.method)
+            .collect();
+        assert_eq!(ran, vec![OptMethod::LptGreedy, OptMethod::Relaxation]);
+        let saved: Vec<OptMethod> = outcome.telemetry.skipped.iter().map(|s| s.method).collect();
+        assert_eq!(saved, vec![OptMethod::Descent]);
+
+        // The fixed-budget engine over the same composition runs everything.
+        let fixed = OptEngine::from_kinds(OptConfig::default(), &kinds);
+        let full = fixed.estimate(&game, &initial).unwrap();
+        assert_eq!(full.telemetry.attempts.len(), 3);
+        assert!(full.telemetry.skipped.is_empty());
+        assert!(
+            outcome.telemetry.attempts.len() < full.telemetry.attempts.len(),
+            "adaptive mode must spend strictly fewer attempts"
+        );
+        // Both brackets are certified; the adaptive one may only be looser.
+        assert!(outcome.opt1.lower <= full.opt1.lower + 1e-12);
+        assert!(outcome.opt1.upper >= full.opt1.upper - 1e-12);
+    }
+
+    #[test]
+    fn an_unmet_width_goal_falls_through_to_the_full_composition() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        // An unreachable goal (1 + ε over heuristic bounds) must degrade
+        // gracefully: every applicable backend runs, exactly like the fixed
+        // mode, and nothing is reported as skipped.
+        let engine = OptEngine::from_kinds(
+            OptConfig {
+                width_goal: Some(1.0 + 1e-12),
+                ..OptConfig::default()
+            },
+            &[
+                OptBackendKind::LptGreedy,
+                OptBackendKind::Descent,
+                OptBackendKind::Relaxation,
+            ],
+        );
+        let outcome = engine.estimate(&game, &initial).unwrap();
+        assert_eq!(outcome.telemetry.attempts.len(), 3);
+        assert!(outcome.telemetry.skipped.is_empty());
+        assert!(!outcome.exact());
+    }
+
+    #[test]
+    fn adaptive_exactness_still_wins_below_the_wall() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        // Cost order tries the cheap bounds first; if they miss a tight
+        // goal, the exact backends still settle the bracket to a point.
+        let engine = OptEngine::default_order(OptConfig {
+            width_goal: Some(1.0 + 1e-12),
+            ..OptConfig::default()
+        });
+        let outcome = engine.estimate(&game, &initial).unwrap();
+        assert!(outcome.exact());
+        let exact = crate::opt::exhaustive::social_optimum(&game, &initial, 1_000_000).unwrap();
+        assert_eq!(outcome.opt1.lower, exact.opt1);
+        assert_eq!(outcome.opt2.lower, exact.opt2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite ratio above 1.0")]
+    fn a_degenerate_width_goal_is_a_constructor_contract_violation() {
+        OptEngine::default_order(OptConfig {
+            width_goal: Some(f64::NAN),
+            ..OptConfig::default()
+        });
+    }
+
+    #[test]
+    fn meets_goal_semantics() {
+        assert!(OptBracket::exact(2.0).meets_goal(1.0));
+        let wide = OptBracket {
+            lower: 1.0,
+            upper: 2.0,
+            exact: false,
+        };
+        assert!(wide.meets_goal(2.0));
+        assert!(!wide.meets_goal(1.5));
+        assert!(!OptBracket::unresolved().meets_goal(1e12));
     }
 
     #[test]

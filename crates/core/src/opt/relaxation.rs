@@ -176,12 +176,18 @@ fn volume_bound(game: &EffectiveGame, initial: &LinkLoads, total: f64) -> f64 {
     // `h(τ) = τ·maxΣ(τ)` is nondecreasing, so infeasibility is downward
     // closed and bisection applies. `base` is infeasible by construction
     // (`base·maxΣ(base) ≤ base·maxΣ(∞) = W`); widen upward from there.
+    // Every iteration pays a full filtered allocation DP, so the loop stops
+    // as soon as the interval is resolved to 0.1% — the returned `lo` is
+    // infeasible at any stopping point, so the bound stays certified.
     let mut lo = base;
     let mut hi = base * 8.0;
     if infeasible(hi) {
         return hi;
     }
     for _ in 0..30 {
+        if hi - lo <= 1e-3 * lo {
+            break;
+        }
         let mid = 0.5 * (lo + hi);
         if infeasible(mid) {
             lo = mid;

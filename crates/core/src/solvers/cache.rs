@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::algorithms::best_response::SelectionRule;
 use crate::algorithms::PureNashMethod;
 use crate::model::EffectiveGame;
+use crate::numeric::canonical_bits;
 use crate::solvers::engine::{EngineSolution, SolverConfig};
 use crate::strategy::LinkLoads;
 
@@ -162,7 +163,9 @@ fn rule_tag(rule: SelectionRule) -> u8 {
 }
 
 /// Builds the canonical cache key for one solve: engine method list, shared
-/// budgets, then the bit patterns of the instance itself.
+/// budgets, then the canonicalised bit patterns of the instance itself
+/// ([`canonical_bits`] folds `±0.0` and NaN payloads together, so
+/// semantically identical instances always share a key).
 pub(crate) fn canonical_key(
     methods: &[PureNashMethod],
     config: &SolverConfig,
@@ -172,10 +175,10 @@ pub(crate) fn canonical_key(
     let n = game.users();
     let m = game.links();
     let mut key = Vec::with_capacity(64 + 8 * (n + n * m + m));
-    key.extend_from_slice(b"netuncert-solve-v1");
+    key.extend_from_slice(b"netuncert-solve-v2");
     key.push(methods.len() as u8);
     key.extend(methods.iter().map(|&mth| method_tag(mth)));
-    key.extend_from_slice(&config.tol.eps().to_bits().to_le_bytes());
+    key.extend_from_slice(&canonical_bits(config.tol.eps()).to_le_bytes());
     key.extend_from_slice(&(config.max_steps as u64).to_le_bytes());
     key.push(rule_tag(config.rule));
     key.extend_from_slice(&config.profile_limit.to_le_bytes());
@@ -184,15 +187,15 @@ pub(crate) fn canonical_key(
     key.extend_from_slice(&(n as u64).to_le_bytes());
     key.extend_from_slice(&(m as u64).to_le_bytes());
     for &w in game.weights() {
-        key.extend_from_slice(&w.to_bits().to_le_bytes());
+        key.extend_from_slice(&canonical_bits(w).to_le_bytes());
     }
     for user in 0..n {
         for &c in game.capacities().row(user) {
-            key.extend_from_slice(&c.to_bits().to_le_bytes());
+            key.extend_from_slice(&canonical_bits(c).to_le_bytes());
         }
     }
     for &t in initial.as_slice() {
-        key.extend_from_slice(&t.to_bits().to_le_bytes());
+        key.extend_from_slice(&canonical_bits(t).to_le_bytes());
     }
     key
 }
@@ -247,6 +250,27 @@ mod tests {
         assert_ne!(base, canonical_key(&methods, &config, &game(), &busy));
 
         assert_eq!(base, canonical_key(&methods, &config, &game(), &initial));
+    }
+
+    #[test]
+    fn keys_identify_signed_zero_initial_loads() {
+        // `-0.0` satisfies `LinkLoads`' non-negativity validation but has a
+        // different bit pattern than `+0.0`; the canonical key must treat
+        // the two semantically identical instances as one.
+        let config = SolverConfig::default();
+        let methods = vec![PureNashMethod::BestResponse];
+        let pos = LinkLoads::new(vec![0.0, 1.0, 0.0]).unwrap();
+        let neg = LinkLoads::new(vec![-0.0, 1.0, -0.0]).unwrap();
+        assert_eq!(
+            canonical_key(&methods, &config, &game(), &pos),
+            canonical_key(&methods, &config, &game(), &neg)
+        );
+        // Genuinely different loads still separate.
+        let other = LinkLoads::new(vec![0.0, 1.5, 0.0]).unwrap();
+        assert_ne!(
+            canonical_key(&methods, &config, &game(), &pos),
+            canonical_key(&methods, &config, &game(), &other)
+        );
     }
 
     #[test]

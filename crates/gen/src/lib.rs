@@ -8,6 +8,10 @@
 //! * [`spec`] — declarative specifications of random belief-model games
 //!   ([`GameSpec`]) and of directly generated effective games
 //!   ([`EffectiveSpec`]).
+//! * [`belief_model`] — data-driven structured belief perturbations around
+//!   a known true state ([`BeliefModel`], intensity-parameterised), the
+//!   generalisation of [`GameSpec::generate_perturbed`]'s base/belief rng
+//!   split.
 //! * [`kp`] — random complete-information KP instances.
 //! * [`user_specific`] — random weighted user-specific (Milchtaich-class)
 //!   congestion games with monotone step costs.
@@ -15,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod belief_model;
 pub mod kp;
 pub mod spec;
 pub mod user_specific;
 
+pub use belief_model::{BeliefModel, BeliefModelKind, TRUE_STATE};
 pub use spec::{BeliefKind, CapacityDist, EffectiveSpec, GameSpec, WeightDist};
 
 use rand::SeedableRng;

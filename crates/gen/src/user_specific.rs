@@ -41,8 +41,13 @@ impl UserSpecificSpec {
             let mut extended: Vec<f64> = sums.iter().map(|s| s + w).collect();
             sums.append(&mut extended);
         }
-        sums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // `total_cmp`, not `partial_cmp(..).expect(..)`: a NaN smuggled in
+        // through extreme weights must not panic a whole sweep worker.
+        sums.sort_by(f64::total_cmp);
         sums.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        // Overflowed (±∞) or NaN subset sums cannot be step thresholds;
+        // dropping them keeps generation total on extreme specs.
+        sums.retain(|l| l.is_finite());
         sums
     }
 
@@ -107,6 +112,43 @@ mod tests {
             for r in 0..3 {
                 assert!(g.cost_function(p, r).is_monotone_on(&loads));
             }
+        }
+    }
+
+    #[test]
+    fn player_loads_tolerate_nan_and_overflow_without_panicking() {
+        // Regression: the subset-sum sort used `partial_cmp(..).expect("finite")`,
+        // so one NaN (or an ∞ produced by overflowing weight sums) killed the
+        // whole sweep worker. `total_cmp` orders every bit pattern and the
+        // non-finite sums are filtered before they become step thresholds.
+        let spec = UserSpecificSpec {
+            weights: vec![1.0, f64::NAN, f64::INFINITY, f64::MAX],
+            resources: 2,
+            max_step: 1.0,
+        };
+        let loads = spec.player_loads(0);
+        assert!(!loads.is_empty());
+        assert!(loads.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn generation_never_panics_on_extreme_spec_parameters() {
+        // Valid but extreme parameter corners: subset sums that overflow to
+        // ∞ (f64::MAX weights), denormal-small weights, and a huge step
+        // bound. Generation must complete and produce a well-formed game.
+        for weights in [
+            vec![f64::MAX, f64::MAX, 1.0],
+            vec![1e-308, 2e-308, 1.0],
+            vec![f64::MAX, 1e-308, 3.0],
+        ] {
+            let spec = UserSpecificSpec {
+                weights,
+                resources: 3,
+                max_step: 1e300,
+            };
+            let g = spec.generate(&mut rng(13, 5));
+            assert_eq!(g.players(), 3);
+            assert_eq!(g.resources(), 3);
         }
     }
 

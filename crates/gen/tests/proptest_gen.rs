@@ -5,7 +5,9 @@ use proptest::prelude::*;
 
 use instance_gen::kp::KpSpec;
 use instance_gen::user_specific::UserSpecificSpec;
-use instance_gen::{rng, BeliefKind, CapacityDist, EffectiveSpec, GameSpec, WeightDist};
+use instance_gen::{
+    rng, BeliefKind, BeliefModelKind, CapacityDist, EffectiveSpec, GameSpec, WeightDist,
+};
 use netuncert_core::numeric::Tolerance;
 
 fn belief_kind() -> impl Strategy<Value = BeliefKind> {
@@ -127,5 +129,58 @@ proptest! {
         let a = spec.generate(&mut rng(seed, 10));
         let b = spec.generate(&mut rng(seed, 11));
         prop_assert_ne!(a, b);
+    }
+
+    /// The shared `BeliefModel` contract: at `intensity = 0` every model is
+    /// the uninformed limit — the generated game is **bit-identical** to
+    /// the common-uniform-prior game on the same true network, whatever the
+    /// belief stream the model consumed.
+    #[test]
+    fn every_belief_model_at_zero_intensity_is_the_uniform_beliefs_game(
+        users in 2usize..=6,
+        links in 2usize..=4,
+        states in 1usize..=5,
+        seed in any::<u64>(),
+        belief_stream in any::<u64>(),
+    ) {
+        let spec = GameSpec {
+            users,
+            links,
+            states,
+            weights: WeightDist::Uniform { lo: 0.5, hi: 3.0 },
+            capacities: CapacityDist::TwoLevel { lo: 1.0, hi: 4.0 },
+            beliefs: BeliefKind::CommonUniform,
+        };
+        let uniform = spec.generate_perturbed(&mut rng(seed, 0), &mut rng(seed, belief_stream));
+        for kind in BeliefModelKind::ALL {
+            let model = kind.build();
+            let game = spec.generate_with_beliefs(
+                model.as_ref(),
+                0.0,
+                &mut rng(seed, 0),
+                &mut rng(seed, belief_stream),
+            );
+            prop_assert_eq!(&game, &uniform, "{} drifted at intensity 0", kind.id());
+        }
+    }
+
+    /// Positive intensity gives every model its own structured spread,
+    /// deterministically in the belief stream.
+    #[test]
+    fn belief_models_are_stream_deterministic_at_positive_intensity(
+        seed in any::<u64>(),
+        intensity in 0.25f64..6.0,
+    ) {
+        let spec = GameSpec::default_scenario(4, 3);
+        for kind in BeliefModelKind::ALL {
+            let model = kind.build();
+            let a = spec.generate_with_beliefs(model.as_ref(), intensity, &mut rng(seed, 0), &mut rng(seed, 77));
+            let b = spec.generate_with_beliefs(model.as_ref(), intensity, &mut rng(seed, 0), &mut rng(seed, 77));
+            prop_assert_eq!(&a, &b);
+            // The network never depends on the belief stream.
+            let c = spec.generate_with_beliefs(model.as_ref(), intensity, &mut rng(seed, 0), &mut rng(seed, 78));
+            prop_assert_eq!(a.states(), c.states());
+            prop_assert_eq!(a.weights(), c.weights());
+        }
     }
 }

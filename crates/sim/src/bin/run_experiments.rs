@@ -20,8 +20,13 @@
 //! # pick the engine composition (ordered, comma-separated backend ids)
 //! run_experiments --solvers two_links,local_search,exhaustive
 //!
-//! # recompute only the cells missing from an existing record file
+//! # recompute only the cells missing from an existing record file (the
+//! # file's shard stamp must match the --shard flag)
 //! run_experiments --resume --json shard0.json --shard 0/3
+//!
+//! # span the belief-noise experiment's axes and tighten its brackets
+//! run_experiments --experiment belief_noise --belief-model noise,partial \
+//!                 --intensity 0.5,2,8 --width-goal 1.4
 //! ```
 //!
 //! Shard runs and the merged report are bit-identical to a single-process
@@ -32,8 +37,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use instance_gen::BeliefModelKind;
 use netuncert_core::opt::OptBackendKind;
 use netuncert_core::solvers::SolverKind;
+use sim_harness::config::{validate_width_goal, BeliefSelection, IntensityLadder};
 use sim_harness::sweep::{ShardFile, SweepRunner};
 use sim_harness::{
     experiments, render_markdown, runner, Experiment, ExperimentConfig, OptSelection, Shard,
@@ -47,6 +54,9 @@ struct Args {
     restarts: usize,
     solvers: SolverSelection,
     opt_backends: OptSelection,
+    belief_models: BeliefSelection,
+    intensities: IntensityLadder,
+    width_goal: Option<f64>,
     experiment_ids: Vec<String>,
     shard: Shard,
     cache: bool,
@@ -74,6 +84,7 @@ fn usage() -> String {
     let mut out = String::from(
         "usage: run_experiments [--samples N] [--seed S] [--threads T]\n\
          \x20                      [--solvers LIST] [--opt-backends LIST] [--restarts N]\n\
+         \x20                      [--belief-model LIST] [--intensity LIST] [--width-goal G]\n\
          \x20                      [--experiment ID]... [--shard I/K] [--cache] [--list]\n\
          \x20                      [--json FILE] [--resume] [--merge FILE...] [--out DIR]\n\n\
          registered experiments:\n",
@@ -87,6 +98,15 @@ fn usage() -> String {
     for kind in OptBackendKind::ALL {
         out.push_str(&format!("  {}\n", kind.id()));
     }
+    out.push_str("\nbelief models (--belief-model, ordered, comma-separated):\n");
+    for kind in BeliefModelKind::ALL {
+        out.push_str(&format!("  {}\n", kind.id()));
+    }
+    out.push_str(
+        "\n--intensity takes the belief-noise ladder (non-negative, strictly increasing,\n\
+         e.g. 0.5,1.5,4) and --width-goal a finite bracket-width ratio above 1.0 that\n\
+         switches every OPT engine into the adaptive cost-ordered early-exit mode.\n",
+    );
     out
 }
 
@@ -98,6 +118,9 @@ fn parse_args() -> Result<Args, String> {
         restarts: ExperimentConfig::default().restarts,
         solvers: SolverSelection::paper(),
         opt_backends: OptSelection::default_order(),
+        belief_models: BeliefSelection::all_models(),
+        intensities: IntensityLadder::standard(),
+        width_goal: None,
         experiment_ids: Vec::new(),
         shard: Shard::solo(),
         cache: false,
@@ -145,6 +168,25 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or("--opt-backends requires a comma-separated backend list")?;
                 args.opt_backends = OptSelection::parse(&list)?;
+            }
+            "--belief-model" => {
+                let list = iter
+                    .next()
+                    .ok_or("--belief-model requires a comma-separated model list")?;
+                args.belief_models = BeliefSelection::parse(&list)?;
+            }
+            "--intensity" => {
+                let list = iter
+                    .next()
+                    .ok_or("--intensity requires a comma-separated value ladder")?;
+                args.intensities = IntensityLadder::parse(&list)?;
+            }
+            "--width-goal" => {
+                let goal = iter
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .ok_or("--width-goal requires a numeric ratio")?;
+                args.width_goal = Some(validate_width_goal(goal)?);
             }
             "--list" => args.list = true,
             "--resume" => args.resume = true,
@@ -248,6 +290,9 @@ fn run() -> Result<ExitCode, String> {
         restarts: args.restarts,
         solvers: args.solvers,
         opt_backends: args.opt_backends,
+        belief_models: args.belief_models,
+        intensities: args.intensities,
+        width_goal: args.width_goal,
         ..ExperimentConfig::default()
     };
     let mut sweep =
@@ -258,7 +303,7 @@ fn run() -> Result<ExitCode, String> {
 
     // Merge mode: recombine shard record files into the classic report.
     if !args.merge.is_empty() {
-        if args.shard.count > 1 || args.json.is_some() || args.cache || args.resume {
+        if args.shard.count() > 1 || args.json.is_some() || args.cache || args.resume {
             return Err(
                 "--merge recombines existing record files and computes nothing; it cannot be \
                  combined with --shard, --json, --cache or --resume"
@@ -291,7 +336,7 @@ fn run() -> Result<ExitCode, String> {
     // A partial sweep cannot be merged alone; the records file is its only
     // product. Refuse before computing anything so shard work is never
     // silently discarded.
-    if args.shard.count > 1 && args.json.is_none() {
+    if args.shard.count() > 1 && args.json.is_none() {
         return Err("a sharded run needs --json FILE to store its cell records".into());
     }
 
@@ -309,6 +354,12 @@ fn run() -> Result<ExitCode, String> {
             // would mix incompatible cells — the same hard error as --merge.
             shard_file
                 .check_config(&config)
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            // A resume must also target the same shard the file was
+            // computed as; completing a 0/3 file as 1/3 would recompute the
+            // wrong task ids and corrupt the sweep.
+            shard_file
+                .check_shard(args.shard)
                 .map_err(|e| format!("{}: {e}", file.display()))?;
             shard_file.records
         } else {
@@ -368,14 +419,14 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if let Some(file) = &args.json {
-        let json = ShardFile::new(&config, records.clone())
+        let json = ShardFile::new(&config, args.shard, records.clone())
             .to_json()
             .map_err(|e| format!("serialise the cell records: {e:?}"))?;
         std::fs::write(file, json).map_err(|e| format!("write {}: {e}", file.display()))?;
         eprintln!("wrote {} cell records to {}", records.len(), file.display());
     }
 
-    if args.shard.count > 1 {
+    if args.shard.count() > 1 {
         return Ok(ExitCode::SUCCESS);
     }
 

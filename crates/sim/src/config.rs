@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use instance_gen::BeliefModelKind;
 use netuncert_core::opt::{OptBackendKind, OptConfig, OptEngine};
 use netuncert_core::solvers::engine::{SolverConfig, SolverEngine, SolverKind};
 use par_exec::ParallelConfig;
@@ -249,6 +250,238 @@ impl Deserialize for OptSelection {
     }
 }
 
+/// An ordered, duplicate-free selection of belief models — the model axis
+/// of the `belief_noise` experiment's grid, selectable on the CLI via
+/// `run_experiments --belief-model` (comma-separated
+/// [`BeliefModelKind::id`]s). The belief-side twin of [`SolverSelection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeliefSelection {
+    kinds: [BeliefModelKind; BeliefSelection::MAX],
+    len: u8,
+}
+
+impl BeliefSelection {
+    /// Capacity of a selection (more than the number of built-in models).
+    pub const MAX: usize = 8;
+
+    /// The default selection: every built-in model in
+    /// [`BeliefModelKind::ALL`] order.
+    pub fn all_models() -> Self {
+        BeliefSelection::new(&BeliefModelKind::ALL).expect("the full model list is valid")
+    }
+
+    /// A selection from an explicit kind list (non-empty, no duplicates, at
+    /// most [`BeliefSelection::MAX`] entries).
+    pub fn new(kinds: &[BeliefModelKind]) -> Result<Self, String> {
+        if kinds.is_empty() {
+            return Err("a belief-model selection must name at least one model".into());
+        }
+        if kinds.len() > BeliefSelection::MAX {
+            return Err(format!(
+                "a belief-model selection holds at most {} models, got {}",
+                BeliefSelection::MAX,
+                kinds.len()
+            ));
+        }
+        let mut stored = [BeliefModelKind::Exact; BeliefSelection::MAX];
+        for (i, &kind) in kinds.iter().enumerate() {
+            if kinds[..i].contains(&kind) {
+                return Err(format!("belief model `{}` was selected twice", kind.id()));
+            }
+            stored[i] = kind;
+        }
+        Ok(BeliefSelection {
+            kinds: stored,
+            len: kinds.len() as u8,
+        })
+    }
+
+    /// Parses the CLI form: comma-separated [`BeliefModelKind::id`]s, e.g.
+    /// `"exact,noise,partial"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let kinds: Vec<BeliefModelKind> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                BeliefModelKind::parse(part).ok_or_else(|| {
+                    format!(
+                        "unknown belief model `{part}`; known models: {}",
+                        BeliefModelKind::ALL.map(|k| k.id()).join(", ")
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        BeliefSelection::new(&kinds)
+    }
+
+    /// The selected kinds, in grid order.
+    pub fn kinds(&self) -> &[BeliefModelKind] {
+        &self.kinds[..self.len as usize]
+    }
+
+    /// The selected ids, in grid order (the form stamped into shard files).
+    pub fn ids(&self) -> Vec<String> {
+        self.kinds().iter().map(|k| k.id().to_string()).collect()
+    }
+}
+
+impl Default for BeliefSelection {
+    fn default() -> Self {
+        BeliefSelection::all_models()
+    }
+}
+
+impl fmt::Display for BeliefSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ids().join(","))
+    }
+}
+
+impl Serialize for BeliefSelection {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.kinds()
+                .iter()
+                .map(|k| serde::Value::Str(k.id().to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for BeliefSelection {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ids: Vec<String> = Deserialize::from_value(v)?;
+        let kinds: Vec<BeliefModelKind> = ids
+            .iter()
+            .map(|id| {
+                BeliefModelKind::parse(id)
+                    .ok_or_else(|| serde::Error::custom(format!("unknown belief model id `{id}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        BeliefSelection::new(&kinds).map_err(serde::Error::custom)
+    }
+}
+
+/// The strictly increasing ladder of belief-noise intensities swept by the
+/// `belief_noise` experiment's grid — CLI `run_experiments --intensity`
+/// (comma-separated non-negative finite values). Kept as a fixed-capacity
+/// inline list so [`ExperimentConfig`] stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityLadder {
+    values: [f64; IntensityLadder::MAX],
+    len: u8,
+}
+
+impl IntensityLadder {
+    /// Capacity of a ladder.
+    pub const MAX: usize = 8;
+
+    /// The default ladder: mild, moderate and strong belief noise.
+    pub fn standard() -> Self {
+        IntensityLadder::new(&[0.5, 1.5, 4.0]).expect("the standard ladder is valid")
+    }
+
+    /// A ladder from explicit values: non-empty, at most
+    /// [`IntensityLadder::MAX`] entries, each finite and non-negative,
+    /// strictly increasing. NaN, ∞, negatives and duplicates are typed
+    /// errors — a sweep axis must never be able to smuggle a degenerate
+    /// float into cell labels or rng streams.
+    pub fn new(values: &[f64]) -> Result<Self, String> {
+        if values.is_empty() {
+            return Err("an intensity ladder needs at least one value".into());
+        }
+        if values.len() > IntensityLadder::MAX {
+            return Err(format!(
+                "an intensity ladder holds at most {} values, got {}",
+                IntensityLadder::MAX,
+                values.len()
+            ));
+        }
+        let mut stored = [0.0f64; IntensityLadder::MAX];
+        for (i, &v) in values.iter().enumerate() {
+            // `-0.0` is rejected too: it compares equal to `0.0` in the
+            // shard-file stamp check but has a different bit pattern, so it
+            // would silently fork the belief rng streams and cell labels.
+            if !(v.is_finite() && v >= 0.0) || v.is_sign_negative() {
+                return Err(format!(
+                    "intensity values must be finite and non-negative, got `{v}`"
+                ));
+            }
+            if i > 0 && v <= values[i - 1] {
+                return Err(format!(
+                    "intensity values must be strictly increasing, got `{}` after `{}`",
+                    v,
+                    values[i - 1]
+                ));
+            }
+            stored[i] = v;
+        }
+        Ok(IntensityLadder {
+            values: stored,
+            len: values.len() as u8,
+        })
+    }
+
+    /// Parses the CLI form: comma-separated values, e.g. `"0.5,1.5,4"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let values: Vec<f64> = s
+            .split(',')
+            .map(str::trim)
+            .filter(|part| !part.is_empty())
+            .map(|part| {
+                part.parse::<f64>()
+                    .map_err(|_| format!("invalid intensity value `{part}`"))
+            })
+            .collect::<Result<_, _>>()?;
+        IntensityLadder::new(&values)
+    }
+
+    /// The ladder values, in increasing order.
+    pub fn values(&self) -> &[f64] {
+        &self.values[..self.len as usize]
+    }
+}
+
+impl Default for IntensityLadder {
+    fn default() -> Self {
+        IntensityLadder::standard()
+    }
+}
+
+impl fmt::Display for IntensityLadder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self.values().iter().map(|v| v.to_string()).collect();
+        write!(f, "{}", rendered.join(","))
+    }
+}
+
+impl Serialize for IntensityLadder {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.values().iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for IntensityLadder {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let values: Vec<f64> = Deserialize::from_value(v)?;
+        IntensityLadder::new(&values).map_err(serde::Error::custom)
+    }
+}
+
+/// Validates a CLI/stamp width goal: finite and `> 1.0` (a multiplicative
+/// bracket width of 1 is exactness; below that nothing can ever satisfy
+/// the goal and the adaptive mode would silently degrade to fixed mode).
+pub fn validate_width_goal(goal: f64) -> Result<f64, String> {
+    if goal.is_finite() && goal > 1.0 {
+        Ok(goal)
+    } else {
+        Err(format!(
+            "a width goal must be a finite ratio above 1.0, got `{goal}`"
+        ))
+    }
+}
+
 /// Configuration shared by every experiment in the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -275,6 +508,18 @@ pub struct ExperimentConfig {
     /// The OPT-estimator backends (and their order) behind every certified
     /// optimum bracket, i.e. [`CellCtx::opt_engine`](crate::experiment::CellCtx::opt_engine).
     pub opt_backends: OptSelection,
+    /// The belief models spanned by the `belief_noise` experiment's grid.
+    pub belief_models: BeliefSelection,
+    /// The belief-noise intensity ladder spanned by the `belief_noise`
+    /// experiment's grid.
+    pub intensities: IntensityLadder,
+    /// Adaptive bracket-driven OPT budgets: `Some(goal)` switches every
+    /// engine built by [`opt_config`](ExperimentConfig::opt_config) into
+    /// cost-ordered early-exit mode ([`OptConfig::width_goal`]); `None`
+    /// (the default) keeps the classic fixed budgets — except in
+    /// `belief_noise`, which always runs adaptively against its own
+    /// default goal when none is configured.
+    pub width_goal: Option<f64>,
 }
 
 impl Default for ExperimentConfig {
@@ -289,6 +534,9 @@ impl Default for ExperimentConfig {
             restarts: SolverConfig::default().restarts,
             solvers: SolverSelection::paper(),
             opt_backends: OptSelection::default_order(),
+            belief_models: BeliefSelection::all_models(),
+            intensities: IntensityLadder::standard(),
+            width_goal: None,
         }
     }
 }
@@ -351,6 +599,7 @@ impl ExperimentConfig {
         OptConfig {
             profile_limit: self.profile_limit,
             max_moves: self.max_steps as u64,
+            width_goal: self.width_goal,
             ..OptConfig::default()
         }
     }
@@ -463,6 +712,78 @@ mod tests {
         );
         assert_eq!(cfg.opt_config().profile_limit, cfg.profile_limit);
         assert_eq!(cfg.opt_config().max_moves, cfg.max_steps as u64);
+    }
+
+    #[test]
+    fn belief_selections_parse_validate_and_round_trip() {
+        let default = BeliefSelection::default();
+        assert_eq!(default.kinds(), &BeliefModelKind::ALL);
+        assert_eq!(
+            default.to_string(),
+            "exact,noise,adversarial,correlated,partial"
+        );
+
+        let parsed = BeliefSelection::parse("noise, partial").unwrap();
+        assert_eq!(
+            parsed.kinds(),
+            &[BeliefModelKind::Noise, BeliefModelKind::Partial]
+        );
+        assert!(BeliefSelection::parse("").is_err());
+        assert!(BeliefSelection::parse("nonsense").is_err());
+        assert!(BeliefSelection::parse("noise,noise").is_err());
+
+        let json = serde_json::to_string(&parsed).unwrap();
+        assert_eq!(json, "[\"noise\",\"partial\"]");
+        let back: BeliefSelection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, parsed);
+        assert!(serde_json::from_str::<BeliefSelection>("[\"alien\"]").is_err());
+    }
+
+    #[test]
+    fn intensity_ladders_reject_degenerate_floats() {
+        let default = IntensityLadder::default();
+        assert_eq!(default.values(), &[0.5, 1.5, 4.0]);
+        assert_eq!(default.to_string(), "0.5,1.5,4");
+
+        let parsed = IntensityLadder::parse("0, 2, 8.5").unwrap();
+        assert_eq!(parsed.values(), &[0.0, 2.0, 8.5]);
+
+        // The hardened CLI edge cases: every degenerate float form is a
+        // typed error, never a silently accepted sweep axis.
+        assert!(IntensityLadder::parse("").is_err());
+        assert!(IntensityLadder::parse("abc").is_err());
+        assert!(IntensityLadder::parse("NaN").is_err());
+        assert!(IntensityLadder::parse("inf").is_err());
+        assert!(IntensityLadder::parse("-1").is_err());
+        // -0.0 stamps as equal to 0.0 but forks the rng streams: rejected.
+        assert!(IntensityLadder::parse("-0").is_err());
+        assert!(IntensityLadder::new(&[-0.0, 1.0]).is_err());
+        assert!(IntensityLadder::parse("1,1").is_err());
+        assert!(IntensityLadder::parse("2,1").is_err());
+        assert!(IntensityLadder::parse("1,2,3,4,5,6,7,8,9").is_err());
+
+        let json = serde_json::to_string(&parsed).unwrap();
+        assert_eq!(json, "[0.0,2.0,8.5]");
+        let back: IntensityLadder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, parsed);
+        assert!(serde_json::from_str::<IntensityLadder>("[2.0,1.0]").is_err());
+    }
+
+    #[test]
+    fn width_goals_validate_and_flow_into_the_opt_config() {
+        assert_eq!(validate_width_goal(1.5), Ok(1.5));
+        assert!(validate_width_goal(1.0).is_err());
+        assert!(validate_width_goal(0.5).is_err());
+        assert!(validate_width_goal(f64::NAN).is_err());
+        assert!(validate_width_goal(f64::INFINITY).is_err());
+
+        let fixed = ExperimentConfig::default();
+        assert_eq!(fixed.opt_config().width_goal, None);
+        let adaptive = ExperimentConfig {
+            width_goal: Some(1.5),
+            ..fixed
+        };
+        assert_eq!(adaptive.opt_config().width_goal, Some(1.5));
     }
 
     #[test]

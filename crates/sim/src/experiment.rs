@@ -91,7 +91,14 @@ impl CellCtx<'_> {
     /// `run_experiments --opt-backends`) wired to the sweep's shared opt
     /// cache when enabled.
     pub fn opt_engine(&self) -> OptEngine {
-        let engine = self.config.opt_engine();
+        self.attach_opt(self.config.opt_engine())
+    }
+
+    /// Wires an arbitrary opt engine to the sweep's shared opt cache; used
+    /// by experiments that need custom opt budgets (e.g. `belief_noise`
+    /// forcing the adaptive width-goal mode). Keys embed every budget, so
+    /// differently configured engines never collide in the shared cache.
+    pub fn attach_opt(&self, engine: OptEngine) -> OptEngine {
         match self.opt_cache {
             Some(cache) => engine.with_cache(Arc::clone(cache)),
             None => engine,
@@ -161,10 +168,13 @@ pub trait Experiment: Send + Sync {
     /// One-line description shown by `run_experiments --help` and the docs.
     fn description(&self) -> &'static str;
 
-    /// The experiment's grid, in report order. Must be deterministic and
-    /// independent of the configuration, so that every shard of a sweep
-    /// addresses the same cells.
-    fn grid(&self) -> Vec<Cell>;
+    /// The experiment's grid, in report order. Must be a deterministic
+    /// function of `config` alone — most experiments ignore it entirely;
+    /// `belief_noise` spans its model × intensity axes from the
+    /// configuration's selections. Every result-determining configuration
+    /// field is stamped into shard files and validated on merge/resume, so
+    /// every shard of a sweep still addresses the same cells.
+    fn grid(&self, config: &ExperimentConfig) -> Vec<Cell>;
 
     /// Computes one cell. Implementations derive all randomness from
     /// `ctx.config.seed` and the cell index, never from global state, so a
@@ -223,7 +233,7 @@ pub fn run_experiment(
     experiment: &dyn Experiment,
     config: &ExperimentConfig,
 ) -> Result<ExperimentOutcome, ReportError> {
-    let grid = experiment.grid();
+    let grid = experiment.grid(config);
     let inner = inner_parallelism(config.parallel(), grid.len());
     let cells = parallel_map(&config.parallel(), grid.len(), |i| {
         let ctx = CellCtx {

@@ -65,7 +65,7 @@ impl Experiment for Conjecture {
         "E5 — pure Nash equilibria exist on random general instances (Conjecture 3.7)"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         size_grid()
             .iter()
             .enumerate()

@@ -96,7 +96,7 @@ impl Experiment for FullyMixed {
         "E7/E8 — closed-form fully mixed NE and the uniform-beliefs 1/m law (Thms 4.6/4.8)"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         let sizes = size_grid();
         let general = sizes
             .iter()
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn grid_spans_both_tables() {
-        let grid = FullyMixed.grid();
+        let grid = FullyMixed.grid(&ExperimentConfig::quick());
         assert_eq!(grid.len(), 2 * size_grid().len());
         assert!(grid.iter().take(size_grid().len()).all(|c| c.table == 0));
         assert!(grid.iter().skip(size_grid().len()).all(|c| c.table == 1));

@@ -82,7 +82,7 @@ impl Experiment for KpCompare {
         "E12 — point-mass beliefs collapse to the KP-model; belief noise shifts equilibria"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         let sizes = size_grid();
         let kp = sizes
             .iter()

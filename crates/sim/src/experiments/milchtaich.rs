@@ -42,7 +42,7 @@ impl Experiment for Milchtaich {
         "E11 — Milchtaich's non-existence counterexample does not apply to the model"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         vec![
             Cell::new(0, 0, "fixed Milchtaich-style counterexample"),
             Cell::new(1, 0, "random weighted user-specific (step costs)"),

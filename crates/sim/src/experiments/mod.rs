@@ -4,6 +4,7 @@
 
 use crate::experiment::Experiment;
 
+pub mod belief_noise;
 pub mod conjecture;
 pub mod fmne;
 pub mod kp_compare;
@@ -16,7 +17,7 @@ pub mod three_users;
 pub mod worst_case;
 
 /// Every registered experiment, in report order (the `DESIGN.md` index:
-/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13, E14).
+/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13, E14, E15).
 pub fn all() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(three_users::ThreeUsers),
@@ -29,6 +30,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(kp_compare::KpCompare),
         Box::new(scaling::Scaling),
         Box::new(poa_scaling::PoaScaling),
+        Box::new(belief_noise::BeliefNoise),
     ]
 }
 
@@ -45,6 +47,7 @@ pub fn ids() -> Vec<&'static str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExperimentConfig;
 
     #[test]
     fn registry_ids_are_unique_and_in_design_order() {
@@ -62,6 +65,7 @@ mod tests {
                 "kp_compare",
                 "scaling",
                 "poa_scaling",
+                "belief_noise",
             ]
         );
     }
@@ -70,13 +74,15 @@ mod tests {
     fn find_resolves_registered_ids_only() {
         assert!(find("poa").is_some());
         assert!(find("conjecture").is_some());
+        assert!(find("belief_noise").is_some());
         assert!(find("nonsense").is_none());
     }
 
     #[test]
     fn grids_are_dense_and_table_tagged() {
+        let config = ExperimentConfig::quick();
         for experiment in all() {
-            let grid = experiment.grid();
+            let grid = experiment.grid(&config);
             assert!(!grid.is_empty(), "{} has an empty grid", experiment.id());
             for (i, cell) in grid.iter().enumerate() {
                 assert_eq!(cell.index, i, "{} grid is not dense", experiment.id());

@@ -114,7 +114,7 @@ impl Experiment for PriceOfAnarchy {
         "E10 — coordination ratios stay below the paper's bounds (Thms 4.13/4.14)"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         let sizes = size_grid();
         let uniform = sizes
             .iter()

@@ -85,7 +85,7 @@ impl Experiment for PoaScaling {
         "E14 — interval coordination ratios at n up to 512 via certified OPT brackets"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         size_grid()
             .iter()
             .enumerate()

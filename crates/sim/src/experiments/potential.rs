@@ -53,7 +53,7 @@ impl Experiment for Potential {
         "E6 — the game admits no exact or ordinal potential function (Section 3.2)"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         size_grid()
             .iter()
             .enumerate()

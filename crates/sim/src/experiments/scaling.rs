@@ -68,7 +68,7 @@ impl Experiment for Scaling {
         "E13 — certified pure NE at n up to 512 via the LocalSearch backend"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         size_grid()
             .iter()
             .enumerate()

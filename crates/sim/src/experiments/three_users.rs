@@ -48,7 +48,7 @@ impl Experiment for ThreeUsers {
         "E4 — every three-user game has a pure Nash equilibrium (Section 3.1)"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         link_grid()
             .iter()
             .enumerate()
@@ -145,7 +145,8 @@ mod tests {
 
     #[test]
     fn grid_matches_the_link_counts() {
-        assert_eq!(ThreeUsers.grid().len(), link_grid().len());
-        assert_eq!(ThreeUsers.grid()[1].label, "n=3 m=3");
+        let grid = ThreeUsers.grid(&ExperimentConfig::quick());
+        assert_eq!(grid.len(), link_grid().len());
+        assert_eq!(grid[1].label, "n=3 m=3");
     }
 }

@@ -114,7 +114,7 @@ impl Experiment for WorstCase {
         "E9 — the fully mixed NE maximises the social cost (Lemma 4.9, Thms 4.11/4.12)"
     }
 
-    fn grid(&self) -> Vec<Cell> {
+    fn grid(&self, _config: &ExperimentConfig) -> Vec<Cell> {
         size_grid()
             .iter()
             .enumerate()

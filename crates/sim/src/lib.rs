@@ -12,7 +12,7 @@
 //! * [`report`] — serialisable experiment outcomes and simple table rendering.
 //! * [`experiment`] — the declarative API: [`Experiment`] trait, grid
 //!   [`Cell`]s and serialisable [`CellResult`]s.
-//! * [`experiments`] — one module per experiment (E4–E14 in `DESIGN.md`)
+//! * [`experiments`] — one module per experiment (E4–E15 in `DESIGN.md`)
 //!   plus the registry ([`experiments::all`], [`experiments::find`]).
 //! * [`sweep`] — the sharded [`SweepRunner`]: task-id-addressed cells,
 //!   `i/k` shards, durable per-cell JSON records and bit-identical merging.
@@ -29,8 +29,10 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
-pub use config::{ExperimentConfig, OptSelection, SolverSelection};
+pub use config::{
+    BeliefSelection, ExperimentConfig, IntensityLadder, OptSelection, SolverSelection,
+};
 pub use experiment::{Cell, CellCtx, CellResult, Experiment};
 pub use report::{ExperimentOutcome, ReportError, Table};
 pub use runner::{render_markdown, run_all};
-pub use sweep::{CellRecord, MergeError, Shard, ShardFile, SweepRunner};
+pub use sweep::{CellRecord, MergeError, Shard, ShardFile, ShardSpecError, SweepRunner};

@@ -22,26 +22,83 @@ use netuncert_core::opt::OptCache;
 use netuncert_core::solvers::cache::{CacheStats, SolveCache};
 use par_exec::parallel_map;
 
-use crate::config::{ExperimentConfig, OptSelection, SolverSelection};
+use crate::config::{
+    BeliefSelection, ExperimentConfig, IntensityLadder, OptSelection, SolverSelection,
+};
 use crate::experiment::{Cell, CellCtx, CellResult, Experiment};
 use crate::experiments;
 use crate::report::{ExperimentOutcome, ReportError};
 
+/// Why a shard specification is invalid — the typed form of every
+/// degenerate `--shard` input (`0/0`, `i ≥ k`, `k = 0`, non-numeric),
+/// raised by the single validation point [`Shard::new`] whether the spec
+/// arrives from the CLI, a stamp file or code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSpecError {
+    /// The spec is not of the `i/k` form with two unsigned integers.
+    Malformed {
+        /// The offending input.
+        spec: String,
+    },
+    /// `k = 0`: a sweep cannot be split into zero shards (this also covers
+    /// `0/0`, which would otherwise divide by zero in the selector).
+    ZeroCount,
+    /// `i ≥ k`: the index does not name one of the `k` shards.
+    IndexOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// The shard count it must stay below.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ShardSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardSpecError::Malformed { spec } => {
+                write!(
+                    f,
+                    "expected a shard spec of the form i/k (e.g. 0/3), got `{spec}`"
+                )
+            }
+            ShardSpecError::ZeroCount => write!(f, "the shard count must be at least 1"),
+            ShardSpecError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} is out of range 0..{count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardSpecError {}
+
+impl From<ShardSpecError> for String {
+    fn from(err: ShardSpecError) -> String {
+        err.to_string()
+    }
+}
+
 /// One slice of a sweep: run the cells whose `task_id % count == index`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The fields are private and every constructor — [`Shard::new`],
+/// [`Shard::parse`], deserialisation from a stamp file — funnels through
+/// the same validation, so a degenerate shard (`0/0`, `i ≥ k`) cannot be
+/// represented at all, let alone divide by zero in the selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shard {
-    /// This shard's index in `0..count`.
-    pub index: usize,
-    /// Total number of shards.
-    pub count: usize,
+    index: usize,
+    count: usize,
 }
 
 impl Shard {
-    /// A shard, validating `index < count`.
-    pub fn new(index: usize, count: usize) -> Self {
-        assert!(count >= 1, "shard count must be at least 1");
-        assert!(index < count, "shard index {index} out of range 0..{count}");
-        Shard { index, count }
+    /// A shard, validating `1 ≤ count` and `index < count`.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardSpecError> {
+        if count == 0 {
+            return Err(ShardSpecError::ZeroCount);
+        }
+        if index >= count {
+            return Err(ShardSpecError::IndexOutOfRange { index, count });
+        }
+        Ok(Shard { index, count })
     }
 
     /// The trivial single-shard split (every cell selected).
@@ -50,25 +107,24 @@ impl Shard {
     }
 
     /// Parses the CLI form `"i/k"` (e.g. `"0/3"`).
-    pub fn parse(s: &str) -> Result<Self, String> {
-        let (index, count) = s
-            .split_once('/')
-            .ok_or_else(|| format!("expected i/k, got `{s}`"))?;
-        let index: usize = index
-            .trim()
-            .parse()
-            .map_err(|_| format!("invalid shard index in `{s}`"))?;
-        let count: usize = count
-            .trim()
-            .parse()
-            .map_err(|_| format!("invalid shard count in `{s}`"))?;
-        if count == 0 {
-            return Err(format!("shard count must be positive in `{s}`"));
-        }
-        if index >= count {
-            return Err(format!("shard index must be below the count in `{s}`"));
-        }
-        Ok(Shard { index, count })
+    pub fn parse(s: &str) -> Result<Self, ShardSpecError> {
+        let malformed = || ShardSpecError::Malformed {
+            spec: s.to_string(),
+        };
+        let (index, count) = s.split_once('/').ok_or_else(malformed)?;
+        let index: usize = index.trim().parse().map_err(|_| malformed())?;
+        let count: usize = count.trim().parse().map_err(|_| malformed())?;
+        Shard::new(index, count)
+    }
+
+    /// This shard's index in `0..count()`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the split.
+    pub fn count(&self) -> usize {
+        self.count
     }
 
     /// Whether this shard owns `task_id`.
@@ -80,6 +136,34 @@ impl Shard {
 impl fmt::Display for Shard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl Serialize for Shard {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("index".to_string(), self.index.to_value()),
+            ("count".to_string(), self.count.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Shard {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected a shard object"))?;
+        let field = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::custom(format!("shard object missing `{name}`")))
+        };
+        let index = usize::from_value(field("index")?)?;
+        let count = usize::from_value(field("count")?)?;
+        // A hand-edited stamp cannot smuggle in a degenerate shard.
+        Shard::new(index, count).map_err(|e| serde::Error::custom(e.to_string()))
     }
 }
 
@@ -227,7 +311,7 @@ impl SweepRunner {
     fn flattened(&self) -> Vec<(u64, usize, Cell)> {
         let mut tasks = Vec::new();
         for (exp_idx, experiment) in self.experiments.iter().enumerate() {
-            for cell in experiment.grid() {
+            for cell in experiment.grid(&self.config) {
                 tasks.push((tasks.len() as u64, exp_idx, cell));
             }
         }
@@ -236,7 +320,10 @@ impl SweepRunner {
 
     /// Total number of cells across the selection.
     pub fn task_count(&self) -> usize {
-        self.experiments.iter().map(|e| e.grid().len()).sum()
+        self.experiments
+            .iter()
+            .map(|e| e.grid(&self.config).len())
+            .sum()
     }
 
     /// Runs the cells owned by `shard` over the configuration's worker pool
@@ -291,7 +378,7 @@ impl SweepRunner {
             if results.is_empty() {
                 continue;
             }
-            let grid = experiment.grid();
+            let grid = experiment.grid(&self.config);
             let mut cells: Vec<Option<CellResult>> = vec![None; grid.len()];
             for result in results {
                 if result.index >= grid.len() {
@@ -398,7 +485,7 @@ impl SweepRunner {
                 .position(|e| e.id() == result.experiment)
                 .ok_or_else(|| MergeError::UnknownExperiment(result.experiment.clone()))?;
             let grid = grids[exp_idx]
-                .get_or_insert_with(|| self.experiments[exp_idx].grid())
+                .get_or_insert_with(|| self.experiments[exp_idx].grid(&self.config))
                 .as_slice();
             if result.index >= grid.len() {
                 return Err(MergeError::UnknownCell {
@@ -456,13 +543,25 @@ pub struct ShardFile {
     /// The OPT-backend selection the records were computed with, as
     /// [`OptBackendKind::id`](netuncert_core::opt::OptBackendKind::id)s.
     pub opt_backends: OptSelection,
+    /// The belief-model selection spanning the `belief_noise` grid.
+    pub belief_models: BeliefSelection,
+    /// The intensity ladder spanning the `belief_noise` grid.
+    pub intensities: IntensityLadder,
+    /// The adaptive bracket width goal the records were computed with
+    /// (`null` = fixed budgets).
+    pub width_goal: Option<f64>,
+    /// The shard of the sweep this file's records belong to — checked by
+    /// `--resume` so completing a file under a different `--shard` flag is
+    /// a hard error instead of a silently mis-addressed record set.
+    pub shard: Shard,
     /// The cell records.
     pub records: Vec<CellRecord>,
 }
 
 impl ShardFile {
-    /// Stamps `records` with the result-determining fields of `config`.
-    pub fn new(config: &ExperimentConfig, records: Vec<CellRecord>) -> Self {
+    /// Stamps `records` with the result-determining fields of `config` and
+    /// the `shard` that computed them.
+    pub fn new(config: &ExperimentConfig, shard: Shard, records: Vec<CellRecord>) -> Self {
         ShardFile {
             samples: config.samples,
             seed: config.seed,
@@ -471,7 +570,25 @@ impl ShardFile {
             restarts: config.restarts,
             solvers: config.solvers,
             opt_backends: config.opt_backends,
+            belief_models: config.belief_models,
+            intensities: config.intensities,
+            width_goal: config.width_goal,
+            shard,
             records,
+        }
+    }
+
+    /// Verifies the file's shard stamp matches the `--shard` flag of a
+    /// resume run. Completing a `0/3` file as shard `1/3` would recompute
+    /// the wrong task ids and merge a corrupted sweep.
+    pub fn check_shard(&self, shard: Shard) -> Result<(), String> {
+        if self.shard == shard {
+            Ok(())
+        } else {
+            Err(format!(
+                "shard file was computed as shard {} but the flags name shard {}",
+                self.shard, shard
+            ))
         }
     }
 
@@ -510,6 +627,24 @@ impl ShardFile {
                 self.opt_backends, config.opt_backends
             ));
         }
+        if self.belief_models != config.belief_models {
+            mismatches.push(format!(
+                "belief_models {} vs {}",
+                self.belief_models, config.belief_models
+            ));
+        }
+        if self.intensities != config.intensities {
+            mismatches.push(format!(
+                "intensities {} vs {}",
+                self.intensities, config.intensities
+            ));
+        }
+        if self.width_goal != config.width_goal {
+            mismatches.push(format!(
+                "width_goal {:?} vs {:?}",
+                self.width_goal, config.width_goal
+            ));
+        }
         if mismatches.is_empty() {
             Ok(())
         } else {
@@ -545,13 +680,44 @@ mod tests {
 
     #[test]
     fn shard_parsing_accepts_the_cli_form_only() {
-        assert_eq!(Shard::parse("0/3").unwrap(), Shard::new(0, 3));
-        assert_eq!(Shard::parse("2/3").unwrap(), Shard::new(2, 3));
-        assert!(Shard::parse("3/3").is_err());
-        assert!(Shard::parse("1/0").is_err());
-        assert!(Shard::parse("12").is_err());
-        assert!(Shard::parse("a/b").is_err());
+        assert_eq!(Shard::parse("0/3").unwrap(), Shard::new(0, 3).unwrap());
+        assert_eq!(Shard::parse("2/3").unwrap(), Shard::new(2, 3).unwrap());
         assert_eq!(Shard::parse("1/4").unwrap().to_string(), "1/4");
+        // Every degenerate form is the same typed error the constructor
+        // raises — parsing and construction validate in one place.
+        assert_eq!(
+            Shard::parse("3/3"),
+            Err(ShardSpecError::IndexOutOfRange { index: 3, count: 3 })
+        );
+        assert_eq!(Shard::parse("1/0"), Err(ShardSpecError::ZeroCount));
+        assert_eq!(Shard::parse("0/0"), Err(ShardSpecError::ZeroCount));
+        for malformed in ["12", "a/b", "1/", "/3", "-1/3", "1/3/5", ""] {
+            assert_eq!(
+                Shard::parse(malformed),
+                Err(ShardSpecError::Malformed {
+                    spec: malformed.to_string()
+                }),
+                "`{malformed}` must be rejected as malformed"
+            );
+        }
+        assert_eq!(Shard::new(0, 0), Err(ShardSpecError::ZeroCount));
+        assert_eq!(
+            Shard::new(5, 2),
+            Err(ShardSpecError::IndexOutOfRange { index: 5, count: 2 })
+        );
+    }
+
+    #[test]
+    fn shard_serde_round_trips_and_rejects_degenerate_stamps() {
+        let shard = Shard::new(1, 3).unwrap();
+        let json = serde_json::to_string(&shard).unwrap();
+        assert_eq!(json, "{\"index\":1,\"count\":3}");
+        let back: Shard = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, shard);
+        // A hand-edited stamp with a degenerate shard is rejected at parse
+        // time, before it can divide by zero in the selector.
+        assert!(serde_json::from_str::<Shard>("{\"index\":0,\"count\":0}").is_err());
+        assert!(serde_json::from_str::<Shard>("{\"index\":9,\"count\":2}").is_err());
     }
 
     #[test]
@@ -559,7 +725,7 @@ mod tests {
         for count in 1..5usize {
             for task_id in 0..40u64 {
                 let owners = (0..count)
-                    .filter(|&i| Shard::new(i, count).selects(task_id))
+                    .filter(|&i| Shard::new(i, count).unwrap().selects(task_id))
                     .count();
                 assert_eq!(owners, 1, "task {task_id} with {count} shards");
             }
@@ -575,7 +741,7 @@ mod tests {
             assert_eq!(task_id, expected as u64);
         }
         // The first experiment's grid owns the first task ids.
-        let first_grid = runner.experiments()[0].grid().len();
+        let first_grid = runner.experiments()[0].grid(runner.config()).len();
         assert!(flat[..first_grid].iter().all(|&(_, exp, _)| exp == 0));
     }
 
@@ -586,8 +752,8 @@ mod tests {
         let runner = SweepRunner::with_experiments(config, vec![experiment()]);
         let direct = runner.outcomes().unwrap();
 
-        let mut records = runner.run_shard(Shard::new(0, 2));
-        records.extend(runner.run_shard(Shard::new(1, 2)));
+        let mut records = runner.run_shard(Shard::new(0, 2).unwrap());
+        records.extend(runner.run_shard(Shard::new(1, 2).unwrap()));
         let merged = runner.merge(&records).unwrap();
         assert_eq!(direct, merged);
     }
@@ -630,7 +796,7 @@ mod tests {
         let config = tiny_config();
         let runner =
             SweepRunner::with_experiments(config, vec![experiments::find("milchtaich").unwrap()]);
-        let file = ShardFile::new(&config, runner.run());
+        let file = ShardFile::new(&config, Shard::solo(), runner.run());
         let json = file.to_json().unwrap();
         let back = ShardFile::from_json(&json).unwrap();
         assert_eq!(back, file);

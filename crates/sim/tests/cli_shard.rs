@@ -1,0 +1,129 @@
+//! CLI integration tests for shard-spec validation: every degenerate
+//! `--shard` form is rejected with the typed error's message before any
+//! computation starts, and `--resume` refuses a record file whose shard
+//! stamp disagrees with the flags.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use sim_harness::sweep::{ShardFile, SweepRunner};
+use sim_harness::{experiments, ExperimentConfig, Shard};
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("netuncert-cli-shard-tests");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+/// The configuration the test binary invocations run under (`--samples 3`
+/// plus defaults), mirrored for the library-side shard-file construction.
+fn cli_config() -> ExperimentConfig {
+    ExperimentConfig {
+        samples: 3,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn every_malformed_shard_spec_is_rejected_before_computing() {
+    for (spec, expected) in [
+        ("0/0", "shard count must be at least 1"),
+        ("1/0", "shard count must be at least 1"),
+        ("3/3", "out of range"),
+        ("5/2", "out of range"),
+        ("12", "expected a shard spec"),
+        ("a/b", "expected a shard spec"),
+        ("-1/3", "expected a shard spec"),
+        ("1/3/5", "expected a shard spec"),
+    ] {
+        let output = binary()
+            .args(["--shard", spec, "--json", "/dev/null"])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "`--shard {spec}` must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(expected),
+            "`--shard {spec}` stderr missing `{expected}`:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn a_sharded_run_without_a_record_file_is_refused() {
+    let output = binary()
+        .args(["--shard", "0/2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("needs --json"), "{stderr}");
+}
+
+#[test]
+fn resume_rejects_a_stamp_whose_shard_disagrees_with_the_flag() {
+    let config = cli_config();
+    let shard = Shard::new(0, 2).unwrap();
+    let runner =
+        SweepRunner::with_experiments(config, vec![experiments::find("three_users").unwrap()]);
+    let file = scratch("mismatched-shard.json");
+    let json = ShardFile::new(&config, shard, runner.run_shard(shard))
+        .to_json()
+        .expect("records serialise");
+    std::fs::write(&file, &json).expect("write shard file");
+
+    // Completing the 0/2 file as shard 1/2 must be a hard error...
+    let output = binary()
+        .args([
+            "--experiment",
+            "three_users",
+            "--samples",
+            "3",
+            "--resume",
+            "--shard",
+            "1/2",
+            "--json",
+        ])
+        .arg(&file)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(2), "mismatched resume must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("computed as shard 0/2") && stderr.contains("1/2"),
+        "{stderr}"
+    );
+    // ...and the record file must be left untouched.
+    assert_eq!(std::fs::read_to_string(&file).unwrap(), json);
+
+    // Under the matching shard the resume succeeds and, with the file
+    // already complete, rewrites it byte-identically.
+    let output = binary()
+        .args([
+            "--experiment",
+            "three_users",
+            "--samples",
+            "3",
+            "--resume",
+            "--shard",
+            "0/2",
+            "--json",
+        ])
+        .arg(&file)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "matching resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(std::fs::read_to_string(&file).unwrap(), json);
+}

@@ -21,15 +21,15 @@ fn main() {
     println!(
         "Measuring coordination ratios on {samples} instances per size ({}; {} grid cells)...\n",
         poa.description(),
-        poa.grid().len()
+        poa.grid(&config).len()
     );
 
     // Run the experiment as a sweep: half the cells per "shard", merged back
     // into one report — the same mechanics `run_experiments --shard i/k`
     // uses across processes, shown here in miniature.
     let sweep = SweepRunner::with_experiments(config, vec![poa]).with_cache();
-    let mut records = sweep.run_shard(Shard::new(0, 2));
-    records.extend(sweep.run_shard(Shard::new(1, 2)));
+    let mut records = sweep.run_shard(Shard::new(0, 2).expect("valid shard"));
+    records.extend(sweep.run_shard(Shard::new(1, 2).expect("valid shard")));
     let outcomes = sweep.merge(&records).expect("both shards present");
     for outcome in &outcomes {
         print!("{}", outcome.to_markdown());

@@ -47,7 +47,7 @@ fn every_registered_experiment_matches_its_golden_snapshot() {
     for experiment in experiments::all() {
         let id = experiment.id();
         let runner = SweepRunner::with_experiments(config, vec![experiments::find(id).unwrap()]);
-        let json = ShardFile::new(&config, runner.run())
+        let json = ShardFile::new(&config, netuncert::sim::Shard::solo(), runner.run())
             .to_json()
             .expect("records serialise");
         let path = golden_path(id);

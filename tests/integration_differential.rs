@@ -187,8 +187,8 @@ fn the_scaling_experiment_is_shard_invariant() {
     let runner = SweepRunner::with_experiments(config, vec![experiments::find("scaling").unwrap()]);
     let direct = runner.outcomes().expect("reports assemble");
 
-    let mut records = runner.run_shard(Shard::new(1, 2));
-    records.extend(runner.run_shard(Shard::new(0, 2)));
+    let mut records = runner.run_shard(Shard::new(1, 2).unwrap());
+    records.extend(runner.run_shard(Shard::new(0, 2).unwrap()));
     let merged = runner.merge(&records).expect("both shards present");
     assert_eq!(direct, merged);
 }

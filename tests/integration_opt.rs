@@ -215,8 +215,8 @@ fn the_poa_scaling_experiment_is_shard_invariant() {
     let direct = runner.outcomes().expect("reports assemble");
     assert!(direct.iter().all(|o| o.holds), "E14 must hold");
 
-    let mut records = runner.run_shard(Shard::new(1, 2));
-    records.extend(runner.run_shard(Shard::new(0, 2)));
+    let mut records = runner.run_shard(Shard::new(1, 2).unwrap());
+    records.extend(runner.run_shard(Shard::new(0, 2).unwrap()));
     let merged = runner.merge(&records).expect("both shards present");
     assert_eq!(direct, merged);
 }

@@ -26,7 +26,7 @@ fn sharded_report(config: ExperimentConfig, count: usize) -> String {
     let mut records = Vec::new();
     // Collect shards in reverse order: merge must not care about record order.
     for index in (0..count).rev() {
-        records.extend(sweep.run_shard(Shard::new(index, count)));
+        records.extend(sweep.run_shard(Shard::new(index, count).unwrap()));
     }
     let outcomes = sweep.merge(&records).expect("all shards present");
     runner::to_json(&outcomes).expect("outcomes serialise")
@@ -53,7 +53,7 @@ fn shard_record_files_are_disjoint_and_cover_every_task() {
     let sweep = SweepRunner::new(tiny_config(7));
     let mut seen = Vec::new();
     for index in 0..3 {
-        for record in sweep.run_shard(Shard::new(index, 3)) {
+        for record in sweep.run_shard(Shard::new(index, 3).unwrap()) {
             assert!(
                 !seen.contains(&record.task_id),
                 "task {} owned by two shards",
@@ -151,7 +151,7 @@ fn registry_lookup_and_trait_metadata_agree_with_run_all() {
     // Ids resolve and the grids address every cell exactly once.
     for experiment in experiments::all() {
         let again = experiments::find(experiment.id()).expect("id resolves");
-        assert_eq!(again.grid(), experiment.grid());
+        assert_eq!(again.grid(&config), experiment.grid(&config));
     }
 }
 
@@ -196,11 +196,11 @@ fn deleting_cells_and_resuming_reproduces_the_original_records() {
     // Under sharding, only the shard's own missing cells are recomputed:
     // with every record deleted, shard 0/2 completes exactly its half.
     let half = sweep
-        .run_missing(Shard::new(0, 2), &[])
+        .run_missing(Shard::new(0, 2).unwrap(), &[])
         .expect("records validate");
     let expected: Vec<_> = original
         .iter()
-        .filter(|r| Shard::new(0, 2).selects(r.task_id))
+        .filter(|r| Shard::new(0, 2).unwrap().selects(r.task_id))
         .cloned()
         .collect();
     assert_eq!(half, expected);
@@ -284,15 +284,68 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cache keys are canonical under the sign of zero: an instance whose
+    /// initial loads contain `-0.0` is the *same* instance as its `+0.0`
+    /// twin, so the second solve must be a cache hit replaying the first —
+    /// for the solve cache and the opt cache alike.
+    #[test]
+    fn cache_keys_identify_signed_zero_instances(
+        seed in any::<u64>(),
+        signs in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
+        use netuncert_core::opt::{OptCache, OptEngine, OptConfig};
+
+        let game = EffectiveSpec::General {
+            users: 4,
+            links: 3,
+            capacity: CapacityDist::Uniform { lo: 0.5, hi: 2.0 },
+            weights: WeightDist::Uniform { lo: 0.5, hi: 4.0 },
+        }
+        .generate(&mut instance_gen::rng(seed, 0x05ED));
+        let pos = LinkLoads::zero(3);
+        let neg = LinkLoads::new(signs.iter().map(|&s| if s { -0.0 } else { 0.0 }).collect())
+            .expect("-0.0 is a valid (non-negative) load");
+
+        let cache = std::sync::Arc::new(SolveCache::new());
+        let engine = SolverEngine::default().with_cache(std::sync::Arc::clone(&cache));
+        let cold = engine.solve(&game, &pos).unwrap();
+        let hit = engine.solve(&game, &neg).unwrap();
+        prop_assert_eq!(&cold, &hit, "a signed-zero twin must replay the cold solve");
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        let opt_cache = std::sync::Arc::new(OptCache::new());
+        let opt = OptEngine::default_order(OptConfig::default())
+            .with_cache(std::sync::Arc::clone(&opt_cache));
+        let cold = opt.estimate(&game, &pos).unwrap();
+        let hit = opt.estimate(&game, &neg).unwrap();
+        prop_assert_eq!(&cold, &hit, "a signed-zero twin must replay the cold estimate");
+        let stats = opt_cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}
+
 #[test]
 fn shard_records_serialise_to_stable_json() {
     let config = tiny_config(11);
     let sweep = SweepRunner::with_experiments(config, vec![experiments::find("poa").unwrap()]);
-    let a = ShardFile::new(&config, sweep.run_shard(Shard::new(0, 2)))
-        .to_json()
-        .unwrap();
-    let b = ShardFile::new(&config, sweep.run_shard(Shard::new(0, 2)))
-        .to_json()
-        .unwrap();
+    let a = ShardFile::new(
+        &config,
+        Shard::new(0, 2).unwrap(),
+        sweep.run_shard(Shard::new(0, 2).unwrap()),
+    )
+    .to_json()
+    .unwrap();
+    let b = ShardFile::new(
+        &config,
+        Shard::new(0, 2).unwrap(),
+        sweep.run_shard(Shard::new(0, 2).unwrap()),
+    )
+    .to_json()
+    .unwrap();
     assert_eq!(a, b, "shard record files must be reproducible");
 }
