@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# benchmark.sh — the benchmark discipline behind BENCHMARKS.md.
+#
+# Runs the criterion suite (or a named subset of bench targets) and records
+# the output under target/bench-logs/ with a pinned environment header, so
+# every number in BENCHMARKS.md is attributable to a commit, a toolchain and
+# a machine. Always re-record through this script — never paste numbers from
+# an ad-hoc `cargo bench` whose environment is lost.
+#
+# Usage:
+#   ./benchmark.sh                   # the full suite
+#   ./benchmark.sh kernels           # one bench target
+#   ./benchmark.sh kernels local_search best_response
+#   ./benchmark.sh --quick ...      # smoke mode (liveness only; never record)
+#
+# The log name encodes the baseline: <utc-date>_<git-sha>[_quick].log.
+# BENCHMARKS.md cites baselines by that name.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+targets=()
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    -*)
+        echo "unknown flag: $arg" >&2
+        exit 2
+        ;;
+    *) targets+=("$arg") ;;
+    esac
+done
+
+sha=$(git rev-parse --short=10 HEAD 2>/dev/null || echo "no-git")
+dirty=""
+if ! git diff --quiet HEAD 2>/dev/null; then dirty="-dirty"; fi
+stamp=$(date -u +%Y-%m-%d)
+suffix=""
+if [ "$quick" = 1 ]; then suffix="_quick"; fi
+logdir="target/bench-logs"
+log="$logdir/${stamp}_${sha}${dirty}${suffix}.log"
+mkdir -p "$logdir"
+
+cpu_model=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)
+[ -n "$cpu_model" ] || cpu_model="unknown"
+
+{
+    echo "# netuncert benchmark record"
+    echo "date_utc:   $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    echo "commit:     ${sha}${dirty}"
+    echo "rustc:      $(rustc -V)"
+    echo "cargo:      $(cargo -V)"
+    echo "cpus:       $(nproc) (online)"
+    echo "cpu_model:  $cpu_model"
+    echo "os:         $(uname -sr)"
+    echo "quick_mode: $quick (quick numbers are liveness only — never record)"
+    if [ ${#targets[@]} -gt 0 ]; then
+        echo "targets:    ${targets[*]}"
+    else
+        echo "targets:    full suite"
+    fi
+    echo
+} | tee "$log"
+
+run() {
+    if [ "$quick" = 1 ]; then
+        NETUNCERT_BENCH_QUICK=1 "$@"
+    else
+        "$@"
+    fi
+}
+
+if [ ${#targets[@]} -eq 0 ]; then
+    run cargo bench -p netuncert-bench 2>&1 | tee -a "$log"
+else
+    for t in "${targets[@]}"; do
+        run cargo bench -p netuncert-bench --bench "$t" 2>&1 | tee -a "$log"
+    done
+fi
+
+echo
+echo "recorded: $log"

@@ -19,10 +19,17 @@ use netuncert_core::model::EffectiveGame;
 /// shorter warm-up and measurement windows than the defaults so that the full
 /// suite (≈75 benchmark points) completes in a few minutes on one core while
 /// still giving stable medians for these microsecond-to-millisecond kernels.
+///
+/// Setting `NETUNCERT_BENCH_QUICK=1` shrinks the windows further to a smoke
+/// size: CI's bench step uses it to execute every benchmark body (including
+/// the certification asserts ahead of each timed solve) in seconds. Numbers
+/// from quick mode are for liveness only — never record them.
 pub fn bench_config() -> Criterion {
+    let quick = std::env::var("NETUNCERT_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (warm_ms, measure_ms) = if quick { (50, 120) } else { (400, 1200) };
     Criterion::default()
-        .warm_up_time(Duration::from_millis(400))
-        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(warm_ms))
+        .measurement_time(Duration::from_millis(measure_ms))
         .configure_from_args()
 }
 

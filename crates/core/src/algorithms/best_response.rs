@@ -9,9 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::equilibrium::{best_deviation_of, is_pure_nash};
 use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
+use crate::solvers::kernel::{run_to_completion, BestResponseRun, BrStart, KernelScratch, SoAGame};
 use crate::strategy::{LinkLoads, PureProfile};
 
 /// How the next defecting user is selected at each step.
@@ -85,6 +85,11 @@ impl Default for BestResponseDynamics {
 
 impl BestResponseDynamics {
     /// Runs the dynamics from `start`.
+    ///
+    /// The hot loop is the SoA [`BestResponseRun`] kernel: link loads are
+    /// maintained incrementally on flat rows (the accessor-based primitives
+    /// recomputed them from scratch for every link query), and every
+    /// convergence claim is still certified by the canonical predicate.
     pub fn run(
         &self,
         game: &EffectiveGame,
@@ -92,67 +97,61 @@ impl BestResponseDynamics {
         start: PureProfile,
         tol: Tolerance,
     ) -> Outcome {
-        let mut profile = start;
-        let n = game.users();
-        let mut steps = 0usize;
-        let mut cursor = 0usize;
-
-        while steps < self.max_steps {
-            let deviation = match self.rule {
-                SelectionRule::RoundRobin => {
-                    let mut found = None;
-                    for offset in 0..n {
-                        let user = (cursor + offset) % n;
-                        if let Some(d) = best_deviation_of(game, &profile, initial, user, tol) {
-                            cursor = (user + 1) % n;
-                            found = Some(d);
-                            break;
-                        }
-                    }
-                    found
-                }
-                SelectionRule::LargestGain => {
-                    let mut best: Option<crate::equilibrium::Deviation> = None;
-                    for user in 0..n {
-                        if let Some(d) = best_deviation_of(game, &profile, initial, user, tol) {
-                            if best.as_ref().map(|b| d.gain() > b.gain()).unwrap_or(true) {
-                                best = Some(d);
-                            }
-                        }
-                    }
-                    best
-                }
-            };
-            match deviation {
-                None => return Outcome::Converged { profile, steps },
-                Some(d) => {
-                    profile.apply_move(d.user, d.to);
-                    steps += 1;
-                }
-            }
-        }
-
-        if is_pure_nash(game, &profile, initial, tol) {
-            Outcome::Converged { profile, steps }
-        } else {
-            Outcome::StepLimit { profile, steps }
-        }
+        let soa = SoAGame::from_game(game);
+        self.run_kernel(game, initial, soa.view(), BrStart::Profile(start), tol)
     }
 
-    /// Runs the dynamics from the greedy profile produced by [`greedy_profile`].
+    /// Runs the dynamics from the greedy starting profile (the kernel
+    /// equivalent of [`greedy_profile`]).
     pub fn run_from_greedy(
         &self,
         game: &EffectiveGame,
         initial: &LinkLoads,
         tol: Tolerance,
     ) -> Outcome {
-        let start = greedy_profile(game, initial);
-        self.run(game, initial, start, tol)
+        let soa = SoAGame::from_game(game);
+        self.run_kernel(game, initial, soa.view(), BrStart::Greedy, tol)
+    }
+
+    fn run_kernel(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        view: crate::solvers::kernel::SoAView<'_>,
+        start: BrStart,
+        tol: Tolerance,
+    ) -> Outcome {
+        let mut scratch = KernelScratch::new();
+        let mut run = BestResponseRun::new(
+            game,
+            initial,
+            view,
+            start,
+            self.max_steps as u64,
+            matches!(self.rule, SelectionRule::LargestGain),
+            tol,
+        );
+        let detail = run_to_completion(&mut run, &mut scratch);
+        let steps = run.steps() as usize;
+        match detail.solution {
+            Some(solution) => Outcome::Converged {
+                profile: solution.profile,
+                steps,
+            },
+            None => Outcome::StepLimit {
+                profile: run.into_profile(),
+                steps,
+            },
+        }
     }
 }
 
 /// A greedy starting profile: users are inserted in index order, each on the
 /// link that currently minimises its latency given the users already placed.
+///
+/// This divide-based builder is the reference semantics; the kernel's
+/// `greedy_into` is its multiply-by-reciprocal twin. The capacity row is
+/// borrowed once per user instead of re-indexed per link.
 pub fn greedy_profile(game: &EffectiveGame, initial: &LinkLoads) -> PureProfile {
     let n = game.users();
     let m = game.links();
@@ -160,10 +159,11 @@ pub fn greedy_profile(game: &EffectiveGame, initial: &LinkLoads) -> PureProfile 
     let mut choices = Vec::with_capacity(n);
     for user in 0..n {
         let w = game.weight(user);
+        let row = game.capacities().row(user);
         let mut best = 0usize;
         let mut best_cost = f64::INFINITY;
-        for link in 0..m {
-            let cost = (loads.load(link) + w) / game.capacity(user, link);
+        for (link, &cap) in row.iter().enumerate().take(m) {
+            let cost = (loads.load(link) + w) / cap;
             if cost < best_cost {
                 best_cost = cost;
                 best = link;
@@ -178,6 +178,7 @@ pub fn greedy_profile(game: &EffectiveGame, initial: &LinkLoads) -> PureProfile 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::equilibrium::is_pure_nash;
 
     fn messy_game() -> EffectiveGame {
         EffectiveGame::from_rows(

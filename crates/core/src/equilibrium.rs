@@ -76,13 +76,35 @@ pub fn satisfies_pure_nash(
 
 /// Whether `profile` is a pure Nash equilibrium of `game` with initial traffic
 /// `initial`.
+///
+/// This is the canonical certification predicate every solver's returned
+/// profile must pass, so it is kept `O(n·m)`: link loads are accumulated once
+/// (in user index order, exactly as [`link_load`]) and each hypothetical move
+/// is evaluated as `(loads[ℓ] + wᵢ) / cᵢˡ`. That associates the sum as
+/// `(t + Σw) + wᵢ` where the per-query [`pure_user_latency_on_link`] computes
+/// `(t + wᵢ) + Σw` — mathematically identical, and any bit-level rounding
+/// difference is far inside the comparison tolerance.
 pub fn is_pure_nash(
     game: &EffectiveGame,
     profile: &PureProfile,
     initial: &LinkLoads,
     tol: Tolerance,
 ) -> bool {
-    (0..game.users()).all(|user| satisfies_pure_nash(game, profile, initial, user, tol))
+    let mut loads: Vec<f64> = (0..game.links()).map(|l| initial.load(l)).collect();
+    for k in 0..game.users() {
+        loads[profile.link(k)] += game.weight(k);
+    }
+    (0..game.users()).all(|user| {
+        let from = profile.link(user);
+        let w = game.weight(user);
+        let caps = game.capacities().row(user);
+        let current = loads[from] / caps[from];
+        loads
+            .iter()
+            .zip(caps)
+            .enumerate()
+            .all(|(l, (&load, &c))| l == from || tol.leq(current, (load + w) / c))
+    })
 }
 
 /// All users that do not satisfy the Nash condition in `profile`
@@ -213,6 +235,25 @@ mod tests {
         let devs = profitable_deviations(&g, &swapped, &t, tol);
         assert_eq!(devs.len(), 2);
         assert!(devs.iter().all(|d| d.gain() > 0.0));
+    }
+
+    #[test]
+    fn fast_predicate_agrees_with_the_per_user_definition() {
+        // The load-once `is_pure_nash` must agree with the per-user
+        // `satisfies_pure_nash` definition on every profile of a small game
+        // with awkward (non-dyadic) weights and initial traffic.
+        let g = EffectiveGame::from_rows(
+            vec![0.3, 1.7, 2.2],
+            vec![vec![0.7, 1.3], vec![2.1, 0.9], vec![1.1, 3.3]],
+        )
+        .unwrap();
+        let t = LinkLoads::new(vec![0.4, 0.1]).unwrap();
+        let tol = Tolerance::default();
+        for bits in 0..8u32 {
+            let p = PureProfile::new((0..3).map(|u| ((bits >> u) & 1) as usize).collect());
+            let per_user = (0..3).all(|u| satisfies_pure_nash(&g, &p, &t, u, tol));
+            assert_eq!(is_pure_nash(&g, &p, &t, tol), per_user, "profile {bits:b}");
+        }
     }
 
     #[test]

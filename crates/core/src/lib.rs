@@ -155,6 +155,7 @@ pub mod prelude {
         SolverEngine, SolverKind,
     };
     pub use crate::solvers::exhaustive::{all_pure_nash, social_optimum, SocialOptimum};
+    pub use crate::solvers::kernel::{KernelRun, KernelScratch, SoAArena, SoAGame, SoAView};
     pub use crate::solvers::local_search::LocalSearch;
     pub use crate::strategy::{LinkLoads, MixedProfile, PureProfile};
 }

@@ -32,11 +32,18 @@ use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::opt::greedy;
 use crate::social_cost::{pure_sc1, pure_sc2};
 use crate::solvers::engine::Applicability;
+use crate::solvers::kernel::{SoAGame, SoAView};
 use crate::solvers::local_search::SplitMix64;
 use crate::strategy::{LinkLoads, PureProfile};
 
 /// Per-link aggregates of a profile: total load (initial plus users),
 /// `Σ 1/cᵢℓ` over assigned users, and the user count.
+///
+/// Reciprocals come from the SoA view's precomputed `1/cᵢℓ` rows — the same
+/// bits the legacy `1.0 / game.capacity(user, link)` produced, so every
+/// aggregate (and therefore every descent path) is unchanged. Buffers are
+/// reused across passes and restarts.
+#[derive(Default)]
 struct Aggregates {
     loads: Vec<f64>,
     inv_caps: Vec<f64>,
@@ -44,60 +51,68 @@ struct Aggregates {
 }
 
 impl Aggregates {
-    fn rebuild(game: &EffectiveGame, initial: &LinkLoads, profile: &PureProfile) -> Self {
-        let m = game.links();
-        let mut loads = initial.as_slice().to_vec();
-        let mut inv_caps = vec![0.0f64; m];
-        let mut counts = vec![0usize; m];
-        for user in 0..game.users() {
-            let link = profile.link(user);
-            loads[link] += game.weight(user);
-            inv_caps[link] += 1.0 / game.capacity(user, link);
-            counts[link] += 1;
-        }
-        Aggregates {
-            loads,
-            inv_caps,
-            counts,
+    fn rebuild(&mut self, view: SoAView<'_>, initial: &LinkLoads, profile: &PureProfile) {
+        let m = view.links;
+        self.loads.clear();
+        self.loads.extend_from_slice(initial.as_slice());
+        self.inv_caps.clear();
+        self.inv_caps.resize(m, 0.0);
+        self.counts.clear();
+        self.counts.resize(m, 0);
+        for (user, &link) in profile.choices().iter().enumerate() {
+            self.loads[link] += view.weights[user];
+            self.inv_caps[link] += view.inv_row(user)[link];
+            self.counts[link] += 1;
         }
     }
 
-    /// `SC1` delta of moving `user` from `from` to `to` under `game`.
-    fn sc1_delta(&self, game: &EffectiveGame, user: usize, from: usize, to: usize) -> f64 {
-        let w = game.weight(user);
-        let inv_from = 1.0 / game.capacity(user, from);
-        let inv_to = 1.0 / game.capacity(user, to);
-        let new_from = (self.loads[from] - w) * (self.inv_caps[from] - inv_from);
-        let new_to = (self.loads[to] + w) * (self.inv_caps[to] + inv_to);
+    /// `SC1` delta of moving `user` from `from` to `to` under `view`.
+    fn sc1_delta(&self, view: SoAView<'_>, user: usize, from: usize, to: usize) -> f64 {
+        let w = view.weights[user];
+        let inv = view.inv_row(user);
+        let new_from = (self.loads[from] - w) * (self.inv_caps[from] - inv[from]);
+        let new_to = (self.loads[to] + w) * (self.inv_caps[to] + inv[to]);
         new_from + new_to
             - self.loads[from] * self.inv_caps[from]
             - self.loads[to] * self.inv_caps[to]
     }
 
-    fn apply(&mut self, game: &EffectiveGame, user: usize, from: usize, to: usize) {
-        let w = game.weight(user);
+    fn apply(&mut self, view: SoAView<'_>, user: usize, from: usize, to: usize) {
+        let w = view.weights[user];
+        let inv = view.inv_row(user);
         self.loads[from] -= w;
-        self.inv_caps[from] -= 1.0 / game.capacity(user, from);
+        self.inv_caps[from] -= inv[from];
         self.counts[from] -= 1;
         self.loads[to] += w;
-        self.inv_caps[to] += 1.0 / game.capacity(user, to);
+        self.inv_caps[to] += inv[to];
         self.counts[to] += 1;
     }
 }
 
+/// Reusable buffers of the descent passes: aggregates plus the `SC2` pass's
+/// per-link minimum capacities and peak latencies.
+#[derive(Default)]
+struct DescentScratch {
+    agg: Aggregates,
+    minc: Vec<f64>,
+    peaks: Vec<f64>,
+}
+
 /// Steepest-descent on `SC1` (mutating `profile`); returns moves made.
 fn descend_sc1(
-    game: &EffectiveGame,
+    view: SoAView<'_>,
     initial: &LinkLoads,
     profile: &mut PureProfile,
     tol: Tolerance,
     budget: u64,
+    scratch: &mut DescentScratch,
 ) -> u64 {
-    let n = game.users();
-    let m = game.links();
+    let n = view.users;
+    let m = view.links;
+    let agg = &mut scratch.agg;
     let mut moves = 0u64;
     loop {
-        let mut agg = Aggregates::rebuild(game, initial, profile);
+        agg.rebuild(view, initial, profile);
         let mut moved_in_pass = false;
         for user in 0..n {
             let from = profile.link(user);
@@ -107,7 +122,7 @@ fn descend_sc1(
                 if to == from {
                     continue;
                 }
-                let delta = agg.sc1_delta(game, user, from, to);
+                let delta = agg.sc1_delta(view, user, from, to);
                 if delta < best_delta {
                     best_delta = delta;
                     best_to = to;
@@ -119,7 +134,7 @@ fn descend_sc1(
             if best_to == from || best_delta >= -tol.eps() * scale {
                 continue;
             }
-            agg.apply(game, user, from, best_to);
+            agg.apply(view, user, from, best_to);
             profile.apply_move(user, best_to);
             moves += 1;
             moved_in_pass = true;
@@ -135,61 +150,64 @@ fn descend_sc1(
 
 /// The per-user minimum capacity on each link, excluding `skip` (`None` to
 /// include everyone); `+∞` on links with no assigned user.
-fn min_caps(game: &EffectiveGame, profile: &PureProfile, link: usize, skip: Option<usize>) -> f64 {
+fn min_caps(view: SoAView<'_>, profile: &PureProfile, link: usize, skip: Option<usize>) -> f64 {
     let mut min = f64::INFINITY;
-    for user in 0..game.users() {
-        if Some(user) == skip || profile.link(user) != link {
+    for (user, &choice) in profile.choices().iter().enumerate() {
+        if Some(user) == skip || choice != link {
             continue;
         }
-        min = min.min(game.capacity(user, link));
+        min = min.min(view.cap_row(user)[link]);
     }
     min
 }
 
-/// The per-link minimum assigned-user capacities (`+∞` on empty links).
-fn all_min_caps(game: &EffectiveGame, profile: &PureProfile) -> Vec<f64> {
-    let mut mins = vec![f64::INFINITY; game.links()];
-    for user in 0..game.users() {
-        let link = profile.link(user);
-        mins[link] = mins[link].min(game.capacity(user, link));
+/// The per-link minimum assigned-user capacities (`+∞` on empty links),
+/// rebuilt into `mins`.
+fn all_min_caps(view: SoAView<'_>, profile: &PureProfile, mins: &mut Vec<f64>) {
+    mins.clear();
+    mins.resize(view.links, f64::INFINITY);
+    for (user, &link) in profile.choices().iter().enumerate() {
+        mins[link] = mins[link].min(view.cap_row(user)[link]);
     }
-    mins
 }
 
 /// The per-link max-latency contributions `Fₗ = Lₗ / min_{i∈Sₗ} cᵢℓ`
-/// (`0` on links with no users — initial traffic alone costs nobody).
-fn link_peaks(agg: &Aggregates, minc: &[f64]) -> Vec<f64> {
-    (0..minc.len())
-        .map(|l| {
-            if agg.counts[l] == 0 {
-                0.0
-            } else {
-                agg.loads[l] / minc[l]
-            }
-        })
-        .collect()
+/// (`0` on links with no users — initial traffic alone costs nobody),
+/// rebuilt into `peaks`.
+fn link_peaks(agg: &Aggregates, minc: &[f64], peaks: &mut Vec<f64>) {
+    peaks.clear();
+    peaks.extend((0..minc.len()).map(|l| {
+        if agg.counts[l] == 0 {
+            0.0
+        } else {
+            agg.loads[l] / minc[l]
+        }
+    }));
 }
 
 /// Lexicographic `(SC2, SC1)` descent (mutating `profile`); returns moves.
 fn descend_sc2(
-    game: &EffectiveGame,
+    view: SoAView<'_>,
     initial: &LinkLoads,
     profile: &mut PureProfile,
     tol: Tolerance,
     budget: u64,
+    scratch: &mut DescentScratch,
 ) -> u64 {
-    let n = game.users();
-    let m = game.links();
+    let n = view.users;
+    let m = view.links;
+    let DescentScratch { agg, minc, peaks } = scratch;
     let mut moves = 0u64;
     loop {
-        let mut agg = Aggregates::rebuild(game, initial, profile);
-        let mut minc = all_min_caps(game, profile);
-        let mut peaks = link_peaks(&agg, &minc);
+        agg.rebuild(view, initial, profile);
+        all_min_caps(view, profile, minc);
+        link_peaks(agg, minc, peaks);
         let mut moved_in_pass = false;
         for user in 0..n {
             let from = profile.link(user);
-            let w = game.weight(user);
-            let from_min_wo = min_caps(game, profile, from, Some(user));
+            let w = view.weights[user];
+            let caps = view.cap_row(user);
+            let from_min_wo = min_caps(view, profile, from, Some(user));
             let new_from_peak = if agg.counts[from] == 1 {
                 0.0
             } else {
@@ -202,7 +220,7 @@ fn descend_sc2(
                 if to == from {
                     continue;
                 }
-                let new_to_peak = (agg.loads[to] + w) / minc[to].min(game.capacity(user, to));
+                let new_to_peak = (agg.loads[to] + w) / minc[to].min(caps[to]);
                 let others = peaks
                     .iter()
                     .enumerate()
@@ -210,7 +228,7 @@ fn descend_sc2(
                     .map(|(_, &f)| f)
                     .fold(0.0f64, f64::max);
                 let new_sc2 = others.max(new_from_peak).max(new_to_peak);
-                let delta1 = agg.sc1_delta(game, user, from, to);
+                let delta1 = agg.sc1_delta(view, user, from, to);
                 let better = match best {
                     None => true,
                     Some((_, sc2, d1)) => {
@@ -231,10 +249,10 @@ fn descend_sc2(
             if !(improves_max || improves_sum) {
                 continue;
             }
-            agg.apply(game, user, from, to);
+            agg.apply(view, user, from, to);
             profile.apply_move(user, to);
             minc[from] = from_min_wo;
-            minc[to] = minc[to].min(game.capacity(user, to));
+            minc[to] = minc[to].min(caps[to]);
             peaks[from] = new_from_peak;
             peaks[to] = agg.loads[to] / minc[to];
             moves += 1;
@@ -299,7 +317,11 @@ impl OptEstimator for Descent {
         let budget = config.max_moves;
         let restarts = config.restarts.max(1);
         let per_restart = (budget / restarts as u64).max(1);
-        let portfolio = greedy::portfolio(game, initial);
+        // One SoA flattening and one scratch serve every restart and pass.
+        let soa = SoAGame::from_game(game);
+        let view = soa.view();
+        let mut scratch = DescentScratch::default();
+        let portfolio = greedy::portfolio(view, initial);
         let mut upper1 = f64::INFINITY;
         let mut upper2 = f64::INFINITY;
         let mut total_moves = 0u64;
@@ -311,12 +333,14 @@ impl OptEstimator for Descent {
             upper1 = upper1.min(pure_sc1(game, &profile, initial));
             upper2 = upper2.min(pure_sc2(game, &profile, initial));
             let slice = per_restart.min(budget.saturating_sub(total_moves).max(1));
-            total_moves += descend_sc1(game, initial, &mut profile, config.tol, slice);
+            total_moves +=
+                descend_sc1(view, initial, &mut profile, config.tol, slice, &mut scratch);
             upper1 = upper1.min(pure_sc1(game, &profile, initial));
             upper2 = upper2.min(pure_sc2(game, &profile, initial));
             // Refine the balanced profile for the max objective.
             let slice = per_restart.min(budget.saturating_sub(total_moves).max(1));
-            total_moves += descend_sc2(game, initial, &mut profile, config.tol, slice);
+            total_moves +=
+                descend_sc2(view, initial, &mut profile, config.tol, slice, &mut scratch);
             upper1 = upper1.min(pure_sc1(game, &profile, initial));
             upper2 = upper2.min(pure_sc2(game, &profile, initial));
         }

@@ -9,24 +9,88 @@
 //! backend; the [`Descent`](crate::opt::descent::Descent) backend refines
 //! these same starts when a tighter bracket is worth more moves.
 
-use crate::algorithms::best_response::greedy_profile;
 use crate::error::Result;
 use crate::model::EffectiveGame;
 use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::social_cost::{pure_sc1, pure_sc2};
 use crate::solvers::engine::Applicability;
-use crate::solvers::local_search::{load_balanced_profile, lpt_greedy_profile, spread_profile};
+use crate::solvers::kernel::{SoAGame, SoAView};
 use crate::strategy::{LinkLoads, PureProfile};
 
 /// The start portfolio shared with `LocalSearch`: LPT-style greedy,
 /// index-order greedy, load-balanced, uniform spread.
-pub(crate) fn portfolio(game: &EffectiveGame, initial: &LinkLoads) -> Vec<PureProfile> {
-    vec![
-        lpt_greedy_profile(game, initial),
-        greedy_profile(game, initial),
-        load_balanced_profile(game, initial),
-        spread_profile(game),
-    ]
+///
+/// Built on SoA rows — the decreasing-weight order comes precomputed with
+/// the view and each user's capacity row is one slice borrow — but with the
+/// **divide-based** cost of the legacy builders, so the profiles (and every
+/// opt bound derived from them) are bit-identical to the accessor-based
+/// originals.
+pub(crate) fn portfolio(view: SoAView<'_>, initial: &LinkLoads) -> Vec<PureProfile> {
+    let n = view.users;
+    let m = view.links;
+    let mut loads = vec![0.0f64; m];
+    let mut choices = vec![0usize; n];
+
+    // LPT-style greedy: decreasing weight order, latency-minimal link.
+    loads.copy_from_slice(initial.as_slice());
+    for &user in view.order {
+        let w = view.weights[user];
+        let caps = view.cap_row(user);
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (link, (&load, &cap)) in loads.iter().zip(caps).enumerate() {
+            let cost = (load + w) / cap;
+            if cost < best_cost {
+                best_cost = cost;
+                best = link;
+            }
+        }
+        choices[user] = best;
+        loads[best] += w;
+    }
+    let lpt = PureProfile::new(choices.clone());
+
+    // Index-order greedy: each user on its currently cheapest link.
+    loads.copy_from_slice(initial.as_slice());
+    for (user, choice) in choices.iter_mut().enumerate() {
+        let w = view.weights[user];
+        let caps = view.cap_row(user);
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (link, (&load, &cap)) in loads.iter().zip(caps).enumerate() {
+            let cost = (load + w) / cap;
+            if cost < best_cost {
+                best_cost = cost;
+                best = link;
+            }
+        }
+        *choice = best;
+        loads[best] += w;
+    }
+    let greedy = PureProfile::new(choices.clone());
+
+    // Load-balanced: decreasing weight order, least total weight so far
+    // (capacity-blind — deliberately a different shape).
+    loads.copy_from_slice(initial.as_slice());
+    for &user in view.order {
+        let mut best = 0usize;
+        for link in 1..m {
+            if loads[link] < loads[best] {
+                best = link;
+            }
+        }
+        choices[user] = best;
+        loads[best] += view.weights[user];
+    }
+    let balanced = PureProfile::new(choices.clone());
+
+    // Uniform spread: user i → link i mod m.
+    for (user, choice) in choices.iter_mut().enumerate() {
+        *choice = user % m;
+    }
+    let spread = PureProfile::new(choices);
+
+    vec![lpt, greedy, balanced, spread]
 }
 
 /// Evaluates `profiles` under both social costs and returns the cheapest
@@ -70,7 +134,8 @@ impl OptEstimator for LptGreedy {
         initial: &LinkLoads,
         _config: &OptConfig,
     ) -> Result<OptEstimate> {
-        let profiles = portfolio(game, initial);
+        let soa = SoAGame::from_game(game);
+        let profiles = portfolio(soa.view(), initial);
         let (upper1, upper2) = cheapest_costs(game, initial, &profiles);
         Ok(OptEstimate {
             opt1_upper: Some(upper1),
@@ -107,10 +172,32 @@ mod tests {
     }
 
     #[test]
+    fn soa_portfolio_matches_the_legacy_builders_bit_exactly() {
+        // The SoA portfolio keeps divide-based costs precisely so that opt
+        // bounds (and the goldens derived from them) never move.
+        use crate::algorithms::best_response::greedy_profile;
+        use crate::opt::test_util::random_game;
+        use crate::solvers::local_search::{
+            load_balanced_profile, lpt_greedy_profile, spread_profile,
+        };
+        for seed in [1u64, 23, 456] {
+            let g = random_game(40, 6, seed);
+            let t = LinkLoads::zero(6);
+            let soa = SoAGame::from_game(&g);
+            let profiles = portfolio(soa.view(), &t);
+            assert_eq!(profiles[0], lpt_greedy_profile(&g, &t));
+            assert_eq!(profiles[1], greedy_profile(&g, &t));
+            assert_eq!(profiles[2], load_balanced_profile(&g, &t));
+            assert_eq!(profiles[3], spread_profile(&g));
+        }
+    }
+
+    #[test]
     fn the_portfolio_evaluates_every_start() {
         let g = mild_game();
         let t = LinkLoads::zero(2);
-        let profiles = portfolio(&g, &t);
+        let soa = SoAGame::from_game(&g);
+        let profiles = portfolio(soa.view(), &t);
         assert_eq!(profiles.len(), 4);
         let (best1, best2) = cheapest_costs(&g, &t, &profiles);
         for p in &profiles {

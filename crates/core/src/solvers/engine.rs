@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use par_exec::{parallel_map, ParallelConfig};
+use par_exec::{chunk_ranges, parallel_map, ParallelConfig};
 
 use crate::algorithms::best_response::{BestResponseDynamics, SelectionRule};
 use crate::algorithms::{symmetric, two_links, uniform, PureNashMethod, PureNashSolution};
@@ -32,6 +32,9 @@ use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
 use crate::solvers::cache::{self, CacheStats, SolveCache};
 use crate::solvers::exhaustive;
+use crate::solvers::kernel::{
+    BestResponseRun, BrStart, KernelRun, KernelScratch, SoAArena, SoAView,
+};
 use crate::solvers::local_search::{self, LocalSearch};
 use crate::strategy::LinkLoads;
 
@@ -140,11 +143,38 @@ pub trait Solver: Send + Sync {
     ) -> Result<Option<PureNashSolution>> {
         Ok(self.solve_detailed(game, initial, config)?.solution)
     }
+
+    /// A pass-resumable kernel run over `game`, if this solver has one.
+    ///
+    /// `view` must be the SoA form of `game` (typically a slice of the batch
+    /// arena). Solvers that return `Some` are advanced interleaved by
+    /// [`SolverEngine::solve_batch`]; stepping the returned run to completion
+    /// must produce exactly what [`solve_detailed`](Solver::solve_detailed)
+    /// produces, which the kernel-backed solvers guarantee by implementing
+    /// `solve_detailed` as that very loop. The default (`None`) makes the
+    /// engine fall back to `solve_detailed` inline — correct for closed-form
+    /// and exhaustive solvers whose work is not pass-shaped.
+    fn kernel_run<'a>(
+        &self,
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        view: SoAView<'a>,
+        config: &SolverConfig,
+    ) -> Option<Box<dyn KernelRun + 'a>> {
+        let _ = (game, initial, view, config);
+        None
+    }
 }
 
 fn is_zero_initial(initial: &LinkLoads) -> bool {
     initial.as_slice().iter().all(|&t| t == 0.0)
 }
+
+/// Instances per batch chunk: each worker task packs this many games into one
+/// [`SoAArena`] and advances their kernel runs interleaved. Fixed (never
+/// derived from the worker count), so chunk boundaries — and therefore batch
+/// results — are identical for any parallelism.
+const BATCH_CHUNK: usize = 16;
 
 /// `Atwolinks` (Figure 1): any weights, exactly two links.
 #[derive(Debug, Clone, Copy, Default)]
@@ -306,6 +336,24 @@ impl Solver for BestResponse {
             iterations,
             restarts: None,
         })
+    }
+
+    fn kernel_run<'a>(
+        &self,
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        view: SoAView<'a>,
+        config: &SolverConfig,
+    ) -> Option<Box<dyn KernelRun + 'a>> {
+        Some(Box::new(BestResponseRun::new(
+            game,
+            initial,
+            view,
+            BrStart::Greedy,
+            config.max_steps as u64,
+            matches!(config.rule, SelectionRule::LargestGain),
+            config.tol,
+        )))
     }
 }
 
@@ -679,14 +727,18 @@ impl SolverEngine {
     /// Solves every game in `games` (each from zero initial traffic) over the
     /// engine's worker pool.
     ///
-    /// Outputs are indexed like `games`. Solutions are bit-identical for any
-    /// worker count: each task is solved independently by the deterministic
-    /// [`solve`](SolverEngine::solve) and reassembled by task id.
+    /// Outputs are indexed like `games`. Instances are packed in fixed-size
+    /// chunks into an [`SoAArena`] and kernel-backed solvers are advanced
+    /// interleaved, one pass per instance per round, so the flat rows stay
+    /// hot and one [`KernelScratch`] serves a whole chunk. Chunk boundaries
+    /// depend only on the batch length and every run is deterministic, so
+    /// solutions are **bit-identical for any worker count** — and to solving
+    /// each instance sequentially with [`solve`](SolverEngine::solve), because
+    /// a sequential solve steps the very same run to completion.
     pub fn solve_batch(&self, games: &[EffectiveGame]) -> Vec<Result<EngineSolution>> {
-        parallel_map(&self.pool(), games.len(), |task| {
-            let game = &games[task];
-            self.solve(game, &LinkLoads::zero(game.links()))
-        })
+        let zeros: Vec<LinkLoads> = games.iter().map(|g| LinkLoads::zero(g.links())).collect();
+        let items: Vec<(&EffectiveGame, &LinkLoads)> = games.iter().zip(&zeros).collect();
+        self.solve_batch_items(&items)
     }
 
     /// Solves every `(game, initial)` pair over the engine's worker pool, with
@@ -695,10 +747,177 @@ impl SolverEngine {
         &self,
         items: &[(EffectiveGame, LinkLoads)],
     ) -> Vec<Result<EngineSolution>> {
-        parallel_map(&self.pool(), items.len(), |task| {
-            let (game, initial) = &items[task];
-            self.solve(game, initial)
-        })
+        let refs: Vec<(&EffectiveGame, &LinkLoads)> = items.iter().map(|(g, i)| (g, i)).collect();
+        self.solve_batch_items(&refs)
+    }
+
+    /// The shared batch path: fixed-size chunks fanned out over the pool.
+    fn solve_batch_items(
+        &self,
+        items: &[(&EffectiveGame, &LinkLoads)],
+    ) -> Vec<Result<EngineSolution>> {
+        let chunks = chunk_ranges(items.len(), items.len().div_ceil(BATCH_CHUNK));
+        let solved = parallel_map(&self.pool(), chunks.len(), |c| {
+            self.solve_chunk(&items[chunks[c].indices()])
+        });
+        solved.into_iter().flatten().collect()
+    }
+
+    /// Solves one chunk of instances with interleaved kernel runs.
+    ///
+    /// Each instance owns a slot that walks the solver list exactly like
+    /// [`solve_cold`](SolverEngine::solve_cold): skip non-applicable solvers,
+    /// stop at the first solution or at a conclusive no. The difference is
+    /// pacing, not semantics — solvers that expose a [`Solver::kernel_run`]
+    /// are advanced one pass per round across the whole chunk (on views into
+    /// the shared [`SoAArena`]), while the rest run inline.
+    fn solve_chunk(&self, items: &[(&EffectiveGame, &LinkLoads)]) -> Vec<Result<EngineSolution>> {
+        struct Slot<'a> {
+            attempts: Vec<SolverAttempt>,
+            /// Index into the solver list of the next solver to try.
+            next_solver: usize,
+            /// The in-flight kernel run, if a kernel-backed solver is active.
+            run: Option<Box<dyn KernelRun + 'a>>,
+            run_applicability: Applicability,
+            run_method: PureNashMethod,
+            run_started: Instant,
+            started: Instant,
+            key: Option<Vec<u8>>,
+            done: Option<Result<EngineSolution>>,
+        }
+
+        impl Slot<'_> {
+            fn finish(&mut self, solution: Option<PureNashSolution>) -> Result<EngineSolution> {
+                Ok(EngineSolution {
+                    solution,
+                    telemetry: SolveTelemetry {
+                        attempts: std::mem::take(&mut self.attempts),
+                        total_wall_ns: self.started.elapsed().as_nanos().min(u128::from(u64::MAX))
+                            as u64,
+                    },
+                })
+            }
+        }
+
+        let arena = SoAArena::pack(items.iter().map(|&(game, _)| game));
+        let mut scratch = KernelScratch::new();
+        let methods = self.cache.as_ref().map(|_| self.methods());
+        let mut slots: Vec<Slot<'_>> = items
+            .iter()
+            .map(|&(game, initial)| {
+                let now = Instant::now();
+                let mut slot = Slot {
+                    attempts: Vec::new(),
+                    next_solver: 0,
+                    run: None,
+                    run_applicability: Applicability::Heuristic,
+                    run_method: PureNashMethod::BestResponse,
+                    run_started: now,
+                    started: now,
+                    key: None,
+                    done: None,
+                };
+                if let (Some(cache), Some(methods)) = (&self.cache, &methods) {
+                    let key = cache::canonical_key(methods, &self.config, game, initial);
+                    if let Some(hit) = cache.lookup(&key) {
+                        slot.done = Some(Ok(hit));
+                    } else {
+                        slot.key = Some(key);
+                    }
+                }
+                slot
+            })
+            .collect();
+
+        let mut open = slots.iter().filter(|s| s.done.is_none()).count();
+        while open > 0 {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                if slot.done.is_some() {
+                    continue;
+                }
+                let (game, initial) = items[k];
+                // Advance an in-flight kernel run by one pass.
+                if let Some(run) = slot.run.as_mut() {
+                    let Some(detail) = run.step(&mut scratch) else {
+                        continue;
+                    };
+                    slot.run = None;
+                    slot.attempts.push(SolverAttempt {
+                        method: slot.run_method,
+                        applicability: slot.run_applicability,
+                        iterations: detail.iterations,
+                        restarts: detail.restarts,
+                        found: detail.solution.is_some(),
+                        wall_ns: slot
+                            .run_started
+                            .elapsed()
+                            .as_nanos()
+                            .min(u128::from(u64::MAX)) as u64,
+                    });
+                    if detail.solution.is_some()
+                        || slot.run_applicability == Applicability::Conclusive
+                    {
+                        slot.done = Some(slot.finish(detail.solution));
+                    }
+                }
+                // Walk the solver list until a kernel run is installed, the
+                // slot finishes, or the list is exhausted.
+                while slot.done.is_none() && slot.run.is_none() {
+                    let Some(solver) = self.solvers.get(slot.next_solver) else {
+                        slot.done = Some(slot.finish(None));
+                        break;
+                    };
+                    slot.next_solver += 1;
+                    let applicability = solver.applicability(game, initial, &self.config);
+                    if applicability == Applicability::NotApplicable {
+                        continue;
+                    }
+                    slot.run_started = Instant::now();
+                    if let Some(run) = solver.kernel_run(game, initial, arena.view(k), &self.config)
+                    {
+                        slot.run = Some(run);
+                        slot.run_applicability = applicability;
+                        slot.run_method = solver.method();
+                        break;
+                    }
+                    match solver.solve_detailed(game, initial, &self.config) {
+                        Err(e) => slot.done = Some(Err(e)),
+                        Ok(detail) => {
+                            slot.attempts.push(SolverAttempt {
+                                method: solver.method(),
+                                applicability,
+                                iterations: detail.iterations,
+                                restarts: detail.restarts,
+                                found: detail.solution.is_some(),
+                                wall_ns: slot
+                                    .run_started
+                                    .elapsed()
+                                    .as_nanos()
+                                    .min(u128::from(u64::MAX))
+                                    as u64,
+                            });
+                            if detail.solution.is_some()
+                                || applicability == Applicability::Conclusive
+                            {
+                                slot.done = Some(slot.finish(detail.solution));
+                            }
+                        }
+                    }
+                }
+                if slot.done.is_some() {
+                    open -= 1;
+                    if let (Some(cache), Some(key), Some(Ok(solved))) =
+                        (&self.cache, slot.key.take(), slot.done.as_ref())
+                    {
+                        cache.insert(key, solved.clone());
+                    }
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.done.expect("all slots finished"))
+            .collect()
     }
 
     /// Generates and solves `count` instances, building each from its task id

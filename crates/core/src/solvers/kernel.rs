@@ -1,0 +1,967 @@
+//! Structure-of-arrays solve kernels: the raw-speed floor under every hot
+//! solver loop.
+//!
+//! The accessor-shaped hot paths (`game.capacity(user, link)` plus an f64
+//! divide per candidate link) hide the flat `n × m` structure the model
+//! actually has. This module exposes that structure once per solve and lets
+//! every pass run on it:
+//!
+//! * [`SoAGame`] — a flat, cache-friendly view of an
+//!   [`EffectiveGame`]: the weight vector, the row-major capacity matrix,
+//!   the row-major matrix of **precomputed reciprocals** (so cost
+//!   evaluation is a multiply, not a divide), and the decreasing-weight
+//!   user order (computed once, not once per LPT start). Construction
+//!   round-trips losslessly: [`SoAGame::to_game`] rebuilds the original
+//!   game bit-for-bit.
+//! * [`SoAArena`] — K games packed into one contiguous arena, for
+//!   [`SolverEngine::solve_batch`](crate::solvers::engine::SolverEngine::solve_batch)
+//!   to advance interleaved per pass while rows stay hot.
+//! * [`KernelScratch`] — per-worker scratch (`loads`, improving-link lists)
+//!   reused across restarts, passes and batch items, so the steady state
+//!   allocates nothing.
+//! * [`LocalSearchRun`] / [`BestResponseRun`] — pass-resumable solver state
+//!   machines. A single solve loops one run to completion; the batched
+//!   engine path round-robins `step` across K runs. Both paths execute the
+//!   same code on the same state, so batched results are bit-identical to
+//!   sequential ones **by construction**.
+//!
+//! # Kernel contract: certification, not bit parity
+//!
+//! Multiplying by a precomputed reciprocal is not bit-equal to dividing, so
+//! kernel descent may take a different path than the legacy accessor loops
+//! near tolerance boundaries. Equivalence with the legacy solvers is
+//! therefore certified the same way the solvers themselves are: every
+//! returned profile must pass the canonical [`is_pure_nash`] predicate, and
+//! the differential [`oracle`](crate::solvers::oracle) contract (soundness,
+//! no phantom equilibria, conclusive completeness) runs against the kernels.
+//! When a kernel pass claims convergence but the canonical predicate
+//! disagrees (a reciprocal-rounding artefact), the run takes a canonical
+//! best-response move and keeps descending — exactly the safety net the
+//! pre-kernel `LocalSearch` already carried.
+
+use crate::equilibrium::{best_deviation_of, is_pure_nash};
+use crate::model::EffectiveGame;
+use crate::numeric::Tolerance;
+use crate::solvers::engine::{SolverConfig, SolverDetail};
+use crate::solvers::local_search::SplitMix64;
+use crate::strategy::{LinkLoads, PureProfile};
+
+/// Flat, cache-friendly storage of one [`EffectiveGame`].
+///
+/// `caps` keeps the exact capacity bits (so the view round-trips losslessly
+/// and exact-arithmetic consumers like the opt aggregates stay bit-identical)
+/// while `inv_caps` carries the precomputed reciprocals the hot loops
+/// multiply by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoAGame {
+    users: usize,
+    links: usize,
+    weights: Vec<f64>,
+    caps: Vec<f64>,
+    inv_caps: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl SoAGame {
+    /// Flattens `game` into SoA form. `O(nm)` plus one `O(n log n)` sort.
+    pub fn from_game(game: &EffectiveGame) -> Self {
+        let users = game.users();
+        let links = game.links();
+        let weights = game.weights().to_vec();
+        let mut caps = Vec::with_capacity(users * links);
+        for user in 0..users {
+            caps.extend_from_slice(game.capacities().row(user));
+        }
+        let inv_caps: Vec<f64> = caps.iter().map(|&c| 1.0 / c).collect();
+        let order = weight_order(&weights);
+        SoAGame {
+            users,
+            links,
+            weights,
+            caps,
+            inv_caps,
+            order,
+        }
+    }
+
+    /// Rebuilds the original [`EffectiveGame`], bit-for-bit.
+    pub fn to_game(&self) -> EffectiveGame {
+        let rows: Vec<Vec<f64>> = (0..self.users)
+            .map(|u| self.caps[u * self.links..(u + 1) * self.links].to_vec())
+            .collect();
+        EffectiveGame::from_rows(self.weights.clone(), rows)
+            .expect("an SoAGame only stores validated games")
+    }
+
+    /// Number of users `n`.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of links `m`.
+    pub fn links(&self) -> usize {
+        self.links
+    }
+
+    /// The borrowed view the kernels run on.
+    pub fn view(&self) -> SoAView<'_> {
+        SoAView {
+            users: self.users,
+            links: self.links,
+            weights: &self.weights,
+            caps: &self.caps,
+            inv_caps: &self.inv_caps,
+            order: &self.order,
+        }
+    }
+}
+
+/// Users in decreasing weight order, ties by index — the LPT order, computed
+/// once per game instead of once per greedy start.
+fn weight_order(weights: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// A borrowed flat view of one game: what every kernel loop consumes.
+///
+/// `Copy`, so passes can take it by value without borrow gymnastics.
+#[derive(Debug, Clone, Copy)]
+pub struct SoAView<'a> {
+    /// Number of users `n`.
+    pub users: usize,
+    /// Number of links `m`.
+    pub links: usize,
+    /// Traffic vector `w` (`n` entries).
+    pub weights: &'a [f64],
+    /// Row-major effective capacities (`n × m`).
+    pub caps: &'a [f64],
+    /// Row-major reciprocals `1/cᵢℓ` (`n × m`).
+    pub inv_caps: &'a [f64],
+    /// Users in decreasing weight order, ties by index.
+    pub order: &'a [usize],
+}
+
+impl<'a> SoAView<'a> {
+    /// User `user`'s reciprocal row (`m` entries, one slice borrow —
+    /// no per-link bounds check in the loops that iterate it).
+    #[inline]
+    pub fn inv_row(&self, user: usize) -> &'a [f64] {
+        &self.inv_caps[user * self.links..(user + 1) * self.links]
+    }
+
+    /// User `user`'s capacity row (`m` entries).
+    #[inline]
+    pub fn cap_row(&self, user: usize) -> &'a [f64] {
+        &self.caps[user * self.links..(user + 1) * self.links]
+    }
+
+    /// Traffic of `user`.
+    #[inline]
+    pub fn weight(&self, user: usize) -> f64 {
+        self.weights[user]
+    }
+}
+
+/// K games packed into contiguous SoA storage, advanced interleaved by the
+/// batched engine path.
+#[derive(Debug, Clone, Default)]
+pub struct SoAArena {
+    weights: Vec<f64>,
+    caps: Vec<f64>,
+    inv_caps: Vec<f64>,
+    order: Vec<usize>,
+    /// Per-game `(users, links, weight offset, matrix offset)`.
+    dims: Vec<(usize, usize, usize, usize)>,
+}
+
+impl SoAArena {
+    /// Packs `games` into one arena. Rows of consecutive games are adjacent,
+    /// so a pass interleaved over the batch keeps the cache hot.
+    pub fn pack<'g, I>(games: I) -> Self
+    where
+        I: IntoIterator<Item = &'g EffectiveGame>,
+    {
+        let mut arena = SoAArena::default();
+        for game in games {
+            let users = game.users();
+            let links = game.links();
+            let w_off = arena.weights.len();
+            let m_off = arena.caps.len();
+            arena.weights.extend_from_slice(game.weights());
+            for user in 0..users {
+                arena.caps.extend_from_slice(game.capacities().row(user));
+            }
+            arena
+                .inv_caps
+                .extend(arena.caps[m_off..].iter().map(|&c| 1.0 / c));
+            let order = weight_order(&arena.weights[w_off..]);
+            arena.order.extend(order);
+            arena.dims.push((users, links, w_off, m_off));
+        }
+        arena
+    }
+
+    /// Number of games packed.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The view of game `k` — identical (including bits) to
+    /// `SoAGame::from_game(&games[k]).view()`.
+    pub fn view(&self, k: usize) -> SoAView<'_> {
+        let (users, links, w_off, m_off) = self.dims[k];
+        SoAView {
+            users,
+            links,
+            weights: &self.weights[w_off..w_off + users],
+            caps: &self.caps[m_off..m_off + users * links],
+            inv_caps: &self.inv_caps[m_off..m_off + users * links],
+            order: &self.order[w_off..w_off + users],
+        }
+    }
+}
+
+/// Per-worker scratch buffers reused across restarts, passes and batch
+/// items. Runs rebuild `loads` from their profile at the start of every
+/// pass, so nothing here persists between `step` calls — one scratch serves
+/// any number of interleaved runs.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    loads: Vec<f64>,
+    improving: Vec<usize>,
+}
+
+impl KernelScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+
+    /// The load buffer, resized to `m` (contents unspecified).
+    fn loads(&mut self, links: usize) -> &mut Vec<f64> {
+        self.loads.clear();
+        self.loads.resize(links, 0.0);
+        &mut self.loads
+    }
+}
+
+/// Rebuilds `loads` (length `m`) from `initial` plus the profile's users.
+#[inline]
+fn rebuild_loads(view: SoAView<'_>, initial: &[f64], choices: &[usize], loads: &mut [f64]) {
+    loads.copy_from_slice(initial);
+    for (user, &link) in choices.iter().enumerate() {
+        loads[link] += view.weights[user];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel start builders
+// ---------------------------------------------------------------------------
+//
+// SoA versions of the `local_search` start portfolio, writing into a caller
+// buffer instead of allocating. Costs are evaluated multiply-by-reciprocal,
+// so at exact cost ties these can differ from the divide-based legacy
+// builders — the runs certify the final profile either way.
+
+/// LPT-style greedy start (decreasing weight order, latency-minimal link).
+pub(crate) fn lpt_greedy_into(
+    view: SoAView<'_>,
+    initial: &[f64],
+    choices: &mut [usize],
+    scratch: &mut KernelScratch,
+) {
+    let loads = scratch.loads(view.links);
+    loads.copy_from_slice(initial);
+    for &user in view.order {
+        let w = view.weights[user];
+        let inv = view.inv_row(user);
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (link, (&load, &inv_c)) in loads.iter().zip(inv).enumerate() {
+            let cost = (load + w) * inv_c;
+            if cost < best_cost {
+                best_cost = cost;
+                best = link;
+            }
+        }
+        choices[user] = best;
+        loads[best] += w;
+    }
+}
+
+/// Index-order greedy start (each user on its currently cheapest link).
+pub(crate) fn greedy_into(
+    view: SoAView<'_>,
+    initial: &[f64],
+    choices: &mut [usize],
+    scratch: &mut KernelScratch,
+) {
+    let loads = scratch.loads(view.links);
+    loads.copy_from_slice(initial);
+    for (user, choice) in choices.iter_mut().enumerate().take(view.users) {
+        let w = view.weights[user];
+        let inv = view.inv_row(user);
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (link, (&load, &inv_c)) in loads.iter().zip(inv).enumerate() {
+            let cost = (load + w) * inv_c;
+            if cost < best_cost {
+                best_cost = cost;
+                best = link;
+            }
+        }
+        *choice = best;
+        loads[best] += w;
+    }
+}
+
+/// Load-balanced start (decreasing weight order, least-loaded link,
+/// capacity-blind).
+pub(crate) fn load_balanced_into(
+    view: SoAView<'_>,
+    initial: &[f64],
+    choices: &mut [usize],
+    scratch: &mut KernelScratch,
+) {
+    let loads = scratch.loads(view.links);
+    loads.copy_from_slice(initial);
+    for &user in view.order {
+        let mut best = 0usize;
+        for link in 1..loads.len() {
+            if loads[link] < loads[best] {
+                best = link;
+            }
+        }
+        choices[user] = best;
+        loads[best] += view.weights[user];
+    }
+}
+
+/// Uniform spread start (`user i → link i mod m`).
+pub(crate) fn spread_into(view: SoAView<'_>, choices: &mut [usize]) {
+    for (user, choice) in choices.iter_mut().enumerate() {
+        *choice = user % view.links;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass-resumable runs
+// ---------------------------------------------------------------------------
+
+/// A pass-resumable kernel solver: `step` advances one bounded pass and
+/// returns the finished [`SolverDetail`] when done.
+///
+/// Runs own their per-game state (profile, RNG, budget counters) and borrow
+/// everything transient from the [`KernelScratch`] handed to each step, so
+/// K interleaved runs share one scratch. Stepping a run to completion in a
+/// loop is exactly the single-solve path — there is no separate batch
+/// implementation to diverge from.
+pub trait KernelRun {
+    /// Advances one pass; `Some` when the solve has finished.
+    fn step(&mut self, scratch: &mut KernelScratch) -> Option<SolverDetail>;
+}
+
+/// Drives `run` to completion with `scratch` — the single-solve loop.
+pub fn run_to_completion(run: &mut dyn KernelRun, scratch: &mut KernelScratch) -> SolverDetail {
+    loop {
+        if let Some(detail) = run.step(scratch) {
+            return detail;
+        }
+    }
+}
+
+/// Shared tail of a kernel pass that found no improving move: certify with
+/// the canonical predicate; on disagreement return the canonical move's
+/// target so the caller can keep descending.
+///
+/// `None` means the profile is certified; `Some((user, to))` is the
+/// canonical best-response move to take.
+fn certify_or_canonical_move(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    profile: &PureProfile,
+    tol: Tolerance,
+) -> Option<(usize, usize)> {
+    if is_pure_nash(game, profile, initial, tol) {
+        return None;
+    }
+    (0..game.users())
+        .find_map(|u| best_deviation_of(game, profile, initial, u, tol))
+        .map(|d| (d.user, d.to))
+}
+
+/// Phase of a [`LocalSearchRun`].
+enum LsPhase {
+    /// Set up the next restart (or finish, if the portfolio is exhausted).
+    NextRestart,
+    /// Mid-descent on the current restart.
+    Descending,
+}
+
+/// Pass-resumable state machine of the multi-restart
+/// [`LocalSearch`](crate::solvers::local_search::LocalSearch) solver,
+/// running entirely on SoA rows.
+pub struct LocalSearchRun<'a> {
+    game: &'a EffectiveGame,
+    initial: &'a LinkLoads,
+    view: SoAView<'a>,
+    tol: Tolerance,
+    ls_seed: u64,
+    budget: u64,
+    restarts: usize,
+    per_restart: u64,
+    profile: PureProfile,
+    rng: SplitMix64,
+    anneal_moves: u64,
+    restart: usize,
+    restarts_used: u64,
+    total_moves: u64,
+    slice_budget: u64,
+    slice_moves: u64,
+    phase: LsPhase,
+}
+
+impl<'a> LocalSearchRun<'a> {
+    /// A run over `game` under `config`'s budgets. `view` must be the SoA
+    /// form of `game`.
+    pub fn new(
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        view: SoAView<'a>,
+        config: &SolverConfig,
+    ) -> Self {
+        let budget = config.max_steps as u64;
+        let restarts = config.restarts.max(1);
+        LocalSearchRun {
+            game,
+            initial,
+            view,
+            tol: config.tol,
+            ls_seed: config.ls_seed,
+            budget,
+            restarts,
+            // Each restart gets an equal slice of the shared move budget
+            // (at least one move), so a cycling restart cannot starve the
+            // rest of the portfolio.
+            per_restart: (budget / restarts as u64).max(1),
+            profile: PureProfile::new(vec![0; view.users]),
+            rng: SplitMix64::new(config.ls_seed),
+            anneal_moves: 0,
+            restart: 0,
+            restarts_used: 0,
+            total_moves: 0,
+            slice_budget: 0,
+            slice_moves: 0,
+            phase: LsPhase::NextRestart,
+        }
+    }
+
+    /// The start profile of restart `r`, written into `self.profile`: the
+    /// four smart starts, then seeded perturbations of the LPT start.
+    fn build_start(&mut self, restart: usize, scratch: &mut KernelScratch) {
+        let view = self.view;
+        let initial = self.initial.as_slice();
+        let choices = self.profile.choices_mut();
+        match restart {
+            0 => lpt_greedy_into(view, initial, choices, scratch),
+            1 => greedy_into(view, initial, choices, scratch),
+            2 => load_balanced_into(view, initial, choices, scratch),
+            3 => spread_into(view, choices),
+            r => {
+                lpt_greedy_into(view, initial, choices, scratch);
+                let mut rng =
+                    SplitMix64::new(self.ls_seed ^ (r as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let n = view.users;
+                let m = view.links;
+                for _ in 0..(n / 4).max(1) {
+                    let user = rng.next_below(n);
+                    choices[user] = rng.next_below(m);
+                }
+            }
+        }
+    }
+
+    fn finish(&self, solution: bool) -> SolverDetail {
+        SolverDetail {
+            solution: solution.then(|| crate::algorithms::PureNashSolution {
+                profile: self.profile.clone(),
+                method: crate::algorithms::PureNashMethod::LocalSearch,
+            }),
+            iterations: Some(self.total_moves),
+            restarts: Some(self.restarts_used),
+        }
+    }
+
+    /// One incremental descent pass over all users. Returns the run's
+    /// verdict for this pass.
+    fn pass(&mut self, scratch: &mut KernelScratch) -> PassVerdict {
+        let view = self.view;
+        let n = view.users;
+        // Split the scratch: `loads` and `improving` are distinct fields, so
+        // both can be borrowed at once.
+        scratch.loads.clear();
+        scratch.loads.resize(view.links, 0.0);
+        let loads = &mut scratch.loads;
+        let improving = &mut scratch.improving;
+        rebuild_loads(view, self.initial.as_slice(), self.profile.choices(), loads);
+        let mut moved_in_pass = false;
+        for user in 0..n {
+            let w = view.weights[user];
+            let inv = view.inv_row(user);
+            let current_link = self.profile.link(user);
+            let current = loads[current_link] * inv[current_link];
+            let mut best = current_link;
+            let mut best_latency = current;
+            improving.clear();
+            for (link, (&load, &inv_c)) in loads.iter().zip(inv).enumerate() {
+                if link == current_link {
+                    continue;
+                }
+                let latency = (load + w) * inv_c;
+                if self.tol.lt(latency, current) {
+                    improving.push(link);
+                    if latency < best_latency {
+                        best_latency = latency;
+                        best = link;
+                    }
+                }
+            }
+            if improving.is_empty() {
+                continue;
+            }
+            let target = if self.slice_moves < self.anneal_moves {
+                improving[self.rng.next_below(improving.len())]
+            } else {
+                best
+            };
+            loads[current_link] -= w;
+            loads[target] += w;
+            self.profile.apply_move(user, target);
+            self.slice_moves += 1;
+            moved_in_pass = true;
+            if self.slice_moves >= self.slice_budget {
+                return PassVerdict::Budget;
+            }
+        }
+        if moved_in_pass {
+            return PassVerdict::Continue;
+        }
+        // The incremental pass found no improving move; certify with the
+        // canonical predicate before claiming convergence, exactly as the
+        // pre-kernel descent did.
+        match certify_or_canonical_move(self.game, self.initial, &self.profile, self.tol) {
+            None => PassVerdict::Converged,
+            Some((user, to)) => {
+                self.profile.apply_move(user, to);
+                self.slice_moves += 1;
+                if self.slice_moves >= self.slice_budget {
+                    PassVerdict::Budget
+                } else {
+                    // Hand control back to the incremental pass loop.
+                    PassVerdict::Continue
+                }
+            }
+        }
+    }
+}
+
+/// Verdict of one [`LocalSearchRun`] descent pass.
+enum PassVerdict {
+    /// Moves were made; descend further.
+    Continue,
+    /// Certified pure Nash equilibrium.
+    Converged,
+    /// The restart's budget slice ran out.
+    Budget,
+}
+
+impl KernelRun for LocalSearchRun<'_> {
+    fn step(&mut self, scratch: &mut KernelScratch) -> Option<SolverDetail> {
+        if let LsPhase::NextRestart = self.phase {
+            if self.restart >= self.restarts
+                || (self.total_moves >= self.budget && self.restart > 0)
+            {
+                return Some(self.finish(false));
+            }
+            self.restarts_used += 1;
+            let restart = self.restart;
+            self.build_start(restart, scratch);
+            // Annealed phase: n randomised moves on restart 0, halving with
+            // every restart.
+            self.anneal_moves = (self.view.users as u64)
+                .checked_shr(restart as u32)
+                .unwrap_or(0);
+            self.rng = SplitMix64::new(
+                self.ls_seed
+                    .wrapping_add((restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            self.slice_budget = self
+                .per_restart
+                .min(self.budget.saturating_sub(self.total_moves).max(1));
+            self.slice_moves = 0;
+            self.phase = LsPhase::Descending;
+        }
+        match self.pass(scratch) {
+            PassVerdict::Continue => None,
+            PassVerdict::Converged => {
+                self.total_moves += self.slice_moves;
+                Some(self.finish(true))
+            }
+            PassVerdict::Budget => {
+                self.total_moves += self.slice_moves;
+                self.restart += 1;
+                self.phase = LsPhase::NextRestart;
+                None
+            }
+        }
+    }
+}
+
+/// How a [`BestResponseRun`] starts.
+pub enum BrStart {
+    /// The kernel index-order greedy start ([`greedy_into`]).
+    Greedy,
+    /// An explicit start profile.
+    Profile(PureProfile),
+}
+
+/// Pass-resumable best-response dynamics on SoA rows.
+///
+/// Semantics match
+/// [`BestResponseDynamics`](crate::algorithms::best_response::BestResponseDynamics):
+/// round-robin is a circular scan moving every defector as it is examined
+/// (the legacy scan-from-cursor loop visits users in exactly this order);
+/// largest-gain scans all users and moves the first-best. Link loads are
+/// maintained incrementally — the `O(n)`-per-link-query recomputation the
+/// legacy primitives did is the main cost this kernel removes — and rebuilt
+/// from the profile at every step, bounding float drift to one pass.
+pub struct BestResponseRun<'a> {
+    game: &'a EffectiveGame,
+    initial: &'a LinkLoads,
+    view: SoAView<'a>,
+    tol: Tolerance,
+    max_steps: u64,
+    largest_gain: bool,
+    profile: PureProfile,
+    started: bool,
+    start: BrStart,
+    cursor: usize,
+    steps: u64,
+}
+
+impl<'a> BestResponseRun<'a> {
+    /// A run over `game` with `view` its SoA form.
+    pub fn new(
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        view: SoAView<'a>,
+        start: BrStart,
+        max_steps: u64,
+        largest_gain: bool,
+        tol: Tolerance,
+    ) -> Self {
+        BestResponseRun {
+            game,
+            initial,
+            view,
+            tol,
+            max_steps,
+            largest_gain,
+            profile: PureProfile::new(vec![0; view.users]),
+            started: false,
+            start,
+            cursor: 0,
+            steps: 0,
+        }
+    }
+
+    fn finish(&self, converged: bool) -> SolverDetail {
+        SolverDetail {
+            solution: converged.then(|| crate::algorithms::PureNashSolution {
+                profile: self.profile.clone(),
+                method: crate::algorithms::PureNashMethod::BestResponse,
+            }),
+            iterations: Some(self.steps),
+            restarts: None,
+        }
+    }
+
+    /// Best-response moves taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Consumes the run, yielding its current profile — the final profile
+    /// once `step` has returned `Some` (needed by the dynamics wrapper,
+    /// whose step-limit outcome reports the profile it stalled on).
+    pub fn into_profile(self) -> PureProfile {
+        self.profile
+    }
+
+    /// The kernel best response of `user` under `loads`: the latency-minimal
+    /// link (first wins), with ties against the current link resolved in the
+    /// current link's favour — the tie policy of
+    /// [`best_response`](crate::equilibrium::best_response).
+    #[inline]
+    fn best_link(&self, loads: &[f64], user: usize) -> (usize, f64, f64) {
+        let w = self.view.weights[user];
+        let inv = self.view.inv_row(user);
+        let current_link = self.profile.link(user);
+        let current = loads[current_link] * inv[current_link];
+        let mut best = 0usize;
+        let mut best_latency = f64::INFINITY;
+        for (link, (&load, &inv_c)) in loads.iter().zip(inv).enumerate() {
+            let latency = if link == current_link {
+                current
+            } else {
+                (load + w) * inv_c
+            };
+            if latency < best_latency {
+                best_latency = latency;
+                best = link;
+            }
+        }
+        if self.tol.leq(current, best_latency) {
+            (current_link, current, current)
+        } else {
+            (best, best_latency, current)
+        }
+    }
+
+    /// One round-robin sweep: up to `n` examinations from the cursor, moving
+    /// every defector encountered.
+    fn round_robin_pass(&mut self, loads: &mut [f64]) -> PassVerdict {
+        let n = self.view.users;
+        let mut quiet = 0usize;
+        for _ in 0..n {
+            if self.steps >= self.max_steps {
+                return PassVerdict::Budget;
+            }
+            let user = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            let (to, new_latency, current) = self.best_link(loads, user);
+            let from = self.profile.link(user);
+            if to != from && self.tol.lt(new_latency, current) {
+                let w = self.view.weights[user];
+                loads[from] -= w;
+                loads[to] += w;
+                self.profile.apply_move(user, to);
+                self.steps += 1;
+                quiet = 0;
+            } else {
+                quiet += 1;
+                if quiet >= n {
+                    return PassVerdict::Converged;
+                }
+            }
+        }
+        PassVerdict::Continue
+    }
+
+    /// One largest-gain step: scan all users, move the first-best defector.
+    fn largest_gain_pass(&mut self, loads: &mut [f64]) -> PassVerdict {
+        if self.steps >= self.max_steps {
+            return PassVerdict::Budget;
+        }
+        let n = self.view.users;
+        let mut best: Option<(usize, usize, f64)> = None; // (user, to, gain)
+        for user in 0..n {
+            let (to, new_latency, current) = self.best_link(loads, user);
+            if to == self.profile.link(user) || !self.tol.lt(new_latency, current) {
+                continue;
+            }
+            let gain = current - new_latency;
+            if best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                best = Some((user, to, gain));
+            }
+        }
+        match best {
+            None => PassVerdict::Converged,
+            Some((user, to, _)) => {
+                let w = self.view.weights[user];
+                loads[self.profile.link(user)] -= w;
+                loads[to] += w;
+                self.profile.apply_move(user, to);
+                self.steps += 1;
+                PassVerdict::Continue
+            }
+        }
+    }
+}
+
+impl KernelRun for BestResponseRun<'_> {
+    fn step(&mut self, scratch: &mut KernelScratch) -> Option<SolverDetail> {
+        if !self.started {
+            self.started = true;
+            match std::mem::replace(&mut self.start, BrStart::Greedy) {
+                BrStart::Greedy => greedy_into(
+                    self.view,
+                    self.initial.as_slice(),
+                    self.profile.choices_mut(),
+                    scratch,
+                ),
+                BrStart::Profile(profile) => self.profile = profile,
+            }
+        }
+        scratch.loads.clear();
+        scratch.loads.resize(self.view.links, 0.0);
+        let loads = &mut scratch.loads;
+        rebuild_loads(
+            self.view,
+            self.initial.as_slice(),
+            self.profile.choices(),
+            loads,
+        );
+        let verdict = if self.largest_gain {
+            self.largest_gain_pass(loads)
+        } else {
+            self.round_robin_pass(loads)
+        };
+        match verdict {
+            PassVerdict::Continue => None,
+            PassVerdict::Converged => {
+                // The kernel sweep found no defector; certify canonically.
+                // A reciprocal-rounding disagreement takes a canonical move
+                // and keeps iterating (within the step budget).
+                match certify_or_canonical_move(self.game, self.initial, &self.profile, self.tol) {
+                    None => Some(self.finish(true)),
+                    Some((user, to)) => {
+                        if self.steps >= self.max_steps {
+                            return Some(self.finish(false));
+                        }
+                        self.profile.apply_move(user, to);
+                        self.steps += 1;
+                        None
+                    }
+                }
+            }
+            PassVerdict::Budget => {
+                // Budget exhausted: the final canonical check decides, like
+                // the legacy dynamics' tail.
+                Some(self.finish(is_pure_nash(
+                    self.game,
+                    &self.profile,
+                    self.initial,
+                    self.tol,
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn messy_game() -> EffectiveGame {
+        EffectiveGame::from_rows(
+            vec![3.0, 1.0, 2.0, 5.0],
+            vec![
+                vec![2.0, 2.5, 1.0],
+                vec![1.0, 4.0, 2.0],
+                vec![3.0, 3.0, 0.5],
+                vec![0.5, 6.0, 2.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn soa_round_trips_bit_exactly() {
+        let game = messy_game();
+        let soa = SoAGame::from_game(&game);
+        assert_eq!(soa.to_game(), game);
+        let view = soa.view();
+        assert_eq!(view.users, 4);
+        assert_eq!(view.links, 3);
+        assert_eq!(view.cap_row(2), &[3.0, 3.0, 0.5]);
+        assert_eq!(view.inv_row(2), &[1.0 / 3.0, 1.0 / 3.0, 2.0]);
+        // Decreasing weight order: w = [3, 1, 2, 5].
+        assert_eq!(view.order, &[3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn arena_views_match_single_game_views() {
+        let games = [messy_game(), messy_game()];
+        let arena = SoAArena::pack(&games);
+        assert_eq!(arena.len(), 2);
+        for (k, game) in games.iter().enumerate() {
+            let single = SoAGame::from_game(game);
+            let sv = single.view();
+            let av = arena.view(k);
+            assert_eq!(av.weights, sv.weights);
+            assert_eq!(av.caps, sv.caps);
+            assert_eq!(av.inv_caps, sv.inv_caps);
+            assert_eq!(av.order, sv.order);
+        }
+    }
+
+    #[test]
+    fn kernel_local_search_converges_and_certifies() {
+        let game = messy_game();
+        let initial = LinkLoads::zero(3);
+        let config = SolverConfig::default();
+        let soa = SoAGame::from_game(&game);
+        let mut scratch = KernelScratch::new();
+        let mut run = LocalSearchRun::new(&game, &initial, soa.view(), &config);
+        let detail = run_to_completion(&mut run, &mut scratch);
+        let solution = detail.solution.expect("tiny instance converges");
+        assert!(is_pure_nash(&game, &solution.profile, &initial, config.tol));
+        assert_eq!(detail.restarts, Some(1));
+    }
+
+    #[test]
+    fn kernel_best_response_converges_and_certifies() {
+        let game = messy_game();
+        let initial = LinkLoads::zero(3);
+        let config = SolverConfig::default();
+        let soa = SoAGame::from_game(&game);
+        let mut scratch = KernelScratch::new();
+        for largest_gain in [false, true] {
+            let mut run = BestResponseRun::new(
+                &game,
+                &initial,
+                soa.view(),
+                BrStart::Greedy,
+                config.max_steps as u64,
+                largest_gain,
+                config.tol,
+            );
+            let detail = run_to_completion(&mut run, &mut scratch);
+            let solution = detail.solution.expect("tiny instance converges");
+            assert!(is_pure_nash(&game, &solution.profile, &initial, config.tol));
+        }
+    }
+
+    #[test]
+    fn a_zero_step_budget_gives_up_like_the_legacy_dynamics() {
+        let game = messy_game();
+        let initial = LinkLoads::zero(3);
+        let soa = SoAGame::from_game(&game);
+        let mut scratch = KernelScratch::new();
+        let mut run = BestResponseRun::new(
+            &game,
+            &initial,
+            soa.view(),
+            BrStart::Profile(PureProfile::all_on(4, 0)),
+            0,
+            false,
+            Tolerance::default(),
+        );
+        let detail = run_to_completion(&mut run, &mut scratch);
+        assert!(detail.solution.is_none());
+        assert_eq!(detail.iterations, Some(0));
+    }
+}

@@ -23,7 +23,8 @@
 //!   [`SolverConfig::ls_seed`] and the restart index — never from global
 //!   state — so results are bit-identical across thread counts and shards.
 //! * **Certified answers.** A profile is only returned after
-//!   [`is_pure_nash`] — the same predicate the differential harness and the
+//!   [`is_pure_nash`](crate::equilibrium::is_pure_nash) —
+//!   the same predicate the differential harness and the
 //!   experiments use — confirms it. A convergence claim can therefore never
 //!   outrun the equilibrium checker: if the incremental pass and the
 //!   canonical predicate ever disagree (a tolerance-boundary artefact), the
@@ -34,13 +35,13 @@
 //! solver is [`Applicability::Heuristic`]: exhausting the budget settles
 //! nothing (under Conjecture 3.7 it means the budget was too small).
 
-use crate::algorithms::best_response::greedy_profile;
-use crate::algorithms::{PureNashMethod, PureNashSolution};
-use crate::equilibrium::{best_deviation_of, is_pure_nash};
+use crate::algorithms::PureNashMethod;
 use crate::error::Result;
 use crate::model::EffectiveGame;
-use crate::numeric::Tolerance;
 use crate::solvers::engine::{Applicability, Solver, SolverConfig, SolverDetail};
+use crate::solvers::kernel::{
+    run_to_completion, KernelRun, KernelScratch, LocalSearchRun, SoAGame, SoAView,
+};
 use crate::strategy::{LinkLoads, PureProfile};
 
 /// Default restart budget of [`LocalSearch`] (`SolverConfig::restarts`).
@@ -144,12 +145,18 @@ pub fn spread_profile(game: &EffectiveGame) -> PureProfile {
 /// The start profile of restart `r`: the four smart starts first, then
 /// seeded random perturbations of the LPT start (a quarter of the users
 /// reassigned uniformly at random).
+///
+/// This is the divide-based reference formulation of the portfolio the
+/// kernel start builders ([`kernel`](crate::solvers::kernel)) implement
+/// multiply-by-reciprocal; the live solver uses the kernel builders.
+#[cfg(test)]
 fn start_profile(
     game: &EffectiveGame,
     initial: &LinkLoads,
     restart: usize,
     seed: u64,
 ) -> PureProfile {
+    use crate::algorithms::best_response::greedy_profile;
     match restart {
         0 => lpt_greedy_profile(game, initial),
         1 => greedy_profile(game, initial),
@@ -169,105 +176,11 @@ fn start_profile(
     }
 }
 
-/// Outcome of one restart's descent.
-enum Descent {
-    /// No user can improve and [`is_pure_nash`] confirms it.
-    Converged { moves: u64 },
-    /// The shared move budget ran out.
-    Budget { moves: u64 },
-}
-
-/// Runs incremental best-response descent from `profile` (mutated in place).
-///
-/// The first `anneal_moves` moves are randomised: any strictly improving
-/// link may be chosen (drawn from `rng`). After that the descent is
-/// steepest (lowest latency, lowest index on ties). Loads are rebuilt from
-/// the profile at every pass, so floating-point drift never spans passes.
-fn descend(
-    game: &EffectiveGame,
-    initial: &LinkLoads,
-    profile: &mut PureProfile,
-    tol: Tolerance,
-    budget: u64,
-    anneal_moves: u64,
-    rng: &mut SplitMix64,
-) -> Descent {
-    let n = game.users();
-    let m = game.links();
-    let mut loads = vec![0.0f64; m];
-    let mut improving: Vec<usize> = Vec::with_capacity(m);
-    let mut moves = 0u64;
-    loop {
-        // Rebuild loads from the profile: bounds drift to one pass.
-        loads.copy_from_slice(initial.as_slice());
-        for user in 0..n {
-            loads[profile.link(user)] += game.weight(user);
-        }
-        let mut moved_in_pass = false;
-        for user in 0..n {
-            let w = game.weight(user);
-            let current_link = profile.link(user);
-            let current = loads[current_link] / game.capacity(user, current_link);
-            let mut best = current_link;
-            let mut best_latency = current;
-            improving.clear();
-            for (link, &load) in loads.iter().enumerate() {
-                if link == current_link {
-                    continue;
-                }
-                let latency = (load + w) / game.capacity(user, link);
-                if tol.lt(latency, current) {
-                    improving.push(link);
-                    if latency < best_latency {
-                        best_latency = latency;
-                        best = link;
-                    }
-                }
-            }
-            if improving.is_empty() {
-                continue;
-            }
-            let target = if moves < anneal_moves {
-                improving[rng.next_below(improving.len())]
-            } else {
-                best
-            };
-            loads[current_link] -= w;
-            loads[target] += w;
-            profile.apply_move(user, target);
-            moves += 1;
-            moved_in_pass = true;
-            if moves >= budget {
-                return Descent::Budget { moves };
-            }
-        }
-        if !moved_in_pass {
-            // The incremental pass found no improving move; certify with the
-            // canonical predicate before claiming convergence. The two can
-            // only disagree on a tolerance-boundary artefact of the
-            // incremental load sums — take a canonical move and keep going.
-            if is_pure_nash(game, profile, initial, tol) {
-                return Descent::Converged { moves };
-            }
-            let deviation = (0..n).find_map(|u| best_deviation_of(game, profile, initial, u, tol));
-            match deviation {
-                Some(d) => {
-                    profile.apply_move(d.user, d.to);
-                    moves += 1;
-                    if moves >= budget {
-                        return Descent::Budget { moves };
-                    }
-                }
-                // No canonical deviation either: the profile is an
-                // equilibrium after all (the incremental pass was the
-                // conservative side of the boundary).
-                None => return Descent::Converged { moves },
-            }
-        }
-    }
-}
-
 /// The multi-restart local-search backend (see the [module docs](self)).
+///
+/// The descent itself lives in [`LocalSearchRun`]: a pass-resumable
+/// state machine on the SoA kernel rows, shared verbatim between this
+/// single-solve path and the engine's interleaved batch path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalSearch;
 
@@ -291,65 +204,27 @@ impl Solver for LocalSearch {
         initial: &LinkLoads,
         config: &SolverConfig,
     ) -> Result<SolverDetail> {
-        let budget = config.max_steps as u64;
-        let restarts = config.restarts.max(1);
-        // Each restart gets an equal slice of the shared move budget (with
-        // at least one move), so a descent that cycles on restart r cannot
-        // starve the remaining starts of the portfolio — that diversity is
-        // the whole point of restarting.
-        let per_restart = (budget / restarts as u64).max(1);
-        let mut total_moves = 0u64;
-        let mut restarts_used = 0u64;
-        for restart in 0..restarts {
-            if total_moves >= budget && restart > 0 {
-                break;
-            }
-            restarts_used += 1;
-            let mut profile = start_profile(game, initial, restart, config.ls_seed);
-            // Annealed phase: n randomised moves on restart 0, halving with
-            // every restart (0 from restart ~log₂n on — pure descent).
-            let anneal_moves = (game.users() as u64)
-                .checked_shr(restart as u32)
-                .unwrap_or(0);
-            let mut rng = SplitMix64::new(
-                config
-                    .ls_seed
-                    .wrapping_add((restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
-            match descend(
-                game,
-                initial,
-                &mut profile,
-                config.tol,
-                per_restart.min(budget.saturating_sub(total_moves).max(1)),
-                anneal_moves,
-                &mut rng,
-            ) {
-                Descent::Converged { moves } => {
-                    total_moves += moves;
-                    return Ok(SolverDetail {
-                        solution: Some(PureNashSolution {
-                            profile,
-                            method: self.method(),
-                        }),
-                        iterations: Some(total_moves),
-                        restarts: Some(restarts_used),
-                    });
-                }
-                Descent::Budget { moves } => total_moves += moves,
-            }
-        }
-        Ok(SolverDetail {
-            solution: None,
-            iterations: Some(total_moves),
-            restarts: Some(restarts_used),
-        })
+        let soa = SoAGame::from_game(game);
+        let mut scratch = KernelScratch::new();
+        let mut run = LocalSearchRun::new(game, initial, soa.view(), config);
+        Ok(run_to_completion(&mut run, &mut scratch))
+    }
+
+    fn kernel_run<'a>(
+        &self,
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        view: SoAView<'a>,
+        config: &SolverConfig,
+    ) -> Option<Box<dyn KernelRun + 'a>> {
+        Some(Box::new(LocalSearchRun::new(game, initial, view, config)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::equilibrium::is_pure_nash;
 
     fn messy_game() -> EffectiveGame {
         EffectiveGame::from_rows(

@@ -61,6 +61,12 @@ impl PureProfile {
         &self.choices
     }
 
+    /// Mutable access to the raw choices, for kernel start builders that
+    /// refill a reused profile in place instead of allocating a new one.
+    pub(crate) fn choices_mut(&mut self) -> &mut [usize] {
+        &mut self.choices
+    }
+
     /// Returns a copy with user `user` moved to `link`
     /// (`σ[k → ℓ]` in the paper's notation).
     pub fn with_move(&self, user: usize, link: usize) -> Self {
