@@ -1,0 +1,109 @@
+//! Service round-trip cost — what a resident `netuncert_serve` instance
+//! adds on top of (and saves over) direct engine calls.
+//!
+//! Two axes: instance size (n ∈ {32, 512}) and warm-tier state. A *warm*
+//! round trip hits the shared LRU cache, so its time is pure service
+//! overhead (framing + JSON + socket + pool hop). A *cold* round trip is
+//! measured against a zero-capacity cache (an LRU with capacity 0 admits
+//! nothing), so every request pays the full engine walk through the same
+//! wire path — the honest per-request cost of a cache-defeating workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_serve::protocol::{Request, RequestBody, SolveRequest};
+use netuncert_serve::state::ServeConfig;
+use netuncert_serve::workload::{default_solve_policy, from_game};
+use netuncert_serve::{Client, Server};
+
+use netuncert_bench::general_instance;
+
+/// Starts an in-process service and returns its address plus the handle
+/// that joins after a `Shutdown`.
+fn start(config: &ServeConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        server.run().expect("serve");
+    });
+    (addr, handle)
+}
+
+fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect");
+    client.call(RequestBody::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+fn solve_line(users: usize, links: usize, seed: u64) -> String {
+    let request = Request {
+        id: 1,
+        body: RequestBody::Solve(SolveRequest {
+            instance: from_game(&general_instance(users, links, seed)),
+            policy: default_solve_policy(),
+        }),
+    };
+    serde_json::to_string(&request).expect("serialise")
+}
+
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_roundtrip");
+    group.sample_size(20);
+
+    for &(users, links) in &[(32usize, 8usize), (512, 16)] {
+        // Warm: one request pre-seeded into the tier, then repeated — the
+        // engine never runs again, so this is the service-overhead floor.
+        {
+            let (addr, handle) = start(&ServeConfig::default());
+            let mut client = Client::connect(addr).expect("connect");
+            let line = solve_line(users, links, 7);
+            client.call_line(&line).expect("seed the warm tier");
+            group.bench_with_input(BenchmarkId::new("warm", users), &users, |b, _| {
+                b.iter(|| black_box(client.call_line(black_box(&line)).expect("warm hit")))
+            });
+            drop(client);
+            shutdown(addr, handle);
+        }
+
+        // Cold: a capacity-0 tier admits nothing, so the identical request
+        // re-runs the full engine walk every round trip.
+        {
+            let cold = ServeConfig {
+                solve_cache_capacity: 0,
+                opt_cache_capacity: 0,
+                ..ServeConfig::default()
+            };
+            let (addr, handle) = start(&cold);
+            let mut client = Client::connect(addr).expect("connect");
+            let line = solve_line(users, links, 7);
+            group.bench_with_input(BenchmarkId::new("cold", users), &users, |b, _| {
+                b.iter(|| black_box(client.call_line(black_box(&line)).expect("cold solve")))
+            });
+            drop(client);
+            shutdown(addr, handle);
+        }
+
+        // The direct-call baseline the replay contract diffs against:
+        // same cold configuration, no socket, no pool.
+        {
+            let state = netuncert_serve::ServeState::new(&ServeConfig {
+                solve_cache_capacity: 0,
+                opt_cache_capacity: 0,
+                ..ServeConfig::default()
+            });
+            let line = solve_line(users, links, 7);
+            group.bench_with_input(BenchmarkId::new("direct", users), &users, |b, _| {
+                b.iter(|| black_box(state.handle_line(black_box(&line))))
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_serve_roundtrip
+}
+criterion_main!(benches);

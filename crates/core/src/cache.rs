@@ -1,0 +1,284 @@
+//! The shared bounded-cache machinery behind [`SolveCache`] and
+//! [`OptCache`].
+//!
+//! Both engine caches are content-addressed maps from a canonical key (the
+//! bytes of everything that determines an engine's answer) to the engine's
+//! full output, so a hit replays a cold run exactly and caching never
+//! changes results — only skips work. This module factors their common
+//! mechanics into one generic [`BoundedCache`] with two capacity
+//! disciplines:
+//!
+//! * [`CacheBound::Soft`] — the historical behaviour: once `capacity`
+//!   distinct entries are stored, new entries are simply not inserted.
+//!   Deterministic and allocation-friendly for batch sweeps, whose working
+//!   set is known up front. This is what `SolveCache::new()` /
+//!   `OptCache::new()` build, so existing sweeps behave bit-identically.
+//! * [`CacheBound::Lru`] — a resident-service tier: at capacity, inserting
+//!   a new entry evicts the least-recently-*used* entry (lookups refresh
+//!   recency) and counts it in [`CacheStats::evictions`]. A long-lived
+//!   server can therefore keep a hot working set warm under an unbounded
+//!   request stream without unbounded memory growth.
+//!
+//! Eviction can never change an answer — an evicted instance is simply
+//! re-solved on its next miss, and re-solving is deterministic — so the
+//! choice of bound is purely a memory/throughput trade-off.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss/eviction counters of a cache, read via `stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a cold run.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: u64,
+    /// Entries evicted to make room (always `0` under [`CacheBound::Soft`]).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// How a [`BoundedCache`] behaves once `capacity` entries are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheBound {
+    /// Stop inserting new entries; stored entries keep serving hits.
+    Soft,
+    /// Evict the least-recently-used entry to admit the new one.
+    Lru,
+}
+
+/// One stored entry plus its recency stamp.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    tick: u64,
+}
+
+/// The interior map: entries keyed by canonical bytes, plus a recency index
+/// (`tick -> key`) that makes LRU eviction `O(log n)`. Ticks come from a
+/// monotone counter, so every entry's stamp is unique.
+#[derive(Debug)]
+struct Table<V> {
+    map: HashMap<Vec<u8>, Entry<V>>,
+    recency: BTreeMap<u64, Vec<u8>>,
+    next_tick: u64,
+}
+
+impl<V> Table<V> {
+    fn touch(&mut self, key: &[u8]) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(entry) = self.map.get_mut(key) {
+            self.recency.remove(&entry.tick);
+            entry.tick = tick;
+            self.recency.insert(tick, key.to_vec());
+        }
+    }
+}
+
+/// A thread-safe content-addressed memoisation table with a capacity bound.
+///
+/// See the [module docs](self) for the two bound disciplines. Values must be
+/// `Clone` (hits hand out copies) and the whole cache is `Sync`, shared as
+/// `Arc<...>` across threads and engines.
+#[derive(Debug)]
+pub struct BoundedCache<V> {
+    table: Mutex<Table<V>>,
+    capacity: usize,
+    bound: CacheBound,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> BoundedCache<V> {
+    /// An empty cache holding at most `capacity` entries under `bound`.
+    pub fn new(capacity: usize, bound: CacheBound) -> Self {
+        BoundedCache {
+            table: Mutex::new(Table {
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                next_tick: 0,
+            }),
+            capacity,
+            bound,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry cap this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The capacity discipline this cache was built with.
+    pub fn bound(&self) -> CacheBound {
+        self.bound
+    }
+
+    /// Current hit/miss/entry/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.table.lock().expect("cache lock poisoned").map.len() as u64,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct entries stored.
+    pub fn len(&self) -> usize {
+        self.table.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a canonical key, counting the outcome as a hit or a miss.
+    /// Under [`CacheBound::Lru`] a hit also refreshes the entry's recency.
+    pub fn lookup(&self, key: &[u8]) -> Option<V> {
+        let mut table = self.table.lock().expect("cache lock poisoned");
+        let found = table.map.get(key).map(|e| e.value.clone());
+        match &found {
+            Some(_) => {
+                table.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a cold run's output under its canonical key.
+    ///
+    /// At capacity: [`CacheBound::Soft`] drops the new entry (correctness is
+    /// unaffected — the instance is just re-run next time), while
+    /// [`CacheBound::Lru`] evicts the least-recently-used entry to admit it.
+    /// Re-inserting a stored key updates it in place and never evicts. Two
+    /// threads may race to insert the same key; both computed the same
+    /// deterministic value, so either insert is correct.
+    pub fn insert(&self, key: Vec<u8>, value: V) {
+        let mut table = self.table.lock().expect("cache lock poisoned");
+        if let Some(entry) = table.map.get_mut(&key) {
+            entry.value = value;
+            table.touch(&key);
+            return;
+        }
+        if table.map.len() >= self.capacity {
+            match self.bound {
+                CacheBound::Soft => return,
+                CacheBound::Lru => {
+                    if let Some((&oldest, _)) = table.recency.iter().next() {
+                        if let Some(victim) = table.recency.remove(&oldest) {
+                            table.map.remove(&victim);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        // capacity == 0: nothing can ever be admitted.
+                        return;
+                    }
+                }
+            }
+        }
+        let tick = table.next_tick;
+        table.next_tick += 1;
+        table.recency.insert(tick, key.clone());
+        table.map.insert(key, Entry { value, tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_bound_stops_growing_but_keeps_serving() {
+        let cache = BoundedCache::new(1, CacheBound::Soft);
+        cache.insert(vec![1], "a");
+        cache.insert(vec![2], "b");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&[1]), Some("a"));
+        assert_eq!(cache.lookup(&[2]), None);
+        assert_eq!(cache.stats().evictions, 0);
+        // Re-inserting a stored key is still allowed at capacity.
+        cache.insert(vec![1], "a2");
+        assert_eq!(cache.lookup(&[1]), Some("a2"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_bound_evicts_the_least_recently_used_entry() {
+        let cache = BoundedCache::new(2, CacheBound::Lru);
+        cache.insert(vec![1], "a");
+        cache.insert(vec![2], "b");
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert_eq!(cache.lookup(&[1]), Some("a"));
+        cache.insert(vec![3], "c");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&[2]), None, "LRU entry must be evicted");
+        assert_eq!(cache.lookup(&[1]), Some("a"));
+        assert_eq!(cache.lookup(&[3]), Some("c"));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn lru_eviction_follows_insert_order_without_lookups() {
+        let cache = BoundedCache::new(2, CacheBound::Lru);
+        cache.insert(vec![1], 1);
+        cache.insert(vec![2], 2);
+        cache.insert(vec![3], 3);
+        cache.insert(vec![4], 4);
+        assert_eq!(cache.lookup(&[1]), None);
+        assert_eq!(cache.lookup(&[2]), None);
+        assert_eq!(cache.lookup(&[3]), Some(3));
+        assert_eq!(cache.lookup(&[4]), Some(4));
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn reinserting_a_stored_key_never_evicts() {
+        let cache = BoundedCache::new(2, CacheBound::Lru);
+        cache.insert(vec![1], 1);
+        cache.insert(vec![2], 2);
+        cache.insert(vec![1], 10);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(&[1]), Some(10));
+        assert_eq!(cache.lookup(&[2]), Some(2));
+    }
+
+    #[test]
+    fn a_zero_capacity_lru_cache_admits_nothing() {
+        let cache = BoundedCache::new(0, CacheBound::Lru);
+        cache.insert(vec![1], 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&[1]), None);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn idle_stats_report_zero_hit_rate() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -109,6 +109,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod cache;
 pub mod equilibrium;
 pub mod error;
 pub mod fully_mixed;

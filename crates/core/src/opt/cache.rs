@@ -12,10 +12,7 @@
 //!
 //! [`OptEngine::estimate`]: super::engine::OptEngine::estimate
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
+use crate::cache::{BoundedCache, CacheBound};
 use crate::model::EffectiveGame;
 use crate::numeric::canonical_bits;
 use crate::opt::engine::{OptConfig, OptMethod, OptOutcome};
@@ -26,14 +23,16 @@ use crate::strategy::LinkLoads;
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
 /// A thread-safe memoisation table in front of the opt engine's estimate
-/// path. Stops growing at `capacity` entries (hits on the stored prefix
-/// keep working); see the [module docs](self) for the key discipline.
+/// path.
+///
+/// The default ([`OptCache::new`] / [`OptCache::bounded`]) stops growing at
+/// `capacity` entries (hits on the stored prefix keep working); the
+/// service-tier [`OptCache::lru`] evicts the least-recently-used entry
+/// instead and counts evictions in [`CacheStats`]. See the
+/// [module docs](self) for the key discipline.
 #[derive(Debug)]
 pub struct OptCache {
-    map: Mutex<HashMap<Vec<u8>, OptOutcome>>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: BoundedCache<OptOutcome>,
 }
 
 impl Default for OptCache {
@@ -48,54 +47,56 @@ impl OptCache {
         OptCache::default()
     }
 
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries; at capacity, new
+    /// entries are dropped (never evicted).
     pub fn bounded(capacity: usize) -> Self {
         OptCache {
-            map: Mutex::new(HashMap::new()),
-            capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            inner: BoundedCache::new(capacity, CacheBound::Soft),
         }
     }
 
-    /// Current hit/miss/entry counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock poisoned").len() as u64,
+    /// An empty cache holding at most `capacity` entries; at capacity, the
+    /// least-recently-used entry is evicted to admit a new one. Eviction
+    /// can never change brackets — an evicted instance is re-estimated on
+    /// its next miss.
+    pub fn lru(capacity: usize) -> Self {
+        OptCache {
+            inner: BoundedCache::new(capacity, CacheBound::Lru),
         }
+    }
+
+    /// The entry cap this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Current hit/miss/entry/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 
     /// Number of distinct estimated instances stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
+        self.inner.len()
     }
 
     /// Whether nothing has been stored yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
-    pub(crate) fn lookup(&self, key: &[u8]) -> Option<OptOutcome> {
-        let found = self
-            .map
-            .lock()
-            .expect("cache lock poisoned")
-            .get(key)
-            .cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// Looks up a canonical key (from [`canonical_key`]), counting the
+    /// outcome as a hit or a miss. Public for out-of-crate engine frontends
+    /// (the serve layer); see [`SolveCache::lookup`] for the contract.
+    ///
+    /// [`SolveCache::lookup`]: crate::solvers::cache::SolveCache::lookup
+    pub fn lookup(&self, key: &[u8]) -> Option<OptOutcome> {
+        self.inner.lookup(key)
     }
 
-    pub(crate) fn insert(&self, key: Vec<u8>, outcome: OptOutcome) {
-        let mut map = self.map.lock().expect("cache lock poisoned");
-        if map.len() < self.capacity || map.contains_key(&key) {
-            map.insert(key, outcome);
-        }
+    /// Stores a cold estimate under its canonical key.
+    pub fn insert(&self, key: Vec<u8>, outcome: OptOutcome) {
+        self.inner.insert(key, outcome);
     }
 }
 

@@ -16,63 +16,42 @@
 //! embed the engine's method list and budgets, so engines with different
 //! strategies never collide.
 //!
+//! The capacity mechanics (and the LRU service tier behind
+//! [`SolveCache::lru`]) live in the shared [`crate::cache`] module; this
+//! module owns the solve-specific key discipline.
+//!
 //! [`SolverEngine::solve`]: super::engine::SolverEngine::solve
 //! [`SolverEngine::with_cache`]: super::engine::SolverEngine::with_cache
 //! [`SolverConfig`]: super::engine::SolverConfig
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-use serde::{Deserialize, Serialize};
-
 use crate::algorithms::best_response::SelectionRule;
 use crate::algorithms::PureNashMethod;
+pub use crate::cache::CacheStats;
+use crate::cache::{BoundedCache, CacheBound};
 use crate::model::EffectiveGame;
 use crate::numeric::canonical_bits;
 use crate::solvers::engine::{EngineSolution, SolverConfig};
 use crate::strategy::LinkLoads;
 
-/// Hit/miss counters of a [`SolveCache`], read via [`SolveCache::stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that fell through to a cold solve.
-    pub misses: u64,
-    /// Distinct solved instances currently stored.
-    pub entries: u64,
-}
-
-impl CacheStats {
-    /// Fraction of lookups answered from the cache (`0.0` when idle).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
 /// Entry cap used by [`SolveCache::new`]; enough for any in-process sweep
 /// while bounding a million-instance, mostly-miss workload to a few GB at
-/// worst. Use [`SolveCache::bounded`] to tighten or loosen it.
+/// worst. Use [`SolveCache::bounded`] to tighten or loosen it, or
+/// [`SolveCache::lru`] for a service-style evicting tier.
 pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
 /// A thread-safe memoisation table in front of the engine's solve path.
 ///
-/// The table stops growing once `capacity` distinct instances are stored
-/// (new entries are simply not inserted — deterministic, and hits on the
-/// stored prefix keep working). See the [module docs](self) for the key
-/// discipline and guarantees.
+/// The default ([`SolveCache::new`] / [`SolveCache::bounded`]) keeps the
+/// historical batch-sweep behaviour: the table stops growing once `capacity`
+/// distinct instances are stored (new entries are simply not inserted —
+/// deterministic, and hits on the stored prefix keep working). A resident
+/// service should use [`SolveCache::lru`] instead, which evicts the
+/// least-recently-used entry at capacity and counts evictions in
+/// [`CacheStats`]. See the [module docs](self) for the key discipline and
+/// guarantees.
 #[derive(Debug)]
 pub struct SolveCache {
-    map: Mutex<HashMap<Vec<u8>, EngineSolution>>,
-    capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: BoundedCache<EngineSolution>,
 }
 
 impl Default for SolveCache {
@@ -87,60 +66,61 @@ impl SolveCache {
         SolveCache::default()
     }
 
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries; at capacity, new
+    /// entries are dropped (never evicted).
     pub fn bounded(capacity: usize) -> Self {
         SolveCache {
-            map: Mutex::new(HashMap::new()),
-            capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            inner: BoundedCache::new(capacity, CacheBound::Soft),
         }
     }
 
-    /// Current hit/miss/entry counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("cache lock poisoned").len() as u64,
+    /// An empty cache holding at most `capacity` entries; at capacity, the
+    /// least-recently-used entry is evicted to admit a new one (lookups
+    /// refresh recency). Evictions are counted in [`CacheStats::evictions`]
+    /// and can never change results — an evicted instance is simply
+    /// re-solved on its next miss.
+    pub fn lru(capacity: usize) -> Self {
+        SolveCache {
+            inner: BoundedCache::new(capacity, CacheBound::Lru),
         }
+    }
+
+    /// The entry cap this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Current hit/miss/entry/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 
     /// Number of distinct solved instances stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock poisoned").len()
+        self.inner.len()
     }
 
     /// Whether nothing has been stored yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.inner.is_empty()
     }
 
-    /// Looks up a canonical key, counting the outcome as a hit or a miss.
-    pub(crate) fn lookup(&self, key: &[u8]) -> Option<EngineSolution> {
-        let found = self
-            .map
-            .lock()
-            .expect("cache lock poisoned")
-            .get(key)
-            .cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
-    }
-
-    /// Stores a cold solve under its canonical key, unless the cache is at
-    /// capacity (the entry is then dropped; correctness is unaffected).
+    /// Looks up a canonical key (from [`canonical_key`]), counting the
+    /// outcome as a hit or a miss.
     ///
-    /// Two threads may race to insert the same key; both compute the same
-    /// deterministic solution, so either insert is correct.
-    pub(crate) fn insert(&self, key: Vec<u8>, solution: EngineSolution) {
-        let mut map = self.map.lock().expect("cache lock poisoned");
-        if map.len() < self.capacity || map.contains_key(&key) {
-            map.insert(key, solution);
-        }
+    /// Public for out-of-crate engine frontends (the serve layer's
+    /// deadline-aware solve path); everything stored under a key built by
+    /// [`canonical_key`] is exactly what a cold
+    /// [`SolverEngine::solve`](super::engine::SolverEngine::solve) with that
+    /// method list and config would return.
+    pub fn lookup(&self, key: &[u8]) -> Option<EngineSolution> {
+        self.inner.lookup(key)
+    }
+
+    /// Stores a cold solve under its canonical key (see
+    /// [`lookup`](SolveCache::lookup) for the contract).
+    pub fn insert(&self, key: Vec<u8>, solution: EngineSolution) {
+        self.inner.insert(key, solution);
     }
 }
 
@@ -166,7 +146,13 @@ fn rule_tag(rule: SelectionRule) -> u8 {
 /// budgets, then the canonicalised bit patterns of the instance itself
 /// ([`canonical_bits`] folds `±0.0` and NaN payloads together, so
 /// semantically identical instances always share a key).
-pub(crate) fn canonical_key(
+///
+/// Public so engine frontends outside this crate (the serve layer) can
+/// address the same warm tier as
+/// [`SolverEngine::solve`](super::engine::SolverEngine::solve): two callers
+/// that agree on the method list, config and instance read and write the
+/// same entry.
+pub fn canonical_key(
     methods: &[PureNashMethod],
     config: &SolverConfig,
     game: &EffectiveGame,
@@ -294,11 +280,6 @@ mod tests {
     }
 
     #[test]
-    fn idle_stats_report_zero_hit_rate() {
-        assert_eq!(CacheStats::default().hit_rate(), 0.0);
-    }
-
-    #[test]
     fn a_full_cache_stops_growing_but_keeps_serving_stored_entries() {
         let cache = SolveCache::bounded(1);
         let solution = EngineSolution {
@@ -310,8 +291,27 @@ mod tests {
         assert_eq!(cache.len(), 1, "capacity bound must hold");
         assert!(cache.lookup(&[1]).is_some());
         assert!(cache.lookup(&[2]).is_none());
+        assert_eq!(cache.stats().evictions, 0);
         // Re-inserting a stored key is still allowed at capacity.
         cache.insert(vec![1], solution);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn an_lru_cache_evicts_and_counts() {
+        let solution = EngineSolution {
+            solution: None,
+            telemetry: Default::default(),
+        };
+        let cache = SolveCache::lru(2);
+        cache.insert(vec![1], solution.clone());
+        cache.insert(vec![2], solution.clone());
+        assert!(cache.lookup(&[1]).is_some()); // refresh key 1
+        cache.insert(vec![3], solution);
+        assert!(cache.lookup(&[2]).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(&[1]).is_some());
+        assert!(cache.lookup(&[3]).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.capacity(), 2);
     }
 }

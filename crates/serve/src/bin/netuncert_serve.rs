@@ -1,0 +1,86 @@
+//! The resident service binary.
+//!
+//! ```text
+//! netuncert_serve --addr 127.0.0.1:0 [--workers N] [--solve-cache N] [--opt-cache N]
+//! ```
+//!
+//! Prints `listening on <addr>` (the resolved address, so port `0` works
+//! for tests) on stdout once bound, then serves until a `Shutdown`
+//! request drains the service, and exits 0.
+
+use netuncert_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netuncert_serve --addr HOST:PORT [--workers N] \
+         [--solve-cache ENTRIES] [--opt-cache ENTRIES]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_count(flag: &str, value: Option<String>) -> usize {
+    let Some(value) = value else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    match value.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{flag} wants a non-negative integer, got {value:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:4700");
+    let mut config = ServeConfig::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => match argv.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("--addr needs a value");
+                    usage();
+                }
+            },
+            "--workers" => {
+                config.workers = parse_count("--workers", argv.next()).max(1);
+            }
+            "--solve-cache" => {
+                config.solve_cache_capacity = parse_count("--solve-cache", argv.next());
+            }
+            "--opt-cache" => {
+                config.opt_cache_capacity = parse_count("--opt-cache", argv.next());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(&addr, &config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => {
+            // The harness parses this line to find an ephemeral port.
+            println!("listening on {local}");
+        }
+        Err(e) => {
+            eprintln!("local_addr: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Replay-exact verification harness.
+//!
+//! Spawns (or connects to) a `netuncert_serve` instance, drives a
+//! deterministic mixed workload over several concurrent connections, and
+//! diffs **every** response byte-for-byte against a direct in-process
+//! engine call with the same configuration. Exits 0 only if all answers
+//! match and the service shuts down gracefully.
+//!
+//! ```text
+//! serve_harness --server PATH [--requests N] [--connections K] [--seed S]
+//! serve_harness --addr HOST:PORT [...]   # use an already-running service
+//! ```
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+use netuncert_serve::protocol::RequestBody;
+use netuncert_serve::replay::Replayer;
+use netuncert_serve::state::ServeConfig;
+use netuncert_serve::workload::mixed_request;
+use netuncert_serve::Client;
+
+struct Options {
+    server: Option<String>,
+    addr: Option<String>,
+    requests: usize,
+    connections: usize,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_harness (--server PATH | --addr HOST:PORT) \
+         [--requests N] [--connections K] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        server: None,
+        addr: None,
+        requests: 120,
+        connections: 4,
+        seed: 42,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--server" => opts.server = Some(value("--server")),
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--requests" => opts.requests = value("--requests").parse().unwrap_or_else(|_| usage()),
+            "--connections" => {
+                opts.connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if opts.server.is_none() && opts.addr.is_none() {
+        usage();
+    }
+    opts
+}
+
+/// Spawns the service on an ephemeral port and parses the bound address
+/// from its `listening on <addr>` banner.
+fn spawn_server(path: &str) -> (Child, String) {
+    let mut child = Command::new(path)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("spawn {path}: {e}");
+            std::process::exit(1);
+        });
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .unwrap_or_else(|e| {
+            eprintln!("read banner: {e}");
+            std::process::exit(1);
+        });
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| {
+            eprintln!("unexpected banner: {banner:?}");
+            std::process::exit(1);
+        })
+        .to_string();
+    (child, addr)
+}
+
+fn main() {
+    let opts = parse_args();
+    let (child, addr) = match (&opts.server, &opts.addr) {
+        (Some(path), _) => {
+            let (child, addr) = spawn_server(path);
+            (Some(child), addr)
+        }
+        (None, Some(addr)) => (None, addr.clone()),
+        _ => usage(),
+    };
+
+    // Drive the workload: `connections` threads, round-robin request split.
+    // Each thread records its (request line, response line) pairs.
+    let connections = opts.connections.max(1);
+    let mut handles = Vec::new();
+    for lane in 0..connections {
+        let addr = addr.clone();
+        let seed = opts.seed;
+        let total = opts.requests;
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+                eprintln!("connect {addr}: {e}");
+                std::process::exit(1);
+            });
+            let mut pairs = Vec::new();
+            for index in (lane..total).step_by(connections) {
+                let request = mixed_request(seed, index);
+                let line = serde_json::to_string(&request).expect("serialise");
+                let response = client.call_line(&line).unwrap_or_else(|e| {
+                    eprintln!("request {index}: {e}");
+                    std::process::exit(1);
+                });
+                pairs.push((line, response));
+            }
+            pairs
+        }));
+    }
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for handle in handles {
+        pairs.extend(handle.join().expect("driver thread"));
+    }
+
+    // Replay every answer through a fresh in-process state and byte-diff.
+    let mut replayer = Replayer::new(&ServeConfig::default());
+    let mut divergences = 0usize;
+    for (request, served) in &pairs {
+        if let Some(diff) = replayer.check(request, served) {
+            eprintln!("{diff}");
+            divergences += 1;
+        }
+    }
+
+    // Graceful shutdown (only if we own the process).
+    let clean_exit = if let Some(mut child) = child {
+        let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("connect for shutdown: {e}");
+            std::process::exit(1);
+        });
+        let response = client.call(RequestBody::Shutdown).unwrap_or_else(|e| {
+            eprintln!("shutdown call: {e}");
+            std::process::exit(1);
+        });
+        let acked = matches!(
+            response.body,
+            netuncert_serve::protocol::ResponseBody::Shutdown
+        );
+        let status = child.wait().unwrap_or_else(|e| {
+            eprintln!("wait: {e}");
+            std::process::exit(1);
+        });
+        if !acked {
+            eprintln!("shutdown was not acknowledged");
+        }
+        if !status.success() {
+            eprintln!("service exited with {status}");
+        }
+        acked && status.success()
+    } else {
+        true
+    };
+
+    println!(
+        "serve_harness: {} checked, {} divergences, {} connections",
+        replayer.checked(),
+        divergences,
+        connections
+    );
+    if divergences == 0 && clean_exit {
+        println!("serve_harness: PASS");
+    } else {
+        eprintln!("serve_harness: FAIL");
+        std::process::exit(1);
+    }
+}

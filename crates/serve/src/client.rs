@@ -1,0 +1,96 @@
+//! A minimal blocking client for the service's newline-delimited JSON wire.
+//!
+//! One [`Client`] owns one connection. Requests are written as single
+//! lines and responses read back in order — the service guarantees
+//! per-connection ordering, so a blocking call-and-wait client needs no
+//! correlation machinery beyond the echoed request `id`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Request, RequestBody, Response};
+
+/// A blocking connection to a running `netuncert_serve` instance.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+/// Errors a client call can hit: transport trouble or an unparseable
+/// response line (a healthy service never produces the latter).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, write, read, or early EOF).
+    Io(std::io::Error),
+    /// The response line did not decode as a [`Response`].
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::BadResponse(line) => {
+                write!(f, "response line did not parse: {line}")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:4700"`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        // Request lines are small and latency-bound; never wait on Nagle.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request body and blocks for its response. Request ids are
+    /// assigned sequentially per connection.
+    pub fn call(&mut self, body: RequestBody) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request { id, body };
+        let line = serde_json::to_string(&request).expect("wire types always serialise");
+        let raw = self.call_line(&line)?;
+        serde_json::from_str::<Response>(&raw).map_err(|_| ClientError::BadResponse(raw))
+    }
+
+    /// Sends one pre-serialised request line and returns the raw response
+    /// line (no trailing newline). This is the byte-level primitive the
+    /// replay harness diffs against direct engine calls.
+    pub fn call_line(&mut self, line: &str) -> Result<String, ClientError> {
+        // One write per frame: splitting the newline into its own packet
+        // would interact badly with delayed ACKs even with nodelay set.
+        let mut frame = Vec::with_capacity(line.len() + 1);
+        frame.extend_from_slice(line.as_bytes());
+        frame.push(b'\n');
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            )));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}

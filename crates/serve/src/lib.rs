@@ -1,0 +1,48 @@
+//! netuncert-serve: a resident equilibrium-as-a-service query layer.
+//!
+//! The experiment pipeline pays the full engine cost for every solve even
+//! when instances repeat across sweeps. This crate keeps the engines —
+//! and their warm caches — *resident*: a std-only TCP service speaking
+//! newline-delimited JSON accepts `Solve`, `Bracket`, and `Measure`
+//! requests, multiplexes them onto a fixed worker pool wrapping
+//! [`SolverEngine`](netuncert_core::prelude::SolverEngine) and
+//! [`OptEngine`](netuncert_core::prelude::OptEngine), and shares a bounded
+//! LRU warm tier ([`SolveCache`](netuncert_core::prelude::SolveCache) /
+//! [`OptCache`](netuncert_core::prelude::OptCache)) across connections.
+//!
+//! Requests carry a declarative **policy tree** — `Race` competing solver
+//! lanes pass-by-pass, `Fallback` widening through backend lists,
+//! `Timeout` enforcing deadlines cooperatively at pass granularity (the
+//! interpreter checks the clock between kernel passes, never mid-pass).
+//!
+//! The load-bearing contract is **replay exactness**: every answer the
+//! service produces is byte-for-byte identical to a direct in-process
+//! engine call with the same configuration ([`replay`] checks this
+//! mechanically). The wire types strip wall-clock telemetry so that the
+//! contract is decidable by `==` on response lines.
+//!
+//! Module map:
+//! - [`protocol`] — wire types, size limits, typed errors, request keys
+//! - [`policy`] — the policy tree and its pass-resumable interpreter
+//! - [`state`] — engine-side service state (caches, budgets, counters)
+//! - [`server`] — TCP listener, fixed worker pool, graceful drain
+//! - [`client`] — minimal blocking client
+//! - [`replay`] — byte-for-byte verification against direct engine calls
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod policy;
+pub mod protocol;
+pub mod replay;
+pub mod server;
+pub mod state;
+pub mod workload;
+
+pub use client::{Client, ClientError};
+pub use policy::{BracketLeaf, Policy, SolveLeaf, TimeoutPolicy};
+pub use protocol::{Request, RequestBody, Response, ResponseBody, WireInstance};
+pub use replay::{ReplayDiff, Replayer};
+pub use server::Server;
+pub use state::{ServeConfig, ServeState};

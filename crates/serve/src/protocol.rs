@@ -1,0 +1,547 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request and response is one JSON object on one line. Requests carry
+//! a client-chosen `id` that the matching response echoes, an instance (for
+//! the compute verbs) and a declarative [`Policy`](crate::policy::Policy)
+//! tree describing *how* to answer. Responses are **deterministic**: the
+//! wire types strip every wall-clock field the engines record, so the bytes
+//! of a reply depend only on the request — which is what makes the service
+//! diffable byte-for-byte against a direct in-process engine call (see
+//! [`replay`](crate::replay)).
+//!
+//! Malformed input never kills a connection or a worker: every failure mode
+//! maps to a typed [`ErrorKind`] inside a normal [`Response`] envelope. The
+//! only exception is an over-long line ([`Limits::max_line_bytes`]), where
+//! the server replies with [`ErrorKind::Oversize`] and then closes *that*
+//! connection (the stream can no longer be framed); other connections and
+//! the worker pool are unaffected.
+
+use serde::{Deserialize, Serialize};
+
+use netuncert_core::opt::{OptAttempt, OptMethod};
+use netuncert_core::prelude::{
+    EngineSolution, GameError, OptBracket, OptOutcome, PureNashMethod, SolverAttempt,
+};
+use netuncert_core::social_cost::RatioBracket;
+
+use crate::policy::Policy;
+
+/// Size caps enforced before any engine work is scheduled.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Longest accepted request line, bytes (framing cap).
+    pub max_line_bytes: usize,
+    /// Largest accepted user count `n`.
+    pub max_users: usize,
+    /// Largest accepted link count `m`.
+    pub max_links: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line_bytes: 1 << 20,
+            max_users: 4096,
+            max_links: 64,
+        }
+    }
+}
+
+/// One request envelope: a client-chosen correlation id plus the verb.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Echoed verbatim in the matching [`Response`].
+    pub id: u64,
+    /// The verb and its payload.
+    pub body: RequestBody,
+}
+
+/// The request verbs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Find a pure Nash equilibrium under a solve policy.
+    Solve(SolveRequest),
+    /// Bracket both social optima under a bracket policy.
+    Bracket(BracketRequest),
+    /// Measure a pure profile's social cost against bracketed optima.
+    Measure(MeasureRequest),
+    /// Read the service's cache and request counters.
+    Stats,
+    /// Drain in-flight requests, stop accepting, exit cleanly.
+    Shutdown,
+}
+
+/// An effective game on the wire: weights, per-user capacity rows, and an
+/// optional initial-traffic vector (`null` means zero traffic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireInstance {
+    /// Per-user traffic weights (`n` entries).
+    pub weights: Vec<f64>,
+    /// Per-user effective capacity rows (`n` rows of `m` entries).
+    pub capacities: Vec<Vec<f64>>,
+    /// Initial link loads (`m` entries), or `null` for zero traffic.
+    pub initial: Option<Vec<f64>>,
+}
+
+/// A `Solve` request: instance + solve-policy tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// The game to solve.
+    pub instance: WireInstance,
+    /// How to solve it (only [`Policy::Solve`] leaves allowed).
+    pub policy: Policy,
+}
+
+/// A `Bracket` request: instance + bracket-policy tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BracketRequest {
+    /// The game whose optima to bracket.
+    pub instance: WireInstance,
+    /// How to bracket them (only [`Policy::Bracket`] leaves allowed).
+    pub policy: Policy,
+}
+
+/// A `Measure` request: instance + pure profile + bracket policy for the
+/// optimum side of the coordination ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureRequest {
+    /// The game to measure in.
+    pub instance: WireInstance,
+    /// Per-user link choices of the pure profile being measured.
+    pub profile: Vec<usize>,
+    /// How to bracket the optima (only [`Policy::Bracket`] leaves allowed).
+    pub policy: Policy,
+}
+
+/// One response envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// The result (or a typed error).
+    pub body: ResponseBody,
+}
+
+/// The response payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// Answer to a `Solve` request.
+    Solve(SolveReply),
+    /// Answer to a `Bracket` request.
+    Bracket(BracketReply),
+    /// Answer to a `Measure` request.
+    Measure(MeasureReply),
+    /// Answer to a `Stats` request.
+    Stats(StatsReply),
+    /// Acknowledges a `Shutdown` request; the service is now draining.
+    Shutdown,
+    /// The request failed in a typed, connection-preserving way.
+    Error(WireError),
+}
+
+/// A typed protocol error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// The failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail (never needed to dispatch on).
+    pub message: String,
+}
+
+/// The failure classes a request can hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The line was not a well-formed request (truncated/invalid JSON,
+    /// missing fields, wrong shapes).
+    Parse,
+    /// The request parsed but is structurally invalid (bad instance
+    /// dimensions, bad profile, malformed policy tree, degenerate width
+    /// goal).
+    InvalidRequest,
+    /// A policy leaf names a solver or opt-backend id the registry does not
+    /// know.
+    UnknownPolicy,
+    /// A `Timeout` policy carries a zero or negative deadline.
+    InvalidDeadline,
+    /// The request exceeds a size cap ([`Limits`]).
+    Oversize,
+    /// The engines rejected the instance or failed while computing.
+    Engine,
+    /// The service is draining after a `Shutdown` request.
+    Shutdown,
+}
+
+impl WireError {
+    /// A typed error with a message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an engine-side [`GameError`].
+    pub fn engine(err: &GameError) -> Self {
+        WireError::new(ErrorKind::Engine, err.to_string())
+    }
+}
+
+/// A solved (or conclusively unsolved, or deadlined) equilibrium query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReply {
+    /// The canonical request key ([`request_key`]) this reply answers.
+    pub key: String,
+    /// The outcome.
+    pub outcome: SolveOutcome,
+    /// Every solver attempt behind the outcome, in engine order (empty for
+    /// deadline exits).
+    pub attempts: Vec<WireAttempt>,
+}
+
+/// The three ways a solve policy can end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolveOutcome {
+    /// An equilibrium was found.
+    Solution(WireSolution),
+    /// The policy completed without finding one (conclusive absence, or all
+    /// budgets exhausted).
+    NoSolution,
+    /// The deadline fired before the policy completed.
+    DeadlineExceeded,
+}
+
+/// A pure Nash equilibrium on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSolution {
+    /// Per-user link choices.
+    pub choices: Vec<usize>,
+    /// Registry id of the method that found it (e.g. `"local_search"`).
+    pub method: String,
+}
+
+/// One solver attempt, wall-clock stripped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireAttempt {
+    /// Registry id of the solver.
+    pub method: String,
+    /// Iterations performed, for iterative methods.
+    pub iterations: Option<u64>,
+    /// Restarts consumed, for multi-restart methods.
+    pub restarts: Option<u64>,
+    /// Whether it produced an equilibrium.
+    pub found: bool,
+}
+
+/// A bracketed (or deadlined) social-optimum query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BracketReply {
+    /// The canonical request key ([`request_key`]) this reply answers.
+    pub key: String,
+    /// The outcome.
+    pub outcome: BracketOutcome,
+}
+
+/// The two ways a bracket policy can end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BracketOutcome {
+    /// Certified brackets were produced.
+    Brackets(WireBrackets),
+    /// The deadline fired before any leaf completed.
+    DeadlineExceeded,
+}
+
+/// Both certified brackets plus the attempts behind them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBrackets {
+    /// Certified bracket around `OPT1`.
+    pub opt1: WireBracket,
+    /// Certified bracket around `OPT2`.
+    pub opt2: WireBracket,
+    /// Every estimator attempt, in run order, wall-clock stripped.
+    pub attempts: Vec<WireOptAttempt>,
+}
+
+/// A certified two-sided bracket on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBracket {
+    /// Certified lower bound.
+    pub lower: f64,
+    /// Certified upper bound.
+    pub upper: f64,
+    /// Whether an exact backend collapsed the bracket to the optimum.
+    pub exact: bool,
+}
+
+/// One estimator attempt, wall-clock stripped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireOptAttempt {
+    /// Registry id of the estimator.
+    pub method: String,
+    /// Work performed, for iterative methods.
+    pub iterations: Option<u64>,
+    /// Whether the attempt returned exact values for both objectives.
+    pub exact: bool,
+}
+
+/// A measured (or deadlined) social-cost query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureReply {
+    /// The canonical request key ([`request_key`]) this reply answers.
+    pub key: String,
+    /// The outcome.
+    pub outcome: MeasureOutcome,
+}
+
+/// The two ways a measure policy can end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MeasureOutcome {
+    /// The cost report was produced.
+    Report(WireCostReport),
+    /// The deadline fired before the optimum side completed.
+    DeadlineExceeded,
+}
+
+/// Social costs and bracketed coordination ratios on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCostReport {
+    /// `SC1(G, P)`.
+    pub sc1: f64,
+    /// `SC2(G, P)`.
+    pub sc2: f64,
+    /// Certified bracket around `OPT1(G)`.
+    pub opt1: WireBracket,
+    /// Certified bracket around `OPT2(G)`.
+    pub opt2: WireBracket,
+    /// Lower end of `SC1/OPT1`.
+    pub cr1_lower: f64,
+    /// Upper end of `SC1/OPT1`.
+    pub cr1_upper: f64,
+    /// Lower end of `SC2/OPT2`.
+    pub cr2_lower: f64,
+    /// Upper end of `SC2/OPT2`.
+    pub cr2_upper: f64,
+}
+
+/// The service's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Warm-tier counters of the solve cache.
+    pub solve_cache: WireCacheStats,
+    /// Warm-tier counters of the opt cache.
+    pub opt_cache: WireCacheStats,
+    /// Requests handled (all verbs).
+    pub requests: u64,
+    /// Requests that ended in a typed error.
+    pub errors: u64,
+    /// Requests that ended in a deadline outcome.
+    pub deadline_hits: u64,
+}
+
+/// One cache's counters plus its configured bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a cold run.
+    pub misses: u64,
+    /// Distinct entries currently stored.
+    pub entries: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// The entry cap.
+    pub capacity: u64,
+}
+
+/// The canonical request key: FNV-1a-64 over the canonical JSON bytes of the
+/// request body (the id is deliberately excluded — two clients asking the
+/// same question share a key). The vendored serde stub serialises struct
+/// fields in declaration order, so the bytes — and therefore the key — are
+/// deterministic.
+pub fn request_key(body: &RequestBody) -> String {
+    let canonical = serde_json::to_string(body).unwrap_or_default();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in canonical.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Registry id of a solver method (matches `SolverKind::id`).
+pub fn solve_method_id(method: PureNashMethod) -> &'static str {
+    match method {
+        PureNashMethod::TwoLinks => "two_links",
+        PureNashMethod::Symmetric => "symmetric",
+        PureNashMethod::UniformBeliefs => "uniform",
+        PureNashMethod::BestResponse => "best_response",
+        PureNashMethod::LocalSearch => "local_search",
+        PureNashMethod::Exhaustive => "exhaustive",
+    }
+}
+
+/// Registry id of an opt method (matches `OptBackendKind::id`).
+pub fn opt_method_id(method: OptMethod) -> &'static str {
+    match method {
+        OptMethod::Exhaustive => "exhaustive",
+        OptMethod::BranchAndBound => "branch_and_bound",
+        OptMethod::LptGreedy => "lpt",
+        OptMethod::Descent => "descent",
+        OptMethod::Relaxation => "relaxation",
+    }
+}
+
+fn wire_attempt(attempt: &SolverAttempt) -> WireAttempt {
+    WireAttempt {
+        method: solve_method_id(attempt.method).to_string(),
+        iterations: attempt.iterations,
+        restarts: attempt.restarts,
+        found: attempt.found,
+    }
+}
+
+fn wire_opt_attempt(attempt: &OptAttempt) -> WireOptAttempt {
+    WireOptAttempt {
+        method: opt_method_id(attempt.method).to_string(),
+        iterations: attempt.iterations,
+        exact: attempt.exact,
+    }
+}
+
+/// Projects an [`OptBracket`] onto the wire.
+pub fn wire_bracket(bracket: &OptBracket) -> WireBracket {
+    WireBracket {
+        lower: bracket.lower,
+        upper: bracket.upper,
+        exact: bracket.exact,
+    }
+}
+
+/// Projects an [`EngineSolution`] onto the deterministic wire form: the
+/// solution choices plus every attempt with its wall-clock field dropped.
+pub fn wire_solve_reply(key: String, solved: &EngineSolution) -> SolveReply {
+    let outcome = match &solved.solution {
+        Some(solution) => SolveOutcome::Solution(WireSolution {
+            choices: solution.profile.choices().to_vec(),
+            method: solve_method_id(solution.method).to_string(),
+        }),
+        None => SolveOutcome::NoSolution,
+    };
+    SolveReply {
+        key,
+        outcome,
+        attempts: solved.telemetry.attempts.iter().map(wire_attempt).collect(),
+    }
+}
+
+/// The deadline form of a solve reply.
+pub fn deadline_solve_reply(key: String) -> SolveReply {
+    SolveReply {
+        key,
+        outcome: SolveOutcome::DeadlineExceeded,
+        attempts: Vec::new(),
+    }
+}
+
+/// Projects an [`OptOutcome`] onto the deterministic wire form.
+pub fn wire_bracket_reply(key: String, outcome: &OptOutcome) -> BracketReply {
+    BracketReply {
+        key,
+        outcome: BracketOutcome::Brackets(WireBrackets {
+            opt1: wire_bracket(&outcome.opt1),
+            opt2: wire_bracket(&outcome.opt2),
+            attempts: outcome
+                .telemetry
+                .attempts
+                .iter()
+                .map(wire_opt_attempt)
+                .collect(),
+        }),
+    }
+}
+
+/// Builds the wire cost report from measured costs, brackets and ratios.
+pub fn wire_cost_report(
+    sc1: f64,
+    sc2: f64,
+    outcome: &OptOutcome,
+    cr1: &RatioBracket,
+    cr2: &RatioBracket,
+) -> WireCostReport {
+    WireCostReport {
+        sc1,
+        sc2,
+        opt1: wire_bracket(&outcome.opt1),
+        opt2: wire_bracket(&outcome.opt2),
+        cr1_lower: cr1.lower,
+        cr1_upper: cr1.upper,
+        cr2_lower: cr2.lower,
+        cr2_upper: cr2.upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Policy, SolveLeaf};
+
+    fn solve_request() -> RequestBody {
+        RequestBody::Solve(SolveRequest {
+            instance: WireInstance {
+                weights: vec![1.0, 2.0],
+                capacities: vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+                initial: None,
+            },
+            policy: Policy::Solve(SolveLeaf {
+                solvers: vec!["two_links".to_string()],
+                restarts: None,
+                max_steps: None,
+            }),
+        })
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let request = Request {
+            id: 7,
+            body: solve_request(),
+        };
+        let line = serde_json::to_string(&request).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(request, back);
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let response = Response {
+            id: 7,
+            body: ResponseBody::Error(WireError::new(ErrorKind::Parse, "truncated")),
+        };
+        let line = serde_json::to_string(&response).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(response, back);
+    }
+
+    #[test]
+    fn request_keys_ignore_the_id_but_not_the_payload() {
+        let body = solve_request();
+        let key = request_key(&body);
+        assert_eq!(key.len(), 16);
+        assert_eq!(key, request_key(&body.clone()));
+        let RequestBody::Solve(mut other) = body.clone() else {
+            unreachable!()
+        };
+        other.instance.weights[0] = 1.5;
+        assert_ne!(key, request_key(&RequestBody::Solve(other)));
+    }
+
+    #[test]
+    fn method_ids_match_the_engine_registries() {
+        use netuncert_core::prelude::{OptBackendKind, SolverKind};
+        for kind in SolverKind::ALL {
+            assert_eq!(solve_method_id(kind.method()), kind.id());
+        }
+        for kind in OptBackendKind::ALL {
+            assert_eq!(opt_method_id(kind.method()), kind.id());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Replay-exact verification: diff service answers byte-for-byte against
+//! direct in-process engine calls.
+//!
+//! The contract the service makes is that putting a socket, a policy
+//! interpreter, and a warm tier in front of the engines changes *nothing*
+//! about the answers. This module checks that mechanically: a [`Replayer`]
+//! owns a fresh [`ServeState`] (same configuration, cold caches) and
+//! re-answers every request line in-process. Because the wire types strip
+//! all wall-clock fields and cache hits return the cold result verbatim,
+//! the two lines must be byte-identical — any divergence is a bug, and
+//! [`ReplayDiff`] reports the first one with both lines.
+//!
+//! `Stats` requests are excluded: their counters depend on request
+//! interleaving across connections, which is exactly the nondeterminism
+//! the rest of the wire is designed not to have.
+
+use crate::protocol::{Request, RequestBody};
+use crate::state::{ServeConfig, ServeState};
+
+/// A byte-level divergence between the service and a direct engine call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayDiff {
+    /// Index of the diverging request in submission order.
+    pub index: usize,
+    /// The request line that produced the divergence.
+    pub request: String,
+    /// What the service answered.
+    pub served: String,
+    /// What the direct in-process engine call answered.
+    pub replayed: String,
+}
+
+impl std::fmt::Display for ReplayDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay divergence at request {}:\n  request:  {}\n  served:   {}\n  replayed: {}",
+            self.index, self.request, self.served, self.replayed
+        )
+    }
+}
+
+/// Re-answers request lines through a private in-process [`ServeState`]
+/// and compares byte-for-byte.
+pub struct Replayer {
+    state: ServeState,
+    checked: usize,
+    skipped: usize,
+}
+
+impl Replayer {
+    /// A replayer with fresh caches sized like `config`.
+    pub fn new(config: &ServeConfig) -> Replayer {
+        Replayer {
+            state: ServeState::new(config),
+            checked: 0,
+            skipped: 0,
+        }
+    }
+
+    /// How many request/response pairs were byte-compared.
+    pub fn checked(&self) -> usize {
+        self.checked
+    }
+
+    /// How many pairs were skipped (`Stats`/`Shutdown`, interleaving-
+    /// dependent by design).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Whether this request line takes part in the byte-for-byte contract.
+    /// `Stats` and `Shutdown` do not (their answers depend on service-side
+    /// counters and lifecycle, not on the engines), and neither does any
+    /// request whose policy contains a `Timeout` node (whether it beats its
+    /// deadline is timing-dependent by design).
+    pub fn is_deterministic(line: &str) -> bool {
+        match serde_json::from_str::<Request>(line) {
+            Ok(request) => match &request.body {
+                RequestBody::Stats | RequestBody::Shutdown => false,
+                RequestBody::Solve(solve) => !solve.policy.has_timeout(),
+                RequestBody::Bracket(bracket) => !bracket.policy.has_timeout(),
+                RequestBody::Measure(measure) => !measure.policy.has_timeout(),
+            },
+            // Unparseable lines get a deterministic Parse error — diffable.
+            Err(_) => true,
+        }
+    }
+
+    /// Replays one request/response pair. Returns a [`ReplayDiff`] if the
+    /// service's answer differs from the direct engine call's.
+    pub fn check(&mut self, request_line: &str, served_line: &str) -> Option<ReplayDiff> {
+        if !Self::is_deterministic(request_line) {
+            self.skipped += 1;
+            return None;
+        }
+        let index = self.checked;
+        self.checked += 1;
+        let replayed = self.state.handle_line(request_line);
+        if replayed == served_line {
+            return None;
+        }
+        Some(ReplayDiff {
+            index,
+            request: request_line.to_string(),
+            served: served_line.to_string(),
+            replayed,
+        })
+    }
+}

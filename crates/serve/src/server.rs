@@ -1,0 +1,242 @@
+//! The resident TCP service: listener, fixed worker pool, graceful drain.
+//!
+//! Architecture: one acceptor (the thread inside [`Server::run`]), one
+//! lightweight reader thread per connection, and a **fixed pool** of worker
+//! threads that do all engine work. Reader threads never compute — they
+//! frame lines, enqueue [`Job`]s on an `mpsc` channel the workers share
+//! behind a mutex, and write finished response lines back in request order
+//! per connection. A slow request therefore occupies exactly one worker;
+//! cached requests keep flowing through the remaining workers — the
+//! property the `Timeout`-policy acceptance test pins.
+//!
+//! Graceful shutdown: a `Shutdown` request flips the draining flag (its
+//! connection gets an ack first). The acceptor wakes via a self-connect,
+//! stops accepting, and waits for every connection reader — which notice
+//! the flag through a short read timeout, finish writing any in-flight
+//! response, and close. When the last reader exits the job channel closes,
+//! the workers drain what is queued and exit, and [`Server::run`] returns
+//! `Ok(())` — the binary's exit 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::state::{ServeConfig, ServeState};
+
+/// How often an idle connection reader wakes to check the draining flag.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// One unit of work for the pool: a framed request line plus the channel
+/// that hands the response line back to the connection's reader thread.
+struct Job {
+    line: String,
+    reply: Sender<String>,
+}
+
+/// A bound service, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) with the given
+    /// configuration.
+    pub fn bind(addr: &str, config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState::new(config)),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The actually bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The engine-side state (shared; useful for in-process tests).
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until a `Shutdown` request has drained the service. Blocks.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let workers: Vec<JoinHandle<()>> = (0..self.workers)
+            .map(|_| {
+                let state = Arc::clone(&self.state);
+                let rx = Arc::clone(&jobs_rx);
+                std::thread::spawn(move || worker_loop(&state, &rx))
+            })
+            .collect();
+
+        let mut readers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.state.draining() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            let tx = jobs_tx.clone();
+            let addr_copy = addr;
+            readers.push(std::thread::spawn(move || {
+                connection_loop(stream, &state, &tx, addr_copy);
+            }));
+        }
+        // Close our own job sender so the channel dies once the last reader
+        // (each holding a clone) exits; then the workers drain and stop.
+        drop(jobs_tx);
+        for reader in readers {
+            let _ = reader.join();
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// A worker: pull one job, run it through the engine state, send the line
+/// back. Exits when the job channel closes (all readers gone).
+fn worker_loop(state: &ServeState, jobs: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = match jobs.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let response = state.handle_line(&job.line);
+        // The reader may have hung up (client gone) — fine, drop the reply.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// One connection: frame lines under the size cap, dispatch each to the
+/// pool, write the response, and wake periodically to honour draining. A
+/// `Shutdown` request is acked and then this connection closes; an
+/// over-long line gets a typed `Oversize` error and also closes (the
+/// stream can no longer be framed), leaving every other connection and the
+/// pool untouched.
+fn connection_loop(
+    stream: TcpStream,
+    state: &ServeState,
+    jobs: &Sender<Job>,
+    server_addr: SocketAddr,
+) {
+    let max_line = state.limits().max_line_bytes;
+    // Response lines are small and latency-bound; never wait on Nagle.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = read_half.set_read_timeout(Some(DRAIN_POLL));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        // `take` caps the bytes one frame may consume; timeouts leave the
+        // partial line in `line` and the loop resumes it.
+        let read = (&mut reader)
+            .take((max_line + 1) as u64)
+            .read_line(&mut line);
+        match read {
+            Ok(0) => return, // client closed
+            Ok(_) if line.len() > max_line && !line.ends_with('\n') => {
+                let reply = state.handle_oversize_line();
+                let _ = write_frame(&mut writer, &reply);
+                return;
+            }
+            Ok(_) if !line.ends_with('\n') => {
+                // take() hit its cap exactly at a frame boundary case or the
+                // peer sent EOF without a newline: treat as a final frame.
+                let done = dispatch(state, jobs, &mut writer, line.trim_end());
+                line.clear();
+                if done {
+                    let _ = wake_acceptor(server_addr);
+                    return;
+                }
+                return; // EOF after an unterminated line
+            }
+            Ok(_) => {
+                let done = dispatch(state, jobs, &mut writer, line.trim_end());
+                line.clear();
+                if done {
+                    // The shutdown ack is written; unblock the acceptor so
+                    // run() can stop accepting and join everyone.
+                    let _ = wake_acceptor(server_addr);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Sends one framed request through the pool and writes the response line.
+/// Returns `true` when the request was a `Shutdown` (connection closes).
+fn dispatch(state: &ServeState, jobs: &Sender<Job>, writer: &mut TcpStream, line: &str) -> bool {
+    let (reply_tx, reply_rx) = channel();
+    let sent = jobs.send(Job {
+        line: line.to_string(),
+        reply: reply_tx,
+    });
+    let response = match sent {
+        Ok(()) => reply_rx.recv().unwrap_or_default(),
+        // Pool already gone (late drain): answer inline so the client still
+        // gets a typed response.
+        Err(_) => state.handle_line(line),
+    };
+    let _ = write_frame(writer, &response);
+    state.draining()
+}
+
+/// Writes one response line as a single frame (one packet on loopback).
+fn write_frame(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(response.len() + 1);
+    frame.extend_from_slice(response.as_bytes());
+    frame.push(b'\n');
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Self-connects to the acceptor so its blocking `accept` wakes up and
+/// observes the draining flag.
+fn wake_acceptor(addr: SocketAddr) -> std::io::Result<()> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+    drop(stream);
+    Ok(())
+}
+
+impl ServeState {
+    /// The typed reply for a line that exceeded the framing cap.
+    pub(crate) fn handle_oversize_line(&self) -> String {
+        use crate::protocol::{ErrorKind, Response, ResponseBody, WireError};
+        let response = Response {
+            id: 0,
+            body: ResponseBody::Error(WireError::new(
+                ErrorKind::Oversize,
+                format!(
+                    "request line exceeds the {}-byte cap",
+                    self.limits().max_line_bytes
+                ),
+            )),
+        };
+        serde_json::to_string(&response).expect("wire types always serialise")
+    }
+}

@@ -1,0 +1,329 @@
+//! The engine-side state one service instance owns, and the request
+//! handler every worker runs.
+//!
+//! [`ServeState`] is the whole service minus the sockets: the shared
+//! LRU warm tier ([`SolveCache`]/[`OptCache`]), the base budgets leaves
+//! override, the request counters, and the draining flag. Keeping it
+//! socket-free is what makes the replay harness possible — a fresh
+//! `ServeState` driven in-process answers byte-for-byte like the TCP
+//! service (see [`replay`](crate::replay)).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netuncert_core::prelude::{
+    EffectiveGame, LinkLoads, MixedProfile, OptCache, OptConfig, PureProfile, SolveCache,
+    SolverConfig,
+};
+use netuncert_core::social_cost::{ratio_bracket, sc1, sc2};
+
+use crate::policy::{self, BracketEval, EvalCtx, PolicyMode, SolveEval};
+use crate::protocol::{
+    deadline_solve_reply, request_key, wire_bracket_reply, wire_cost_report, wire_solve_reply,
+    BracketOutcome, BracketReply, ErrorKind, Limits, MeasureOutcome, MeasureReply, Request,
+    RequestBody, Response, ResponseBody, StatsReply, WireCacheStats, WireError, WireInstance,
+};
+
+/// Service configuration: pool size, warm-tier bounds, wire limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// LRU capacity of the solve warm tier, entries.
+    pub solve_cache_capacity: usize,
+    /// LRU capacity of the opt warm tier, entries.
+    pub opt_cache_capacity: usize,
+    /// Wire-level size caps.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            solve_cache_capacity: 1 << 16,
+            opt_cache_capacity: 1 << 16,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// One service instance's engine-side state (everything but the sockets).
+pub struct ServeState {
+    solve_cache: Arc<SolveCache>,
+    opt_cache: Arc<OptCache>,
+    base_solver: SolverConfig,
+    base_opt: OptConfig,
+    limits: Limits,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    deadline_hits: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl ServeState {
+    /// A fresh state with LRU warm tiers sized by `config`.
+    pub fn new(config: &ServeConfig) -> Self {
+        ServeState {
+            solve_cache: Arc::new(SolveCache::lru(config.solve_cache_capacity)),
+            opt_cache: Arc::new(OptCache::lru(config.opt_cache_capacity)),
+            base_solver: SolverConfig::default(),
+            base_opt: OptConfig::default(),
+            limits: config.limits,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            deadline_hits: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The wire-level size caps.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Whether a `Shutdown` request has been accepted.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Marks the service as draining; compute requests are rejected with a
+    /// typed [`ErrorKind::Shutdown`] from now on.
+    pub fn start_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Parses one request line and produces one response line (no trailing
+    /// newline). Malformed lines become typed [`ErrorKind::Parse`] errors
+    /// with id `0` (the id is unrecoverable from a line that did not parse).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str::<Request>(line.trim_end()) {
+            Ok(request) => self.handle_request(request),
+            Err(err) => Response {
+                id: 0,
+                body: ResponseBody::Error(WireError::new(
+                    ErrorKind::Parse,
+                    format!("malformed request: {err}"),
+                )),
+            },
+        };
+        serde_json::to_string(&response).expect("wire types always serialise")
+    }
+
+    /// Dispatches one parsed request. Never panics on request content: every
+    /// failure mode is a typed [`WireError`] in the response body.
+    pub fn handle_request(&self, request: Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let id = request.id;
+        let body = match &request.body {
+            RequestBody::Stats => self.stats_reply(),
+            RequestBody::Shutdown => {
+                self.start_draining();
+                ResponseBody::Shutdown
+            }
+            _ if self.draining() => ResponseBody::Error(WireError::new(
+                ErrorKind::Shutdown,
+                "service is draining after a Shutdown request",
+            )),
+            RequestBody::Solve(solve) => {
+                let key = request_key(&request.body);
+                self.handle_solve(key, &solve.instance, &solve.policy)
+            }
+            RequestBody::Bracket(bracket) => {
+                let key = request_key(&request.body);
+                self.handle_bracket(key, &bracket.instance, &bracket.policy)
+            }
+            RequestBody::Measure(measure) => {
+                let key = request_key(&request.body);
+                self.handle_measure(key, measure)
+            }
+        };
+        if matches!(body, ResponseBody::Error(_)) {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Response { id, body }
+    }
+
+    /// Validates wire dimensions and builds the engine-side instance.
+    fn build_instance(
+        &self,
+        instance: &WireInstance,
+    ) -> Result<(EffectiveGame, LinkLoads), WireError> {
+        let users = instance.weights.len();
+        let links = instance.capacities.first().map_or(0, Vec::len);
+        if users > self.limits.max_users || links > self.limits.max_links {
+            return Err(WireError::new(
+                ErrorKind::Oversize,
+                format!(
+                    "instance {users}x{links} exceeds the {}x{} cap",
+                    self.limits.max_users, self.limits.max_links
+                ),
+            ));
+        }
+        if instance.capacities.len() != users {
+            return Err(WireError::new(
+                ErrorKind::InvalidRequest,
+                format!(
+                    "{} capacity rows for {} weights",
+                    instance.capacities.len(),
+                    users
+                ),
+            ));
+        }
+        let game = EffectiveGame::from_rows(instance.weights.clone(), instance.capacities.clone())
+            .map_err(|e| WireError::new(ErrorKind::InvalidRequest, e.to_string()))?;
+        let initial = match &instance.initial {
+            None => LinkLoads::zero(game.links()),
+            Some(loads) => LinkLoads::new(loads.clone())
+                .map_err(|e| WireError::new(ErrorKind::InvalidRequest, e.to_string()))?,
+        };
+        if initial.links() != game.links() {
+            return Err(WireError::new(
+                ErrorKind::InvalidRequest,
+                format!(
+                    "{} initial loads for {} links",
+                    initial.links(),
+                    game.links()
+                ),
+            ));
+        }
+        Ok((game, initial))
+    }
+
+    fn eval_ctx<'a>(&'a self, game: &'a EffectiveGame, initial: &'a LinkLoads) -> EvalCtx<'a> {
+        EvalCtx {
+            game,
+            initial,
+            solve_cache: &self.solve_cache,
+            opt_cache: &self.opt_cache,
+            base_solver: self.base_solver,
+            base_opt: self.base_opt,
+        }
+    }
+
+    fn handle_solve(
+        &self,
+        key: String,
+        instance: &WireInstance,
+        policy: &crate::policy::Policy,
+    ) -> ResponseBody {
+        if let Err(err) = policy::validate(policy, PolicyMode::Solve) {
+            return ResponseBody::Error(err);
+        }
+        let (game, initial) = match self.build_instance(instance) {
+            Ok(built) => built,
+            Err(err) => return ResponseBody::Error(err),
+        };
+        match policy::eval_solve(policy, &self.eval_ctx(&game, &initial), None) {
+            Ok(SolveEval::Done(solved)) => ResponseBody::Solve(wire_solve_reply(key, &solved)),
+            Ok(SolveEval::Deadline) => {
+                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                ResponseBody::Solve(deadline_solve_reply(key))
+            }
+            Err(err) => ResponseBody::Error(err),
+        }
+    }
+
+    fn handle_bracket(
+        &self,
+        key: String,
+        instance: &WireInstance,
+        policy: &crate::policy::Policy,
+    ) -> ResponseBody {
+        if let Err(err) = policy::validate(policy, PolicyMode::Bracket) {
+            return ResponseBody::Error(err);
+        }
+        let (game, initial) = match self.build_instance(instance) {
+            Ok(built) => built,
+            Err(err) => return ResponseBody::Error(err),
+        };
+        match policy::eval_bracket(policy, &self.eval_ctx(&game, &initial), None) {
+            Ok(BracketEval::Done(done)) => {
+                ResponseBody::Bracket(wire_bracket_reply(key, &done.outcome))
+            }
+            Ok(BracketEval::Deadline) => {
+                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                ResponseBody::Bracket(BracketReply {
+                    key,
+                    outcome: BracketOutcome::DeadlineExceeded,
+                })
+            }
+            Err(err) => ResponseBody::Error(err),
+        }
+    }
+
+    fn handle_measure(
+        &self,
+        key: String,
+        measure: &crate::protocol::MeasureRequest,
+    ) -> ResponseBody {
+        if let Err(err) = policy::validate(&measure.policy, PolicyMode::Bracket) {
+            return ResponseBody::Error(err);
+        }
+        let (game, initial) = match self.build_instance(&measure.instance) {
+            Ok(built) => built,
+            Err(err) => return ResponseBody::Error(err),
+        };
+        let pure = PureProfile::new(measure.profile.clone());
+        if let Err(e) = pure.validate(&game) {
+            return ResponseBody::Error(WireError::new(ErrorKind::InvalidRequest, e.to_string()));
+        }
+        let profile = MixedProfile::from_pure(&pure, game.links());
+        match policy::eval_bracket(&measure.policy, &self.eval_ctx(&game, &initial), None) {
+            Ok(BracketEval::Done(done)) => {
+                let cost1 = sc1(&game, &profile);
+                let cost2 = sc2(&game, &profile);
+                let cr1 = match ratio_bracket(cost1, &done.outcome.opt1, "OPT1") {
+                    Ok(cr) => cr,
+                    Err(e) => return ResponseBody::Error(WireError::engine(&e)),
+                };
+                let cr2 = match ratio_bracket(cost2, &done.outcome.opt2, "OPT2") {
+                    Ok(cr) => cr,
+                    Err(e) => return ResponseBody::Error(WireError::engine(&e)),
+                };
+                ResponseBody::Measure(MeasureReply {
+                    key,
+                    outcome: MeasureOutcome::Report(wire_cost_report(
+                        cost1,
+                        cost2,
+                        &done.outcome,
+                        &cr1,
+                        &cr2,
+                    )),
+                })
+            }
+            Ok(BracketEval::Deadline) => {
+                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+                ResponseBody::Measure(MeasureReply {
+                    key,
+                    outcome: MeasureOutcome::DeadlineExceeded,
+                })
+            }
+            Err(err) => ResponseBody::Error(err),
+        }
+    }
+
+    fn stats_reply(&self) -> ResponseBody {
+        let solve = self.solve_cache.stats();
+        let opt = self.opt_cache.stats();
+        ResponseBody::Stats(StatsReply {
+            solve_cache: WireCacheStats {
+                hits: solve.hits,
+                misses: solve.misses,
+                entries: solve.entries,
+                evictions: solve.evictions,
+                capacity: self.solve_cache.capacity() as u64,
+            },
+            opt_cache: WireCacheStats {
+                hits: opt.hits,
+                misses: opt.misses,
+                entries: opt.entries,
+                evictions: opt.evictions,
+                capacity: self.opt_cache.capacity() as u64,
+            },
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+        })
+    }
+}

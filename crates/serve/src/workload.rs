@@ -1,0 +1,175 @@
+//! Deterministic mixed workloads for the harness, the integration tests,
+//! and the round-trip benchmark.
+//!
+//! Everything here is seeded: the same `(seed, index)` pair always
+//! produces the same request, so a workload can be generated on both
+//! sides of a socket (driver and replayer) without shipping it.
+
+use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
+use netuncert_core::prelude::EffectiveGame;
+
+use crate::policy::{BracketLeaf, Policy, SolveLeaf};
+use crate::protocol::{
+    BracketRequest, MeasureRequest, Request, RequestBody, SolveRequest, WireInstance,
+};
+
+/// Distinct instance shapes a mixed workload cycles through. Kept small so
+/// that duplicate requests (warm-tier hits) occur naturally.
+const SHAPES: &[(usize, usize)] = &[(4, 3), (6, 3), (8, 4), (5, 2), (12, 4), (10, 3)];
+
+/// A deterministic random instance in wire form: `users`×`links`, general
+/// (fully user-specific) capacities, skewed traffics.
+pub fn wire_instance(users: usize, links: usize, seed: u64) -> WireInstance {
+    let spec = EffectiveSpec::General {
+        users,
+        links,
+        capacity: CapacityDist::Uniform { lo: 4.0, hi: 32.0 },
+        weights: WeightDist::Skewed {
+            lo: 1.0,
+            doublings: 3.0,
+        },
+    };
+    let game = spec.generate(&mut instance_gen::rng(seed, 0));
+    from_game(&game)
+}
+
+/// Converts an engine-side game into its wire form (no initial loads).
+pub fn from_game(game: &EffectiveGame) -> WireInstance {
+    let capacities = (0..game.users())
+        .map(|u| (0..game.links()).map(|l| game.capacity(u, l)).collect())
+        .collect();
+    WireInstance {
+        weights: game.weights().to_vec(),
+        capacities,
+        initial: None,
+    }
+}
+
+/// The default solve policy a workload uses: the engine's full paper-order
+/// walk, expressed as a single leaf.
+pub fn default_solve_policy() -> Policy {
+    Policy::Solve(SolveLeaf {
+        solvers: vec![
+            "two_links".into(),
+            "symmetric".into(),
+            "uniform".into(),
+            "best_response".into(),
+            "local_search".into(),
+            "exhaustive".into(),
+        ],
+        restarts: None,
+        max_steps: None,
+    })
+}
+
+/// A race between the two iterative solvers, falling back to exhaustive.
+pub fn race_policy() -> Policy {
+    Policy::Fallback(vec![
+        Policy::Race(vec![
+            Policy::Solve(SolveLeaf {
+                solvers: vec!["best_response".into()],
+                restarts: None,
+                max_steps: None,
+            }),
+            Policy::Solve(SolveLeaf {
+                solvers: vec!["local_search".into()],
+                restarts: None,
+                max_steps: None,
+            }),
+        ]),
+        Policy::Solve(SolveLeaf {
+            solvers: vec!["exhaustive".into()],
+            restarts: None,
+            max_steps: None,
+        }),
+    ])
+}
+
+/// The default bracket policy: cheap bounds first, widening to exact
+/// backends only if the goal is unmet.
+pub fn default_bracket_policy() -> Policy {
+    Policy::Fallback(vec![
+        Policy::Bracket(BracketLeaf {
+            backends: vec!["lpt".into(), "relaxation".into()],
+            width_goal: Some(1.5),
+        }),
+        Policy::Bracket(BracketLeaf {
+            backends: vec!["branch_and_bound".into(), "exhaustive".into()],
+            width_goal: None,
+        }),
+    ])
+}
+
+/// The `index`-th request of the deterministic mixed workload for `seed`.
+///
+/// The mix cycles Solve (plain and racing), Bracket, and Measure over a
+/// small pool of instance shapes; every 5th request reuses the previous
+/// instance so the warm tier sees genuine duplicates.
+pub fn mixed_request(seed: u64, index: usize) -> Request {
+    let dup = index % 5 == 4 && index > 0;
+    // A duplicate replays the previous request verbatim (same instance AND
+    // same verb/policy), so the warm tier sees true repeat keys.
+    let inst_index = if dup { index - 1 } else { index };
+    let (users, links) = SHAPES[inst_index % SHAPES.len()];
+    // A small pool of instance seeds keeps repeats frequent.
+    let inst_seed = seed.wrapping_add((inst_index % 17) as u64);
+    let instance = wire_instance(users, links, inst_seed);
+    let body = match inst_index % 4 {
+        0 => RequestBody::Solve(SolveRequest {
+            instance,
+            policy: default_solve_policy(),
+        }),
+        1 => RequestBody::Bracket(BracketRequest {
+            instance,
+            policy: default_bracket_policy(),
+        }),
+        2 => RequestBody::Solve(SolveRequest {
+            instance,
+            policy: race_policy(),
+        }),
+        _ => {
+            // Everyone on link 0 is always a valid profile.
+            let profile = vec![0; users];
+            RequestBody::Measure(MeasureRequest {
+                instance,
+                profile,
+                policy: default_bracket_policy(),
+            })
+        }
+    };
+    Request {
+        id: (index + 1) as u64,
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workload_is_deterministic() {
+        let a = serde_json::to_string(&mixed_request(7, 3)).unwrap();
+        let b = serde_json::to_string(&mixed_request(7, 3)).unwrap();
+        assert_eq!(a, b);
+        let c = serde_json::to_string(&mixed_request(8, 3)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duplicate_requests_share_instances() {
+        // index 4 reuses index 3's instance (different body kinds allowed).
+        let r3 = mixed_request(1, 3);
+        let r4 = mixed_request(1, 4);
+        let inst = |r: &Request| match &r.body {
+            RequestBody::Solve(s) => s.instance.clone(),
+            RequestBody::Bracket(b) => b.instance.clone(),
+            RequestBody::Measure(m) => m.instance.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            serde_json::to_string(&inst(&r3)).unwrap(),
+            serde_json::to_string(&inst(&r4)).unwrap()
+        );
+    }
+}

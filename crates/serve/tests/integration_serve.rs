@@ -1,0 +1,225 @@
+//! End-to-end service tests: replay exactness under concurrency, warm-tier
+//! behaviour, deadline liveness, and graceful shutdown.
+
+use std::time::{Duration, Instant};
+
+use netuncert_serve::policy::{Policy, SolveLeaf, TimeoutPolicy};
+use netuncert_serve::protocol::{
+    Request, RequestBody, Response, ResponseBody, SolveOutcome, SolveRequest,
+};
+use netuncert_serve::replay::Replayer;
+use netuncert_serve::state::ServeConfig;
+use netuncert_serve::workload::{default_solve_policy, mixed_request, wire_instance};
+use netuncert_serve::{Client, Server};
+
+/// Binds an ephemeral service and returns (address, run-thread handle).
+fn start(
+    config: &ServeConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let response = client.call(RequestBody::Shutdown).expect("shutdown ack");
+    assert!(matches!(response.body, ResponseBody::Shutdown));
+}
+
+/// The acceptance gate: >= 100 mixed requests over >= 4 concurrent
+/// connections, every answer byte-identical to a direct engine call.
+#[test]
+fn served_answers_match_direct_engine_calls_byte_for_byte() {
+    let (addr, handle) = start(&ServeConfig::default());
+    const CONNECTIONS: usize = 4;
+    const REQUESTS: usize = 104;
+
+    let mut lanes = Vec::new();
+    for lane in 0..CONNECTIONS {
+        lanes.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut pairs = Vec::new();
+            for index in (lane..REQUESTS).step_by(CONNECTIONS) {
+                let line = serde_json::to_string(&mixed_request(77, index)).expect("serialise");
+                let response = client.call_line(&line).expect("response");
+                pairs.push((line, response));
+            }
+            pairs
+        }));
+    }
+    let mut pairs = Vec::new();
+    for lane in lanes {
+        pairs.extend(lane.join().expect("driver thread"));
+    }
+    assert_eq!(pairs.len(), REQUESTS);
+
+    let mut replayer = Replayer::new(&ServeConfig::default());
+    for (request, served) in &pairs {
+        if let Some(diff) = replayer.check(request, served) {
+            panic!("{diff}");
+        }
+    }
+    assert_eq!(replayer.checked(), REQUESTS);
+
+    // The workload repeats instances, so the shared warm tier must have hits.
+    let mut client = Client::connect(addr).expect("connect");
+    let response = client.call(RequestBody::Stats).expect("stats");
+    let ResponseBody::Stats(stats) = response.body else {
+        panic!("expected stats, got {response:?}");
+    };
+    assert!(
+        stats.solve_cache.hits > 0,
+        "expected warm-tier hits, got {stats:?}"
+    );
+    assert!(stats.requests >= REQUESTS as u64);
+
+    shutdown(addr);
+    handle.join().expect("server thread").expect("clean run");
+}
+
+/// A `Timeout` solve on a large instance returns a typed deadline result
+/// quickly, and does NOT block the pool: warm-tier requests on other
+/// connections keep answering while it runs.
+#[test]
+fn timeout_policy_yields_typed_deadline_without_blocking_the_pool() {
+    let (addr, handle) = start(&ServeConfig::default());
+
+    // Warm the tier with a small instance on its own connection.
+    let warm_line = serde_json::to_string(&Request {
+        id: 1,
+        body: RequestBody::Solve(SolveRequest {
+            instance: wire_instance(4, 3, 5),
+            policy: default_solve_policy(),
+        }),
+    })
+    .unwrap();
+    let mut warm_client = Client::connect(addr).expect("connect warm");
+    let warm_answer = warm_client.call_line(&warm_line).expect("warm solve");
+
+    // A local-search grind on a big instance under a 25 ms deadline: the
+    // restart budget alone would take far longer, so only the cooperative
+    // between-pass deadline check can stop it.
+    let grind = Request {
+        id: 2,
+        body: RequestBody::Solve(SolveRequest {
+            instance: wire_instance(512, 16, 6),
+            policy: Policy::Timeout(TimeoutPolicy {
+                ms: 25,
+                lower: Box::new(Policy::Solve(SolveLeaf {
+                    solvers: vec!["local_search".into()],
+                    restarts: Some(5_000_000),
+                    max_steps: None,
+                })),
+            }),
+        }),
+    };
+    let grind_line = serde_json::to_string(&grind).unwrap();
+    let grinder = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect grind");
+        let started = Instant::now();
+        let raw = client.call_line(&grind_line).expect("grind reply");
+        (raw, started.elapsed())
+    });
+
+    // While the grind occupies one worker, cached answers keep flowing.
+    let mut served_during = 0;
+    let window = Instant::now();
+    while window.elapsed() < Duration::from_millis(20) {
+        let again = warm_client.call_line(&warm_line).expect("warm repeat");
+        assert_eq!(again, warm_answer, "cache hit must replay the cold answer");
+        served_during += 1;
+    }
+    assert!(served_during > 0);
+
+    let (raw, elapsed) = grinder.join().expect("grind thread");
+    let response: Response = serde_json::from_str(&raw).expect("parse grind reply");
+    let ResponseBody::Solve(reply) = response.body else {
+        panic!("expected a solve reply, got {raw}");
+    };
+    assert_eq!(
+        reply.outcome,
+        SolveOutcome::DeadlineExceeded,
+        "the grind must hit its deadline"
+    );
+    // Cooperative cancellation is pass-granular: well under a second even
+    // though the budget was millions of restarts.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline took {elapsed:?} to fire"
+    );
+
+    shutdown(addr);
+    handle.join().expect("server thread").expect("clean run");
+}
+
+/// The pass-resumable stepped path must agree with the engine's own
+/// monolithic walk: a generous deadline changes nothing but the key.
+#[test]
+fn stepped_evaluation_matches_the_engine_walk() {
+    let (addr, handle) = start(&ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    for seed in [11, 12, 13, 14] {
+        let instance = wire_instance(8, 4, seed);
+        let direct = client
+            .call(RequestBody::Solve(SolveRequest {
+                instance: instance.clone(),
+                policy: default_solve_policy(),
+            }))
+            .expect("direct solve");
+        let stepped = client
+            .call(RequestBody::Solve(SolveRequest {
+                instance,
+                policy: Policy::Timeout(TimeoutPolicy {
+                    ms: 600_000,
+                    lower: Box::new(default_solve_policy()),
+                }),
+            }))
+            .expect("stepped solve");
+        let (ResponseBody::Solve(direct), ResponseBody::Solve(stepped)) =
+            (direct.body, stepped.body)
+        else {
+            panic!("expected solve replies");
+        };
+        // Keys hash the whole request body (policies differ); everything
+        // the engines produced must be identical.
+        assert_eq!(direct.outcome, stepped.outcome, "seed {seed}");
+        assert_eq!(direct.attempts, stepped.attempts, "seed {seed}");
+    }
+
+    shutdown(addr);
+    handle.join().expect("server thread").expect("clean run");
+}
+
+/// After a Shutdown ack, compute requests are refused with a typed error
+/// and the listener drains to a clean exit.
+#[test]
+fn draining_service_refuses_new_compute_requests() {
+    let (addr, handle) = start(&ServeConfig::default());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let response = client.call(RequestBody::Shutdown).expect("shutdown ack");
+    assert!(matches!(response.body, ResponseBody::Shutdown));
+
+    // The server is draining; a racing second connection either gets a
+    // typed Shutdown error or a refused/closed connection (also fine) —
+    // never a hang or an untyped failure.
+    if let Ok(mut late) = Client::connect(addr) {
+        if let Ok(response) = late.call(RequestBody::Solve(SolveRequest {
+            instance: wire_instance(4, 3, 9),
+            policy: default_solve_policy(),
+        })) {
+            let ResponseBody::Error(err) = response.body else {
+                panic!("draining service answered a compute request");
+            };
+            assert_eq!(err.kind, netuncert_serve::protocol::ErrorKind::Shutdown);
+        }
+    }
+
+    handle.join().expect("server thread").expect("clean run");
+}

@@ -1,0 +1,279 @@
+//! Malformed-wire-request tests: every bad input becomes a *typed*
+//! protocol error — the service never panics and (except for unframeable
+//! oversize lines) never drops the connection.
+
+use netuncert_serve::policy::{BracketLeaf, Policy, SolveLeaf, TimeoutPolicy};
+use netuncert_serve::protocol::{
+    ErrorKind, Request, RequestBody, Response, ResponseBody, SolveRequest, WireInstance,
+};
+use netuncert_serve::state::{ServeConfig, ServeState};
+use netuncert_serve::workload::{default_solve_policy, wire_instance};
+use netuncert_serve::{Client, Server};
+
+fn state() -> ServeState {
+    ServeState::new(&ServeConfig::default())
+}
+
+fn solve_request(id: u64, instance: WireInstance, policy: Policy) -> String {
+    let request = Request {
+        id,
+        body: RequestBody::Solve(SolveRequest { instance, policy }),
+    };
+    serde_json::to_string(&request).unwrap()
+}
+
+fn error_kind(line: &str) -> Option<(u64, ErrorKind)> {
+    let response: Response = serde_json::from_str(line).ok()?;
+    match response.body {
+        ResponseBody::Error(err) => Some((response.id, err.kind)),
+        _ => None,
+    }
+}
+
+#[test]
+fn truncated_json_yields_a_typed_parse_error() {
+    let state = state();
+    let full = solve_request(9, wire_instance(4, 3, 1), default_solve_policy());
+    for cut in [1, full.len() / 2, full.len() - 1] {
+        let line = &full[..cut];
+        let (id, kind) = error_kind(&state.handle_line(line))
+            .unwrap_or_else(|| panic!("no typed error for truncation at {cut}"));
+        // The id is unrecoverable from a broken line; the protocol pins 0.
+        assert_eq!(id, 0);
+        assert_eq!(kind, ErrorKind::Parse);
+    }
+}
+
+#[test]
+fn garbage_and_empty_lines_yield_parse_errors() {
+    let state = state();
+    for line in ["", "   ", "not json at all", "{\"id\":true}", "[1,2,3]"] {
+        let (_, kind) = error_kind(&state.handle_line(line))
+            .unwrap_or_else(|| panic!("no typed error for {line:?}"));
+        assert_eq!(kind, ErrorKind::Parse);
+    }
+}
+
+#[test]
+fn unknown_solver_ids_yield_unknown_policy() {
+    let state = state();
+    let policy = Policy::Solve(SolveLeaf {
+        solvers: vec!["gradient_descent".into()],
+        restarts: None,
+        max_steps: None,
+    });
+    let line = solve_request(3, wire_instance(4, 3, 1), policy);
+    let (id, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(id, 3);
+    assert_eq!(kind, ErrorKind::UnknownPolicy);
+}
+
+#[test]
+fn unknown_bracket_backends_yield_unknown_policy() {
+    let state = state();
+    let request = Request {
+        id: 4,
+        body: RequestBody::Bracket(netuncert_serve::protocol::BracketRequest {
+            instance: wire_instance(4, 3, 1),
+            policy: Policy::Bracket(BracketLeaf {
+                backends: vec!["simulated_annealing".into()],
+                width_goal: None,
+            }),
+        }),
+    };
+    let line = serde_json::to_string(&request).unwrap();
+    let (_, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(kind, ErrorKind::UnknownPolicy);
+}
+
+#[test]
+fn zero_and_negative_deadlines_yield_invalid_deadline() {
+    let state = state();
+    for ms in [0i64, -1, -5_000] {
+        let policy = Policy::Timeout(TimeoutPolicy {
+            ms,
+            lower: Box::new(default_solve_policy()),
+        });
+        let line = solve_request(7, wire_instance(4, 3, 1), policy);
+        let (id, kind) = error_kind(&state.handle_line(&line))
+            .unwrap_or_else(|| panic!("no typed error for ms={ms}"));
+        assert_eq!(id, 7);
+        assert_eq!(kind, ErrorKind::InvalidDeadline);
+    }
+}
+
+#[test]
+fn oversize_instances_yield_oversize() {
+    let state = state();
+    let limits = state.limits();
+    // One user too many.
+    let users = limits.max_users + 1;
+    let instance = WireInstance {
+        weights: vec![1.0; users],
+        capacities: vec![vec![10.0, 20.0]; users],
+        initial: None,
+    };
+    let line = solve_request(11, instance, default_solve_policy());
+    let (id, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(id, 11);
+    assert_eq!(kind, ErrorKind::Oversize);
+
+    // One link too many.
+    let links = limits.max_links + 1;
+    let instance = WireInstance {
+        weights: vec![1.0; 2],
+        capacities: vec![vec![10.0; links]; 2],
+        initial: None,
+    };
+    let line = solve_request(12, instance, default_solve_policy());
+    let (_, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(kind, ErrorKind::Oversize);
+}
+
+#[test]
+fn invalid_instances_yield_invalid_request_not_panics() {
+    let state = state();
+    let cases: Vec<WireInstance> = vec![
+        // Negative weight.
+        WireInstance {
+            weights: vec![1.0, -2.0],
+            capacities: vec![vec![10.0, 20.0]; 2],
+            initial: None,
+        },
+        // NaN capacity.
+        WireInstance {
+            weights: vec![1.0, 2.0],
+            capacities: vec![vec![10.0, f64::NAN], vec![10.0, 20.0]],
+            initial: None,
+        },
+        // Row-count mismatch.
+        WireInstance {
+            weights: vec![1.0, 2.0, 3.0],
+            capacities: vec![vec![10.0, 20.0]; 2],
+            initial: None,
+        },
+        // Initial-loads length mismatch.
+        WireInstance {
+            weights: vec![1.0, 2.0],
+            capacities: vec![vec![10.0, 20.0]; 2],
+            initial: Some(vec![0.0, 0.0, 0.0]),
+        },
+    ];
+    for (i, instance) in cases.into_iter().enumerate() {
+        let line = solve_request(20 + i as u64, instance, default_solve_policy());
+        let (_, kind) = error_kind(&state.handle_line(&line))
+            .unwrap_or_else(|| panic!("case {i}: no typed error"));
+        assert_eq!(kind, ErrorKind::InvalidRequest, "case {i}");
+    }
+}
+
+#[test]
+fn bad_width_goals_yield_invalid_request() {
+    // width_goal <= 1.0 or non-finite would panic inside OptEngine if it
+    // were not pre-validated at the protocol boundary. Non-finite goals
+    // cannot travel as JSON numbers (they serialise as null), so they are
+    // exercised through the typed in-process entry point instead.
+    let state = state();
+    for goal in [1.0, 0.5, -3.0, f64::NAN, f64::INFINITY] {
+        let request = Request {
+            id: 30,
+            body: RequestBody::Bracket(netuncert_serve::protocol::BracketRequest {
+                instance: wire_instance(4, 3, 1),
+                policy: Policy::Bracket(BracketLeaf {
+                    backends: vec!["lpt".into()],
+                    width_goal: Some(goal),
+                }),
+            }),
+        };
+        let response = state.handle_request(request);
+        let ResponseBody::Error(err) = response.body else {
+            panic!("no typed error for width_goal={goal}");
+        };
+        assert_eq!(err.kind, ErrorKind::InvalidRequest, "width_goal={goal}");
+    }
+}
+
+#[test]
+fn mode_mismatched_and_malformed_trees_yield_typed_errors() {
+    let state = state();
+    // A Bracket leaf under a Solve request.
+    let policy = Policy::Bracket(BracketLeaf {
+        backends: vec!["lpt".into()],
+        width_goal: None,
+    });
+    let line = solve_request(40, wire_instance(4, 3, 1), policy);
+    let (_, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(kind, ErrorKind::InvalidRequest);
+
+    // Empty Fallback.
+    let line = solve_request(41, wire_instance(4, 3, 1), Policy::Fallback(vec![]));
+    let (_, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(kind, ErrorKind::InvalidRequest);
+
+    // Nesting beyond MAX_POLICY_DEPTH.
+    let mut deep = default_solve_policy();
+    for _ in 0..netuncert_serve::policy::MAX_POLICY_DEPTH + 1 {
+        deep = Policy::Fallback(vec![deep]);
+    }
+    let line = solve_request(42, wire_instance(4, 3, 1), deep);
+    let (_, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+    assert_eq!(kind, ErrorKind::InvalidRequest);
+}
+
+/// The socket-level guarantee: a connection that sent garbage keeps
+/// working — the typed error is written and the next request answers.
+#[test]
+fn a_connection_survives_malformed_requests() {
+    let server = Server::bind("127.0.0.1:0", &ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connect");
+    // Garbage first.
+    let raw = client
+        .call_line("{\"id\": 5, \"body\"")
+        .expect("typed reply");
+    let (_, kind) = error_kind(&raw).expect("typed error");
+    assert_eq!(kind, ErrorKind::Parse);
+    // Same connection still serves a real request.
+    let response = client
+        .call(RequestBody::Solve(SolveRequest {
+            instance: wire_instance(4, 3, 1),
+            policy: default_solve_policy(),
+        }))
+        .expect("solve reply");
+    assert!(matches!(response.body, ResponseBody::Solve(_)));
+    // And still reports stats.
+    let response = client.call(RequestBody::Stats).expect("stats reply");
+    assert!(matches!(response.body, ResponseBody::Stats(_)));
+
+    // Shut the service down so the server thread joins.
+    let response = client.call(RequestBody::Shutdown).expect("shutdown ack");
+    assert!(matches!(response.body, ResponseBody::Shutdown));
+    handle.join().expect("server thread").expect("clean run");
+}
+
+/// An unframeably long line gets a typed Oversize error before the
+/// connection closes; other connections are unaffected.
+#[test]
+fn oversize_lines_get_a_typed_error_then_close() {
+    let server = Server::bind("127.0.0.1:0", &ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let state = server.state();
+    let handle = std::thread::spawn(move || server.run());
+
+    let max = state.limits().max_line_bytes;
+    let mut client = Client::connect(addr).expect("connect");
+    let huge = "x".repeat(max + 16);
+    let raw = client.call_line(&huge).expect("typed reply before close");
+    let (_, kind) = error_kind(&raw).expect("typed error");
+    assert_eq!(kind, ErrorKind::Oversize);
+
+    // A *new* connection still works.
+    let mut fresh = Client::connect(addr).expect("reconnect");
+    let response = fresh.call(RequestBody::Stats).expect("stats reply");
+    assert!(matches!(response.body, ResponseBody::Stats(_)));
+    let response = fresh.call(RequestBody::Shutdown).expect("shutdown ack");
+    assert!(matches!(response.body, ResponseBody::Shutdown));
+    handle.join().expect("server thread").expect("clean run");
+}
