@@ -1,16 +1,25 @@
 //! Service round-trip cost — what a resident `netuncert_serve` instance
 //! adds on top of (and saves over) direct engine calls.
 //!
-//! Two axes: instance size (n ∈ {32, 512}) and warm-tier state. A *warm*
-//! round trip hits the shared LRU cache, so its time is pure service
-//! overhead (framing + JSON + socket + pool hop). A *cold* round trip is
-//! measured against a zero-capacity cache (an LRU with capacity 0 admits
-//! nothing), so every request pays the full engine walk through the same
-//! wire path — the honest per-request cost of a cache-defeating workload.
+//! Three axes: instance size (n ∈ {32, 512}), warm-tier state, and wire
+//! framing. A *warm* round trip hits the shared LRU cache, so its time is
+//! pure service overhead (framing + JSON + socket + pool hop). A *cold*
+//! round trip is measured against a zero-capacity cache (an LRU with
+//! capacity 0 admits nothing), so every request pays the full engine walk
+//! through the same wire path — the honest per-request cost of a
+//! cache-defeating workload. The `*_binary` rows repeat warm and cold
+//! over the length-prefixed binary framing ([`netuncert_serve::frame`]),
+//! with the request pre-encoded — the same transport-level measurement as
+//! the JSON rows' pre-serialised line.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::io::Write;
+use std::net::TcpStream;
 
+use serde::Serialize;
+
+use netuncert_serve::frame;
 use netuncert_serve::protocol::{Request, RequestBody, SolveRequest};
 use netuncert_serve::state::ServeConfig;
 use netuncert_serve::workload::{default_solve_policy, from_game};
@@ -35,15 +44,34 @@ fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<()>) {
     handle.join().expect("server thread");
 }
 
-fn solve_line(users: usize, links: usize, seed: u64) -> String {
-    let request = Request {
+fn solve_request(users: usize, links: usize, seed: u64) -> Request {
+    Request {
         id: 1,
         body: RequestBody::Solve(SolveRequest {
             instance: from_game(&general_instance(users, links, seed)),
             policy: default_solve_policy(),
         }),
-    };
-    serde_json::to_string(&request).expect("serialise")
+    }
+}
+
+fn solve_line(users: usize, links: usize, seed: u64) -> String {
+    serde_json::to_string(&solve_request(users, links, seed)).expect("serialise")
+}
+
+/// Opens a binary-framed connection: magic byte first, frames after.
+fn binary_pipe(addr: std::net::SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .write_all(&[frame::BINARY_MAGIC])
+        .expect("negotiate binary framing");
+    stream
+}
+
+/// One pre-encoded request frame out, one response frame back.
+fn binary_roundtrip(stream: &mut TcpStream, payload: &[u8]) -> Vec<u8> {
+    frame::write_frame(stream, payload).expect("send frame");
+    frame::read_frame(stream, 1 << 20).expect("receive frame")
 }
 
 fn bench_serve_roundtrip(c: &mut Criterion) {
@@ -80,6 +108,35 @@ fn bench_serve_roundtrip(c: &mut Criterion) {
                 b.iter(|| black_box(client.call_line(black_box(&line)).expect("cold solve")))
             });
             drop(client);
+            shutdown(addr, handle);
+        }
+
+        // The binary framing over the same warm/cold splits: identical
+        // requests, identical decoded answers, compact frames.
+        {
+            let (addr, handle) = start(&ServeConfig::default());
+            let mut pipe = binary_pipe(addr);
+            let payload = frame::encode_value(&solve_request(users, links, 7).to_value());
+            binary_roundtrip(&mut pipe, &payload); // seed the warm tier
+            group.bench_with_input(BenchmarkId::new("warm_binary", users), &users, |b, _| {
+                b.iter(|| black_box(binary_roundtrip(&mut pipe, black_box(&payload))))
+            });
+            drop(pipe);
+            shutdown(addr, handle);
+        }
+        {
+            let cold = ServeConfig {
+                solve_cache_capacity: 0,
+                opt_cache_capacity: 0,
+                ..ServeConfig::default()
+            };
+            let (addr, handle) = start(&cold);
+            let mut pipe = binary_pipe(addr);
+            let payload = frame::encode_value(&solve_request(users, links, 7).to_value());
+            group.bench_with_input(BenchmarkId::new("cold_binary", users), &users, |b, _| {
+                b.iter(|| black_box(binary_roundtrip(&mut pipe, black_box(&payload))))
+            });
+            drop(pipe);
             shutdown(addr, handle);
         }
 

@@ -142,8 +142,8 @@ pub mod prelude {
     };
     pub use crate::numeric::Tolerance;
     pub use crate::opt::{
-        OptBackendKind, OptBracket, OptCache, OptConfig, OptEngine, OptEstimator, OptMethod,
-        OptOutcome,
+        OptBackendKind, OptBracket, OptCache, OptCheckpoint, OptConfig, OptEngine, OptEstimator,
+        OptMethod, OptOutcome, OptRun,
     };
     pub use crate::social_cost::{
         checked_ratio, cr_bound_general, cr_bound_uniform_beliefs, measure, measure_bracketed,

@@ -20,7 +20,7 @@
 
 use crate::error::Result;
 use crate::model::EffectiveGame;
-use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::opt::engine::{OptCheckpoint, OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::social_cost::{pure_sc1, pure_sc2};
 use crate::solvers::engine::Applicability;
 use crate::solvers::local_search::lpt_greedy_profile;
@@ -46,6 +46,11 @@ struct SearchResult {
 /// rounding (≪ 1e-12 relative) can never prune the optimal leaf.
 const PRUNE_MARGIN: f64 = 1e-9;
 
+/// How many nodes a search expands between deadline polls: cheap enough to
+/// be invisible (one modulo per node), frequent enough that a fired
+/// deadline stops the search within microseconds.
+const CHECK_EVERY_NODES: u64 = 4096;
+
 struct Search<'a> {
     game: &'a EffectiveGame,
     initial: &'a LinkLoads,
@@ -53,6 +58,10 @@ struct Search<'a> {
     /// Users in decreasing weight order (the branching order).
     order: &'a [usize],
     node_limit: u64,
+    /// Cooperative deadline; an expiry behaves exactly like an exhausted
+    /// node budget (incumbent kept, exactness cleared).
+    check: OptCheckpoint<'a>,
+    expired: bool,
     nodes: u64,
     /// Current per-link loads (initial plus assigned users).
     loads: Vec<f64>,
@@ -110,6 +119,11 @@ impl Search<'_> {
             self.complete = false;
             return;
         }
+        if self.nodes.is_multiple_of(CHECK_EVERY_NODES) && self.check.expired() {
+            self.expired = true;
+            self.complete = false;
+            return;
+        }
         self.nodes += 1;
         if depth == self.order.len() {
             let profile = PureProfile::new(self.choices.clone());
@@ -149,7 +163,7 @@ impl Search<'_> {
             self.inv_caps[link] -= inv;
             self.loads[link] -= w;
             self.choices[user] = usize::MAX;
-            if self.nodes >= self.node_limit {
+            if self.nodes >= self.node_limit || self.expired {
                 self.complete = false;
                 return;
             }
@@ -163,6 +177,7 @@ fn search(
     objective: Objective,
     node_limit: u64,
     seed_profile: &PureProfile,
+    check: OptCheckpoint<'_>,
 ) -> SearchResult {
     let mut order: Vec<usize> = (0..game.users()).collect();
     order.sort_by(|&a, &b| {
@@ -181,6 +196,8 @@ fn search(
         objective,
         order: &order,
         node_limit,
+        check,
+        expired: false,
         nodes: 0,
         loads: initial.as_slice().to_vec(),
         inv_caps: vec![0.0; game.links()],
@@ -221,15 +238,35 @@ impl OptEstimator for BranchAndBound {
         }
     }
 
-    fn estimate(
+    // An expired checkpoint behaves like an exhausted node budget: each
+    // search keeps its incumbent (a real assignment's cost, hence a
+    // certified upper bound) and clears the exactness flag. A deadline that
+    // fires during the sum search leaves the max search to return its seed
+    // incumbent almost immediately.
+    fn estimate_under(
         &self,
         game: &EffectiveGame,
         initial: &LinkLoads,
         config: &OptConfig,
+        check: OptCheckpoint<'_>,
     ) -> Result<OptEstimate> {
         let seed = lpt_greedy_profile(game, initial);
-        let sum = search(game, initial, Objective::Sum, config.node_limit, &seed);
-        let max = search(game, initial, Objective::Max, config.node_limit, &seed);
+        let sum = search(
+            game,
+            initial,
+            Objective::Sum,
+            config.node_limit,
+            &seed,
+            check,
+        );
+        let max = search(
+            game,
+            initial,
+            Objective::Max,
+            config.node_limit,
+            &seed,
+            check,
+        );
         Ok(OptEstimate {
             opt1_lower: sum.complete.then_some(sum.best),
             opt1_upper: Some(sum.best),
@@ -293,6 +330,29 @@ mod tests {
             ..OptConfig::default()
         };
         let estimate = BranchAndBound.estimate(&game, &initial, &config).unwrap();
+        assert!(!estimate.opt1_exact && !estimate.opt2_exact);
+        assert!(estimate.opt1_lower.is_none() && estimate.opt2_lower.is_none());
+        let exact = social_optimum(&game, &initial, 1_000_000).unwrap();
+        assert!(estimate.opt1_upper.unwrap() >= exact.opt1 - 1e-12);
+        assert!(estimate.opt2_upper.unwrap() >= exact.opt2 - 1e-12);
+    }
+
+    #[test]
+    fn an_expired_checkpoint_degrades_like_an_exhausted_budget() {
+        let game = random_game(12, 3, 10);
+        let initial = LinkLoads::zero(3);
+        let expired = || true;
+        let estimate = BranchAndBound
+            .estimate_under(
+                &game,
+                &initial,
+                &OptConfig::default(),
+                OptCheckpoint::new(&expired),
+            )
+            .unwrap();
+        // Both searches abort on their first poll: the seed incumbent (the
+        // LPT profile's cost) survives as a certified upper bound, nothing
+        // is exact, and no lower bound is claimed.
         assert!(!estimate.opt1_exact && !estimate.opt2_exact);
         assert!(estimate.opt1_lower.is_none() && estimate.opt2_lower.is_none());
         let exact = social_optimum(&game, &initial, 1_000_000).unwrap();

@@ -115,7 +115,7 @@ fn method_tag(method: OptMethod) -> u8 {
 /// canonicalised bit patterns of the instance itself ([`canonical_bits`]
 /// folds `±0.0` and NaN payloads together, so semantically identical
 /// instances always share a key).
-pub(crate) fn canonical_key(
+pub fn canonical_key(
     methods: &[OptMethod],
     config: &OptConfig,
     game: &EffectiveGame,

@@ -28,7 +28,7 @@
 use crate::error::Result;
 use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
-use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::opt::engine::{OptCheckpoint, OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::opt::greedy;
 use crate::social_cost::{pure_sc1, pure_sc2};
 use crate::solvers::engine::Applicability;
@@ -308,11 +308,17 @@ impl OptEstimator for Descent {
         Applicability::Heuristic
     }
 
-    fn estimate(
+    // The deadline is polled between restarts and between the two descent
+    // phases inside one. The first restart always evaluates its start
+    // profile (one cheap O(nm) pass), so even an instantly-expired
+    // checkpoint returns certified finite upper bounds — every bound here
+    // is a real profile's cost.
+    fn estimate_under(
         &self,
         game: &EffectiveGame,
         initial: &LinkLoads,
         config: &OptConfig,
+        check: OptCheckpoint<'_>,
     ) -> Result<OptEstimate> {
         let budget = config.max_moves;
         let restarts = config.restarts.max(1);
@@ -329,14 +335,23 @@ impl OptEstimator for Descent {
             if total_moves >= budget && restart > 0 {
                 break;
             }
+            if upper1.is_finite() && check.expired() {
+                break;
+            }
             let mut profile = start_profile(&portfolio, game.links(), restart, config.opt_seed);
             upper1 = upper1.min(pure_sc1(game, &profile, initial));
             upper2 = upper2.min(pure_sc2(game, &profile, initial));
+            if check.expired() {
+                break;
+            }
             let slice = per_restart.min(budget.saturating_sub(total_moves).max(1));
             total_moves +=
                 descend_sc1(view, initial, &mut profile, config.tol, slice, &mut scratch);
             upper1 = upper1.min(pure_sc1(game, &profile, initial));
             upper2 = upper2.min(pure_sc2(game, &profile, initial));
+            if check.expired() {
+                break;
+            }
             // Refine the balanced profile for the max objective.
             let slice = per_restart.min(budget.saturating_sub(total_moves).max(1));
             total_moves +=
@@ -407,6 +422,36 @@ mod tests {
         assert!(width1 >= 1.0 && width2 >= 1.0);
         assert!(width1 <= 1.5, "OPT1 bracket too loose: {width1}");
         assert!(width2 <= 1.5, "OPT2 bracket too loose: {width2}");
+    }
+
+    #[test]
+    fn an_expired_checkpoint_still_returns_finite_certified_uppers() {
+        let game = random_game(64, 6, 21);
+        let initial = LinkLoads::zero(6);
+        let expired = || true;
+        let estimate = Descent
+            .estimate_under(
+                &game,
+                &initial,
+                &OptConfig::default(),
+                OptCheckpoint::new(&expired),
+            )
+            .unwrap();
+        // The first restart's start-profile evaluation always happens, so
+        // the uppers are finite real-profile costs even with no descent.
+        let full = Descent
+            .estimate(&game, &initial, &OptConfig::default())
+            .unwrap();
+        let u1 = estimate.opt1_upper.unwrap();
+        let u2 = estimate.opt2_upper.unwrap();
+        assert!(u1.is_finite() && u2.is_finite());
+        assert!(u1 >= full.opt1_upper.unwrap() - 1e-12);
+        assert!(u2 >= full.opt2_upper.unwrap() - 1e-12);
+        assert_eq!(
+            estimate.iterations,
+            Some(0),
+            "no moves under an expired deadline"
+        );
     }
 
     #[test]

@@ -274,6 +274,50 @@ impl OptEstimate {
     }
 }
 
+/// A cooperative cancellation token threaded through the estimators.
+///
+/// The engine and the long-running backends poll [`expired`]
+/// (`OptCheckpoint::expired`) between units of work — estimators in the
+/// engine walk, restarts and phases inside [`Descent`], bisection steps
+/// inside [`Relaxation`], node batches inside [`BranchAndBound`] — and stop
+/// early when it fires, keeping every bound already merged *certified*: an
+/// interrupted run degrades to a looser bracket, never to a wrong one.
+///
+/// [`OptCheckpoint::never`] is free (a `None` branch, no clock reads), so
+/// undeadlined estimates are bit-identical with and without the plumbing.
+#[derive(Clone, Copy)]
+pub struct OptCheckpoint<'a> {
+    check: Option<&'a dyn Fn() -> bool>,
+}
+
+impl<'a> OptCheckpoint<'a> {
+    /// The checkpoint that never fires — the default for batch callers.
+    pub fn never() -> Self {
+        OptCheckpoint { check: None }
+    }
+
+    /// A checkpoint backed by `check`; the estimate stops between work
+    /// units once it returns `true` (it is polled repeatedly and should be
+    /// cheap — typically an `Instant` comparison).
+    pub fn new(check: &'a dyn Fn() -> bool) -> Self {
+        OptCheckpoint { check: Some(check) }
+    }
+
+    /// Whether the deadline has fired. Always `false` for
+    /// [`OptCheckpoint::never`].
+    pub fn expired(&self) -> bool {
+        self.check.is_some_and(|check| check())
+    }
+}
+
+impl std::fmt::Debug for OptCheckpoint<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptCheckpoint")
+            .field("armed", &self.check.is_some())
+            .finish()
+    }
+}
+
 /// One social-optimum estimation algorithm viewed as an engine component.
 ///
 /// Implementations must be stateless and deterministic: everything they
@@ -281,7 +325,8 @@ impl OptEstimate {
 /// so brackets are bit-identical across threads and shards. Every bound an
 /// estimator returns must be *certified*: upper bounds by exhibiting an
 /// actual assignment's cost, lower bounds by a relaxation argument that
-/// holds for every assignment.
+/// holds for every assignment — including every bound returned after a
+/// checkpoint interrupt.
 pub trait OptEstimator: Send + Sync {
     /// The method tag this estimator reports in telemetry and cache keys.
     fn method(&self) -> OptMethod;
@@ -296,7 +341,7 @@ pub trait OptEstimator: Send + Sync {
         config: &OptConfig,
     ) -> Applicability;
 
-    /// Runs the estimator. Only called when
+    /// Runs the estimator to completion (no deadline). Only called when
     /// [`applicability`](OptEstimator::applicability) did not return
     /// [`Applicability::NotApplicable`].
     fn estimate(
@@ -304,6 +349,21 @@ pub trait OptEstimator: Send + Sync {
         game: &EffectiveGame,
         initial: &LinkLoads,
         config: &OptConfig,
+    ) -> Result<OptEstimate> {
+        self.estimate_under(game, initial, config, OptCheckpoint::never())
+    }
+
+    /// Runs the estimator under a cooperative deadline. Iterative backends
+    /// poll `check` between work units and return their certified
+    /// best-so-far early when it fires; closed-form or atomic backends may
+    /// ignore it. With [`OptCheckpoint::never`] this must be bit-identical
+    /// to the undeadlined run.
+    fn estimate_under(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        config: &OptConfig,
+        check: OptCheckpoint<'_>,
     ) -> Result<OptEstimate>;
 }
 
@@ -432,6 +492,20 @@ impl OptOutcome {
     }
 }
 
+/// The result of a deadline-aware [`OptEngine::estimate_under`] walk: the
+/// certified (possibly partial) outcome plus whether the checkpoint fired
+/// before the composition completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptRun {
+    /// The certified brackets. When [`deadlined`](OptRun::deadlined) is
+    /// set, these are the best-so-far bounds — still certified, possibly
+    /// looser than the full composition would have produced.
+    pub outcome: OptOutcome,
+    /// Whether the checkpoint fired before every applicable estimator ran
+    /// to completion.
+    pub deadlined: bool,
+}
+
 /// An ordered list of [`OptEstimator`]s run under shared budgets.
 pub struct OptEngine {
     estimators: Vec<Box<dyn OptEstimator>>,
@@ -516,18 +590,53 @@ impl OptEngine {
     /// errors propagate.
     pub fn estimate(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<OptOutcome> {
         let Some(cache) = &self.cache else {
-            return self.estimate_cold(game, initial);
+            return Ok(self
+                .estimate_cold(game, initial, OptCheckpoint::never())?
+                .outcome);
         };
         let key = cache::canonical_key(&self.methods(), &self.config, game, initial);
         if let Some(hit) = cache.lookup(&key) {
             return Ok(hit);
         }
-        let outcome = self.estimate_cold(game, initial)?;
+        let outcome = self
+            .estimate_cold(game, initial, OptCheckpoint::never())?
+            .outcome;
         cache.insert(key, outcome.clone());
         Ok(outcome)
     }
 
-    fn estimate_cold(&self, game: &EffectiveGame, initial: &LinkLoads) -> Result<OptOutcome> {
+    /// Deadline-aware variant of [`estimate`](OptEngine::estimate): walks
+    /// the composition under a cooperative checkpoint and returns the
+    /// certified best-so-far [`OptRun`] when it fires mid-walk — estimators
+    /// not yet run are recorded in [`OptTelemetry::skipped`].
+    ///
+    /// This path deliberately bypasses any attached cache in both
+    /// directions: a deadlined walk must never poison the warm tier with a
+    /// partial bracket, and callers that want hit-before-deadline semantics
+    /// (e.g. the serve layer) manage the lookup themselves. The first
+    /// estimator always gets to run, so a checkpoint that is already
+    /// expired on entry still yields a usable bracket whenever the leading
+    /// backend can certify one cheaply.
+    ///
+    /// # Errors
+    /// Same contract as [`estimate`](OptEngine::estimate); in particular a
+    /// walk interrupted before any upper-bound backend ran is a
+    /// [`GameError::EmptyBracket`].
+    pub fn estimate_under(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        check: OptCheckpoint<'_>,
+    ) -> Result<OptRun> {
+        self.estimate_cold(game, initial, check)
+    }
+
+    fn estimate_cold(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        check: OptCheckpoint<'_>,
+    ) -> Result<OptRun> {
         let start = Instant::now();
         let mut opt1 = OptBracket::unresolved();
         let mut opt2 = OptBracket::unresolved();
@@ -540,13 +649,31 @@ impl OptEngine {
         if self.config.width_goal.is_some() {
             order.sort_by_key(|e| e.method().cost_rank());
         }
+        let mut deadlined = false;
         for (ran, estimator) in order.iter().enumerate() {
+            // The deadline stops the walk *between* estimators; the first
+            // one always runs (with the checkpoint threaded through, so it
+            // exits early itself) — otherwise an already-expired deadline
+            // could never produce a bracket at all.
+            if ran > 0 && check.expired() {
+                deadlined = true;
+                for rest in &order[ran..] {
+                    let applicability = rest.applicability(game, initial, &self.config);
+                    if applicability != Applicability::NotApplicable {
+                        skipped.push(OptSkip {
+                            method: rest.method(),
+                            applicability,
+                        });
+                    }
+                }
+                break;
+            }
             let applicability = estimator.applicability(game, initial, &self.config);
             if applicability == Applicability::NotApplicable {
                 continue;
             }
             let attempt_start = Instant::now();
-            let estimate = estimator.estimate(game, initial, &self.config)?;
+            let estimate = estimator.estimate_under(game, initial, &self.config, check)?;
             attempts.push(OptAttempt {
                 method: estimator.method(),
                 applicability,
@@ -581,17 +708,37 @@ impl OptEngine {
                         });
                     }
                 }
-                break;
+                // An exact/goal exit is a *complete* answer even if the
+                // clock has since run out.
+                return Ok(OptRun {
+                    outcome: OptOutcome {
+                        opt1: opt1.finalize("OPT1")?,
+                        opt2: opt2.finalize("OPT2")?,
+                        telemetry: OptTelemetry {
+                            attempts,
+                            skipped,
+                            total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX))
+                                as u64,
+                        },
+                    },
+                    deadlined: false,
+                });
             }
         }
-        Ok(OptOutcome {
-            opt1: opt1.finalize("OPT1")?,
-            opt2: opt2.finalize("OPT2")?,
-            telemetry: OptTelemetry {
-                attempts,
-                skipped,
-                total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        // An interrupt inside the last estimator also counts: the walk ran
+        // every backend but the final contribution may be partial.
+        deadlined = deadlined || check.expired();
+        Ok(OptRun {
+            outcome: OptOutcome {
+                opt1: opt1.finalize("OPT1")?,
+                opt2: opt2.finalize("OPT2")?,
+                telemetry: OptTelemetry {
+                    attempts,
+                    skipped,
+                    total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                },
             },
+            deadlined,
         })
     }
 }
@@ -800,6 +947,92 @@ mod tests {
             width_goal: Some(f64::NAN),
             ..OptConfig::default()
         });
+    }
+
+    #[test]
+    fn a_never_checkpoint_walk_is_bit_identical_to_the_classic_estimate() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        let engine = OptEngine::default();
+        let classic = engine.estimate(&game, &initial).unwrap();
+        let run = engine
+            .estimate_under(&game, &initial, OptCheckpoint::never())
+            .unwrap();
+        assert!(!run.deadlined);
+        // Telemetry wall clocks differ between runs; the brackets must not.
+        assert_eq!(run.outcome.opt1, classic.opt1);
+        assert_eq!(run.outcome.opt2, classic.opt2);
+        assert_eq!(
+            run.outcome.telemetry.attempts.len(),
+            classic.telemetry.attempts.len()
+        );
+    }
+
+    #[test]
+    fn an_expired_checkpoint_still_certifies_a_partial_bracket() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        // Bound backends only, so the walk has more than one estimator to
+        // skip; the leading LptGreedy always runs and certifies an upper
+        // bound even though the deadline fired before the walk began.
+        let engine = OptEngine::from_kinds(
+            OptConfig::default(),
+            &[
+                OptBackendKind::LptGreedy,
+                OptBackendKind::Descent,
+                OptBackendKind::Relaxation,
+            ],
+        );
+        let expired = || true;
+        let run = engine
+            .estimate_under(&game, &initial, OptCheckpoint::new(&expired))
+            .unwrap();
+        assert!(run.deadlined);
+        assert!(run.outcome.opt1.upper.is_finite());
+        assert!(!run.outcome.opt1.exact && !run.outcome.opt2.exact);
+        assert_eq!(run.outcome.telemetry.attempts.len(), 1);
+        assert_eq!(
+            run.outcome.telemetry.attempts[0].method,
+            OptMethod::LptGreedy
+        );
+        // The unrun applicable backends are recorded, like an adaptive skip.
+        let skipped: Vec<OptMethod> = run
+            .outcome
+            .telemetry
+            .skipped
+            .iter()
+            .map(|s| s.method)
+            .collect();
+        assert_eq!(skipped, vec![OptMethod::Descent, OptMethod::Relaxation]);
+        // The partial bracket stays certified: it contains the optimum.
+        let exact = crate::opt::exhaustive::social_optimum(&game, &initial, 1_000_000).unwrap();
+        assert!(run.outcome.opt1.contains(exact.opt1, 1e-9));
+        assert!(run.outcome.opt2.contains(exact.opt2, 1e-9));
+    }
+
+    #[test]
+    fn an_expired_checkpoint_over_lower_bounds_only_is_a_typed_error() {
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        let engine = OptEngine::from_kinds(OptConfig::default(), &[OptBackendKind::Relaxation]);
+        let expired = || true;
+        assert!(matches!(
+            engine.estimate_under(&game, &initial, OptCheckpoint::new(&expired)),
+            Err(GameError::EmptyBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_under_bypasses_the_cache_in_both_directions() {
+        let cache = Arc::new(OptCache::new());
+        let engine = OptEngine::default().with_cache(Arc::clone(&cache));
+        let game = mild_game();
+        let initial = LinkLoads::zero(2);
+        engine
+            .estimate_under(&game, &initial, OptCheckpoint::never())
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
     }
 
     #[test]

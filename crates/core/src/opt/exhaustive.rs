@@ -13,7 +13,7 @@ use crate::error::Result;
 use crate::latency::pure_user_latency;
 use crate::model::EffectiveGame;
 use crate::numeric::stable_sum;
-use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::opt::engine::{OptCheckpoint, OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::solvers::engine::Applicability;
 use crate::solvers::exhaustive::{ensure_within_limit, for_each_profile, profile_count};
 use crate::strategy::{LinkLoads, PureProfile};
@@ -97,11 +97,15 @@ impl OptEstimator for Exhaustive {
         }
     }
 
-    fn estimate(
+    // Atomic: enumeration is only applicable when `mⁿ` fits the profile
+    // budget, so one unit of work is the whole (bounded) sweep and the
+    // checkpoint is deliberately ignored.
+    fn estimate_under(
         &self,
         game: &EffectiveGame,
         initial: &LinkLoads,
         config: &OptConfig,
+        _check: OptCheckpoint<'_>,
     ) -> Result<OptEstimate> {
         let optimum = social_optimum(game, initial, config.profile_limit)?;
         let iterations =

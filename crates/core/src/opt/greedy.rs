@@ -11,7 +11,7 @@
 
 use crate::error::Result;
 use crate::model::EffectiveGame;
-use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::opt::engine::{OptCheckpoint, OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::social_cost::{pure_sc1, pure_sc2};
 use crate::solvers::engine::Applicability;
 use crate::solvers::kernel::{SoAGame, SoAView};
@@ -128,11 +128,14 @@ impl OptEstimator for LptGreedy {
         Applicability::Heuristic
     }
 
-    fn estimate(
+    // Atomic: one portfolio evaluation is a single O(n·m) unit of work, so
+    // the checkpoint is deliberately ignored.
+    fn estimate_under(
         &self,
         game: &EffectiveGame,
         initial: &LinkLoads,
         _config: &OptConfig,
+        _check: OptCheckpoint<'_>,
     ) -> Result<OptEstimate> {
         let soa = SoAGame::from_game(game);
         let profiles = portfolio(soa.view(), initial);

@@ -37,8 +37,8 @@ pub mod relaxation;
 
 pub use cache::OptCache;
 pub use engine::{
-    OptAttempt, OptBackendKind, OptBracket, OptConfig, OptEngine, OptEstimate, OptEstimator,
-    OptMethod, OptOutcome, OptTelemetry,
+    OptAttempt, OptBackendKind, OptBracket, OptCheckpoint, OptConfig, OptEngine, OptEstimate,
+    OptEstimator, OptMethod, OptOutcome, OptRun, OptTelemetry,
 };
 pub use exhaustive::{social_optimum, SocialOptimum};
 

@@ -43,7 +43,7 @@
 use crate::error::Result;
 use crate::model::EffectiveGame;
 use crate::numeric::stable_sum;
-use crate::opt::engine::{OptConfig, OptEstimate, OptEstimator, OptMethod};
+use crate::opt::engine::{OptCheckpoint, OptConfig, OptEstimate, OptEstimator, OptMethod};
 use crate::solvers::engine::Applicability;
 use crate::strategy::LinkLoads;
 
@@ -167,8 +167,19 @@ fn filtered_allocation_value(game: &EffectiveGame, initial: &LinkLoads, tau: f64
 /// The bisected volume bound on `OPT2`: the largest `τ` (within a fixed
 /// bisection depth) at which the filtered allocation DP proves that no
 /// assignment can keep every latency at or below `τ`.
-fn volume_bound(game: &EffectiveGame, initial: &LinkLoads, total: f64) -> f64 {
+fn volume_bound(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    total: f64,
+    check: OptCheckpoint<'_>,
+) -> f64 {
     let base = total / max_total_min_capacity(game);
+    // `base` is already certified infeasible (see below), so an expired
+    // deadline can stop before — or between — the expensive filtered DPs
+    // and still return a valid bound.
+    if check.expired() {
+        return base;
+    }
     let infeasible = |tau: f64| match filtered_allocation_value(game, initial, tau) {
         None => true,
         Some(value) => tau * value < total,
@@ -178,14 +189,15 @@ fn volume_bound(game: &EffectiveGame, initial: &LinkLoads, total: f64) -> f64 {
     // (`base·maxΣ(base) ≤ base·maxΣ(∞) = W`); widen upward from there.
     // Every iteration pays a full filtered allocation DP, so the loop stops
     // as soon as the interval is resolved to 0.1% — the returned `lo` is
-    // infeasible at any stopping point, so the bound stays certified.
+    // infeasible at any stopping point, so the bound stays certified and a
+    // fired deadline merely leaves the interval wider.
     let mut lo = base;
     let mut hi = base * 8.0;
     if infeasible(hi) {
         return hi;
     }
     for _ in 0..30 {
-        if hi - lo <= 1e-3 * lo {
+        if hi - lo <= 1e-3 * lo || check.expired() {
             break;
         }
         let mid = 0.5 * (lo + hi);
@@ -201,16 +213,33 @@ fn volume_bound(game: &EffectiveGame, initial: &LinkLoads, total: f64) -> f64 {
 /// The certified lower bounds `(opt1_lower, opt2_lower)` described in the
 /// [module docs](self).
 pub fn lower_bounds(game: &EffectiveGame, initial: &LinkLoads) -> (f64, f64) {
+    lower_bounds_under(game, initial, OptCheckpoint::never())
+}
+
+/// As [`lower_bounds`], under a cooperative deadline. The singleton bound
+/// is always computed (one cheap O(nm) pass); the volume bisection stops
+/// between DP iterations and the interaction DP is skipped entirely when
+/// the checkpoint has fired — every phase only ever *tightens* the bounds,
+/// so stopping early keeps them certified.
+pub fn lower_bounds_under(
+    game: &EffectiveGame,
+    initial: &LinkLoads,
+    check: OptCheckpoint<'_>,
+) -> (f64, f64) {
     let singles = singleton_costs(game, initial);
     let singleton_sum = stable_sum(&singles);
     let singleton_max = singles.iter().cloned().fold(0.0f64, f64::max);
 
     let total: f64 = game.total_traffic();
     let c_max = game.capacities().max();
-    let volume2 = volume_bound(game, initial, total);
+    let volume2 = volume_bound(game, initial, total, check);
     let opt2 = singleton_max.max(volume2);
 
-    let interaction = (min_congestion_mass(game) - total).max(0.0) / c_max;
+    let interaction = if check.expired() {
+        0.0
+    } else {
+        (min_congestion_mass(game) - total).max(0.0) / c_max
+    };
     let opt1 = (singleton_sum + interaction).max(opt2);
     (opt1, opt2)
 }
@@ -234,13 +263,14 @@ impl OptEstimator for Relaxation {
         Applicability::Heuristic
     }
 
-    fn estimate(
+    fn estimate_under(
         &self,
         game: &EffectiveGame,
         initial: &LinkLoads,
         _config: &OptConfig,
+        check: OptCheckpoint<'_>,
     ) -> Result<OptEstimate> {
-        let (opt1, opt2) = lower_bounds(game, initial);
+        let (opt1, opt2) = lower_bounds_under(game, initial, check);
         Ok(OptEstimate {
             opt1_lower: Some(opt1),
             opt2_lower: Some(opt2),
@@ -337,6 +367,23 @@ mod tests {
         assert!(lb2 > g.total_traffic() / (2.0 * c_max) + 1e-12);
         let exact = social_optimum(&g, &t, 1_000_000).unwrap();
         assert!(lb2 <= exact.opt2 + 1e-12);
+    }
+
+    #[test]
+    fn an_expired_checkpoint_yields_looser_but_certified_bounds() {
+        let g = mild_game();
+        let t = LinkLoads::zero(2);
+        let (full1, full2) = lower_bounds(&g, &t);
+        let expired = || true;
+        let (cut1, cut2) = lower_bounds_under(&g, &t, OptCheckpoint::new(&expired));
+        // The singleton pass and the base volume bound always run, so the
+        // interrupted bounds are positive — and never tighter than the full
+        // computation.
+        assert!(cut1 > 0.0 && cut2 > 0.0);
+        assert!(cut1 <= full1 + 1e-12 && cut2 <= full2 + 1e-12);
+        let exact = social_optimum(&g, &t, 1_000_000).unwrap();
+        assert!(cut1 <= exact.opt1 + 1e-12);
+        assert!(cut2 <= exact.opt2 + 1e-12);
     }
 
     #[test]

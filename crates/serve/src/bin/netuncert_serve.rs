@@ -1,7 +1,8 @@
 //! The resident service binary.
 //!
 //! ```text
-//! netuncert_serve --addr 127.0.0.1:0 [--workers N] [--solve-cache N] [--opt-cache N]
+//! netuncert_serve --addr 127.0.0.1:0 [--workers N] [--queue-depth N]
+//!                 [--solve-cache N] [--opt-cache N]
 //! ```
 //!
 //! Prints `listening on <addr>` (the resolved address, so port `0` works
@@ -12,7 +13,7 @@ use netuncert_serve::{ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: netuncert_serve --addr HOST:PORT [--workers N] \
+        "usage: netuncert_serve --addr HOST:PORT [--workers N] [--queue-depth N] \
          [--solve-cache ENTRIES] [--opt-cache ENTRIES]"
     );
     std::process::exit(2);
@@ -47,6 +48,9 @@ fn main() {
             },
             "--workers" => {
                 config.workers = parse_count("--workers", argv.next()).max(1);
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse_count("--queue-depth", argv.next()).max(1);
             }
             "--solve-cache" => {
                 config.solve_cache_capacity = parse_count("--solve-cache", argv.next());

@@ -7,9 +7,15 @@
 //! match and the service shuts down gracefully.
 //!
 //! ```text
-//! serve_harness --server PATH [--requests N] [--connections K] [--seed S]
+//! serve_harness --server PATH [--requests N] [--connections K] [--seed S] [--binary]
 //! serve_harness --addr HOST:PORT [...]   # use an already-running service
 //! ```
+//!
+//! With `--binary`, every lane opens *two* connections — one JSON-framed,
+//! one binary-framed — issues each request on both, and asserts the two
+//! canonical response lines are byte-identical before also diffing them
+//! against the in-process replay. That is a three-way check:
+//! binary frame ↔ JSON frame ↔ direct engine call.
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
@@ -26,12 +32,13 @@ struct Options {
     requests: usize,
     connections: usize,
     seed: u64,
+    binary: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve_harness (--server PATH | --addr HOST:PORT) \
-         [--requests N] [--connections K] [--seed S]"
+         [--requests N] [--connections K] [--seed S] [--binary]"
     );
     std::process::exit(2);
 }
@@ -43,6 +50,7 @@ fn parse_args() -> Options {
         requests: 120,
         connections: 4,
         seed: 42,
+        binary: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -60,6 +68,7 @@ fn parse_args() -> Options {
                 opts.connections = value("--connections").parse().unwrap_or_else(|_| usage())
             }
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--binary" => opts.binary = true,
             _ => usage(),
         }
     }
@@ -118,11 +127,23 @@ fn main() {
         let addr = addr.clone();
         let seed = opts.seed;
         let total = opts.requests;
+        let binary = opts.binary;
         handles.push(std::thread::spawn(move || {
             let mut client = Client::connect(&addr).unwrap_or_else(|e| {
                 eprintln!("connect {addr}: {e}");
                 std::process::exit(1);
             });
+            // With --binary, a sibling binary-framed connection answers
+            // every request too; the two framings must agree byte-for-byte
+            // on the canonical response line.
+            let mut binary_client = if binary {
+                Some(Client::connect_binary(&addr).unwrap_or_else(|e| {
+                    eprintln!("binary connect {addr}: {e}");
+                    std::process::exit(1);
+                }))
+            } else {
+                None
+            };
             let mut pairs = Vec::new();
             for index in (lane..total).step_by(connections) {
                 let request = mixed_request(seed, index);
@@ -131,6 +152,18 @@ fn main() {
                     eprintln!("request {index}: {e}");
                     std::process::exit(1);
                 });
+                if let Some(binary_client) = binary_client.as_mut() {
+                    let framed = binary_client.call_line(&line).unwrap_or_else(|e| {
+                        eprintln!("binary request {index}: {e}");
+                        std::process::exit(1);
+                    });
+                    if framed != response {
+                        eprintln!(
+                            "framing divergence on request {index}:\n  json:   {response}\n  binary: {framed}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
                 pairs.push((line, response));
             }
             pairs

@@ -1,20 +1,41 @@
-//! A minimal blocking client for the service's newline-delimited JSON wire.
+//! A minimal blocking client for the service's wire, in either framing.
 //!
-//! One [`Client`] owns one connection. Requests are written as single
-//! lines and responses read back in order — the service guarantees
-//! per-connection ordering, so a blocking call-and-wait client needs no
-//! correlation machinery beyond the echoed request `id`.
+//! One [`Client`] owns one connection. [`Client::connect`] speaks the
+//! classic newline-delimited JSON; [`Client::connect_binary`] opens with
+//! the [`BINARY_MAGIC`] byte and speaks length-prefixed binary frames
+//! ([`crate::frame`]) instead. Requests are written one at a time and
+//! responses read back in order — the service guarantees per-connection
+//! ordering, so a blocking call-and-wait client needs no correlation
+//! machinery beyond the echoed request `id`.
+//!
+//! Both framings expose the same [`call_line`](Client::call_line)
+//! primitive over canonical JSON lines: a binary client re-encodes the
+//! line as a frame on the way out and re-serialises the decoded response
+//! on the way back, so the replay harness can diff the two framings (and
+//! direct in-process calls) byte-for-byte.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{Request, RequestBody, Response};
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{self, BINARY_MAGIC};
+use crate::protocol::{Limits, Request, RequestBody, Response};
+
+/// Which wire framing a connection negotiated.
+enum Framing {
+    /// Newline-delimited JSON (the default).
+    Json,
+    /// Length-prefixed binary frames ([`crate::frame`]).
+    Binary,
+}
 
 /// A blocking connection to a running `netuncert_serve` instance.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    framing: Framing,
 }
 
 /// Errors a client call can hit: transport trouble or an unparseable
@@ -45,8 +66,22 @@ impl From<std::io::Error> for ClientError {
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:4700"`).
+    /// Connects to `addr` (e.g. `"127.0.0.1:4700"`) speaking
+    /// newline-delimited JSON.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Framing::Json)
+    }
+
+    /// Connects to `addr` and negotiates the binary framing by sending the
+    /// magic byte before anything else.
+    pub fn connect_binary<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let mut client = Client::connect_with(addr, Framing::Binary)?;
+        client.writer.write_all(&[BINARY_MAGIC])?;
+        client.writer.flush()?;
+        Ok(client)
+    }
+
+    fn connect_with<A: ToSocketAddrs>(addr: A, framing: Framing) -> Result<Client, ClientError> {
         let writer = TcpStream::connect(addr)?;
         // Request lines are small and latency-bound; never wait on Nagle.
         writer.set_nodelay(true)?;
@@ -55,24 +90,41 @@ impl Client {
             writer,
             reader,
             next_id: 1,
+            framing,
         })
     }
 
     /// Sends one request body and blocks for its response. Request ids are
-    /// assigned sequentially per connection.
+    /// assigned sequentially per connection. A binary client round-trips
+    /// the typed values directly — no JSON text on the wire at all.
     pub fn call(&mut self, body: RequestBody) -> Result<Response, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let request = Request { id, body };
-        let line = serde_json::to_string(&request).expect("wire types always serialise");
-        let raw = self.call_line(&line)?;
-        serde_json::from_str::<Response>(&raw).map_err(|_| ClientError::BadResponse(raw))
+        match self.framing {
+            Framing::Json => {
+                let line = serde_json::to_string(&request).expect("wire types always serialise");
+                let raw = self.call_line_json(&line)?;
+                serde_json::from_str::<Response>(&raw).map_err(|_| ClientError::BadResponse(raw))
+            }
+            Framing::Binary => self.call_value(&request),
+        }
     }
 
     /// Sends one pre-serialised request line and returns the raw response
     /// line (no trailing newline). This is the byte-level primitive the
-    /// replay harness diffs against direct engine calls.
+    /// replay harness diffs against direct engine calls — a binary client
+    /// carries the same JSON value through the compact framing and
+    /// re-serialises the answer, so both framings return identical lines
+    /// for identical requests.
     pub fn call_line(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.framing {
+            Framing::Json => self.call_line_json(line),
+            Framing::Binary => self.call_line_binary(line),
+        }
+    }
+
+    fn call_line_json(&mut self, line: &str) -> Result<String, ClientError> {
         // One write per frame: splitting the newline into its own packet
         // would interact badly with delayed ACKs even with nodelay set.
         let mut frame = Vec::with_capacity(line.len() + 1);
@@ -92,5 +144,23 @@ impl Client {
             response.pop();
         }
         Ok(response)
+    }
+
+    fn call_line_binary(&mut self, line: &str) -> Result<String, ClientError> {
+        let request = serde_json::from_str::<Request>(line)
+            .map_err(|_| ClientError::BadResponse(line.to_string()))?;
+        let response = self.call_value(&request)?;
+        Ok(serde_json::to_string(&response).expect("wire types always serialise"))
+    }
+
+    /// One typed round trip over the binary framing.
+    fn call_value(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = frame::encode_value(&request.to_value());
+        frame::write_frame(&mut self.writer, &payload)?;
+        let reply = frame::read_frame(&mut self.reader, Limits::default().max_line_bytes)?;
+        let value = frame::decode_value(&reply)
+            .map_err(|e| ClientError::BadResponse(format!("undecodable frame: {e}")))?;
+        Response::from_value(&value)
+            .map_err(|e| ClientError::BadResponse(format!("frame was not a response: {e}")))
     }
 }

@@ -25,14 +25,16 @@
 //! - [`protocol`] — wire types, size limits, typed errors, request keys
 //! - [`policy`] — the policy tree and its pass-resumable interpreter
 //! - [`state`] — engine-side service state (caches, budgets, counters)
-//! - [`server`] — TCP listener, fixed worker pool, graceful drain
-//! - [`client`] — minimal blocking client
+//! - [`server`] — TCP listener, bounded queue, worker pool, graceful drain
+//! - [`frame`] — the optional length-prefixed binary framing
+//! - [`client`] — minimal blocking client (either framing)
 //! - [`replay`] — byte-for-byte verification against direct engine calls
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frame;
 pub mod policy;
 pub mod protocol;
 pub mod replay;

@@ -18,8 +18,13 @@
 //!   the clock between kernel passes (and before each atomic unit), never
 //!   mid-pass, so any result that is produced is bit-identical to an
 //!   undeadlined run. Atomic units — closed-form solvers, exhaustive
-//!   enumeration, whole bracket leaves — are never interrupted; an expired
-//!   deadline is only noticed at the next boundary.
+//!   enumeration — are never interrupted; an expired deadline is only
+//!   noticed at the next boundary. Bracket leaves are **not** atomic: the
+//!   deadline is threaded into the estimator walk as an
+//!   [`OptCheckpoint`], which the long-running estimators poll between
+//!   units of work (branch-and-bound node batches, bisection iterations,
+//!   descent restarts). A deadline that fires mid-leaf yields a
+//!   [`BracketEval::Partial`] carrying the certified best-so-far brackets.
 //!
 //! Every leaf shares the service's warm tier: a leaf computes the same
 //! canonical cache key as a direct `SolverEngine`/`OptEngine` call with the
@@ -31,12 +36,13 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::opt::cache::canonical_key as opt_canonical_key;
 use netuncert_core::prelude::{
     Applicability, EffectiveGame, EngineSolution, GameError, KernelRun, KernelScratch, LinkLoads,
-    OptCache, OptConfig, OptEngine, OptOutcome, PureNashMethod, SolveCache, SolveTelemetry, Solver,
-    SolverAttempt, SolverConfig, SolverEngine, SolverKind,
+    OptCache, OptCheckpoint, OptConfig, OptEngine, OptOutcome, PureNashMethod, SolveCache,
+    SolveTelemetry, Solver, SolverAttempt, SolverConfig, SolverEngine, SolverKind,
 };
-use netuncert_core::prelude::{OptBackendKind, PureNashSolution};
+use netuncert_core::prelude::{OptBackendKind, OptMethod, PureNashSolution};
 use netuncert_core::solvers::cache::canonical_key;
 use netuncert_core::solvers::engine::SolverDetail;
 use netuncert_core::solvers::kernel::{SoAGame, SoAView};
@@ -46,6 +52,12 @@ use crate::protocol::{ErrorKind, WireError};
 /// Deepest accepted policy nesting; anything deeper is rejected as
 /// [`ErrorKind::InvalidRequest`] before evaluation.
 pub const MAX_POLICY_DEPTH: usize = 8;
+
+/// Longest accepted deadline, milliseconds (one hour). A deadline is an
+/// overload-protection device, not a scheduler; anything longer is almost
+/// certainly a unit mistake — and unbounded values would overflow the
+/// `Instant` arithmetic that resolves them ([`ErrorKind::InvalidDeadline`]).
+pub const MAX_DEADLINE_MS: i64 = 3_600_000;
 
 /// A declarative description of how to answer a request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,6 +110,8 @@ pub struct BracketLeaf {
     pub backends: Vec<String>,
     /// Adaptive width goal (finite, `> 1.0`), or `null` for fixed budgets.
     pub width_goal: Option<f64>,
+    /// Restart-budget override for `Descent`, or `null`.
+    pub restarts: Option<u64>,
 }
 
 /// A deadline wrapper around an inner policy.
@@ -183,6 +197,9 @@ impl BracketLeaf {
             }
             config.width_goal = Some(goal);
         }
+        if let Some(restarts) = self.restarts {
+            config.restarts = restarts as usize;
+        }
         Ok((kinds, config))
     }
 }
@@ -260,15 +277,47 @@ fn validate_at(policy: &Policy, mode: PolicyMode, depth: usize) -> Result<(), Wi
             Ok(())
         }
         Policy::Timeout(timeout) => {
-            if timeout.ms <= 0 {
-                return Err(WireError::new(
-                    ErrorKind::InvalidDeadline,
-                    format!("deadline must be positive, got {} ms", timeout.ms),
-                ));
-            }
+            check_deadline_ms(timeout.ms)?;
             validate_at(&timeout.lower, mode, depth + 1)
         }
     }
+}
+
+/// Rejects non-positive and over-long deadlines as
+/// [`ErrorKind::InvalidDeadline`] (shared by validation and evaluation, so
+/// a tree that skipped validation still cannot reach the `Instant` math
+/// with a degenerate value).
+fn check_deadline_ms(ms: i64) -> Result<(), WireError> {
+    if ms <= 0 {
+        return Err(WireError::new(
+            ErrorKind::InvalidDeadline,
+            format!("deadline must be positive, got {ms} ms"),
+        ));
+    }
+    if ms > MAX_DEADLINE_MS {
+        return Err(WireError::new(
+            ErrorKind::InvalidDeadline,
+            format!("deadline must be at most {MAX_DEADLINE_MS} ms (one hour), got {ms} ms"),
+        ));
+    }
+    Ok(())
+}
+
+/// Resolves a validated `ms` against the clock and an optional outer
+/// deadline. `checked_add` is a second line of defence behind
+/// [`check_deadline_ms`]: even a value that slipped past validation can
+/// only become a typed error, never an `Instant` overflow panic.
+fn resolve_deadline(ms: i64, outer: Option<Instant>) -> Result<Instant, WireError> {
+    check_deadline_ms(ms)?;
+    let inner = Instant::now()
+        .checked_add(Duration::from_millis(ms as u64))
+        .ok_or_else(|| {
+            WireError::new(
+                ErrorKind::InvalidDeadline,
+                format!("deadline of {ms} ms is beyond representable time"),
+            )
+        })?;
+    Ok(outer.map_or(inner, |outer| outer.min(inner)))
 }
 
 /// Everything a policy evaluation needs from the service.
@@ -310,7 +359,10 @@ pub struct BracketDone {
 pub enum BracketEval {
     /// The policy completed with certified brackets.
     Done(BracketDone),
-    /// A deadline fired before any leaf completed.
+    /// A deadline fired inside a bracket leaf; the certified best-so-far
+    /// outcome at the last checkpoint.
+    Partial(OptOutcome),
+    /// A deadline fired before any leaf produced anything certifiable.
     Deadline,
 }
 
@@ -355,14 +407,7 @@ pub fn eval_solve(
             ))
         }
         Policy::Timeout(timeout) => {
-            if timeout.ms <= 0 {
-                return Err(WireError::new(
-                    ErrorKind::InvalidDeadline,
-                    format!("deadline must be positive, got {} ms", timeout.ms),
-                ));
-            }
-            let inner = Instant::now() + Duration::from_millis(timeout.ms as u64);
-            let effective = deadline.map_or(inner, |outer| outer.min(inner));
+            let effective = resolve_deadline(timeout.ms, deadline)?;
             eval_solve(&timeout.lower, ctx, Some(effective))
         }
         Policy::Bracket(_) => Err(WireError::new(
@@ -372,8 +417,10 @@ pub fn eval_solve(
     }
 }
 
-/// Evaluates a bracket policy. Bracket leaves are atomic with respect to
-/// deadlines: the clock is checked before a leaf starts, never inside it.
+/// Evaluates a bracket policy. Under a deadline, a bracket leaf is **not**
+/// atomic: the estimator walk polls an [`OptCheckpoint`] between units of
+/// work, so an expired deadline yields the certified best-so-far brackets
+/// as [`BracketEval::Partial`] instead of an all-or-nothing answer.
 pub fn eval_bracket(
     policy: &Policy,
     ctx: &EvalCtx<'_>,
@@ -382,19 +429,18 @@ pub fn eval_bracket(
     match policy {
         Policy::Bracket(leaf) => {
             let (kinds, config) = leaf.resolve(&ctx.base_opt)?;
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                return Ok(BracketEval::Deadline);
-            }
-            let engine =
-                OptEngine::from_kinds(config, &kinds).with_cache(Arc::clone(ctx.opt_cache));
-            match engine.estimate(ctx.game, ctx.initial) {
-                Ok(outcome) => {
-                    let goal_met = leaf.width_goal.is_none_or(|goal| {
-                        outcome.opt1.meets_goal(goal) && outcome.opt2.meets_goal(goal)
-                    });
-                    Ok(BracketEval::Done(BracketDone { outcome, goal_met }))
+            match deadline {
+                // No deadline: this IS a direct engine call sharing the warm
+                // tier — trivially bit-identical to in-process replay.
+                None => {
+                    let engine =
+                        OptEngine::from_kinds(config, &kinds).with_cache(Arc::clone(ctx.opt_cache));
+                    match engine.estimate(ctx.game, ctx.initial) {
+                        Ok(outcome) => Ok(BracketEval::Done(leaf_done(leaf, outcome))),
+                        Err(e) => Err(WireError::engine(&e)),
+                    }
                 }
-                Err(e) => Err(WireError::engine(&e)),
+                Some(deadline) => bracket_leaf_under(leaf, &kinds, config, ctx, deadline),
             }
         }
         Policy::Fallback(children) => {
@@ -404,6 +450,10 @@ pub fn eval_bracket(
                     Ok(BracketEval::Done(done)) if done.goal_met => {
                         return Ok(BracketEval::Done(done))
                     }
+                    // A partial bracket means the deadline has already
+                    // fired: later children could at best add a plain
+                    // Deadline, losing the certified bounds — return it.
+                    Ok(BracketEval::Partial(outcome)) => return Ok(BracketEval::Partial(outcome)),
                     other if last => return other,
                     // Goal miss, deadline, or a failing child (e.g. a
                     // composition with no finite upper bound): fall through.
@@ -416,20 +466,54 @@ pub fn eval_bracket(
             ))
         }
         Policy::Timeout(timeout) => {
-            if timeout.ms <= 0 {
-                return Err(WireError::new(
-                    ErrorKind::InvalidDeadline,
-                    format!("deadline must be positive, got {} ms", timeout.ms),
-                ));
-            }
-            let inner = Instant::now() + Duration::from_millis(timeout.ms as u64);
-            let effective = deadline.map_or(inner, |outer| outer.min(inner));
+            let effective = resolve_deadline(timeout.ms, deadline)?;
             eval_bracket(&timeout.lower, ctx, Some(effective))
         }
         Policy::Solve(_) | Policy::Race(_) => Err(WireError::new(
             ErrorKind::InvalidRequest,
             "only Bracket leaves (and Fallback/Timeout) are allowed in a bracket policy",
         )),
+    }
+}
+
+/// Wraps a completed outcome with the leaf's width-goal verdict.
+fn leaf_done(leaf: &BracketLeaf, outcome: OptOutcome) -> BracketDone {
+    let goal_met = leaf
+        .width_goal
+        .is_none_or(|goal| outcome.opt1.meets_goal(goal) && outcome.opt2.meets_goal(goal));
+    BracketDone { outcome, goal_met }
+}
+
+/// The deadline path of a single bracket leaf: a counting warm-tier lookup
+/// (a hit wins even against an already-expired deadline, keeping cached
+/// requests flowing under load), then a cold `estimate_under` walk with the
+/// deadline threaded in as an [`OptCheckpoint`]. Only **complete** walks
+/// are inserted into the warm tier — a partial bracket must never poison
+/// it.
+fn bracket_leaf_under(
+    leaf: &BracketLeaf,
+    kinds: &[OptBackendKind],
+    config: OptConfig,
+    ctx: &EvalCtx<'_>,
+    deadline: Instant,
+) -> Result<BracketEval, WireError> {
+    let methods: Vec<OptMethod> = kinds.iter().map(|k| k.method()).collect();
+    let key = opt_canonical_key(&methods, &config, ctx.game, ctx.initial);
+    if let Some(hit) = ctx.opt_cache.lookup(&key) {
+        return Ok(BracketEval::Done(leaf_done(leaf, hit)));
+    }
+    let expired = move || Instant::now() >= deadline;
+    let engine = OptEngine::from_kinds(config, kinds);
+    match engine.estimate_under(ctx.game, ctx.initial, OptCheckpoint::new(&expired)) {
+        Ok(run) if run.deadlined => Ok(BracketEval::Partial(run.outcome)),
+        Ok(run) => {
+            ctx.opt_cache.insert(key, run.outcome.clone());
+            Ok(BracketEval::Done(leaf_done(leaf, run.outcome)))
+        }
+        // A walk cut down before any upper-bound backend ran has nothing
+        // certifiable to report — the plain deadline outcome, not an error.
+        Err(GameError::EmptyBracket { .. }) if expired() => Ok(BracketEval::Deadline),
+        Err(e) => Err(WireError::engine(&e)),
     }
 }
 
@@ -708,6 +792,92 @@ fn race_solve(
     }
 }
 
+/// Answers a solve policy **purely from the warm tier**, or punts with
+/// `None` when any cold work (or any deadline bookkeeping) would be needed.
+///
+/// This is the connection reader's fast path under back-pressure: a
+/// `Some` here is exactly what the full [`eval_solve`] walk would return,
+/// because every combinator consults the warm tier before it does or
+/// decides anything else (leaves look up before stepping, races check
+/// round-zero winners before stepping or checking the clock, fallbacks
+/// return the first cached solution outright). Lookups are **counting**
+/// lookups, so a punted request's misses are later recounted by the worker
+/// — the documented cache-counter tolerance.
+pub fn eval_solve_cached(policy: &Policy, ctx: &EvalCtx<'_>) -> Option<EngineSolution> {
+    match policy {
+        Policy::Solve(leaf) => {
+            let (kinds, config) = leaf.resolve(&ctx.base_solver).ok()?;
+            let methods: Vec<PureNashMethod> = kinds.iter().map(|k| k.method()).collect();
+            let key = canonical_key(&methods, &config, ctx.game, ctx.initial);
+            ctx.solve_cache.lookup(&key)
+        }
+        Policy::Race(children) => {
+            let mut hits = Vec::with_capacity(children.len());
+            for child in children {
+                let Policy::Solve(leaf) = child else {
+                    return None;
+                };
+                let (kinds, config) = leaf.resolve(&ctx.base_solver).ok()?;
+                let methods: Vec<PureNashMethod> = kinds.iter().map(|k| k.method()).collect();
+                let key = canonical_key(&methods, &config, ctx.game, ctx.initial);
+                hits.push(ctx.solve_cache.lookup(&key));
+            }
+            // Round zero of the lockstep race: the earliest lane (by index)
+            // that completed from the cache *with* an equilibrium wins
+            // before any cold lane gets to step.
+            if let Some(winner) = hits
+                .iter()
+                .flatten()
+                .find(|solved| solved.solution.is_some())
+            {
+                return Some(winner.clone());
+            }
+            // All lanes warm, none with a solution: lane 0's outcome stands.
+            if hits.iter().all(Option::is_some) {
+                return hits.swap_remove(0);
+            }
+            None
+        }
+        Policy::Fallback(children) => {
+            for (i, child) in children.iter().enumerate() {
+                let last = i + 1 == children.len();
+                let solved = eval_solve_cached(child, ctx)?;
+                if solved.solution.is_some() || last {
+                    return Some(solved);
+                }
+                // Cached but unsolved: the full walk falls through too.
+            }
+            None
+        }
+        Policy::Timeout(_) | Policy::Bracket(_) => None,
+    }
+}
+
+/// The bracket twin of [`eval_solve_cached`]: answers a bracket policy
+/// purely from the warm tier, or punts with `None`.
+pub fn eval_bracket_cached(policy: &Policy, ctx: &EvalCtx<'_>) -> Option<BracketDone> {
+    match policy {
+        Policy::Bracket(leaf) => {
+            let (kinds, config) = leaf.resolve(&ctx.base_opt).ok()?;
+            let methods: Vec<OptMethod> = kinds.iter().map(|k| k.method()).collect();
+            let key = opt_canonical_key(&methods, &config, ctx.game, ctx.initial);
+            let hit = ctx.opt_cache.lookup(&key)?;
+            Some(leaf_done(leaf, hit))
+        }
+        Policy::Fallback(children) => {
+            for (i, child) in children.iter().enumerate() {
+                let last = i + 1 == children.len();
+                let done = eval_bracket_cached(child, ctx)?;
+                if done.goal_met || last {
+                    return Some(done);
+                }
+            }
+            None
+        }
+        Policy::Timeout(_) | Policy::Solve(_) | Policy::Race(_) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +894,7 @@ mod tests {
         Policy::Bracket(BracketLeaf {
             backends: ids.iter().map(|s| s.to_string()).collect(),
             width_goal: goal,
+            restarts: None,
         })
     }
 
@@ -779,6 +950,34 @@ mod tests {
         }
         let err = validate(&deep, PolicyMode::Solve).unwrap_err();
         assert_eq!(err.kind, ErrorKind::InvalidRequest);
+    }
+
+    #[test]
+    fn over_long_deadlines_are_rejected_not_overflowed() {
+        // i64::MAX ms used to overflow `Instant + Duration` and panic the
+        // worker; now every over-cap value is a typed InvalidDeadline from
+        // validation AND from the evaluator's own resolution step.
+        for ms in [MAX_DEADLINE_MS + 1, i64::MAX] {
+            let wrapped = Policy::Timeout(TimeoutPolicy {
+                ms,
+                lower: Box::new(leaf(&["two_links"])),
+            });
+            let err = validate(&wrapped, PolicyMode::Solve).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidDeadline);
+            let err = resolve_deadline(ms, None).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidDeadline);
+        }
+        // The cap itself is fine.
+        resolve_deadline(MAX_DEADLINE_MS, None).unwrap();
+    }
+
+    #[test]
+    fn nested_deadlines_resolve_to_the_tighter_instant() {
+        let outer = Instant::now();
+        let resolved = resolve_deadline(1_000, Some(outer)).unwrap();
+        assert_eq!(resolved, outer);
+        let resolved = resolve_deadline(1, None).unwrap();
+        assert!(resolved > Instant::now() - Duration::from_secs(1));
     }
 
     #[test]

@@ -146,6 +146,10 @@ pub struct WireError {
     pub kind: ErrorKind,
     /// Human-readable detail (never needed to dispatch on).
     pub message: String,
+    /// Queue depth observed at rejection ([`ErrorKind::Busy`] only).
+    pub depth: Option<u64>,
+    /// Configured queue capacity ([`ErrorKind::Busy`] only).
+    pub capacity: Option<u64>,
 }
 
 /// The failure classes a request can hit.
@@ -167,6 +171,10 @@ pub enum ErrorKind {
     Oversize,
     /// The engines rejected the instance or failed while computing.
     Engine,
+    /// The bounded job queue is full; the request was rejected at admission
+    /// without queueing. Carries the observed depth and the configured
+    /// capacity in [`WireError::depth`] / [`WireError::capacity`].
+    Busy,
     /// The service is draining after a `Shutdown` request.
     Shutdown,
 }
@@ -177,12 +185,25 @@ impl WireError {
         WireError {
             kind,
             message: message.into(),
+            depth: None,
+            capacity: None,
         }
     }
 
     /// Wraps an engine-side [`GameError`].
     pub fn engine(err: &GameError) -> Self {
         WireError::new(ErrorKind::Engine, err.to_string())
+    }
+
+    /// The back-pressure rejection: the bounded job queue held `depth` jobs
+    /// against a cap of `capacity` when this request arrived.
+    pub fn busy(depth: usize, capacity: usize) -> Self {
+        WireError {
+            kind: ErrorKind::Busy,
+            message: format!("job queue is full ({depth}/{capacity} jobs); retry later"),
+            depth: Some(depth as u64),
+            capacity: Some(capacity as u64),
+        }
     }
 }
 
@@ -241,12 +262,17 @@ pub struct BracketReply {
     pub outcome: BracketOutcome,
 }
 
-/// The two ways a bracket policy can end.
+/// The three ways a bracket policy can end.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum BracketOutcome {
     /// Certified brackets were produced.
     Brackets(WireBrackets),
-    /// The deadline fired before any leaf completed.
+    /// The deadline fired **inside** a bracket leaf; these are the certified
+    /// best-so-far brackets at the last checkpoint, possibly looser than the
+    /// full composition would have produced (and possibly lacking a finite
+    /// bound on one side's lower end).
+    Partial(WireBrackets),
+    /// The deadline fired before any leaf produced anything certifiable.
     DeadlineExceeded,
 }
 
@@ -333,8 +359,12 @@ pub struct StatsReply {
     pub requests: u64,
     /// Requests that ended in a typed error.
     pub errors: u64,
-    /// Requests that ended in a deadline outcome.
+    /// Requests that ended in a deadline outcome (partial brackets
+    /// included).
     pub deadline_hits: u64,
+    /// Requests refused at admission because the job queue was full; these
+    /// never reach the engines and are **not** counted in `requests`.
+    pub rejected: u64,
 }
 
 /// One cache's counters plus its configured bound.
@@ -442,20 +472,25 @@ pub fn deadline_solve_reply(key: String) -> SolveReply {
     }
 }
 
+/// Projects an [`OptOutcome`]'s brackets and attempts onto the wire.
+pub fn wire_brackets(outcome: &OptOutcome) -> WireBrackets {
+    WireBrackets {
+        opt1: wire_bracket(&outcome.opt1),
+        opt2: wire_bracket(&outcome.opt2),
+        attempts: outcome
+            .telemetry
+            .attempts
+            .iter()
+            .map(wire_opt_attempt)
+            .collect(),
+    }
+}
+
 /// Projects an [`OptOutcome`] onto the deterministic wire form.
 pub fn wire_bracket_reply(key: String, outcome: &OptOutcome) -> BracketReply {
     BracketReply {
         key,
-        outcome: BracketOutcome::Brackets(WireBrackets {
-            opt1: wire_bracket(&outcome.opt1),
-            opt2: wire_bracket(&outcome.opt2),
-            attempts: outcome
-                .telemetry
-                .attempts
-                .iter()
-                .map(wire_opt_attempt)
-                .collect(),
-        }),
+        outcome: BracketOutcome::Brackets(wire_brackets(outcome)),
     }
 }
 

@@ -8,27 +8,34 @@
 //! `ServeState` driven in-process answers byte-for-byte like the TCP
 //! service (see [`replay`](crate::replay)).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use netuncert_core::prelude::{
-    EffectiveGame, LinkLoads, MixedProfile, OptCache, OptConfig, PureProfile, SolveCache,
-    SolverConfig,
+    EffectiveGame, LinkLoads, MixedProfile, OptCache, OptConfig, OptOutcome, PureProfile,
+    SolveCache, SolverConfig,
 };
 use netuncert_core::social_cost::{ratio_bracket, sc1, sc2};
 
 use crate::policy::{self, BracketEval, EvalCtx, PolicyMode, SolveEval};
 use crate::protocol::{
-    deadline_solve_reply, request_key, wire_bracket_reply, wire_cost_report, wire_solve_reply,
-    BracketOutcome, BracketReply, ErrorKind, Limits, MeasureOutcome, MeasureReply, Request,
-    RequestBody, Response, ResponseBody, StatsReply, WireCacheStats, WireError, WireInstance,
+    deadline_solve_reply, request_key, wire_bracket_reply, wire_brackets, wire_cost_report,
+    wire_solve_reply, BracketOutcome, BracketReply, ErrorKind, Limits, MeasureOutcome,
+    MeasureReply, Request, RequestBody, Response, ResponseBody, SolveOutcome, StatsReply,
+    WireCacheStats, WireError, WireInstance,
 };
 
-/// Service configuration: pool size, warm-tier bounds, wire limits.
+/// Service configuration: pool size, queue bound, warm-tier bounds, wire
+/// limits.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Fixed worker-pool size.
     pub workers: usize,
+    /// Bound on the shared job queue; an arriving request that finds the
+    /// queue at this depth is rejected with a typed
+    /// [`ErrorKind::Busy`](crate::protocol::ErrorKind::Busy) instead of
+    /// queueing without bound.
+    pub queue_depth: usize,
     /// LRU capacity of the solve warm tier, entries.
     pub solve_cache_capacity: usize,
     /// LRU capacity of the opt warm tier, entries.
@@ -41,11 +48,25 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 4,
+            queue_depth: 256,
             solve_cache_capacity: 1 << 16,
             opt_cache_capacity: 1 << 16,
             limits: Limits::default(),
         }
     }
+}
+
+/// The request counters, grouped under one lock so a [`StatsReply`]
+/// snapshot is a single consistent cut: `errors + deadline_hits` can never
+/// exceed `requests` in any observed snapshot, which independent relaxed
+/// atomics could not promise (a request counted in `errors` before its
+/// `requests` bump was visible).
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    requests: u64,
+    errors: u64,
+    deadline_hits: u64,
+    rejected: u64,
 }
 
 /// One service instance's engine-side state (everything but the sockets).
@@ -55,9 +76,7 @@ pub struct ServeState {
     base_solver: SolverConfig,
     base_opt: OptConfig,
     limits: Limits,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    deadline_hits: AtomicU64,
+    counters: Mutex<Counters>,
     draining: AtomicBool,
 }
 
@@ -70,9 +89,7 @@ impl ServeState {
             base_solver: SolverConfig::default(),
             base_opt: OptConfig::default(),
             limits: config.limits,
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            deadline_hits: AtomicU64::new(0),
+            counters: Mutex::new(Counters::default()),
             draining: AtomicBool::new(false),
         }
     }
@@ -113,8 +130,6 @@ impl ServeState {
     /// Dispatches one parsed request. Never panics on request content: every
     /// failure mode is a typed [`WireError`] in the response body.
     pub fn handle_request(&self, request: Request) -> Response {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let id = request.id;
         let body = match &request.body {
             RequestBody::Stats => self.stats_reply(),
             RequestBody::Shutdown => {
@@ -138,10 +153,141 @@ impl ServeState {
                 self.handle_measure(key, measure)
             }
         };
-        if matches!(body, ResponseBody::Error(_)) {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+        self.finish(request.id, body)
+    }
+
+    /// Counts one handled request under a single counter pass and seals the
+    /// response envelope. Classifying the *finished* body here (instead of
+    /// sprinkling counter bumps through the handlers) is what lets every
+    /// counter for one request move under one lock acquisition.
+    fn finish(&self, id: u64, body: ResponseBody) -> Response {
+        let errored = matches!(body, ResponseBody::Error(_));
+        let deadlined = matches!(
+            &body,
+            ResponseBody::Solve(reply) if matches!(reply.outcome, SolveOutcome::DeadlineExceeded)
+        ) || matches!(
+            &body,
+            ResponseBody::Bracket(reply) if matches!(
+                reply.outcome,
+                BracketOutcome::DeadlineExceeded | BracketOutcome::Partial(_)
+            )
+        ) || matches!(
+            &body,
+            ResponseBody::Measure(reply) if matches!(reply.outcome, MeasureOutcome::DeadlineExceeded)
+        );
+        let mut counters = self.counters.lock().expect("counter lock poisoned");
+        counters.requests += 1;
+        if errored {
+            counters.errors += 1;
         }
+        if deadlined {
+            counters.deadline_hits += 1;
+        }
+        drop(counters);
         Response { id, body }
+    }
+
+    /// The admission rejection for a full job queue: counts one `rejected`
+    /// (and nothing else — the request never reaches the engines) and
+    /// returns the typed [`ErrorKind::Busy`] response.
+    pub fn busy_response(&self, id: u64, depth: usize, capacity: usize) -> Response {
+        let mut counters = self.counters.lock().expect("counter lock poisoned");
+        counters.rejected += 1;
+        drop(counters);
+        Response {
+            id,
+            body: ResponseBody::Error(WireError::busy(depth, capacity)),
+        }
+    }
+
+    /// The connection reader's fast path: answers a request **without a
+    /// worker** when no engine work is needed — `Stats`/`Shutdown`,
+    /// draining rejections, validation errors, and any compute verb whose
+    /// policy resolves entirely from the warm tier. Returns `None` when the
+    /// request needs cold engine work (or carries a `Timeout` policy, whose
+    /// deadline bookkeeping belongs on a worker).
+    ///
+    /// Everything answered here is byte-identical to what a worker would
+    /// have produced for the same request; only the warm tier's hit/miss
+    /// counters can differ (a punted request's probe misses are recounted
+    /// by the worker — the documented tolerance).
+    pub fn try_handle_fast(&self, request: &Request) -> Option<Response> {
+        let body = self.fast_body(&request.body)?;
+        Some(self.finish(request.id, body))
+    }
+
+    fn fast_body(&self, body: &RequestBody) -> Option<ResponseBody> {
+        match body {
+            RequestBody::Stats => Some(self.stats_reply()),
+            RequestBody::Shutdown => {
+                self.start_draining();
+                Some(ResponseBody::Shutdown)
+            }
+            _ if self.draining() => Some(ResponseBody::Error(WireError::new(
+                ErrorKind::Shutdown,
+                "service is draining after a Shutdown request",
+            ))),
+            RequestBody::Solve(solve) => {
+                if let Err(err) = policy::validate(&solve.policy, PolicyMode::Solve) {
+                    return Some(ResponseBody::Error(err));
+                }
+                let (game, initial) = match self.build_instance(&solve.instance) {
+                    Ok(built) => built,
+                    Err(err) => return Some(ResponseBody::Error(err)),
+                };
+                if solve.policy.has_timeout() {
+                    return None;
+                }
+                let solved =
+                    policy::eval_solve_cached(&solve.policy, &self.eval_ctx(&game, &initial))?;
+                // The key is only hashed on a hit: at large `n` the
+                // canonical-JSON pass costs more than the lookup itself.
+                let key = request_key(body);
+                Some(ResponseBody::Solve(wire_solve_reply(key, &solved)))
+            }
+            RequestBody::Bracket(bracket) => {
+                if let Err(err) = policy::validate(&bracket.policy, PolicyMode::Bracket) {
+                    return Some(ResponseBody::Error(err));
+                }
+                let (game, initial) = match self.build_instance(&bracket.instance) {
+                    Ok(built) => built,
+                    Err(err) => return Some(ResponseBody::Error(err)),
+                };
+                if bracket.policy.has_timeout() {
+                    return None;
+                }
+                let done =
+                    policy::eval_bracket_cached(&bracket.policy, &self.eval_ctx(&game, &initial))?;
+                let key = request_key(body);
+                Some(ResponseBody::Bracket(wire_bracket_reply(
+                    key,
+                    &done.outcome,
+                )))
+            }
+            RequestBody::Measure(measure) => {
+                if let Err(err) = policy::validate(&measure.policy, PolicyMode::Bracket) {
+                    return Some(ResponseBody::Error(err));
+                }
+                let (game, initial) = match self.build_instance(&measure.instance) {
+                    Ok(built) => built,
+                    Err(err) => return Some(ResponseBody::Error(err)),
+                };
+                let pure = PureProfile::new(measure.profile.clone());
+                if let Err(e) = pure.validate(&game) {
+                    return Some(ResponseBody::Error(WireError::new(
+                        ErrorKind::InvalidRequest,
+                        e.to_string(),
+                    )));
+                }
+                if measure.policy.has_timeout() {
+                    return None;
+                }
+                let done =
+                    policy::eval_bracket_cached(&measure.policy, &self.eval_ctx(&game, &initial))?;
+                let key = request_key(body);
+                Some(self.measure_body(key, &game, &pure, &done.outcome))
+            }
+        }
     }
 
     /// Validates wire dimensions and builds the engine-side instance.
@@ -216,10 +362,7 @@ impl ServeState {
         };
         match policy::eval_solve(policy, &self.eval_ctx(&game, &initial), None) {
             Ok(SolveEval::Done(solved)) => ResponseBody::Solve(wire_solve_reply(key, &solved)),
-            Ok(SolveEval::Deadline) => {
-                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
-                ResponseBody::Solve(deadline_solve_reply(key))
-            }
+            Ok(SolveEval::Deadline) => ResponseBody::Solve(deadline_solve_reply(key)),
             Err(err) => ResponseBody::Error(err),
         }
     }
@@ -241,13 +384,14 @@ impl ServeState {
             Ok(BracketEval::Done(done)) => {
                 ResponseBody::Bracket(wire_bracket_reply(key, &done.outcome))
             }
-            Ok(BracketEval::Deadline) => {
-                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
-                ResponseBody::Bracket(BracketReply {
-                    key,
-                    outcome: BracketOutcome::DeadlineExceeded,
-                })
-            }
+            Ok(BracketEval::Partial(outcome)) => ResponseBody::Bracket(BracketReply {
+                key,
+                outcome: BracketOutcome::Partial(wire_brackets(&outcome)),
+            }),
+            Ok(BracketEval::Deadline) => ResponseBody::Bracket(BracketReply {
+                key,
+                outcome: BracketOutcome::DeadlineExceeded,
+            }),
             Err(err) => ResponseBody::Error(err),
         }
     }
@@ -268,32 +412,13 @@ impl ServeState {
         if let Err(e) = pure.validate(&game) {
             return ResponseBody::Error(WireError::new(ErrorKind::InvalidRequest, e.to_string()));
         }
-        let profile = MixedProfile::from_pure(&pure, game.links());
         match policy::eval_bracket(&measure.policy, &self.eval_ctx(&game, &initial), None) {
-            Ok(BracketEval::Done(done)) => {
-                let cost1 = sc1(&game, &profile);
-                let cost2 = sc2(&game, &profile);
-                let cr1 = match ratio_bracket(cost1, &done.outcome.opt1, "OPT1") {
-                    Ok(cr) => cr,
-                    Err(e) => return ResponseBody::Error(WireError::engine(&e)),
-                };
-                let cr2 = match ratio_bracket(cost2, &done.outcome.opt2, "OPT2") {
-                    Ok(cr) => cr,
-                    Err(e) => return ResponseBody::Error(WireError::engine(&e)),
-                };
-                ResponseBody::Measure(MeasureReply {
-                    key,
-                    outcome: MeasureOutcome::Report(wire_cost_report(
-                        cost1,
-                        cost2,
-                        &done.outcome,
-                        &cr1,
-                        &cr2,
-                    )),
-                })
-            }
-            Ok(BracketEval::Deadline) => {
-                self.deadline_hits.fetch_add(1, Ordering::Relaxed);
+            Ok(BracketEval::Done(done)) => self.measure_body(key, &game, &pure, &done.outcome),
+            // A partial bracket's lower ends may still be at zero (no lower
+            // backend ran), where the ratio arithmetic is undefined — a
+            // measure under deadline pressure reports the plain deadline
+            // outcome rather than a half-usable report.
+            Ok(BracketEval::Partial(_)) | Ok(BracketEval::Deadline) => {
                 ResponseBody::Measure(MeasureReply {
                     key,
                     outcome: MeasureOutcome::DeadlineExceeded,
@@ -303,7 +428,40 @@ impl ServeState {
         }
     }
 
+    /// The report body for a measured profile against completed brackets
+    /// (shared by the worker path and the warm fast path).
+    fn measure_body(
+        &self,
+        key: String,
+        game: &EffectiveGame,
+        pure: &PureProfile,
+        outcome: &OptOutcome,
+    ) -> ResponseBody {
+        let profile = MixedProfile::from_pure(pure, game.links());
+        let cost1 = sc1(game, &profile);
+        let cost2 = sc2(game, &profile);
+        let cr1 = match ratio_bracket(cost1, &outcome.opt1, "OPT1") {
+            Ok(cr) => cr,
+            Err(e) => return ResponseBody::Error(WireError::engine(&e)),
+        };
+        let cr2 = match ratio_bracket(cost2, &outcome.opt2, "OPT2") {
+            Ok(cr) => cr,
+            Err(e) => return ResponseBody::Error(WireError::engine(&e)),
+        };
+        ResponseBody::Measure(MeasureReply {
+            key,
+            outcome: MeasureOutcome::Report(wire_cost_report(cost1, cost2, outcome, &cr1, &cr2)),
+        })
+    }
+
+    /// One stats snapshot. The request counters come from a single pass
+    /// under the counter lock, so they are mutually consistent; the cache
+    /// counters are sampled *after* that cut and may run slightly ahead of
+    /// it (and may over-count misses: a reader's fast-path probe that punts
+    /// to a worker records the miss twice). Tests pin the tolerance, not
+    /// exact cache counts.
     fn stats_reply(&self) -> ResponseBody {
+        let counters = *self.counters.lock().expect("counter lock poisoned");
         let solve = self.solve_cache.stats();
         let opt = self.opt_cache.stats();
         ResponseBody::Stats(StatsReply {
@@ -321,9 +479,10 @@ impl ServeState {
                 evictions: opt.evictions,
                 capacity: self.opt_cache.capacity() as u64,
             },
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            deadline_hits: self.deadline_hits.load(Ordering::Relaxed),
+            requests: counters.requests,
+            errors: counters.errors,
+            deadline_hits: counters.deadline_hits,
+            rejected: counters.rejected,
         })
     }
 }

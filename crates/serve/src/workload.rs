@@ -92,10 +92,12 @@ pub fn default_bracket_policy() -> Policy {
         Policy::Bracket(BracketLeaf {
             backends: vec!["lpt".into(), "relaxation".into()],
             width_goal: Some(1.5),
+            restarts: None,
         }),
         Policy::Bracket(BracketLeaf {
             backends: vec!["branch_and_bound".into(), "exhaustive".into()],
             width_goal: None,
+            restarts: None,
         }),
     ])
 }

@@ -3,9 +3,10 @@
 
 use std::time::{Duration, Instant};
 
-use netuncert_serve::policy::{Policy, SolveLeaf, TimeoutPolicy};
+use netuncert_serve::policy::{BracketLeaf, Policy, SolveLeaf, TimeoutPolicy};
 use netuncert_serve::protocol::{
-    Request, RequestBody, Response, ResponseBody, SolveOutcome, SolveRequest,
+    BracketOutcome, BracketRequest, Request, RequestBody, Response, ResponseBody, SolveOutcome,
+    SolveRequest,
 };
 use netuncert_serve::replay::Replayer;
 use netuncert_serve::state::ServeConfig;
@@ -190,6 +191,79 @@ fn stepped_evaluation_matches_the_engine_walk() {
         // the engines produced must be identical.
         assert_eq!(direct.outcome, stepped.outcome, "seed {seed}");
         assert_eq!(direct.attempts, stepped.attempts, "seed {seed}");
+    }
+
+    shutdown(addr);
+    handle.join().expect("server thread").expect("clean run");
+}
+
+/// A deadline that fires *inside* a Bracket leaf (mid-estimation, between
+/// estimator units) returns the certified best-so-far bounds as a typed
+/// `Partial` outcome — not an empty `DeadlineExceeded`, not a hang until
+/// the restart budget runs dry.
+#[test]
+fn mid_leaf_deadline_returns_typed_partial_bracket() {
+    let (addr, handle) = start(&ServeConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+
+    // LPT finishes in microseconds even at n=512; the descent grind with a
+    // 200k restart budget cannot. A 150 ms deadline therefore lands between
+    // estimator units, with certified bounds already in hand.
+    let started = Instant::now();
+    let response = client
+        .call(RequestBody::Bracket(BracketRequest {
+            instance: wire_instance(512, 16, 21),
+            policy: Policy::Timeout(TimeoutPolicy {
+                ms: 150,
+                lower: Box::new(Policy::Bracket(BracketLeaf {
+                    backends: vec!["lpt".into(), "relaxation".into(), "descent".into()],
+                    width_goal: None,
+                    restarts: Some(200_000),
+                })),
+            }),
+        }))
+        .expect("bracket reply");
+    let elapsed = started.elapsed();
+
+    let ResponseBody::Bracket(reply) = response.body else {
+        panic!("expected a bracket reply, got {response:?}");
+    };
+    let BracketOutcome::Partial(brackets) = reply.outcome else {
+        panic!("expected a partial bracket, got {:?}", reply.outcome);
+    };
+    // The partial result carries real certified bounds from the estimators
+    // that did complete.
+    assert!(brackets.opt1.lower.is_finite() && brackets.opt1.upper.is_finite());
+    assert!(brackets.opt1.lower <= brackets.opt1.upper);
+    assert!(!brackets.attempts.is_empty(), "no estimator unit completed");
+    // Cooperative cancellation is unit-granular: well under the grind's
+    // natural runtime even on a slow debug build.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "deadline took {elapsed:?}"
+    );
+
+    shutdown(addr);
+    handle.join().expect("server thread").expect("clean run");
+}
+
+/// The binary framing is a transport, not a dialect: the same requests
+/// through a binary-framed connection answer byte-identically (after
+/// canonical re-serialisation) to the JSON framing.
+#[test]
+fn binary_framing_answers_byte_identically_to_json() {
+    let (addr, handle) = start(&ServeConfig::default());
+    let mut json = Client::connect(addr).expect("json connect");
+    let mut binary = Client::connect_binary(addr).expect("binary connect");
+
+    for index in 0..24 {
+        let line = serde_json::to_string(&mixed_request(5, index)).expect("serialise");
+        let from_json = json.call_line(&line).expect("json reply");
+        let from_binary = binary.call_line(&line).expect("binary reply");
+        assert_eq!(
+            from_json, from_binary,
+            "framing divergence on request {index}"
+        );
     }
 
     shutdown(addr);

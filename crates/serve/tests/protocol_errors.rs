@@ -78,6 +78,7 @@ fn unknown_bracket_backends_yield_unknown_policy() {
             policy: Policy::Bracket(BracketLeaf {
                 backends: vec!["simulated_annealing".into()],
                 width_goal: None,
+                restarts: None,
             }),
         }),
     };
@@ -100,6 +101,41 @@ fn zero_and_negative_deadlines_yield_invalid_deadline() {
         assert_eq!(id, 7);
         assert_eq!(kind, ErrorKind::InvalidDeadline);
     }
+}
+
+/// Regression: an astronomical deadline used to overflow
+/// `Instant::now() + Duration::from_millis(ms)` and panic the worker.
+/// Anything beyond the 1-hour cap is now rejected at validation with a
+/// typed error, all the way up to `i64::MAX`.
+#[test]
+fn astronomical_deadlines_are_rejected_not_overflowed() {
+    let state = state();
+    for ms in [
+        netuncert_serve::policy::MAX_DEADLINE_MS + 1,
+        u32::MAX as i64,
+        i64::MAX / 1_000,
+        i64::MAX,
+    ] {
+        let policy = Policy::Timeout(TimeoutPolicy {
+            ms,
+            lower: Box::new(default_solve_policy()),
+        });
+        let line = solve_request(8, wire_instance(4, 3, 1), policy);
+        let (id, kind) = error_kind(&state.handle_line(&line))
+            .unwrap_or_else(|| panic!("no typed error for ms={ms}"));
+        assert_eq!(id, 8);
+        assert_eq!(kind, ErrorKind::InvalidDeadline);
+    }
+    // The cap itself is a legal deadline.
+    let policy = Policy::Timeout(TimeoutPolicy {
+        ms: netuncert_serve::policy::MAX_DEADLINE_MS,
+        lower: Box::new(default_solve_policy()),
+    });
+    let line = solve_request(9, wire_instance(4, 3, 1), policy);
+    assert!(
+        error_kind(&state.handle_line(&line)).is_none(),
+        "the cap must be accepted"
+    );
 }
 
 #[test]
@@ -182,6 +218,7 @@ fn bad_width_goals_yield_invalid_request() {
                 policy: Policy::Bracket(BracketLeaf {
                     backends: vec!["lpt".into()],
                     width_goal: Some(goal),
+                    restarts: None,
                 }),
             }),
         };
@@ -200,6 +237,7 @@ fn mode_mismatched_and_malformed_trees_yield_typed_errors() {
     let policy = Policy::Bracket(BracketLeaf {
         backends: vec!["lpt".into()],
         width_goal: None,
+        restarts: None,
     });
     let line = solve_request(40, wire_instance(4, 3, 1), policy);
     let (_, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
