@@ -117,6 +117,7 @@ pub mod game_graph;
 pub mod latency;
 pub mod model;
 pub mod numeric;
+pub mod obs;
 pub mod opt;
 pub mod potential;
 pub mod social_cost;
@@ -141,6 +142,10 @@ pub mod prelude {
         Belief, BeliefProfile, CapacityState, EffectiveCapacities, EffectiveGame, Game, StateSpace,
     };
     pub use crate::numeric::Tolerance;
+    pub use crate::obs::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Recorder, Registry, Span,
+        SpanId,
+    };
     pub use crate::opt::{
         OptBackendKind, OptBracket, OptCache, OptCheckpoint, OptConfig, OptEngine, OptEstimator,
         OptMethod, OptOutcome, OptRun,

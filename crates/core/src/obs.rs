@@ -1,0 +1,743 @@
+//! Structured observability: counters, gauges, log2 histograms and spans.
+//!
+//! Everything in this module is std-only and allocation-free on the record
+//! path. The design splits into three layers:
+//!
+//! * **Instruments** — [`Counter`], [`Gauge`] and [`Histogram`] are plain
+//!   atomics; recording is lock-free and callers may clone their `Arc`
+//!   handles freely across threads.
+//! * **[`Registry`]** — a named, get-or-create directory of instruments.
+//!   It is *global-but-injectable*: call [`Registry::global()`] for the
+//!   process-wide default, or construct one per subsystem (the serve layer
+//!   owns its own so in-process replays never pollute live metrics). The
+//!   registry lock is taken only when resolving a name to a handle, never
+//!   when recording.
+//! * **[`Recorder`]** — the hot-loop façade. A disabled recorder is a
+//!   `None` and every method is an inlined early return; building the crate
+//!   with `--no-default-features` (dropping the `obs` feature) compiles the
+//!   record path out entirely. Engine code is instrumented through a
+//!   `Recorder`, so solving with the default disabled recorder costs one
+//!   predictable branch per probe.
+//!
+//! [`Span`]s time a region with a monotonic [`Instant`] and record the
+//! elapsed nanoseconds into a histogram on [`Span::finish`]. Parenthood is
+//! an explicit handle passed by the caller — there is no thread-local
+//! ambient context to corrupt under the serve layer's worker pool.
+//!
+//! Histograms use 65 fixed log2 buckets: bucket `i` holds every value whose
+//! bit length is `i` (bucket 0 holds only zero). Percentile readout returns
+//! the upper bound of the bucket containing the nearest-rank element, so a
+//! reported percentile is always within 2x of the true order statistic and
+//! lands in the *same* bucket (the property the proptest oracle pins).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 buckets in a [`Histogram`]: one per possible bit length
+/// of a `u64` (1..=64) plus a dedicated zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value: its bit length (0 for zero).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Smallest value that lands in bucket `index`.
+#[inline]
+pub fn bucket_floor(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// Largest value that lands in bucket `index` (saturating at `u64::MAX`).
+#[inline]
+pub fn bucket_ceil(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter. Lock-free.
+    #[inline]
+    pub fn incr(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, busy workers, ...).
+///
+/// Gauges are unsigned; [`Gauge::sub`] saturates at zero rather than
+/// wrapping, so a racy decrement can never report `u64::MAX - 1` items.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge by `by`. Lock-free.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `by`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, by: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(by))
+            });
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 latency histogram with a lock-free record path.
+///
+/// `record` is three relaxed `fetch_add`s; there is no lock anywhere in the
+/// type. Readout ([`Histogram::percentile`], [`Histogram::snapshot`]) copies
+/// the bucket array once and computes from the copy, so a snapshot is
+/// internally consistent even while writers are racing.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.load_buckets().iter().sum()
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Adds every observation of `other` into `self`.
+    ///
+    /// Merging is bucket-wise addition, so a histogram merged from `k`
+    /// shards reports exactly the percentiles of the union of their
+    /// observations.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.load_buckets()) {
+            if theirs != 0 {
+                mine.fetch_add(theirs, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`), reported as the upper
+    /// bound of the bucket holding the rank-th smallest observation.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        Self::percentile_of(&self.load_buckets(), p)
+    }
+
+    /// One consistent copy of the bucket array.
+    fn load_buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn percentile_of(buckets: &[u64; HISTOGRAM_BUCKETS], p: f64) -> u64 {
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(count);
+        let mut seen = 0u64;
+        for (index, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_ceil(index);
+            }
+        }
+        bucket_ceil(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// A consistent point-in-time summary of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.load_buckets();
+        let count: u64 = buckets.iter().sum();
+        let max = buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n != 0)
+            .map(|(i, _)| bucket_ceil(i))
+            .unwrap_or(0);
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            p50: Self::percentile_of(&buckets, 50.0),
+            p90: Self::percentile_of(&buckets, 90.0),
+            p99: Self::percentile_of(&buckets, 99.0),
+            max,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n != 0)
+                .map(|(i, &n)| (i as u32, n))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+///
+/// `count` and the percentiles are computed from a single copy of the
+/// bucket array, so `p50 <= p90 <= p99 <= max` holds by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (wrapping).
+    pub sum: u64,
+    /// 50th-percentile bucket upper bound.
+    pub p50: u64,
+    /// 90th-percentile bucket upper bound.
+    pub p90: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99: u64,
+    /// Upper bound of the highest non-empty bucket.
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Identifier of a [`Span`], unique within its [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw id value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// A timed region. Created by [`Recorder::span`]; [`Span::finish`] records
+/// the elapsed nanoseconds into the histogram `span.<name>`.
+///
+/// Parenthood is explicit: pass the parent span to
+/// [`Recorder::child_span`]. There is no thread-local current-span stack,
+/// so spans can be handed across worker threads safely.
+#[derive(Debug)]
+pub struct Span {
+    id: SpanId,
+    parent: Option<SpanId>,
+    start: Option<Instant>,
+    sink: Option<Arc<Histogram>>,
+}
+
+impl Span {
+    /// This span's id (0 when the recorder is disabled).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The explicit parent handle, if one was given.
+    pub fn parent(&self) -> Option<SpanId> {
+        self.parent
+    }
+
+    /// Ends the span, recording elapsed nanoseconds into its histogram.
+    /// Returns the elapsed time (0 when the recorder is disabled).
+    pub fn finish(self) -> u64 {
+        match (self.start, self.sink) {
+            (Some(start), Some(sink)) => {
+                let ns = elapsed_ns(start);
+                sink.record(ns);
+                ns
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Saturating elapsed nanoseconds since `start`.
+#[inline]
+pub fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A named directory of instruments.
+///
+/// Handles are get-or-create and shared: two callers asking for counter
+/// `"x"` receive the same `Arc`. The internal lock guards only name
+/// resolution; recording through a handle never touches it.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    next_span: AtomicU64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide default registry.
+    ///
+    /// Subsystems that need isolation (the serve layer, replay harnesses)
+    /// should construct their own instead of sharing this one.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs registry poisoned");
+        if let Some(existing) = map.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&created));
+        created
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("obs registry poisoned");
+        if let Some(existing) = map.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&created));
+        created
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs registry poisoned");
+        if let Some(existing) = map.get(name) {
+            return Arc::clone(existing);
+        }
+        let created = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&created));
+        created
+    }
+
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    fn next_span_id(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// A consistent, name-sorted snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.value()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.value()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A name-sorted snapshot of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` per histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// The hot-loop instrumentation façade: a registry handle that may be absent.
+///
+/// Every probe method starts with an inlined `None` check, so a disabled
+/// recorder costs one predicted branch — and with the crate's `obs` feature
+/// off, the probe bodies compile out entirely. Clock reads go through
+/// [`Recorder::now`], which returns `None` when disabled so instrumented
+/// loops skip the `Instant::now()` syscall too.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Recorder {
+    /// A recorder that drops every probe. This is the default everywhere.
+    pub fn disabled() -> Self {
+        Self { registry: None }
+    }
+
+    /// A recorder writing into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            registry: Some(registry),
+        }
+    }
+
+    /// Whether probes are live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The attached registry, if any.
+    pub fn attached(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// `Instant::now()` when enabled; `None` (no clock read) when disabled.
+    #[inline]
+    pub fn now(&self) -> Option<Instant> {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.as_ref().map(|_| Instant::now())
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            None
+        }
+    }
+
+    /// Records elapsed nanoseconds since a [`Recorder::now`] timestamp into
+    /// histogram `name`. A `None` start (disabled at probe time) is a no-op.
+    #[inline]
+    pub fn record_since(&self, name: &str, start: Option<Instant>) {
+        #[cfg(feature = "obs")]
+        if let (Some(registry), Some(start)) = (self.registry.as_ref(), start) {
+            registry.histogram(name).record(elapsed_ns(start));
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (name, start);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn record(&self, name: &str, value: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(registry) = self.registry.as_ref() {
+            registry.histogram(name).record(value);
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (name, value);
+        }
+    }
+
+    /// Adds `by` to counter `name`.
+    #[inline]
+    pub fn incr(&self, name: &str, by: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(registry) = self.registry.as_ref() {
+            registry.counter(name).incr(by);
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (name, by);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        #[cfg(feature = "obs")]
+        if let Some(registry) = self.registry.as_ref() {
+            registry.gauge(name).set(value);
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (name, value);
+        }
+    }
+
+    /// Resolves a histogram handle for hot paths that want to skip the
+    /// name lookup per record. `None` when disabled.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.as_ref().map(|r| r.histogram(name))
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = name;
+            None
+        }
+    }
+
+    /// Opens a root span; elapsed time is recorded into `span.<name>` on
+    /// [`Span::finish`].
+    pub fn span(&self, name: &str) -> Span {
+        self.open_span(name, None)
+    }
+
+    /// Opens a span with an explicit parent handle.
+    pub fn child_span(&self, name: &str, parent: &Span) -> Span {
+        self.open_span(name, Some(parent.id()))
+    }
+
+    /// Opens a span under an optional parent id — for callers that thread
+    /// parenthood through a context struct rather than a `&Span` borrow.
+    pub fn span_under(&self, name: &str, parent: Option<SpanId>) -> Span {
+        self.open_span(name, parent)
+    }
+
+    fn open_span(&self, name: &str, parent: Option<SpanId>) -> Span {
+        #[cfg(feature = "obs")]
+        if let Some(registry) = self.registry.as_ref() {
+            return Span {
+                id: registry.next_span_id(),
+                parent,
+                start: Some(Instant::now()),
+                sink: Some(registry.histogram(&format!("span.{name}"))),
+            };
+        }
+        let _ = name;
+        Span {
+            id: SpanId(0),
+            parent,
+            start: None,
+            sink: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Zero has its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_ceil(0), 0);
+        // Bucket i covers [2^(i-1), 2^i - 1].
+        for i in 1..64 {
+            let floor = 1u64 << (i - 1);
+            let ceil = (1u64 << i) - 1;
+            assert_eq!(bucket_index(floor), i, "floor of bucket {i}");
+            assert_eq!(bucket_index(ceil), i, "ceil of bucket {i}");
+            assert_eq!(bucket_floor(i), floor);
+            assert_eq!(bucket_ceil(i), ceil);
+            // The boundary neighbours land in the adjacent buckets.
+            assert_eq!(bucket_index(floor - 1), i - 1);
+            if ceil < u64::MAX {
+                assert_eq!(bucket_index(ceil + 1), i + 1);
+            }
+        }
+        // The top bucket saturates at u64::MAX.
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_ceil(64), u64::MAX);
+        assert_eq!(bucket_floor(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX / 2] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 6 + 1000 + u64::MAX / 2);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucket_accurate() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.percentile(50.0), h.percentile(90.0), h.percentile(99.0));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} <= {p90} <= {p99}");
+        // Nearest-rank oracle: the 500th/900th/990th smallest of 1..=1000.
+        assert_eq!(bucket_index(p50), bucket_index(500));
+        assert_eq!(bucket_index(p90), bucket_index(900));
+        assert_eq!(bucket_index(p99), bucket_index(990));
+        // Reported value is the bucket upper bound: within 2x of the truth.
+        assert!((500..1024).contains(&p50));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.max, 0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_is_bucketwise_union() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 500, 900] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 1 + 5 + 9 + 2 + 500 + 900);
+        // p99 now comes from b's tail.
+        assert_eq!(bucket_index(a.percentile(99.0)), bucket_index(900));
+    }
+
+    #[test]
+    fn gauge_sub_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.value(), 0);
+        g.set(7);
+        g.sub(2);
+        assert_eq!(g.value(), 5);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_snapshot_is_sorted() {
+        let registry = Registry::new();
+        registry.counter("b.second").incr(2);
+        registry.counter("a.first").incr(1);
+        let again = registry.counter("b.second");
+        again.incr(3);
+        registry.gauge("depth").set(4);
+        registry.histogram("lat").record(100);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".into(), 1), ("b.second".into(), 5)]
+        );
+        assert_eq!(snap.gauges, vec![("depth".into(), 4)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "lat");
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let recorder = Recorder::disabled();
+        assert!(!recorder.enabled());
+        assert!(recorder.now().is_none());
+        recorder.record("x", 1);
+        recorder.incr("y", 1);
+        recorder.gauge_set("z", 1);
+        let span = recorder.span("leaf");
+        assert_eq!(span.id().value(), 0);
+        assert_eq!(span.finish(), 0);
+        assert!(recorder.histogram("x").is_none());
+    }
+
+    #[test]
+    fn spans_record_into_named_histograms_with_explicit_parents() {
+        let registry = Arc::new(Registry::new());
+        let recorder = Recorder::new(Arc::clone(&registry));
+        let root = recorder.span("request");
+        let child = recorder.child_span("leaf", &root);
+        assert_eq!(child.parent(), Some(root.id()));
+        assert_ne!(child.id(), root.id());
+        child.finish();
+        root.finish();
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["span.leaf", "span.request"]);
+        assert!(snap.histograms.iter().all(|(_, h)| h.count == 1));
+    }
+
+    #[test]
+    fn recorder_record_since_times_real_elapsed() {
+        let registry = Arc::new(Registry::new());
+        let recorder = Recorder::new(Arc::clone(&registry));
+        let start = recorder.now();
+        assert!(start.is_some());
+        recorder.record_since("tick", start);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+}

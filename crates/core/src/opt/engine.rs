@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::{GameError, Result};
 use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
+use crate::obs::{elapsed_ns, Counter, Histogram, Recorder};
 use crate::opt::branch_and_bound::BranchAndBound;
 use crate::opt::cache::{self, OptCache};
 use crate::opt::descent::Descent;
@@ -512,6 +513,36 @@ pub struct OptEngine {
     config: OptConfig,
     /// Opt-in memoisation layer ([`OptEngine::with_cache`]).
     cache: Option<Arc<OptCache>>,
+    /// Observability probes ([`OptEngine::with_recorder`]); the default
+    /// disabled recorder costs one predicted branch per probe site.
+    recorder: Recorder,
+    probes: Option<OptProbes>,
+}
+
+/// Pre-resolved instrument handles; present only with a live recorder.
+struct OptProbes {
+    /// `cache.opt.key_ns` — canonical-key construction time.
+    key_ns: Arc<Histogram>,
+    /// `cache.opt.fill_ns` — cold-estimate latency behind a cache miss.
+    fill_ns: Arc<Histogram>,
+    /// `opt.estimator_ns` — per-estimator unit wall time (the units the
+    /// cooperative [`OptCheckpoint`] deadline stops between).
+    estimator_ns: Arc<Histogram>,
+    /// `opt.deadlined` — walks interrupted by their checkpoint.
+    deadlined: Arc<Counter>,
+}
+
+impl OptProbes {
+    fn resolve(recorder: &Recorder) -> Option<Self> {
+        Some(OptProbes {
+            key_ns: recorder.histogram("cache.opt.key_ns")?,
+            fill_ns: recorder.histogram("cache.opt.fill_ns")?,
+            estimator_ns: recorder.histogram("opt.estimator_ns")?,
+            deadlined: recorder
+                .attached()
+                .map(|registry| registry.counter("opt.deadlined"))?,
+        })
+    }
 }
 
 impl Default for OptEngine {
@@ -550,7 +581,21 @@ impl OptEngine {
             estimators,
             config,
             cache: None,
+            recorder: Recorder::disabled(),
+            probes: None,
         }
+    }
+
+    /// Attaches an observability [`Recorder`]. A live recorder mirrors the
+    /// engine's wall-time telemetry into latency histograms
+    /// (`cache.opt.key_ns`, `cache.opt.fill_ns`, `opt.estimator_ns`) and
+    /// counts deadline interrupts (`opt.deadlined`); the default
+    /// [`Recorder::disabled`] keeps every probe a single predicted branch.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.probes = OptProbes::resolve(&recorder);
+        self.recorder = recorder;
+        self
     }
 
     /// Attaches a content-addressed [`OptCache`]. Keys embed the engine's
@@ -594,13 +639,21 @@ impl OptEngine {
                 .estimate_cold(game, initial, OptCheckpoint::never())?
                 .outcome);
         };
+        let key_start = self.recorder.now();
         let key = cache::canonical_key(&self.methods(), &self.config, game, initial);
+        if let (Some(probes), Some(start)) = (&self.probes, key_start) {
+            probes.key_ns.record(elapsed_ns(start));
+        }
         if let Some(hit) = cache.lookup(&key) {
             return Ok(hit);
         }
+        let fill_start = self.recorder.now();
         let outcome = self
             .estimate_cold(game, initial, OptCheckpoint::never())?
             .outcome;
+        if let (Some(probes), Some(start)) = (&self.probes, fill_start) {
+            probes.fill_ns.record(elapsed_ns(start));
+        }
         cache.insert(key, outcome.clone());
         Ok(outcome)
     }
@@ -674,12 +727,16 @@ impl OptEngine {
             }
             let attempt_start = Instant::now();
             let estimate = estimator.estimate_under(game, initial, &self.config, check)?;
+            let wall_ns = attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(probes) = &self.probes {
+                probes.estimator_ns.record(wall_ns);
+            }
             attempts.push(OptAttempt {
                 method: estimator.method(),
                 applicability,
                 iterations: estimate.iterations,
                 exact: estimate.opt1_exact && estimate.opt2_exact,
-                wall_ns: attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                wall_ns,
             });
             opt1.merge(
                 estimate.opt1_lower,
@@ -728,6 +785,11 @@ impl OptEngine {
         // An interrupt inside the last estimator also counts: the walk ran
         // every backend but the final contribution may be partial.
         deadlined = deadlined || check.expired();
+        if deadlined {
+            if let Some(probes) = &self.probes {
+                probes.deadlined.incr(1);
+            }
+        }
         Ok(OptRun {
             outcome: OptOutcome {
                 opt1: opt1.finalize("OPT1")?,

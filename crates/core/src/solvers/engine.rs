@@ -30,6 +30,7 @@ use crate::algorithms::{symmetric, two_links, uniform, PureNashMethod, PureNashS
 use crate::error::Result;
 use crate::model::EffectiveGame;
 use crate::numeric::Tolerance;
+use crate::obs::{elapsed_ns, Histogram, Recorder};
 use crate::solvers::cache::{self, CacheStats, SolveCache};
 use crate::solvers::exhaustive;
 use crate::solvers::kernel::{
@@ -552,6 +553,34 @@ pub struct SolverEngine {
     /// Opt-in memoisation layer ([`SolverEngine::with_cache`]); `None` keeps
     /// the engine's historical uncached behaviour.
     cache: Option<Arc<SolveCache>>,
+    /// Observability probes ([`SolverEngine::with_recorder`]); the default
+    /// disabled recorder costs one predicted branch per probe site.
+    recorder: Recorder,
+    probes: Option<EngineProbes>,
+}
+
+/// Pre-resolved histogram handles so the solve hot loops never take the
+/// registry name-lookup lock. Present only when a live recorder is attached.
+struct EngineProbes {
+    /// `cache.solve.key_ns` — canonical-key construction time.
+    key_ns: Arc<Histogram>,
+    /// `cache.solve.fill_ns` — cold-solve latency behind a cache miss.
+    fill_ns: Arc<Histogram>,
+    /// `engine.attempt_ns` — per-solver attempt wall time.
+    attempt_ns: Arc<Histogram>,
+    /// `kernel.pass_ns` — one interleaved `KernelRun::step` pass.
+    pass_ns: Arc<Histogram>,
+}
+
+impl EngineProbes {
+    fn resolve(recorder: &Recorder) -> Option<Self> {
+        Some(EngineProbes {
+            key_ns: recorder.histogram("cache.solve.key_ns")?,
+            fill_ns: recorder.histogram("cache.solve.fill_ns")?,
+            attempt_ns: recorder.histogram("engine.attempt_ns")?,
+            pass_ns: recorder.histogram("kernel.pass_ns")?,
+        })
+    }
 }
 
 impl Default for SolverEngine {
@@ -576,6 +605,8 @@ impl SolverEngine {
             config,
             parallel: None,
             cache: None,
+            recorder: Recorder::disabled(),
+            probes: None,
         }
     }
 
@@ -593,7 +624,21 @@ impl SolverEngine {
             config,
             parallel: None,
             cache: None,
+            recorder: Recorder::disabled(),
+            probes: None,
         }
+    }
+
+    /// Attaches an observability [`Recorder`]. A live recorder mirrors the
+    /// engine's existing wall-time telemetry into latency histograms
+    /// (`cache.solve.key_ns`, `cache.solve.fill_ns`, `engine.attempt_ns`,
+    /// `kernel.pass_ns`); the default [`Recorder::disabled`] keeps every
+    /// probe a single predicted branch, so hot loops cost nothing extra.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.probes = EngineProbes::resolve(&recorder);
+        self.recorder = recorder;
+        self
     }
 
     /// Replaces the worker-pool configuration used by the batch methods
@@ -676,11 +721,19 @@ impl SolverEngine {
         let Some(cache) = &self.cache else {
             return self.solve_cold(game, initial);
         };
+        let key_start = self.recorder.now();
         let key = cache::canonical_key(&self.methods(), &self.config, game, initial);
+        if let (Some(probes), Some(start)) = (&self.probes, key_start) {
+            probes.key_ns.record(elapsed_ns(start));
+        }
         if let Some(hit) = cache.lookup(&key) {
             return Ok(hit);
         }
+        let fill_start = self.recorder.now();
         let solved = self.solve_cold(game, initial)?;
+        if let (Some(probes), Some(start)) = (&self.probes, fill_start) {
+            probes.fill_ns.record(elapsed_ns(start));
+        }
         cache.insert(key, solved.clone());
         Ok(solved)
     }
@@ -696,13 +749,17 @@ impl SolverEngine {
             }
             let attempt_start = Instant::now();
             let detail = solver.solve_detailed(game, initial, &self.config)?;
+            let wall_ns = attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(probes) = &self.probes {
+                probes.attempt_ns.record(wall_ns);
+            }
             attempts.push(SolverAttempt {
                 method: solver.method(),
                 applicability,
                 iterations: detail.iterations,
                 restarts: detail.restarts,
                 found: detail.solution.is_some(),
-                wall_ns: attempt_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                wall_ns,
             });
             let conclusive = applicability == Applicability::Conclusive;
             if detail.solution.is_some() || conclusive {
@@ -818,7 +875,11 @@ impl SolverEngine {
                     done: None,
                 };
                 if let (Some(cache), Some(methods)) = (&self.cache, &methods) {
+                    let key_start = self.recorder.now();
                     let key = cache::canonical_key(methods, &self.config, game, initial);
+                    if let (Some(probes), Some(start)) = (&self.probes, key_start) {
+                        probes.key_ns.record(elapsed_ns(start));
+                    }
                     if let Some(hit) = cache.lookup(&key) {
                         slot.done = Some(Ok(hit));
                     } else {
@@ -838,21 +899,30 @@ impl SolverEngine {
                 let (game, initial) = items[k];
                 // Advance an in-flight kernel run by one pass.
                 if let Some(run) = slot.run.as_mut() {
-                    let Some(detail) = run.step(&mut scratch) else {
+                    let pass_start = self.recorder.now();
+                    let stepped = run.step(&mut scratch);
+                    if let (Some(probes), Some(start)) = (&self.probes, pass_start) {
+                        probes.pass_ns.record(elapsed_ns(start));
+                    }
+                    let Some(detail) = stepped else {
                         continue;
                     };
                     slot.run = None;
+                    let wall_ns = slot
+                        .run_started
+                        .elapsed()
+                        .as_nanos()
+                        .min(u128::from(u64::MAX)) as u64;
+                    if let Some(probes) = &self.probes {
+                        probes.attempt_ns.record(wall_ns);
+                    }
                     slot.attempts.push(SolverAttempt {
                         method: slot.run_method,
                         applicability: slot.run_applicability,
                         iterations: detail.iterations,
                         restarts: detail.restarts,
                         found: detail.solution.is_some(),
-                        wall_ns: slot
-                            .run_started
-                            .elapsed()
-                            .as_nanos()
-                            .min(u128::from(u64::MAX)) as u64,
+                        wall_ns,
                     });
                     if detail.solution.is_some()
                         || slot.run_applicability == Applicability::Conclusive
@@ -883,18 +953,22 @@ impl SolverEngine {
                     match solver.solve_detailed(game, initial, &self.config) {
                         Err(e) => slot.done = Some(Err(e)),
                         Ok(detail) => {
+                            let wall_ns = slot
+                                .run_started
+                                .elapsed()
+                                .as_nanos()
+                                .min(u128::from(u64::MAX))
+                                as u64;
+                            if let Some(probes) = &self.probes {
+                                probes.attempt_ns.record(wall_ns);
+                            }
                             slot.attempts.push(SolverAttempt {
                                 method: solver.method(),
                                 applicability,
                                 iterations: detail.iterations,
                                 restarts: detail.restarts,
                                 found: detail.solution.is_some(),
-                                wall_ns: slot
-                                    .run_started
-                                    .elapsed()
-                                    .as_nanos()
-                                    .min(u128::from(u64::MAX))
-                                    as u64,
+                                wall_ns,
                             });
                             if detail.solution.is_some()
                                 || applicability == Applicability::Conclusive
@@ -909,6 +983,12 @@ impl SolverEngine {
                     if let (Some(cache), Some(key), Some(Ok(solved))) =
                         (&self.cache, slot.key.take(), slot.done.as_ref())
                     {
+                        if let Some(probes) = &self.probes {
+                            // Fill latency of the miss: slot start to done.
+                            probes.fill_ns.record(
+                                slot.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                            );
+                        }
                         cache.insert(key, solved.clone());
                     }
                 }

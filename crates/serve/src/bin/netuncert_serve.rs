@@ -2,19 +2,30 @@
 //!
 //! ```text
 //! netuncert_serve --addr 127.0.0.1:0 [--workers N] [--queue-depth N]
-//!                 [--solve-cache N] [--opt-cache N]
+//!                 [--solve-cache N] [--opt-cache N] [--metrics-json PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` (the resolved address, so port `0` works
 //! for tests) on stdout once bound, then serves until a `Shutdown`
 //! request drains the service, and exits 0.
+//!
+//! `--metrics-json PATH` periodically overwrites `PATH` with the same JSON
+//! document a `Metrics` request returns (counters, gauges, histogram
+//! percentiles), plus one final snapshot when the service drains — a
+//! scrape file for dashboards that do not want to speak the wire protocol.
 
+use std::time::Duration;
+
+use netuncert_serve::protocol::wire_metrics;
 use netuncert_serve::{ServeConfig, Server};
+
+/// How often the `--metrics-json` writer re-snapshots the registry.
+const METRICS_PERIOD: Duration = Duration::from_secs(1);
 
 fn usage() -> ! {
     eprintln!(
         "usage: netuncert_serve --addr HOST:PORT [--workers N] [--queue-depth N] \
-         [--solve-cache ENTRIES] [--opt-cache ENTRIES]"
+         [--solve-cache ENTRIES] [--opt-cache ENTRIES] [--metrics-json PATH]"
     );
     std::process::exit(2);
 }
@@ -33,9 +44,21 @@ fn parse_count(flag: &str, value: Option<String>) -> usize {
     }
 }
 
+/// Serialises the current registry snapshot and writes it to `path` via a
+/// temp-file rename, so a concurrent scraper never reads a torn document.
+fn write_metrics_snapshot(state: &netuncert_serve::ServeState, path: &str) {
+    let snapshot = wire_metrics(&state.registry().snapshot());
+    let json = serde_json::to_string(&snapshot).expect("wire types always serialise");
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
 fn main() {
     let mut addr = String::from("127.0.0.1:4700");
     let mut config = ServeConfig::default();
+    let mut metrics_json: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -58,6 +81,13 @@ fn main() {
             "--opt-cache" => {
                 config.opt_cache_capacity = parse_count("--opt-cache", argv.next());
             }
+            "--metrics-json" => match argv.next() {
+                Some(path) => metrics_json = Some(path),
+                None => {
+                    eprintln!("--metrics-json needs a value");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -83,8 +113,29 @@ fn main() {
             std::process::exit(1);
         }
     }
+    let snapshot_writer = metrics_json.map(|path| {
+        let state = server.state();
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(50);
+            while !state.draining() {
+                write_metrics_snapshot(&state, &path);
+                // Sleep in short ticks so a drain is noticed promptly and
+                // does not hold up process exit for a full period.
+                let mut slept = Duration::ZERO;
+                while slept < METRICS_PERIOD && !state.draining() {
+                    std::thread::sleep(tick);
+                    slept += tick;
+                }
+            }
+            // One final snapshot so the file reflects the full run.
+            write_metrics_snapshot(&state, &path);
+        })
+    });
     if let Err(e) = server.run() {
         eprintln!("serve: {e}");
         std::process::exit(1);
+    }
+    if let Some(writer) = snapshot_writer {
+        let _ = writer.join();
     }
 }

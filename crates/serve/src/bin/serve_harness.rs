@@ -20,7 +20,7 @@
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
-use netuncert_serve::protocol::RequestBody;
+use netuncert_serve::protocol::{MetricsReply, RequestBody, ResponseBody, WireHistogram};
 use netuncert_serve::replay::Replayer;
 use netuncert_serve::state::ServeConfig;
 use netuncert_serve::workload::mixed_request;
@@ -108,6 +108,61 @@ fn spawn_server(path: &str) -> (Child, String) {
     (child, addr)
 }
 
+/// Fetches a `Metrics` reply and audits it: non-empty, sane percentile
+/// ordering on every histogram, and — when `expected_compute` is known —
+/// queue-wait/service counts equal to the compute requests issued.
+fn check_metrics(addr: &str, expected_compute: Option<u64>) -> bool {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connect for metrics: {e}");
+        std::process::exit(1);
+    });
+    let response = client.call(RequestBody::Metrics).unwrap_or_else(|e| {
+        eprintln!("metrics call: {e}");
+        std::process::exit(1);
+    });
+    let ResponseBody::Metrics(metrics) = response.body else {
+        eprintln!("Metrics request did not return a Metrics reply");
+        return false;
+    };
+    let mut ok = true;
+    if metrics.counters.is_empty() || metrics.histograms.is_empty() {
+        eprintln!("metrics reply is empty (no counters or no histograms)");
+        ok = false;
+    }
+    for histogram in &metrics.histograms {
+        if !(histogram.p50 <= histogram.p90 && histogram.p90 <= histogram.p99) {
+            eprintln!(
+                "histogram {} has disordered percentiles: p50={} p90={} p99={}",
+                histogram.name, histogram.p50, histogram.p90, histogram.p99
+            );
+            ok = false;
+        }
+    }
+    if let Some(expected) = expected_compute {
+        for name in ["serve.queue_wait_ns", "serve.service_ns"] {
+            match find_histogram(&metrics, name) {
+                Some(histogram) if histogram.count == expected => {}
+                Some(histogram) => {
+                    eprintln!(
+                        "{name} counted {} observations, expected {expected}",
+                        histogram.count
+                    );
+                    ok = false;
+                }
+                None => {
+                    eprintln!("{name} is missing from the metrics reply");
+                    ok = false;
+                }
+            }
+        }
+    }
+    ok
+}
+
+fn find_histogram<'a>(metrics: &'a MetricsReply, name: &str) -> Option<&'a WireHistogram> {
+    metrics.histograms.iter().find(|h| h.name == name)
+}
+
 fn main() {
     let opts = parse_args();
     let (child, addr) = match (&opts.server, &opts.addr) {
@@ -184,6 +239,17 @@ fn main() {
         }
     }
 
+    // Metrics audit: the registry must be populated and self-consistent
+    // after the workload. When we spawned the service ourselves (no other
+    // traffic), the queue-wait and service histograms must count exactly
+    // the compute requests this run issued.
+    let expected_compute = if opts.server.is_some() {
+        Some((opts.requests * if opts.binary { 2 } else { 1 }) as u64)
+    } else {
+        None
+    };
+    let metrics_ok = check_metrics(&addr, expected_compute);
+
     // Graceful shutdown (only if we own the process).
     let clean_exit = if let Some(mut child) = child {
         let mut client = Client::connect(&addr).unwrap_or_else(|e| {
@@ -194,10 +260,7 @@ fn main() {
             eprintln!("shutdown call: {e}");
             std::process::exit(1);
         });
-        let acked = matches!(
-            response.body,
-            netuncert_serve::protocol::ResponseBody::Shutdown
-        );
+        let acked = matches!(response.body, ResponseBody::Shutdown);
         let status = child.wait().unwrap_or_else(|e| {
             eprintln!("wait: {e}");
             std::process::exit(1);
@@ -219,7 +282,7 @@ fn main() {
         divergences,
         connections
     );
-    if divergences == 0 && clean_exit {
+    if divergences == 0 && clean_exit && metrics_ok {
         println!("serve_harness: PASS");
     } else {
         eprintln!("serve_harness: FAIL");

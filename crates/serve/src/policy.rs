@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::obs::{Recorder, SpanId};
 use netuncert_core::opt::cache::canonical_key as opt_canonical_key;
 use netuncert_core::prelude::{
     Applicability, EffectiveGame, EngineSolution, GameError, KernelRun, KernelScratch, LinkLoads,
@@ -334,6 +335,24 @@ pub struct EvalCtx<'a> {
     pub base_solver: SolverConfig,
     /// Base opt budgets that leaves override.
     pub base_opt: OptConfig,
+    /// Observability probes; threaded into every engine a leaf builds. The
+    /// disabled default keeps policy evaluation probe-free.
+    pub recorder: Recorder,
+    /// Parent span for the per-leaf spans (the request-level span opened by
+    /// the handler), if one is being recorded.
+    pub parent_span: Option<SpanId>,
+}
+
+/// Records how much deadline was left when an evaluation completed — the
+/// "slack" a timed-out policy tree finished with. No-op when disabled.
+fn record_slack(ctx: &EvalCtx<'_>, deadline: Instant) {
+    if !ctx.recorder.enabled() {
+        return;
+    }
+    let slack = deadline
+        .checked_duration_since(Instant::now())
+        .map_or(0, |left| left.as_nanos().min(u128::from(u64::MAX)) as u64);
+    ctx.recorder.record("policy.deadline_slack_ns", slack);
 }
 
 /// How a solve policy ended.
@@ -376,16 +395,20 @@ pub fn eval_solve(
     match policy {
         Policy::Solve(leaf) => {
             let (kinds, config) = leaf.resolve(&ctx.base_solver)?;
-            match deadline {
+            let span = ctx.recorder.span_under("solve_leaf", ctx.parent_span);
+            let result = match deadline {
                 // No deadline: this IS a direct engine call sharing the warm
                 // tier — trivially bit-identical to in-process replay.
                 None => SolverEngine::from_kinds(config, &kinds)
                     .with_cache(Arc::clone(ctx.solve_cache))
+                    .with_recorder(ctx.recorder.clone())
                     .solve(ctx.game, ctx.initial)
                     .map(SolveEval::Done)
                     .map_err(|e| WireError::engine(&e)),
                 Some(deadline) => solve_leaf_stepped(&kinds, &config, ctx, deadline),
-            }
+            };
+            span.finish();
+            result
         }
         Policy::Race(children) => race_solve(children, ctx, deadline),
         Policy::Fallback(children) => {
@@ -429,19 +452,23 @@ pub fn eval_bracket(
     match policy {
         Policy::Bracket(leaf) => {
             let (kinds, config) = leaf.resolve(&ctx.base_opt)?;
-            match deadline {
+            let span = ctx.recorder.span_under("bracket_leaf", ctx.parent_span);
+            let result = match deadline {
                 // No deadline: this IS a direct engine call sharing the warm
                 // tier — trivially bit-identical to in-process replay.
                 None => {
-                    let engine =
-                        OptEngine::from_kinds(config, &kinds).with_cache(Arc::clone(ctx.opt_cache));
+                    let engine = OptEngine::from_kinds(config, &kinds)
+                        .with_cache(Arc::clone(ctx.opt_cache))
+                        .with_recorder(ctx.recorder.clone());
                     match engine.estimate(ctx.game, ctx.initial) {
                         Ok(outcome) => Ok(BracketEval::Done(leaf_done(leaf, outcome))),
                         Err(e) => Err(WireError::engine(&e)),
                     }
                 }
                 Some(deadline) => bracket_leaf_under(leaf, &kinds, config, ctx, deadline),
-            }
+            };
+            span.finish();
+            result
         }
         Policy::Fallback(children) => {
             for (i, child) in children.iter().enumerate() {
@@ -500,14 +527,16 @@ fn bracket_leaf_under(
     let methods: Vec<OptMethod> = kinds.iter().map(|k| k.method()).collect();
     let key = opt_canonical_key(&methods, &config, ctx.game, ctx.initial);
     if let Some(hit) = ctx.opt_cache.lookup(&key) {
+        record_slack(ctx, deadline);
         return Ok(BracketEval::Done(leaf_done(leaf, hit)));
     }
     let expired = move || Instant::now() >= deadline;
-    let engine = OptEngine::from_kinds(config, kinds);
+    let engine = OptEngine::from_kinds(config, kinds).with_recorder(ctx.recorder.clone());
     match engine.estimate_under(ctx.game, ctx.initial, OptCheckpoint::new(&expired)) {
         Ok(run) if run.deadlined => Ok(BracketEval::Partial(run.outcome)),
         Ok(run) => {
             ctx.opt_cache.insert(key, run.outcome.clone());
+            record_slack(ctx, deadline);
             Ok(BracketEval::Done(leaf_done(leaf, run.outcome)))
         }
         // A walk cut down before any upper-bound backend ran has nothing
@@ -690,6 +719,7 @@ fn solve_leaf_stepped(
 ) -> Result<SolveEval, WireError> {
     let leaf = LeafCtx::build(kinds, *config, ctx);
     if let Some(hit) = ctx.solve_cache.lookup(&leaf.key) {
+        record_slack(ctx, deadline);
         return Ok(SolveEval::Done(hit));
     }
     let mut scratch = KernelScratch::new();
@@ -711,6 +741,7 @@ fn solve_leaf_stepped(
     match run.finish() {
         Ok(solved) => {
             ctx.solve_cache.insert(leaf.key.clone(), solved.clone());
+            record_slack(ctx, deadline);
             Ok(SolveEval::Done(solved))
         }
         Err(e) => Err(WireError::engine(&e)),
@@ -764,6 +795,9 @@ fn race_solve(
         for done in &finished {
             if let Some(Ok(solved)) = done {
                 if solved.solution.is_some() {
+                    if let Some(deadline) = deadline {
+                        record_slack(ctx, deadline);
+                    }
                     return Ok(SolveEval::Done(solved.clone()));
                 }
             }
@@ -771,7 +805,12 @@ fn race_solve(
         if finished.iter().all(|d| d.is_some()) {
             // Nobody found an equilibrium: the first lane's outcome stands.
             return match finished.swap_remove(0).expect("all finished") {
-                Ok(solved) => Ok(SolveEval::Done(solved)),
+                Ok(solved) => {
+                    if let Some(deadline) = deadline {
+                        record_slack(ctx, deadline);
+                    }
+                    Ok(SolveEval::Done(solved))
+                }
                 Err(e) => Err(WireError::engine(&e)),
             };
         }

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::obs::MetricsSnapshot;
 use netuncert_core::opt::{OptAttempt, OptMethod};
 use netuncert_core::prelude::{
     EngineSolution, GameError, OptBracket, OptOutcome, PureNashMethod, SolverAttempt,
@@ -67,6 +68,10 @@ pub enum RequestBody {
     Measure(MeasureRequest),
     /// Read the service's cache and request counters.
     Stats,
+    /// Read the full observability registry: every counter, gauge and
+    /// latency histogram. Like `Stats`, the reply carries wall-clock values
+    /// and is therefore excluded from the byte-for-byte replay contract.
+    Metrics,
     /// Drain in-flight requests, stop accepting, exit cleanly.
     Shutdown,
 }
@@ -133,6 +138,8 @@ pub enum ResponseBody {
     Measure(MeasureReply),
     /// Answer to a `Stats` request.
     Stats(StatsReply),
+    /// Answer to a `Metrics` request.
+    Metrics(MetricsReply),
     /// Acknowledges a `Shutdown` request; the service is now draining.
     Shutdown,
     /// The request failed in a typed, connection-preserving way.
@@ -365,6 +372,98 @@ pub struct StatsReply {
     /// Requests refused at admission because the job queue was full; these
     /// never reach the engines and are **not** counted in `requests`.
     pub rejected: u64,
+    /// Jobs sitting in the bounded queue right now (live gauge).
+    pub queue_depth: u64,
+    /// The configured queue capacity (the `Busy` threshold).
+    pub queue_capacity: u64,
+    /// Workers currently executing a job (live gauge).
+    pub busy_workers: u64,
+}
+
+/// The full observability registry on the wire: every counter, gauge and
+/// histogram summary, each list sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Monotonic event counts.
+    pub counters: Vec<WireCounter>,
+    /// Instantaneous levels.
+    pub gauges: Vec<WireGauge>,
+    /// Latency histogram summaries.
+    pub histograms: Vec<WireHistogram>,
+}
+
+/// One named counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCounter {
+    /// Instrument name (e.g. `"serve.admit_fast"`).
+    pub name: String,
+    /// Cumulative count.
+    pub value: u64,
+}
+
+/// One named gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireGauge {
+    /// Instrument name (e.g. `"serve.queue_depth"`).
+    pub name: String,
+    /// Current level.
+    pub value: u64,
+}
+
+/// One named histogram summary. Values are nanoseconds for latency
+/// histograms; percentiles are log2-bucket upper bounds, so
+/// `p50 <= p90 <= p99 <= max` always holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// Instrument name (e.g. `"serve.queue_wait_ns"`).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (wrapping).
+    pub sum: u64,
+    /// 50th-percentile bucket upper bound.
+    pub p50: u64,
+    /// 90th-percentile bucket upper bound.
+    pub p90: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99: u64,
+    /// Upper bound of the highest non-empty bucket.
+    pub max: u64,
+}
+
+/// Projects a registry snapshot onto the wire.
+pub fn wire_metrics(snapshot: &MetricsSnapshot) -> MetricsReply {
+    MetricsReply {
+        counters: snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| WireCounter {
+                name: name.clone(),
+                value: *value,
+            })
+            .collect(),
+        gauges: snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| WireGauge {
+                name: name.clone(),
+                value: *value,
+            })
+            .collect(),
+        histograms: snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| WireHistogram {
+                name: name.clone(),
+                count: h.count,
+                sum: h.sum,
+                p50: h.p50,
+                p90: h.p90,
+                p99: h.p99,
+                max: h.max,
+            })
+            .collect(),
+    }
 }
 
 /// One cache's counters plus its configured bound.
@@ -382,19 +481,179 @@ pub struct WireCacheStats {
     pub capacity: u64,
 }
 
-/// The canonical request key: FNV-1a-64 over the canonical JSON bytes of the
-/// request body (the id is deliberately excluded — two clients asking the
-/// same question share a key). The vendored serde stub serialises struct
-/// fields in declaration order, so the bytes — and therefore the key — are
-/// deterministic.
+/// The canonical request key: a streaming structural FNV-1a-64 over the
+/// typed request body (the id is deliberately excluded — two clients asking
+/// the same question share a key).
+///
+/// The hasher walks the body directly — variant tags, field lengths, the
+/// raw IEEE-754 bits of every float — without materialising a canonical
+/// JSON line first. Both framings share this function, so the reply `key`
+/// stays byte-identical across JSON and binary connections (the three-way
+/// replay diff depends on that), but the warm path no longer pays a
+/// shortest-round-trip float-printing pass per request: at `n = 512` that
+/// canonicalisation dominated a cache hit and was why warm binary framing
+/// tied warm JSON in BENCHMARKS.md.
+///
+/// Distinct bodies hash distinct byte streams: every variant is tagged and
+/// every variable-length field is length-prefixed, so the encoding is
+/// prefix-free in the same way the binary frame encoding is.
 pub fn request_key(body: &RequestBody) -> String {
-    let canonical = serde_json::to_string(body).unwrap_or_default();
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in canonical.bytes() {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut hasher = KeyHasher::new();
+    hash_body(&mut hasher, body);
+    format!("{:016x}", hasher.finish())
+}
+
+/// FNV-1a-64 fed field-by-field (same offset basis and prime as the
+/// historical canonical-JSON hash; only the byte stream changed).
+struct KeyHasher {
+    hash: u64,
+}
+
+impl KeyHasher {
+    fn new() -> Self {
+        KeyHasher {
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
     }
-    format!("{hash:016x}")
+
+    #[inline]
+    fn byte(&mut self, byte: u8) {
+        self.hash ^= u64::from(byte);
+        self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    #[inline]
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.byte(byte);
+        }
+    }
+
+    #[inline]
+    fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    #[inline]
+    fn f64(&mut self, value: f64) {
+        self.bytes(&value.to_bits().to_le_bytes());
+    }
+
+    fn f64s(&mut self, values: &[f64]) {
+        self.u64(values.len() as u64);
+        for &value in values {
+            self.f64(value);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, value: Option<u64>) {
+        match value {
+            None => self.byte(0),
+            Some(v) => {
+                self.byte(1);
+                self.u64(v);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+fn hash_body(h: &mut KeyHasher, body: &RequestBody) {
+    match body {
+        RequestBody::Solve(r) => {
+            h.byte(0);
+            hash_instance(h, &r.instance);
+            hash_policy(h, &r.policy);
+        }
+        RequestBody::Bracket(r) => {
+            h.byte(1);
+            hash_instance(h, &r.instance);
+            hash_policy(h, &r.policy);
+        }
+        RequestBody::Measure(r) => {
+            h.byte(2);
+            hash_instance(h, &r.instance);
+            h.u64(r.profile.len() as u64);
+            for &choice in &r.profile {
+                h.u64(choice as u64);
+            }
+            hash_policy(h, &r.policy);
+        }
+        RequestBody::Stats => h.byte(3),
+        RequestBody::Shutdown => h.byte(4),
+        RequestBody::Metrics => h.byte(5),
+    }
+}
+
+fn hash_instance(h: &mut KeyHasher, instance: &WireInstance) {
+    h.f64s(&instance.weights);
+    h.u64(instance.capacities.len() as u64);
+    for row in &instance.capacities {
+        h.f64s(row);
+    }
+    match &instance.initial {
+        None => h.byte(0),
+        Some(loads) => {
+            h.byte(1);
+            h.f64s(loads);
+        }
+    }
+}
+
+fn hash_policy(h: &mut KeyHasher, policy: &Policy) {
+    match policy {
+        Policy::Solve(leaf) => {
+            h.byte(0);
+            h.u64(leaf.solvers.len() as u64);
+            for id in &leaf.solvers {
+                h.str(id);
+            }
+            h.opt_u64(leaf.restarts);
+            h.opt_u64(leaf.max_steps);
+        }
+        Policy::Bracket(leaf) => {
+            h.byte(1);
+            h.u64(leaf.backends.len() as u64);
+            for id in &leaf.backends {
+                h.str(id);
+            }
+            match leaf.width_goal {
+                None => h.byte(0),
+                Some(goal) => {
+                    h.byte(1);
+                    h.f64(goal);
+                }
+            }
+            h.opt_u64(leaf.restarts);
+        }
+        Policy::Race(children) => {
+            h.byte(2);
+            h.u64(children.len() as u64);
+            for child in children {
+                hash_policy(h, child);
+            }
+        }
+        Policy::Fallback(children) => {
+            h.byte(3);
+            h.u64(children.len() as u64);
+            for child in children {
+                hash_policy(h, child);
+            }
+        }
+        Policy::Timeout(timeout) => {
+            h.byte(4);
+            h.u64(timeout.ms as u64);
+            hash_policy(h, &timeout.lower);
+        }
+    }
 }
 
 /// Registry id of a solver method (matches `SolverKind::id`).
@@ -567,6 +826,99 @@ mod tests {
         };
         other.instance.weights[0] = 1.5;
         assert_ne!(key, request_key(&RequestBody::Solve(other)));
+    }
+
+    #[test]
+    fn request_keys_distinguish_verbs_and_policy_structure() {
+        // Admin verbs all hash apart.
+        let admin = [
+            RequestBody::Stats,
+            RequestBody::Metrics,
+            RequestBody::Shutdown,
+        ];
+        for (i, a) in admin.iter().enumerate() {
+            for b in &admin[i + 1..] {
+                assert_ne!(request_key(a), request_key(b));
+            }
+        }
+        // The same leaf under Race vs Fallback is a different question.
+        let leaf = Policy::Solve(SolveLeaf {
+            solvers: vec!["two_links".to_string()],
+            restarts: None,
+            max_steps: None,
+        });
+        let instance = WireInstance {
+            weights: vec![1.0, 2.0],
+            capacities: vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+            initial: None,
+        };
+        let with_policy = |policy: Policy| {
+            request_key(&RequestBody::Solve(SolveRequest {
+                instance: instance.clone(),
+                policy,
+            }))
+        };
+        assert_ne!(
+            with_policy(Policy::Race(vec![leaf.clone()])),
+            with_policy(Policy::Fallback(vec![leaf.clone()])),
+        );
+        assert_ne!(
+            with_policy(leaf.clone()),
+            with_policy(Policy::Race(vec![leaf]))
+        );
+    }
+
+    #[test]
+    fn request_keys_are_length_prefixed_not_concatenated() {
+        // Moving a value across a field boundary must change the key: the
+        // hash is fed length-prefixed streams, not raw concatenated floats.
+        let key = |weights: Vec<f64>, caps: Vec<Vec<f64>>| {
+            request_key(&RequestBody::Solve(SolveRequest {
+                instance: WireInstance {
+                    weights,
+                    capacities: caps,
+                    initial: None,
+                },
+                policy: Policy::Solve(SolveLeaf {
+                    solvers: vec!["two_links".to_string()],
+                    restarts: None,
+                    max_steps: None,
+                }),
+            }))
+        };
+        assert_ne!(
+            key(vec![1.0, 2.0, 3.0], vec![vec![4.0]]),
+            key(vec![1.0, 2.0], vec![vec![3.0, 4.0]]),
+        );
+    }
+
+    #[test]
+    fn metrics_replies_round_trip_through_json() {
+        let response = Response {
+            id: 9,
+            body: ResponseBody::Metrics(MetricsReply {
+                counters: vec![WireCounter {
+                    name: "serve.admit_fast".to_string(),
+                    value: 3,
+                }],
+                gauges: vec![WireGauge {
+                    name: "serve.queue_depth".to_string(),
+                    value: 0,
+                }],
+                histograms: vec![WireHistogram {
+                    name: "serve.service_ns".to_string(),
+                    count: 3,
+                    sum: 3000,
+                    p50: 1023,
+                    p90: 1023,
+                    p99: 2047,
+                    max: 2047,
+                }],
+            }),
+        };
+        let line = serde_json::to_string(&response).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(response, back);
     }
 
     #[test]

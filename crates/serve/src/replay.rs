@@ -77,7 +77,9 @@ impl Replayer {
     pub fn is_deterministic(line: &str) -> bool {
         match serde_json::from_str::<Request>(line) {
             Ok(request) => match &request.body {
-                RequestBody::Stats | RequestBody::Shutdown => false,
+                // Stats and Metrics report wall-clock state; Shutdown is
+                // lifecycle. None can be replay-diffed.
+                RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => false,
                 RequestBody::Solve(solve) => !solve.policy.has_timeout(),
                 RequestBody::Bracket(bracket) => !bracket.policy.has_timeout(),
                 RequestBody::Measure(measure) => !measure.policy.has_timeout(),

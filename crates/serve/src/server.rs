@@ -38,12 +38,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::obs::{elapsed_ns, Gauge};
+
 use crate::frame::{self, BINARY_MAGIC};
-use crate::protocol::{ErrorKind, Request, Response, ResponseBody, WireError};
+use crate::protocol::{ErrorKind, Request, RequestBody, Response, ResponseBody, WireError};
 use crate::state::{ServeConfig, ServeState};
 
 /// How often an idle connection reader wakes to check the draining flag.
@@ -59,6 +61,8 @@ const DRAIN_GRACE_TICKS: u32 = 3;
 struct Job {
     request: Request,
     reply: Sender<Response>,
+    /// When the reader pushed this job — the start of its queue wait.
+    enqueued: Instant,
 }
 
 /// Why a [`JobQueue::push`] was refused.
@@ -79,6 +83,9 @@ struct JobQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
     capacity: usize,
+    /// Mirrors the live depth into `serve.queue_depth`; updated under the
+    /// queue lock so the gauge never observes a torn transition.
+    depth: Arc<Gauge>,
 }
 
 struct QueueInner {
@@ -87,7 +94,7 @@ struct QueueInner {
 }
 
 impl JobQueue {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, depth: Arc<Gauge>) -> Self {
         JobQueue {
             inner: Mutex::new(QueueInner {
                 jobs: VecDeque::new(),
@@ -95,6 +102,7 @@ impl JobQueue {
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            depth,
         }
     }
 
@@ -109,6 +117,7 @@ impl JobQueue {
             return Err(PushError::Full(inner.jobs.len()));
         }
         inner.jobs.push_back(job);
+        self.depth.set(inner.jobs.len() as u64);
         drop(inner);
         self.ready.notify_one();
         Ok(())
@@ -120,6 +129,7 @@ impl JobQueue {
         let mut inner = self.inner.lock().ok()?;
         loop {
             if let Some(job) = inner.jobs.pop_front() {
+                self.depth.set(inner.jobs.len() as u64);
                 return Some(job);
             }
             if inner.closed {
@@ -172,7 +182,10 @@ impl Server {
     /// Serves until a `Shutdown` request has drained the service. Blocks.
     pub fn run(self) -> std::io::Result<()> {
         let addr = self.listener.local_addr()?;
-        let queue = Arc::new(JobQueue::new(self.queue_depth));
+        let queue = Arc::new(JobQueue::new(
+            self.queue_depth,
+            Arc::clone(&self.state.obs().queue_depth),
+        ));
         let workers: Vec<JoinHandle<()>> = (0..self.workers)
             .map(|_| {
                 let state = Arc::clone(&self.state);
@@ -209,12 +222,32 @@ impl Server {
 
 /// A worker: pull one job, run it through the engine state, send the
 /// response back. Exits when the queue closes (all readers gone).
+///
+/// The queue only ever holds compute verbs (the reader fast path always
+/// answers admin verbs itself), so the wait/service histograms here — plus
+/// the fast-path and inline records in [`respond`] — together count exactly
+/// the compute requests the service answered.
 fn worker_loop(state: &ServeState, queue: &JobQueue) {
+    let obs = state.obs();
     while let Some(job) = queue.pop() {
+        obs.queue_wait.record(elapsed_ns(job.enqueued));
+        obs.busy_workers.add(1);
+        let service_start = Instant::now();
         let response = state.handle_request(job.request);
+        obs.service.record(elapsed_ns(service_start));
+        obs.busy_workers.sub(1);
         // The reader may have hung up (client gone) — fine, drop the reply.
         let _ = job.reply.send(response);
     }
+}
+
+/// Whether a request needs engine work (and therefore belongs in the
+/// queue-wait/service histograms).
+fn is_compute(body: &RequestBody) -> bool {
+    matches!(
+        body,
+        RequestBody::Solve(_) | RequestBody::Bracket(_) | RequestBody::Measure(_)
+    )
 }
 
 /// Answers one parsed request from a reader thread: the warm fast path if
@@ -222,7 +255,17 @@ fn worker_loop(state: &ServeState, queue: &JobQueue) {
 /// the queue is full, and an inline evaluation when the pool is already
 /// gone (late drain).
 fn respond(state: &ServeState, queue: &JobQueue, request: Request) -> Response {
+    let obs = state.obs();
+    let received = Instant::now();
+    let compute = is_compute(&request.body);
     if let Some(response) = state.try_handle_fast(&request) {
+        obs.admit_fast.incr(1);
+        if compute {
+            // A fast-path answer never queued: zero wait, and its whole
+            // cost is service time.
+            obs.queue_wait.record(0);
+            obs.service.record(elapsed_ns(received));
+        }
         return response;
     }
     let id = request.id;
@@ -230,16 +273,32 @@ fn respond(state: &ServeState, queue: &JobQueue, request: Request) -> Response {
     match queue.push(Job {
         request,
         reply: reply_tx,
+        enqueued: Instant::now(),
     }) {
-        Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response {
-            id,
-            body: ResponseBody::Error(WireError::new(
-                ErrorKind::Engine,
-                "the worker handling this request died before answering",
-            )),
-        }),
-        Err(PushError::Full(depth)) => state.busy_response(id, depth, queue.capacity),
-        Err(PushError::Closed(job)) => state.handle_request(job.request),
+        Ok(()) => {
+            obs.admit_queued.incr(1);
+            reply_rx.recv().unwrap_or_else(|_| Response {
+                id,
+                body: ResponseBody::Error(WireError::new(
+                    ErrorKind::Engine,
+                    "the worker handling this request died before answering",
+                )),
+            })
+        }
+        Err(PushError::Full(depth)) => {
+            obs.admit_busy.incr(1);
+            state.busy_response(id, depth, queue.capacity)
+        }
+        Err(PushError::Closed(job)) => {
+            // Late drain: the pool is gone, so the reader evaluates the job
+            // inline. Its wait is however long the failed push took.
+            obs.admit_inline.incr(1);
+            obs.queue_wait.record(elapsed_ns(job.enqueued));
+            let service_start = Instant::now();
+            let response = state.handle_request(job.request);
+            obs.service.record(elapsed_ns(service_start));
+            response
+        }
     }
 }
 
@@ -387,7 +446,10 @@ fn json_loop(
 /// writes the response line. Returns `true` when the service is draining
 /// (connection closes).
 fn dispatch_line(state: &ServeState, queue: &JobQueue, writer: &mut TcpStream, line: &str) -> bool {
-    let response = match serde_json::from_str::<Request>(line.trim_end()) {
+    let decode_start = Instant::now();
+    let parsed = serde_json::from_str::<Request>(line.trim_end());
+    state.obs().frame_decode.record(elapsed_ns(decode_start));
+    let response = match parsed {
         Ok(request) => respond(state, queue, request),
         // The exact bytes `ServeState::handle_line` would produce — the
         // replay harness diffs against it.
@@ -491,7 +553,10 @@ fn binary_loop(
             }
             PollRead::Eof | PollRead::Failed => return,
         }
-        let response = match decode_binary_request(&payload) {
+        let decode_start = Instant::now();
+        let decoded = decode_binary_request(&payload);
+        state.obs().frame_decode.record(elapsed_ns(decode_start));
+        let response = match decoded {
             Ok(request) => respond(state, queue, request),
             Err(message) => Response {
                 id: 0,

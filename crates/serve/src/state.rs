@@ -10,7 +10,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use netuncert_core::obs::{
+    elapsed_ns, Counter as ObsCounter, Gauge, Histogram, Recorder, Registry,
+};
 use netuncert_core::prelude::{
     EffectiveGame, LinkLoads, MixedProfile, OptCache, OptConfig, OptOutcome, PureProfile,
     SolveCache, SolverConfig,
@@ -20,9 +24,9 @@ use netuncert_core::social_cost::{ratio_bracket, sc1, sc2};
 use crate::policy::{self, BracketEval, EvalCtx, PolicyMode, SolveEval};
 use crate::protocol::{
     deadline_solve_reply, request_key, wire_bracket_reply, wire_brackets, wire_cost_report,
-    wire_solve_reply, BracketOutcome, BracketReply, ErrorKind, Limits, MeasureOutcome,
-    MeasureReply, Request, RequestBody, Response, ResponseBody, SolveOutcome, StatsReply,
-    WireCacheStats, WireError, WireInstance,
+    wire_metrics, wire_solve_reply, BracketOutcome, BracketReply, ErrorKind, Limits,
+    MeasureOutcome, MeasureReply, Request, RequestBody, Response, ResponseBody, SolveOutcome,
+    StatsReply, WireCacheStats, WireError, WireInstance,
 };
 
 /// Service configuration: pool size, queue bound, warm-tier bounds, wire
@@ -69,6 +73,69 @@ struct Counters {
     rejected: u64,
 }
 
+/// Pre-resolved handles into the service's metrics registry.
+///
+/// The serve layer's own telemetry is always on (unlike the engine probes,
+/// which a [`Recorder`] can disable): the service exists to answer queries,
+/// and its queue/admission trajectory is part of the product. Handles are
+/// resolved once at construction so the request path never takes the
+/// registry's name-lookup lock.
+pub(crate) struct ObsHandles {
+    /// The registry every handle below resolves into; [`wire_metrics`]
+    /// snapshots it for the `Metrics` verb.
+    pub(crate) registry: Arc<Registry>,
+    /// The recorder threaded into policy evaluation and the engines.
+    pub(crate) recorder: Recorder,
+    /// Time a compute request spent queued before a worker popped it
+    /// (`serve.queue_wait_ns`; fast-path answers record zero).
+    pub(crate) queue_wait: Arc<Histogram>,
+    /// Time spent actually answering a compute request
+    /// (`serve.service_ns`).
+    pub(crate) service: Arc<Histogram>,
+    /// Wire-to-`Request` decode latency per frame, both framings
+    /// (`serve.frame_decode_ns`).
+    pub(crate) frame_decode: Arc<Histogram>,
+    /// Cost of one reply-key hash (`serve.request_key_ns`).
+    pub(crate) request_key: Arc<Histogram>,
+    /// Live job-queue depth (`serve.queue_depth`).
+    pub(crate) queue_depth: Arc<Gauge>,
+    /// The configured queue bound (`serve.queue_capacity`).
+    pub(crate) queue_capacity: Arc<Gauge>,
+    /// Workers currently inside `handle_request` (`serve.busy_workers`).
+    pub(crate) busy_workers: Arc<Gauge>,
+    /// Admission counters: answered on the reader's warm fast path.
+    pub(crate) admit_fast: Arc<ObsCounter>,
+    /// Admission counters: handed to the worker pool.
+    pub(crate) admit_queued: Arc<ObsCounter>,
+    /// Admission counters: rejected with a typed `Busy` error.
+    pub(crate) admit_busy: Arc<ObsCounter>,
+    /// Admission counters: queue closed mid-push, answered inline.
+    pub(crate) admit_inline: Arc<ObsCounter>,
+}
+
+impl ObsHandles {
+    fn new(queue_capacity: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        let handles = ObsHandles {
+            recorder: Recorder::new(Arc::clone(&registry)),
+            queue_wait: registry.histogram("serve.queue_wait_ns"),
+            service: registry.histogram("serve.service_ns"),
+            frame_decode: registry.histogram("serve.frame_decode_ns"),
+            request_key: registry.histogram("serve.request_key_ns"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            queue_capacity: registry.gauge("serve.queue_capacity"),
+            busy_workers: registry.gauge("serve.busy_workers"),
+            admit_fast: registry.counter("serve.admit_fast"),
+            admit_queued: registry.counter("serve.admit_queued"),
+            admit_busy: registry.counter("serve.admit_busy"),
+            admit_inline: registry.counter("serve.admit_inline"),
+            registry,
+        };
+        handles.queue_capacity.set(queue_capacity as u64);
+        handles
+    }
+}
+
 /// One service instance's engine-side state (everything but the sockets).
 pub struct ServeState {
     solve_cache: Arc<SolveCache>,
@@ -78,6 +145,7 @@ pub struct ServeState {
     limits: Limits,
     counters: Mutex<Counters>,
     draining: AtomicBool,
+    obs: ObsHandles,
 }
 
 impl ServeState {
@@ -91,7 +159,19 @@ impl ServeState {
             limits: config.limits,
             counters: Mutex::new(Counters::default()),
             draining: AtomicBool::new(false),
+            obs: ObsHandles::new(config.queue_depth),
         }
+    }
+
+    /// The metrics registry this instance records into (for snapshot
+    /// writers and tests).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.obs.registry)
+    }
+
+    /// The pre-resolved metric handles (for the socket layer).
+    pub(crate) fn obs(&self) -> &ObsHandles {
+        &self.obs
     }
 
     /// The wire-level size caps.
@@ -132,6 +212,7 @@ impl ServeState {
     pub fn handle_request(&self, request: Request) -> Response {
         let body = match &request.body {
             RequestBody::Stats => self.stats_reply(),
+            RequestBody::Metrics => self.metrics_reply(),
             RequestBody::Shutdown => {
                 self.start_draining();
                 ResponseBody::Shutdown
@@ -141,19 +222,28 @@ impl ServeState {
                 "service is draining after a Shutdown request",
             )),
             RequestBody::Solve(solve) => {
-                let key = request_key(&request.body);
+                let key = self.timed_key(&request.body);
                 self.handle_solve(key, &solve.instance, &solve.policy)
             }
             RequestBody::Bracket(bracket) => {
-                let key = request_key(&request.body);
+                let key = self.timed_key(&request.body);
                 self.handle_bracket(key, &bracket.instance, &bracket.policy)
             }
             RequestBody::Measure(measure) => {
-                let key = request_key(&request.body);
+                let key = self.timed_key(&request.body);
                 self.handle_measure(key, measure)
             }
         };
         self.finish(request.id, body)
+    }
+
+    /// Hashes the reply key while metering its cost
+    /// (`serve.request_key_ns`).
+    fn timed_key(&self, body: &RequestBody) -> String {
+        let start = Instant::now();
+        let key = request_key(body);
+        self.obs.request_key.record(elapsed_ns(start));
+        key
     }
 
     /// Counts one handled request under a single counter pass and seals the
@@ -219,6 +309,7 @@ impl ServeState {
     fn fast_body(&self, body: &RequestBody) -> Option<ResponseBody> {
         match body {
             RequestBody::Stats => Some(self.stats_reply()),
+            RequestBody::Metrics => Some(self.metrics_reply()),
             RequestBody::Shutdown => {
                 self.start_draining();
                 Some(ResponseBody::Shutdown)
@@ -238,11 +329,13 @@ impl ServeState {
                 if solve.policy.has_timeout() {
                     return None;
                 }
-                let solved =
-                    policy::eval_solve_cached(&solve.policy, &self.eval_ctx(&game, &initial))?;
-                // The key is only hashed on a hit: at large `n` the
-                // canonical-JSON pass costs more than the lookup itself.
-                let key = request_key(body);
+                let solved = policy::eval_solve_cached(
+                    &solve.policy,
+                    &self.eval_ctx(&game, &initial, None),
+                )?;
+                // The key is only hashed on a hit: a punted request's key is
+                // hashed once by the worker instead.
+                let key = self.timed_key(body);
                 Some(ResponseBody::Solve(wire_solve_reply(key, &solved)))
             }
             RequestBody::Bracket(bracket) => {
@@ -256,9 +349,11 @@ impl ServeState {
                 if bracket.policy.has_timeout() {
                     return None;
                 }
-                let done =
-                    policy::eval_bracket_cached(&bracket.policy, &self.eval_ctx(&game, &initial))?;
-                let key = request_key(body);
+                let done = policy::eval_bracket_cached(
+                    &bracket.policy,
+                    &self.eval_ctx(&game, &initial, None),
+                )?;
+                let key = self.timed_key(body);
                 Some(ResponseBody::Bracket(wire_bracket_reply(
                     key,
                     &done.outcome,
@@ -282,9 +377,11 @@ impl ServeState {
                 if measure.policy.has_timeout() {
                     return None;
                 }
-                let done =
-                    policy::eval_bracket_cached(&measure.policy, &self.eval_ctx(&game, &initial))?;
-                let key = request_key(body);
+                let done = policy::eval_bracket_cached(
+                    &measure.policy,
+                    &self.eval_ctx(&game, &initial, None),
+                )?;
+                let key = self.timed_key(body);
                 Some(self.measure_body(key, &game, &pure, &done.outcome))
             }
         }
@@ -336,7 +433,12 @@ impl ServeState {
         Ok((game, initial))
     }
 
-    fn eval_ctx<'a>(&'a self, game: &'a EffectiveGame, initial: &'a LinkLoads) -> EvalCtx<'a> {
+    fn eval_ctx<'a>(
+        &'a self,
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        parent_span: Option<netuncert_core::obs::SpanId>,
+    ) -> EvalCtx<'a> {
         EvalCtx {
             game,
             initial,
@@ -344,6 +446,8 @@ impl ServeState {
             opt_cache: &self.opt_cache,
             base_solver: self.base_solver,
             base_opt: self.base_opt,
+            recorder: self.obs.recorder.clone(),
+            parent_span,
         }
     }
 
@@ -360,11 +464,15 @@ impl ServeState {
             Ok(built) => built,
             Err(err) => return ResponseBody::Error(err),
         };
-        match policy::eval_solve(policy, &self.eval_ctx(&game, &initial), None) {
+        let span = self.obs.recorder.span("solve");
+        let ctx = self.eval_ctx(&game, &initial, Some(span.id()));
+        let body = match policy::eval_solve(policy, &ctx, None) {
             Ok(SolveEval::Done(solved)) => ResponseBody::Solve(wire_solve_reply(key, &solved)),
             Ok(SolveEval::Deadline) => ResponseBody::Solve(deadline_solve_reply(key)),
             Err(err) => ResponseBody::Error(err),
-        }
+        };
+        span.finish();
+        body
     }
 
     fn handle_bracket(
@@ -380,7 +488,9 @@ impl ServeState {
             Ok(built) => built,
             Err(err) => return ResponseBody::Error(err),
         };
-        match policy::eval_bracket(policy, &self.eval_ctx(&game, &initial), None) {
+        let span = self.obs.recorder.span("bracket");
+        let ctx = self.eval_ctx(&game, &initial, Some(span.id()));
+        let body = match policy::eval_bracket(policy, &ctx, None) {
             Ok(BracketEval::Done(done)) => {
                 ResponseBody::Bracket(wire_bracket_reply(key, &done.outcome))
             }
@@ -393,7 +503,9 @@ impl ServeState {
                 outcome: BracketOutcome::DeadlineExceeded,
             }),
             Err(err) => ResponseBody::Error(err),
-        }
+        };
+        span.finish();
+        body
     }
 
     fn handle_measure(
@@ -412,7 +524,9 @@ impl ServeState {
         if let Err(e) = pure.validate(&game) {
             return ResponseBody::Error(WireError::new(ErrorKind::InvalidRequest, e.to_string()));
         }
-        match policy::eval_bracket(&measure.policy, &self.eval_ctx(&game, &initial), None) {
+        let span = self.obs.recorder.span("measure");
+        let ctx = self.eval_ctx(&game, &initial, Some(span.id()));
+        let body = match policy::eval_bracket(&measure.policy, &ctx, None) {
             Ok(BracketEval::Done(done)) => self.measure_body(key, &game, &pure, &done.outcome),
             // A partial bracket's lower ends may still be at zero (no lower
             // backend ran), where the ratio arithmetic is undefined — a
@@ -425,7 +539,9 @@ impl ServeState {
                 })
             }
             Err(err) => ResponseBody::Error(err),
-        }
+        };
+        span.finish();
+        body
     }
 
     /// The report body for a measured profile against completed brackets
@@ -483,6 +599,16 @@ impl ServeState {
             errors: counters.errors,
             deadline_hits: counters.deadline_hits,
             rejected: counters.rejected,
+            queue_depth: self.obs.queue_depth.value(),
+            queue_capacity: self.obs.queue_capacity.value(),
+            busy_workers: self.obs.busy_workers.value(),
         })
+    }
+
+    /// One metrics snapshot: the full registry as wire types. Values are
+    /// wall-clock measurements, so `Metrics` replies sit outside the replay
+    /// contract (see [`replay`](crate::replay)) the same way `Stats` does.
+    fn metrics_reply(&self) -> ResponseBody {
+        ResponseBody::Metrics(wire_metrics(&self.obs.registry.snapshot()))
     }
 }

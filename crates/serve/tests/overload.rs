@@ -294,6 +294,105 @@ fn counters_are_exact_in_sequence() {
     assert_eq!(stats.rejected, 0);
 }
 
+/// A fresh state's stats gauges describe an idle service exactly: the
+/// configured queue capacity, an empty queue, and no busy workers. After
+/// a compute request, the `Metrics` verb returns a populated registry
+/// whose serve-side instruments reflect that request.
+#[test]
+fn stats_gauges_and_metrics_reply_reflect_the_live_registry() {
+    let config = ServeConfig {
+        queue_depth: 7,
+        ..ServeConfig::default()
+    };
+    let state = ServeState::new(&config);
+
+    let stats_line = serde_json::to_string(&Request {
+        id: 1,
+        body: RequestBody::Stats,
+    })
+    .unwrap();
+    let raw = state.handle_line(&stats_line);
+    let response: Response = serde_json::from_str(&raw).expect("stats parses");
+    let ResponseBody::Stats(stats) = response.body else {
+        panic!("expected stats, got {raw}");
+    };
+    assert_eq!(stats.queue_capacity, 7, "capacity mirrors the config");
+    assert_eq!(stats.queue_depth, 0, "no queue exists in-process");
+    assert_eq!(stats.busy_workers, 0, "no workers exist in-process");
+
+    // One compute request answered in-process. `handle_line` bypasses
+    // admission (no queue-wait/service records), but the key, cache, and
+    // span instruments must all move.
+    let solve_line = serde_json::to_string(&cold_probe(2, 17)).unwrap();
+    state.handle_line(&solve_line);
+
+    let metrics_line = serde_json::to_string(&Request {
+        id: 3,
+        body: RequestBody::Metrics,
+    })
+    .unwrap();
+    let raw = state.handle_line(&metrics_line);
+    let response: Response = serde_json::from_str(&raw).expect("metrics parses");
+    let ResponseBody::Metrics(metrics) = response.body else {
+        panic!("expected metrics, got {raw}");
+    };
+
+    let gauge = |name: &str| {
+        metrics
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .unwrap_or_else(|| panic!("gauge {name} missing"))
+            .value
+    };
+    assert_eq!(gauge("serve.queue_capacity"), 7);
+    assert_eq!(gauge("serve.queue_depth"), 0);
+    assert_eq!(gauge("serve.busy_workers"), 0);
+
+    let histogram = |name: &str| {
+        metrics
+            .histograms
+            .iter()
+            .find(|h| h.name == name)
+            .unwrap_or_else(|| panic!("histogram {name} missing"))
+    };
+    // The request key was hashed once for the solve (Stats/Metrics carry
+    // no key), and the cache recorded one keyed lookup plus one fill.
+    assert_eq!(histogram("serve.request_key_ns").count, 1);
+    assert_eq!(histogram("cache.solve.key_ns").count, 1);
+    assert_eq!(histogram("cache.solve.fill_ns").count, 1);
+    // The handler opened a root span and the leaf a child span.
+    assert_eq!(histogram("span.solve").count, 1);
+    assert_eq!(histogram("span.solve_leaf").count, 1);
+    for h in &metrics.histograms {
+        assert!(
+            h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max,
+            "disordered percentiles in {}: {h:?}",
+            h.name
+        );
+    }
+
+    // The same solve again is a warm hit: the key is hashed and the cache
+    // probed a second time, spans reopen, but nothing refills.
+    state.handle_line(&solve_line);
+    let raw = state.handle_line(&metrics_line);
+    let response: Response = serde_json::from_str(&raw).expect("metrics parses");
+    let ResponseBody::Metrics(after) = response.body else {
+        panic!("expected metrics, got {raw}");
+    };
+    let after_histogram = |name: &str| {
+        after
+            .histograms
+            .iter()
+            .find(|h| h.name == name)
+            .unwrap_or_else(|| panic!("histogram {name} missing"))
+    };
+    assert_eq!(after_histogram("serve.request_key_ns").count, 2);
+    assert_eq!(after_histogram("cache.solve.key_ns").count, 2);
+    assert_eq!(after_histogram("cache.solve.fill_ns").count, 1);
+    assert_eq!(after_histogram("span.solve").count, 2);
+}
+
 /// Under concurrent hammering, every stats snapshot is a single
 /// consistent cut: the classified counters never exceed the request
 /// count, in any interleaving.

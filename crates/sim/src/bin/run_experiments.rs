@@ -63,6 +63,7 @@ struct Args {
     resume: bool,
     list: bool,
     json: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
     merge: Vec<PathBuf>,
     out: Option<PathBuf>,
 }
@@ -86,7 +87,8 @@ fn usage() -> String {
          \x20                      [--solvers LIST] [--opt-backends LIST] [--restarts N]\n\
          \x20                      [--belief-model LIST] [--intensity LIST] [--width-goal G]\n\
          \x20                      [--experiment ID]... [--shard I/K] [--cache] [--list]\n\
-         \x20                      [--json FILE] [--resume] [--merge FILE...] [--out DIR]\n\n\
+         \x20                      [--json FILE] [--metrics-json FILE] [--resume]\n\
+         \x20                      [--merge FILE...] [--out DIR]\n\n\
          registered experiments:\n",
     );
     out.push_str(&experiment_listing());
@@ -127,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         resume: false,
         list: false,
         json: None,
+        metrics_json: None,
         merge: Vec::new(),
         out: None,
     };
@@ -210,6 +213,11 @@ fn parse_args() -> Result<Args, String> {
             "--cache" => args.cache = true,
             "--json" => {
                 args.json = Some(PathBuf::from(iter.next().ok_or("--json requires a file")?));
+            }
+            "--metrics-json" => {
+                args.metrics_json = Some(PathBuf::from(
+                    iter.next().ok_or("--metrics-json requires a file")?,
+                ));
             }
             "--merge" => {
                 while iter.peek().is_some_and(|a| !a.starts_with("--")) {
@@ -303,10 +311,15 @@ fn run() -> Result<ExitCode, String> {
 
     // Merge mode: recombine shard record files into the classic report.
     if !args.merge.is_empty() {
-        if args.shard.count() > 1 || args.json.is_some() || args.cache || args.resume {
+        if args.shard.count() > 1
+            || args.json.is_some()
+            || args.metrics_json.is_some()
+            || args.cache
+            || args.resume
+        {
             return Err(
                 "--merge recombines existing record files and computes nothing; it cannot be \
-                 combined with --shard, --json, --cache or --resume"
+                 combined with --shard, --json, --metrics-json, --cache or --resume"
                     .into(),
             );
         }
@@ -381,7 +394,7 @@ fn run() -> Result<ExitCode, String> {
     );
 
     let start = std::time::Instant::now();
-    let records = if args.resume {
+    let (records, metrics) = if args.resume {
         let missing = sweep.missing_in_shard(args.shard, &existing);
         eprintln!(
             "resuming: {} of the shard's cells already present, recomputing {}",
@@ -392,13 +405,25 @@ fn run() -> Result<ExitCode, String> {
             missing.len()
         );
         sweep
-            .run_missing(args.shard, &existing)
+            .run_missing_metered(args.shard, &existing)
             .map_err(|e| e.to_string())?
     } else {
-        sweep.run_shard(args.shard)
+        sweep.run_shard_metered(args.shard)
     };
     let elapsed = start.elapsed();
     eprintln!("computed {} cells in {:.1?}", records.len(), elapsed);
+    if let Some(file) = &args.metrics_json {
+        let json = metrics
+            .to_json()
+            .map_err(|e| format!("serialise the metrics sidecar: {e:?}"))?;
+        std::fs::write(file, json).map_err(|e| format!("write {}: {e}", file.display()))?;
+        eprintln!(
+            "wrote wall-time metrics for {} cells ({} experiments) to {}",
+            metrics.cells.len(),
+            metrics.experiments.len(),
+            file.display()
+        );
+    }
     if let Some(stats) = sweep.cache_stats() {
         eprintln!(
             "solve cache: {} hits / {} misses ({:.1}% hit rate, {} entries)",

@@ -15,9 +15,11 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use netuncert_core::obs::{elapsed_ns, Histogram};
 use netuncert_core::opt::OptCache;
 use netuncert_core::solvers::cache::{CacheStats, SolveCache};
 use par_exec::parallel_map;
@@ -177,6 +179,99 @@ pub struct CellRecord {
     pub result: CellResult,
 }
 
+/// One cell's wall-clock measurement from a metered sweep run.
+///
+/// Metrics are a **sidecar**: they ride alongside the [`CellRecord`]s and
+/// never enter them, so shard files (and the bit-identity contract over
+/// them) are untouched by metering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMetric {
+    /// Position of the cell in the sweep's flattened grid.
+    pub task_id: u64,
+    /// The experiment registry id the cell belongs to.
+    pub experiment: String,
+    /// The cell's index within its experiment's grid.
+    pub index: usize,
+    /// Wall-clock nanoseconds `run_cell` took for this cell.
+    pub wall_ns: u64,
+}
+
+/// Per-experiment wall-time distribution over a metered run's cells,
+/// summarised through the same log2-bucket histogram the serve layer
+/// reports (`p50 ≤ p90 ≤ p99 ≤ max`, each a bucket upper bound).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentMetric {
+    /// The experiment registry id.
+    pub experiment: String,
+    /// Number of cells measured.
+    pub cells: u64,
+    /// Sum of the cells' wall times, nanoseconds.
+    pub total_wall_ns: u64,
+    /// Median cell wall time (bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile cell wall time, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile cell wall time, nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest observed bucket's upper bound, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The machine-readable metrics sidecar of a metered sweep run
+/// (`--metrics-json`): every cell's wall time in task-id order, plus
+/// per-experiment distribution summaries — the offline counterpart of the
+/// serve layer's `Metrics` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepMetrics {
+    /// Per-cell measurements, sorted by task id.
+    pub cells: Vec<CellMetric>,
+    /// Per-experiment summaries, in first-appearance (task-id) order.
+    pub experiments: Vec<ExperimentMetric>,
+}
+
+impl SweepMetrics {
+    /// Aggregates per-cell measurements into the sidecar document.
+    pub fn from_cells(mut cells: Vec<CellMetric>) -> Self {
+        cells.sort_by_key(|c| c.task_id);
+        let mut experiments: Vec<ExperimentMetric> = Vec::new();
+        let mut histograms: Vec<Histogram> = Vec::new();
+        for cell in &cells {
+            let pos = experiments
+                .iter()
+                .position(|e| e.experiment == cell.experiment)
+                .unwrap_or_else(|| {
+                    experiments.push(ExperimentMetric {
+                        experiment: cell.experiment.clone(),
+                        cells: 0,
+                        total_wall_ns: 0,
+                        p50_ns: 0,
+                        p90_ns: 0,
+                        p99_ns: 0,
+                        max_ns: 0,
+                    });
+                    histograms.push(Histogram::new());
+                    experiments.len() - 1
+                });
+            experiments[pos].cells += 1;
+            experiments[pos].total_wall_ns += cell.wall_ns;
+            histograms[pos].record(cell.wall_ns);
+        }
+        for (summary, histogram) in experiments.iter_mut().zip(&histograms) {
+            let snapshot = histogram.snapshot();
+            summary.p50_ns = snapshot.p50;
+            summary.p90_ns = snapshot.p90;
+            summary.p99_ns = snapshot.p99;
+            summary.max_ns = snapshot.max;
+        }
+        SweepMetrics { cells, experiments }
+    }
+
+    /// Serialises the sidecar as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
 /// Why a set of records could not be merged into outcomes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MergeError {
@@ -326,14 +421,11 @@ impl SweepRunner {
             .sum()
     }
 
-    /// Runs the cells owned by `shard` over the configuration's worker pool
-    /// and returns their records in task-id order.
-    pub fn run_shard(&self, shard: Shard) -> Vec<CellRecord> {
-        let selected: Vec<(u64, usize, Cell)> = self
-            .flattened()
-            .into_iter()
-            .filter(|&(task_id, _, _)| shard.selects(task_id))
-            .collect();
+    /// The shared execution core: runs `selected` cells over the worker
+    /// pool, timing each one. Both the plain and the metered entry points
+    /// (and the resume path) funnel through here, so a cell is computed —
+    /// and metered — identically no matter which door it came in by.
+    fn run_cells(&self, selected: &[(u64, usize, Cell)]) -> Vec<(CellRecord, CellMetric)> {
         let inner = crate::experiment::inner_parallelism(self.config.parallel(), selected.len());
         parallel_map(&self.config.parallel(), selected.len(), |i| {
             let (task_id, exp_idx, cell) = &selected[i];
@@ -344,11 +436,40 @@ impl SweepRunner {
                 cache: self.cache.as_ref(),
                 opt_cache: self.opt_cache.as_ref(),
             };
-            CellRecord {
+            let started = Instant::now();
+            let result = self.experiments[*exp_idx].run_cell(&ctx);
+            let metric = CellMetric {
                 task_id: *task_id,
-                result: self.experiments[*exp_idx].run_cell(&ctx),
-            }
+                experiment: result.experiment.clone(),
+                index: result.index,
+                wall_ns: elapsed_ns(started),
+            };
+            (
+                CellRecord {
+                    task_id: *task_id,
+                    result,
+                },
+                metric,
+            )
         })
+    }
+
+    /// Runs the cells owned by `shard` over the configuration's worker pool
+    /// and returns their records in task-id order.
+    pub fn run_shard(&self, shard: Shard) -> Vec<CellRecord> {
+        self.run_shard_metered(shard).0
+    }
+
+    /// Like [`run_shard`](SweepRunner::run_shard), but also returns the
+    /// per-cell metrics sidecar. Records are unchanged by metering.
+    pub fn run_shard_metered(&self, shard: Shard) -> (Vec<CellRecord>, SweepMetrics) {
+        let selected: Vec<(u64, usize, Cell)> = self
+            .flattened()
+            .into_iter()
+            .filter(|&(task_id, _, _)| shard.selects(task_id))
+            .collect();
+        let (records, cells): (Vec<_>, Vec<_>) = self.run_cells(&selected).into_iter().unzip();
+        (records, SweepMetrics::from_cells(cells))
     }
 
     /// Runs the whole sweep in-process (the single-shard case).
@@ -442,32 +563,29 @@ impl SweepRunner {
         shard: Shard,
         existing: &[CellRecord],
     ) -> Result<Vec<CellRecord>, MergeError> {
+        Ok(self.run_missing_metered(shard, existing)?.0)
+    }
+
+    /// Like [`run_missing`](SweepRunner::run_missing), but also returns the
+    /// metrics sidecar for the **recomputed** cells (cells taken from
+    /// `existing` were never run here, so they carry no measurement).
+    pub fn run_missing_metered(
+        &self,
+        shard: Shard,
+        existing: &[CellRecord],
+    ) -> Result<(Vec<CellRecord>, SweepMetrics), MergeError> {
         self.validate_records(existing)?;
         let missing = self.missing_in_shard(shard, existing);
-        let flattened = self.flattened();
-        let selected: Vec<&(u64, usize, Cell)> = flattened
-            .iter()
+        let selected: Vec<(u64, usize, Cell)> = self
+            .flattened()
+            .into_iter()
             .filter(|(task_id, _, _)| missing.binary_search(task_id).is_ok())
             .collect();
-        let inner = crate::experiment::inner_parallelism(self.config.parallel(), selected.len());
-        let fresh = parallel_map(&self.config.parallel(), selected.len(), |i| {
-            let (task_id, exp_idx, cell) = selected[i];
-            let ctx = CellCtx {
-                config: &self.config,
-                cell,
-                parallel: inner,
-                cache: self.cache.as_ref(),
-                opt_cache: self.opt_cache.as_ref(),
-            };
-            CellRecord {
-                task_id: *task_id,
-                result: self.experiments[*exp_idx].run_cell(&ctx),
-            }
-        });
+        let (fresh, cells): (Vec<_>, Vec<_>) = self.run_cells(&selected).into_iter().unzip();
         let mut combined: Vec<CellRecord> = existing.to_vec();
         combined.extend(fresh);
         combined.sort_by_key(|r| r.task_id);
-        Ok(combined)
+        Ok((combined, SweepMetrics::from_cells(cells)))
     }
 
     /// Validates records against the experiment grids without requiring
@@ -839,6 +957,39 @@ mod tests {
         };
         let err = back.check_config(&other_opt).unwrap_err();
         assert!(err.contains("opt_backends"), "{err}");
+    }
+
+    #[test]
+    fn metered_runs_produce_identical_records_plus_a_full_sidecar() {
+        let config = tiny_config();
+        let runner =
+            SweepRunner::with_experiments(config, vec![experiments::find("milchtaich").unwrap()]);
+        let (records, metrics) = runner.run_shard_metered(Shard::solo());
+        // Metering is a sidecar: the records are the plain run's records.
+        assert_eq!(records, runner.run());
+        // Every cell is measured exactly once, in task-id order.
+        assert_eq!(metrics.cells.len(), records.len());
+        for (cell, record) in metrics.cells.iter().zip(&records) {
+            assert_eq!(cell.task_id, record.task_id);
+            assert_eq!(cell.experiment, record.result.experiment);
+            assert_eq!(cell.index, record.result.index);
+        }
+        // The per-experiment summary accounts for every cell and keeps the
+        // percentile ordering of the underlying histogram.
+        assert_eq!(metrics.experiments.len(), 1);
+        let summary = &metrics.experiments[0];
+        assert_eq!(summary.cells, records.len() as u64);
+        assert_eq!(
+            summary.total_wall_ns,
+            metrics.cells.iter().map(|c| c.wall_ns).sum::<u64>()
+        );
+        assert!(summary.p50_ns <= summary.p90_ns);
+        assert!(summary.p90_ns <= summary.p99_ns);
+        assert!(summary.p99_ns <= summary.max_ns);
+        // And the sidecar serialises.
+        let json = metrics.to_json().unwrap();
+        let back: SweepMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
     }
 
     #[test]
