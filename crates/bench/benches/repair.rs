@@ -1,0 +1,102 @@
+//! Warm-start repair vs cold solving: the numbers behind the `repair`
+//! table in `BENCHMARKS.md` — the evidence that carrying a certified
+//! equilibrium across one churn edit costs a fraction of re-solving the
+//! edited game with `LocalSearch` from scratch.
+//!
+//! Every benchmarked path is certification-checked before timing: the
+//! repaired profile must pass `is_pure_nash` on the edited game, exactly
+//! as the repair contract demands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use netuncert_bench::general_instance;
+use netuncert_core::equilibrium::is_pure_nash;
+use netuncert_core::model::GameEdit;
+use netuncert_core::solvers::engine::{SolverConfig, SolverEngine, SolverKind};
+use netuncert_core::strategy::LinkLoads;
+
+/// The churn edits benchmarked per size: one of each kind, grounded
+/// against an `n`-user, `m`-link game.
+fn edits(n: usize, m: usize) -> Vec<(&'static str, GameEdit)> {
+    vec![
+        (
+            "capacity",
+            GameEdit::CapacityChange {
+                user: n / 2,
+                link: m / 2,
+                capacity: 2.5,
+            },
+        ),
+        (
+            "join",
+            GameEdit::UserJoins {
+                weight: 1.5,
+                capacities: (0..m).map(|l| 1.0 + l as f64 * 0.25).collect(),
+            },
+        ),
+        ("leave", GameEdit::UserLeaves { user: n / 3 }),
+    ]
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let config = SolverConfig::default();
+    let engine = SolverEngine::from_kinds(config, &[SolverKind::LocalSearch]);
+
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    for &(n, m) in &[(128usize, 8usize), (512, 16)] {
+        let game = general_instance(n, m, 47);
+        let initial = LinkLoads::zero(m);
+        let solved = engine.solve(&game, &initial).unwrap();
+        let certified = solved.solution.expect("the heuristic converges").profile;
+        assert!(is_pure_nash(&game, &certified, &initial, config.tol));
+
+        for (kind, edit) in edits(n, m) {
+            // Certify the repaired answer once before timing it.
+            let outcome = engine.repair(&game, &initial, &certified, &edit).unwrap();
+            let repaired = outcome.solution.solution.expect("repair certifies");
+            assert!(is_pure_nash(
+                &outcome.game,
+                &repaired.profile,
+                &initial,
+                config.tol
+            ));
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm_{kind}"), format!("n{n}_m{m}")),
+                &edit,
+                |b, edit| {
+                    b.iter(|| {
+                        engine.repair(
+                            black_box(&game),
+                            black_box(&initial),
+                            black_box(&certified),
+                            black_box(edit),
+                        )
+                    })
+                },
+            );
+
+            // The from-scratch comparison point: a cold LocalSearch solve
+            // of the *same* edited game.
+            let edited = game.apply_edit(&edit).unwrap();
+            let cold = engine.solve(&edited, &initial).unwrap();
+            let cold_profile = cold.solution.expect("the heuristic converges").profile;
+            assert!(is_pure_nash(&edited, &cold_profile, &initial, config.tol));
+            group.bench_with_input(
+                BenchmarkId::new(format!("cold_{kind}"), format!("n{n}_m{m}")),
+                &edited,
+                |b, edited| b.iter(|| engine.solve(black_box(edited), black_box(&initial))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = netuncert_bench::bench_config();
+    targets = bench_repair
+}
+criterion_main!(benches);

@@ -139,7 +139,8 @@ pub mod prelude {
         mixed_link_latency, mixed_min_latency, pure_user_latency, pure_user_latency_on_link,
     };
     pub use crate::model::{
-        Belief, BeliefProfile, CapacityState, EffectiveCapacities, EffectiveGame, Game, StateSpace,
+        Belief, BeliefProfile, CapacityState, EffectiveCapacities, EffectiveGame, Game, GameEdit,
+        StateSpace,
     };
     pub use crate::numeric::Tolerance;
     pub use crate::obs::{
@@ -157,8 +158,8 @@ pub mod prelude {
     };
     pub use crate::solvers::cache::{CacheStats, SolveCache};
     pub use crate::solvers::engine::{
-        Applicability, EngineSolution, SolveTelemetry, Solver, SolverAttempt, SolverConfig,
-        SolverEngine, SolverKind,
+        Applicability, EngineSolution, RepairOutcome, RepairTelemetry, SolveTelemetry, Solver,
+        SolverAttempt, SolverConfig, SolverEngine, SolverKind,
     };
     pub use crate::solvers::exhaustive::{all_pure_nash, social_optimum, SocialOptimum};
     pub use crate::solvers::kernel::{KernelRun, KernelScratch, SoAArena, SoAGame, SoAView};

@@ -141,6 +141,54 @@ impl EffectiveCapacities {
     }
 }
 
+/// A bounded, typed change to an [`EffectiveGame`] — the churn events an
+/// equilibrium service repairs against instead of re-solving from scratch.
+///
+/// Each edit perturbs exactly one user's worth of structure: a join appends
+/// one weight and one capacity row, a leave removes one, and a capacity
+/// change rewrites a single matrix entry. [`EffectiveGame::apply_edit`]
+/// validates the edit against the same invariants as game construction
+/// (positive finite values, `n ≥ 2`, indices in range), so an edited game is
+/// always a valid game or a typed error — never a panic downstream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GameEdit {
+    /// A new user joins with traffic `weight` and their effective-capacity
+    /// view `capacities` (one entry per link). The user is appended at
+    /// index `n`.
+    UserJoins {
+        /// Traffic of the joining user (finite, positive).
+        weight: f64,
+        /// The joining user's effective capacity on each link.
+        capacities: Vec<f64>,
+    },
+    /// User `user` leaves; later users shift down by one index.
+    UserLeaves {
+        /// Index of the departing user.
+        user: usize,
+    },
+    /// The effective capacity `cᵢˡ` of one `(user, link)` entry changes.
+    CapacityChange {
+        /// Row of the changed entry.
+        user: usize,
+        /// Column of the changed entry.
+        link: usize,
+        /// The new effective capacity (finite, positive).
+        capacity: f64,
+    },
+}
+
+impl GameEdit {
+    /// A short tag naming the edit kind (`"join"`, `"leave"`, `"capacity"`),
+    /// used in telemetry and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GameEdit::UserJoins { .. } => "join",
+            GameEdit::UserLeaves { .. } => "leave",
+            GameEdit::CapacityChange { .. } => "capacity",
+        }
+    }
+}
+
 /// The reduced form of an uncertain routing game: traffic vector `w` plus the
 /// effective-capacity matrix. All algorithms in the crate operate on this type.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -227,6 +275,71 @@ impl EffectiveGame {
     /// agree on every link capacity.
     pub fn is_kp_instance(&self, tol: Tolerance) -> bool {
         self.capacities.is_user_independent(tol)
+    }
+
+    /// Applies one [`GameEdit`], returning the edited game.
+    ///
+    /// Validation mirrors construction: a join must bring a positive finite
+    /// weight and a full row of positive finite capacities; a leave must
+    /// name an existing user and keep `n ≥ 2`; a capacity change must name
+    /// an in-range entry and a positive finite value. The receiver is
+    /// untouched — callers keep the pre-edit game for drift measurements.
+    pub fn apply_edit(&self, edit: &GameEdit) -> Result<Self> {
+        let (n, m) = (self.users(), self.links());
+        match edit {
+            GameEdit::UserJoins { weight, capacities } => {
+                if capacities.len() != m {
+                    return Err(GameError::StateDimensionMismatch {
+                        state: n,
+                        expected: m,
+                        found: capacities.len(),
+                    });
+                }
+                let mut weights = self.weights.clone();
+                weights.push(*weight);
+                let mut data = self.capacities.data.clone();
+                data.extend_from_slice(capacities);
+                EffectiveGame::new(weights, EffectiveCapacities::from_rows(n + 1, m, data)?)
+            }
+            GameEdit::UserLeaves { user } => {
+                if *user >= n {
+                    return Err(GameError::Precondition {
+                        algorithm: "apply_edit",
+                        requirement: format!("departing user {user} must be < n = {n}"),
+                    });
+                }
+                if n - 1 < 2 {
+                    return Err(GameError::TooFewUsers { n: n - 1 });
+                }
+                let keep: Vec<usize> = (0..n).filter(|&i| i != *user).collect();
+                self.restrict_users(&keep)
+            }
+            GameEdit::CapacityChange {
+                user,
+                link,
+                capacity,
+            } => {
+                if *user >= n {
+                    return Err(GameError::Precondition {
+                        algorithm: "apply_edit",
+                        requirement: format!("edited user {user} must be < n = {n}"),
+                    });
+                }
+                if *link >= m {
+                    return Err(GameError::LinkOutOfRange {
+                        user: *user,
+                        link: *link,
+                        links: m,
+                    });
+                }
+                let mut data = self.capacities.data.clone();
+                data[user * m + link] = *capacity;
+                EffectiveGame::new(
+                    self.weights.clone(),
+                    EffectiveCapacities::from_rows(n, m, data)?,
+                )
+            }
+        }
     }
 
     /// Returns the game restricted to the users selected by `keep` (in order).
@@ -316,6 +429,105 @@ mod tests {
         let kp =
             EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![2.0, 3.0], vec![2.0, 3.0]]).unwrap();
         assert!(kp.is_kp_instance(tol));
+    }
+
+    #[test]
+    fn apply_edit_join_appends_one_user() {
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let edited = g
+            .apply_edit(&GameEdit::UserJoins {
+                weight: 5.0,
+                capacities: vec![6.0, 7.0],
+            })
+            .unwrap();
+        assert_eq!(edited.users(), 3);
+        assert_eq!(edited.weights(), &[1.0, 2.0, 5.0]);
+        assert_eq!(edited.capacities().row(2), &[6.0, 7.0]);
+        // The original is untouched.
+        assert_eq!(g.users(), 2);
+        // Invalid joins are typed errors.
+        assert!(g
+            .apply_edit(&GameEdit::UserJoins {
+                weight: -1.0,
+                capacities: vec![1.0, 1.0],
+            })
+            .is_err());
+        assert!(g
+            .apply_edit(&GameEdit::UserJoins {
+                weight: 1.0,
+                capacities: vec![1.0],
+            })
+            .is_err());
+        assert!(g
+            .apply_edit(&GameEdit::UserJoins {
+                weight: 1.0,
+                capacities: vec![1.0, 0.0],
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn apply_edit_leave_shifts_later_users_down() {
+        let g = EffectiveGame::from_rows(
+            vec![1.0, 2.0, 3.0],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        )
+        .unwrap();
+        let edited = g.apply_edit(&GameEdit::UserLeaves { user: 1 }).unwrap();
+        assert_eq!(edited.users(), 2);
+        assert_eq!(edited.weights(), &[1.0, 3.0]);
+        assert_eq!(edited.capacities().row(1), &[5.0, 6.0]);
+        // Leaving below n = 2 or naming a missing user is a typed error.
+        assert!(edited
+            .apply_edit(&GameEdit::UserLeaves { user: 0 })
+            .is_err());
+        assert!(g.apply_edit(&GameEdit::UserLeaves { user: 3 }).is_err());
+    }
+
+    #[test]
+    fn apply_edit_capacity_rewrites_one_entry() {
+        let g =
+            EffectiveGame::from_rows(vec![1.0, 2.0], vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let edited = g
+            .apply_edit(&GameEdit::CapacityChange {
+                user: 1,
+                link: 0,
+                capacity: 9.0,
+            })
+            .unwrap();
+        assert_eq!(edited.capacity(1, 0), 9.0);
+        assert_eq!(edited.capacity(0, 0), 1.0);
+        assert_eq!(edited.capacity(1, 1), 4.0);
+        for bad in [
+            GameEdit::CapacityChange {
+                user: 2,
+                link: 0,
+                capacity: 1.0,
+            },
+            GameEdit::CapacityChange {
+                user: 0,
+                link: 2,
+                capacity: 1.0,
+            },
+            GameEdit::CapacityChange {
+                user: 0,
+                link: 0,
+                capacity: f64::NAN,
+            },
+        ] {
+            assert!(g.apply_edit(&bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert_eq!(GameEdit::UserLeaves { user: 0 }.kind(), "leave");
+        assert_eq!(
+            GameEdit::CapacityChange {
+                user: 0,
+                link: 0,
+                capacity: 1.0
+            }
+            .kind(),
+            "capacity"
+        );
     }
 
     #[test]

@@ -549,6 +549,20 @@ impl Recorder {
         }
     }
 
+    /// Resolves a counter handle for hot paths that want to skip the name
+    /// lookup per increment. `None` when disabled.
+    pub fn counter(&self, name: &str) -> Option<Arc<Counter>> {
+        #[cfg(feature = "obs")]
+        {
+            self.registry.as_ref().map(|r| r.counter(name))
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = name;
+            None
+        }
+    }
+
     /// Opens a root span; elapsed time is recorded into `span.<name>` on
     /// [`Span::finish`].
     pub fn span(&self, name: &str) -> Span {

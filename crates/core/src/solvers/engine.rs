@@ -28,16 +28,17 @@ use par_exec::{chunk_ranges, parallel_map, ParallelConfig};
 use crate::algorithms::best_response::{BestResponseDynamics, SelectionRule};
 use crate::algorithms::{symmetric, two_links, uniform, PureNashMethod, PureNashSolution};
 use crate::error::Result;
-use crate::model::EffectiveGame;
+use crate::model::{EffectiveGame, GameEdit};
 use crate::numeric::Tolerance;
-use crate::obs::{elapsed_ns, Histogram, Recorder};
+use crate::obs::{elapsed_ns, Counter, Histogram, Recorder};
 use crate::solvers::cache::{self, CacheStats, SolveCache};
 use crate::solvers::exhaustive;
 use crate::solvers::kernel::{
-    BestResponseRun, BrStart, KernelRun, KernelScratch, SoAArena, SoAView,
+    repair_seed, BestResponseRun, BrStart, KernelRun, KernelScratch, LocalSearchRun, SoAArena,
+    SoAGame, SoAView,
 };
 use crate::solvers::local_search::{self, LocalSearch};
-use crate::strategy::LinkLoads;
+use crate::strategy::{LinkLoads, PureProfile};
 
 /// How a [`Solver`] relates to a particular instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -541,6 +542,35 @@ impl EngineSolution {
     }
 }
 
+/// Per-repair telemetry: how the warm path of [`SolverEngine::repair`]
+/// behaved. Deliberately wall-clock-free, so services can ship it over the
+/// wire without breaking replay exactness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairTelemetry {
+    /// Improving moves the warm run performed.
+    pub moves: u64,
+    /// Kernel passes stepped before the warm run settled.
+    pub passes: u64,
+    /// Restarts the warm run consumed (`1` means the seeded restart alone
+    /// sufficed — the expected case for a small edit).
+    pub restarts: u64,
+    /// Whether the warm run exhausted its budget uncertified and the engine
+    /// fell back to a cold [`SolverEngine::solve`].
+    pub fallback_cold: bool,
+}
+
+/// The result of [`SolverEngine::repair`]: the post-edit game, a solution
+/// certified on it, and how the repair path got there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The edited game the solution is certified against.
+    pub game: EffectiveGame,
+    /// The certified solution (warm or cold-fallback) plus engine telemetry.
+    pub solution: EngineSolution,
+    /// The warm path's own telemetry.
+    pub repair: RepairTelemetry,
+}
+
 /// An ordered list of [`Solver`]s run under shared budgets, with batch-solving
 /// over a [`par_exec`] worker pool.
 pub struct SolverEngine {
@@ -570,6 +600,14 @@ struct EngineProbes {
     attempt_ns: Arc<Histogram>,
     /// `kernel.pass_ns` — one interleaved `KernelRun::step` pass.
     pass_ns: Arc<Histogram>,
+    /// `engine.repair_ns` — end-to-end [`SolverEngine::repair`] latency,
+    /// including a cold fallback when the warm run stalls.
+    repair_ns: Arc<Histogram>,
+    /// `repair.moves` — improving moves the warm run performed per repair.
+    repair_moves: Arc<Histogram>,
+    /// `repair.fallback_cold` — repairs whose warm run stalled into a cold
+    /// solve.
+    repair_fallback: Arc<Counter>,
 }
 
 impl EngineProbes {
@@ -579,6 +617,9 @@ impl EngineProbes {
             fill_ns: recorder.histogram("cache.solve.fill_ns")?,
             attempt_ns: recorder.histogram("engine.attempt_ns")?,
             pass_ns: recorder.histogram("kernel.pass_ns")?,
+            repair_ns: recorder.histogram("engine.repair_ns")?,
+            repair_moves: recorder.histogram("repair.moves")?,
+            repair_fallback: recorder.counter("repair.fallback_cold")?,
         })
     }
 }
@@ -778,6 +819,98 @@ impl SolverEngine {
                 attempts,
                 total_wall_ns: start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             },
+        })
+    }
+
+    /// Repairs a certified equilibrium across one [`GameEdit`] instead of
+    /// re-solving the edited game from scratch.
+    ///
+    /// `prev_certified` must be a profile of the **pre-edit** `game`
+    /// (typically certified by an earlier solve). The engine applies the
+    /// edit, carries the assignment over with [`repair_seed`], and descends
+    /// from it with a warm [`LocalSearchRun`] under the engine's normal
+    /// budgets — so the certification guarantee is identical to a cold
+    /// solve's: a returned solution passed `is_pure_nash` on the edited game.
+    /// If the warm run exhausts its budget uncertified, the engine falls
+    /// back to a cold [`solve`](SolverEngine::solve) (flagged in
+    /// [`RepairTelemetry::fallback_cold`]), so callers never lose the
+    /// guarantee; the stalled warm attempt stays visible in the telemetry.
+    ///
+    /// The repair path always runs local search regardless of the engine's
+    /// solver list; only the fallback walks the configured list.
+    pub fn repair(
+        &self,
+        game: &EffectiveGame,
+        initial: &LinkLoads,
+        prev_certified: &PureProfile,
+        edit: &GameEdit,
+    ) -> Result<RepairOutcome> {
+        prev_certified.validate(game)?;
+        let edited = game.apply_edit(edit)?;
+        let start = Instant::now();
+        let soa = SoAGame::from_game(&edited);
+        let prev_loads = prev_certified.link_loads(game, initial);
+        let seed = repair_seed(soa.view(), prev_certified, &prev_loads, edit);
+        let mut run = LocalSearchRun::with_seed(&edited, initial, soa.view(), &self.config, seed);
+        let mut scratch = KernelScratch::new();
+        let mut passes = 0u64;
+        let detail = loop {
+            let pass_start = self.recorder.now();
+            let stepped = run.step(&mut scratch);
+            if let (Some(probes), Some(t)) = (&self.probes, pass_start) {
+                probes.pass_ns.record(elapsed_ns(t));
+            }
+            passes += 1;
+            if let Some(detail) = stepped {
+                break detail;
+            }
+        };
+        let warm_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        if let Some(probes) = &self.probes {
+            probes.attempt_ns.record(warm_ns);
+        }
+        let repair = RepairTelemetry {
+            moves: detail.iterations.unwrap_or(0),
+            passes,
+            restarts: detail.restarts.unwrap_or(0),
+            fallback_cold: detail.solution.is_none(),
+        };
+        let warm_attempt = SolverAttempt {
+            method: PureNashMethod::LocalSearch,
+            applicability: Applicability::Heuristic,
+            iterations: detail.iterations,
+            restarts: detail.restarts,
+            found: detail.solution.is_some(),
+            wall_ns: warm_ns,
+        };
+        let solution = if let Some(found) = detail.solution {
+            EngineSolution {
+                solution: Some(found),
+                telemetry: SolveTelemetry {
+                    attempts: vec![warm_attempt],
+                    total_wall_ns: warm_ns,
+                },
+            }
+        } else {
+            let mut cold = self.solve(&edited, initial)?;
+            cold.telemetry.attempts.insert(0, warm_attempt);
+            cold.telemetry.total_wall_ns =
+                start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            cold
+        };
+        if let Some(probes) = &self.probes {
+            probes
+                .repair_ns
+                .record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            probes.repair_moves.record(repair.moves);
+            if repair.fallback_cold {
+                probes.repair_fallback.incr(1);
+            }
+        }
+        Ok(RepairOutcome {
+            game: edited,
+            solution,
+            repair,
         })
     }
 
@@ -1146,6 +1279,152 @@ mod tests {
         assert_eq!(b.method(), Some(PureNashMethod::BestResponse));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn repair_certifies_on_the_edited_game_for_each_edit_kind() {
+        let engine = SolverEngine::from_kinds(SolverConfig::default(), &[SolverKind::LocalSearch]);
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let prev = engine
+            .solve(&game, &initial)
+            .unwrap()
+            .solution
+            .expect("the fixed instance has an equilibrium")
+            .profile;
+        let edits = [
+            GameEdit::UserJoins {
+                weight: 2.5,
+                capacities: vec![1.5, 3.0, 1.0],
+            },
+            GameEdit::UserLeaves { user: 1 },
+            GameEdit::CapacityChange {
+                user: 0,
+                link: 2,
+                capacity: 0.1,
+            },
+        ];
+        for edit in &edits {
+            let outcome = engine.repair(&game, &initial, &prev, edit).unwrap();
+            let solution = outcome
+                .solution
+                .solution
+                .as_ref()
+                .unwrap_or_else(|| panic!("repair must certify across {:?}", edit));
+            assert!(
+                is_pure_nash(
+                    &outcome.game,
+                    &solution.profile,
+                    &initial,
+                    Tolerance::default()
+                ),
+                "repair result must be a pure Nash of the edited game ({:?})",
+                edit
+            );
+            assert!(
+                !outcome.repair.fallback_cold,
+                "warm run suffices ({:?})",
+                edit
+            );
+            assert!(outcome.repair.passes >= 1);
+            assert_eq!(
+                outcome.repair.restarts, 1,
+                "seeded restart alone ({:?})",
+                edit
+            );
+            let attempts = &outcome.solution.telemetry.attempts;
+            assert_eq!(attempts.len(), 1);
+            assert_eq!(attempts[0].method, PureNashMethod::LocalSearch);
+            assert!(attempts[0].found);
+        }
+    }
+
+    #[test]
+    fn a_stalled_repair_falls_back_to_a_cold_solve() {
+        // A zero move budget starves the warm run (one move per restart
+        // slice is not enough to re-certify after a harsh edit), forcing the
+        // cold-fallback path; the paper-order fallback still concludes via
+        // exhaustive enumeration.
+        let config = SolverConfig {
+            max_steps: 0,
+            restarts: 1,
+            ..SolverConfig::default()
+        };
+        let solver = SolverEngine::from_kinds(SolverConfig::default(), &[SolverKind::LocalSearch]);
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let prev = solver
+            .solve(&game, &initial)
+            .unwrap()
+            .solution
+            .unwrap()
+            .profile;
+        let edit = GameEdit::CapacityChange {
+            user: 3,
+            link: prev.link(3),
+            capacity: 0.05,
+        };
+        let engine = SolverEngine::paper_order(config);
+        let outcome = engine.repair(&game, &initial, &prev, &edit).unwrap();
+        // Whether or not the starved warm run certified, the contract holds:
+        // a certified solution on the edited game.
+        let solution = outcome
+            .solution
+            .solution
+            .as_ref()
+            .expect("fallback concludes");
+        assert!(is_pure_nash(
+            &outcome.game,
+            &solution.profile,
+            &initial,
+            Tolerance::default()
+        ));
+        if outcome.repair.fallback_cold {
+            // The stalled warm attempt stays visible ahead of the fallback's.
+            let attempts = &outcome.solution.telemetry.attempts;
+            assert!(attempts.len() >= 2);
+            assert_eq!(attempts[0].method, PureNashMethod::LocalSearch);
+            assert!(!attempts[0].found);
+        }
+    }
+
+    #[test]
+    fn repair_rejects_a_profile_of_the_wrong_game() {
+        let engine = SolverEngine::default();
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let wrong = PureProfile::new(vec![0, 1]); // two users, game has four
+        let edit = GameEdit::UserLeaves { user: 0 };
+        assert!(engine.repair(&game, &initial, &wrong, &edit).is_err());
+    }
+
+    #[test]
+    fn repair_records_its_probes_on_a_live_recorder() {
+        let registry = Arc::new(crate::obs::Registry::new());
+        let recorder = Recorder::new(Arc::clone(&registry));
+        let engine = SolverEngine::from_kinds(SolverConfig::default(), &[SolverKind::LocalSearch])
+            .with_recorder(recorder);
+        let game = general_game();
+        let initial = LinkLoads::zero(3);
+        let prev = engine
+            .solve(&game, &initial)
+            .unwrap()
+            .solution
+            .unwrap()
+            .profile;
+        let edit = GameEdit::UserLeaves { user: 2 };
+        engine.repair(&game, &initial, &prev, &edit).unwrap();
+        let snapshot = registry.snapshot();
+        let histogram_count = |name: &str| {
+            snapshot
+                .histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, h)| h.count)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+        };
+        assert_eq!(histogram_count("engine.repair_ns"), 1);
+        assert_eq!(histogram_count("repair.moves"), 1);
     }
 
     #[test]

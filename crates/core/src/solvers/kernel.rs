@@ -40,7 +40,7 @@
 //! pre-kernel `LocalSearch` already carried.
 
 use crate::equilibrium::{best_deviation_of, is_pure_nash};
-use crate::model::EffectiveGame;
+use crate::model::{EffectiveGame, GameEdit};
 use crate::numeric::Tolerance;
 use crate::solvers::engine::{SolverConfig, SolverDetail};
 use crate::solvers::local_search::SplitMix64;
@@ -356,6 +356,58 @@ pub(crate) fn spread_into(view: SoAView<'_>, choices: &mut [usize]) {
     }
 }
 
+/// Maps a profile certified on a pre-edit game onto the edited game — the
+/// warm start of an equilibrium repair.
+///
+/// The carried assignment is perturbed only where the edit displaced it, and
+/// the link loads it induces are updated incrementally (`O(m)` per edit,
+/// from `prev_loads`) rather than rebuilt from the full profile:
+///
+/// * capacity change — no user is displaced; the assignment carries over
+///   unchanged (only latencies moved, the descent fixes any new defectors);
+/// * leave — the departing user's choice is dropped and later users shift
+///   down one index (their link choices are untouched);
+/// * join — the appended user is placed by the greedy portfolio step, i.e.
+///   on its latency-minimal link under the carried loads (`O(m)`).
+///
+/// `view` must be the SoA form of the **edited** game and `prev_loads` the
+/// loads `prev` induces on the pre-edit game (initial traffic included).
+/// The seed is a valid profile of the edited game, not an equilibrium —
+/// seeding a [`LocalSearchRun`] with it and re-certifying via the canonical
+/// [`is_pure_nash`] is what turns it into one.
+pub fn repair_seed(
+    view: SoAView<'_>,
+    prev: &PureProfile,
+    prev_loads: &[f64],
+    edit: &GameEdit,
+) -> PureProfile {
+    match edit {
+        GameEdit::CapacityChange { .. } => prev.clone(),
+        GameEdit::UserLeaves { user } => {
+            let mut choices = prev.choices().to_vec();
+            choices.remove(*user);
+            PureProfile::new(choices)
+        }
+        GameEdit::UserJoins { .. } => {
+            let mut choices = prev.choices().to_vec();
+            let user = view.users - 1;
+            let w = view.weight(user);
+            let inv = view.inv_row(user);
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (link, (&load, &inv_c)) in prev_loads.iter().zip(inv).enumerate() {
+                let cost = (load + w) * inv_c;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = link;
+                }
+            }
+            choices.push(best);
+            PureProfile::new(choices)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Pass-resumable runs
 // ---------------------------------------------------------------------------
@@ -431,6 +483,13 @@ pub struct LocalSearchRun<'a> {
     slice_budget: u64,
     slice_moves: u64,
     phase: LsPhase,
+    /// Warm-start profile consumed by restart 0 when present (repair path);
+    /// later restarts fall back into the regular start portfolio.
+    seed: Option<PureProfile>,
+    /// Whether this run was seeded — the seeded restart descends without an
+    /// annealed phase (randomising a certified-adjacent start would discard
+    /// exactly the structure the repair carries over).
+    warm: bool,
 }
 
 impl<'a> LocalSearchRun<'a> {
@@ -465,12 +524,41 @@ impl<'a> LocalSearchRun<'a> {
             slice_budget: 0,
             slice_moves: 0,
             phase: LsPhase::NextRestart,
+            seed: None,
+            warm: false,
         }
     }
 
+    /// A run whose restart 0 starts from `seed` — a valid profile of `game`
+    /// (e.g. a [`repair_seed`] carried over from a pre-edit equilibrium) —
+    /// instead of the LPT greedy start. The seeded restart descends without
+    /// annealing; if its budget slice runs out the remaining restarts fall
+    /// back into the regular start portfolio, so a warm run can never do
+    /// worse than losing one portfolio slot.
+    pub fn with_seed(
+        game: &'a EffectiveGame,
+        initial: &'a LinkLoads,
+        view: SoAView<'a>,
+        config: &SolverConfig,
+        seed: PureProfile,
+    ) -> Self {
+        debug_assert_eq!(seed.users(), view.users, "seed must fit the game");
+        let mut run = LocalSearchRun::new(game, initial, view, config);
+        run.seed = Some(seed);
+        run.warm = true;
+        run
+    }
+
     /// The start profile of restart `r`, written into `self.profile`: the
-    /// four smart starts, then seeded perturbations of the LPT start.
+    /// warm seed when one is pending, then the four smart starts, then
+    /// seeded perturbations of the LPT start.
     fn build_start(&mut self, restart: usize, scratch: &mut KernelScratch) {
+        if restart == 0 {
+            if let Some(seed) = self.seed.take() {
+                self.profile = seed;
+                return;
+            }
+        }
         let view = self.view;
         let initial = self.initial.as_slice();
         let choices = self.profile.choices_mut();
@@ -599,10 +687,15 @@ impl KernelRun for LocalSearchRun<'_> {
             let restart = self.restart;
             self.build_start(restart, scratch);
             // Annealed phase: n randomised moves on restart 0, halving with
-            // every restart.
-            self.anneal_moves = (self.view.users as u64)
-                .checked_shr(restart as u32)
-                .unwrap_or(0);
+            // every restart. A warm-seeded restart 0 skips annealing — the
+            // seed is already certified-adjacent and should descend directly.
+            self.anneal_moves = if self.warm && restart == 0 {
+                0
+            } else {
+                (self.view.users as u64)
+                    .checked_shr(restart as u32)
+                    .unwrap_or(0)
+            };
             self.rng = SplitMix64::new(
                 self.ls_seed
                     .wrapping_add((restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -943,6 +1036,99 @@ mod tests {
             let solution = detail.solution.expect("tiny instance converges");
             assert!(is_pure_nash(&game, &solution.profile, &initial, config.tol));
         }
+    }
+
+    #[test]
+    fn repair_seed_carries_the_assignment_across_each_edit_kind() {
+        let game = messy_game();
+        let initial = LinkLoads::zero(3);
+        let config = SolverConfig::default();
+        let soa = SoAGame::from_game(&game);
+        let mut scratch = KernelScratch::new();
+        let mut run = LocalSearchRun::new(&game, &initial, soa.view(), &config);
+        let prev = run_to_completion(&mut run, &mut scratch)
+            .solution
+            .expect("tiny instance converges")
+            .profile;
+        let prev_loads = prev.link_loads(&game, &initial);
+
+        // Capacity change: the assignment carries over verbatim.
+        let cap_edit = GameEdit::CapacityChange {
+            user: 0,
+            link: 1,
+            capacity: 10.0,
+        };
+        let cap_game = game.apply_edit(&cap_edit).unwrap();
+        let cap_soa = SoAGame::from_game(&cap_game);
+        let seed = repair_seed(cap_soa.view(), &prev, prev_loads.as_slice(), &cap_edit);
+        assert_eq!(seed.choices(), prev.choices());
+
+        // Leave: the departing user's choice is dropped, the rest shift.
+        let leave = GameEdit::UserLeaves { user: 1 };
+        let leave_game = game.apply_edit(&leave).unwrap();
+        let leave_soa = SoAGame::from_game(&leave_game);
+        let seed = repair_seed(leave_soa.view(), &prev, prev_loads.as_slice(), &leave);
+        assert_eq!(seed.users(), 3);
+        assert_eq!(seed.link(0), prev.link(0));
+        assert_eq!(seed.link(1), prev.link(2));
+        assert_eq!(seed.link(2), prev.link(3));
+
+        // Join: the new user lands on its latency-minimal link under the
+        // carried loads; everyone else is untouched.
+        let join = GameEdit::UserJoins {
+            weight: 2.5,
+            capacities: vec![1.0, 2.0, 3.0],
+        };
+        let join_game = game.apply_edit(&join).unwrap();
+        let join_soa = SoAGame::from_game(&join_game);
+        let seed = repair_seed(join_soa.view(), &prev, prev_loads.as_slice(), &join);
+        assert_eq!(seed.users(), 5);
+        assert_eq!(&seed.choices()[..4], prev.choices());
+        let view = join_soa.view();
+        let inv = view.inv_row(4);
+        let placed = seed.link(4);
+        for link in 0..3 {
+            assert!(
+                (prev_loads[placed] + 2.5) * inv[placed]
+                    <= (prev_loads[link] + 2.5) * inv[link] + 1e-12,
+                "join placement must be greedy-minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn a_seeded_run_certifies_on_the_edited_game() {
+        let game = messy_game();
+        let initial = LinkLoads::zero(3);
+        let config = SolverConfig::default();
+        let soa = SoAGame::from_game(&game);
+        let mut scratch = KernelScratch::new();
+        let mut run = LocalSearchRun::new(&game, &initial, soa.view(), &config);
+        let prev = run_to_completion(&mut run, &mut scratch)
+            .solution
+            .expect("tiny instance converges")
+            .profile;
+        let prev_loads = prev.link_loads(&game, &initial);
+        let edit = GameEdit::CapacityChange {
+            user: 3,
+            link: 0,
+            capacity: 0.05,
+        };
+        let edited = game.apply_edit(&edit).unwrap();
+        let edited_soa = SoAGame::from_game(&edited);
+        let seed = repair_seed(edited_soa.view(), &prev, prev_loads.as_slice(), &edit);
+        let mut warm =
+            LocalSearchRun::with_seed(&edited, &initial, edited_soa.view(), &config, seed);
+        let detail = run_to_completion(&mut warm, &mut scratch);
+        let solution = detail.solution.expect("warm run converges");
+        assert!(is_pure_nash(
+            &edited,
+            &solution.profile,
+            &initial,
+            config.tol
+        ));
+        // The warm restart is the only one a converging repair consumes.
+        assert_eq!(detail.restarts, Some(1));
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Seeded churn: structurally valid [`GameEdit`] streams over an evolving
+//! game.
+//!
+//! A churn stream models a live routing population: users join, users
+//! leave, and individual effective capacities drift as beliefs update. The
+//! stream only tracks the *shape* of the evolving game (its user count),
+//! which is all structural validity needs — a leave always names a live
+//! user, a capacity change always names a live `(user, link)` entry, and
+//! sampled weights/capacities are positive by construction — so a stream
+//! can be generated without materialising any intermediate game. The same
+//! `(spec, seed)` pair always produces the same edits, which is what lets
+//! the serve harness and the `churn_repair` experiment mirror a stream on
+//! both sides of a socket without shipping it.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use netuncert_core::model::GameEdit;
+
+use crate::spec::{CapacityDist, WeightDist};
+
+/// Distributional shape of one churn stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Distribution of sampled capacities (joining rows and drifted
+    /// entries).
+    pub capacity: CapacityDist,
+    /// Distribution of joining users' traffics.
+    pub weights: WeightDist,
+    /// Floor on the evolving user count; a leave that would go below it is
+    /// resampled as a capacity drift. Must be at least 2 (the smallest
+    /// legal game).
+    pub min_users: usize,
+    /// Ceiling on the evolving user count; a join that would exceed it is
+    /// resampled as a capacity drift.
+    pub max_users: usize,
+}
+
+impl ChurnSpec {
+    /// A reasonable default churn shape around the serve workload's
+    /// instance distributions: capacity drift dominates, joins and leaves
+    /// are each half as likely.
+    pub fn default_scenario() -> Self {
+        ChurnSpec {
+            capacity: CapacityDist::Uniform { lo: 4.0, hi: 32.0 },
+            weights: WeightDist::Skewed {
+                lo: 1.0,
+                doublings: 3.0,
+            },
+            min_users: 2,
+            max_users: 1 << 14,
+        }
+    }
+
+    /// Opens a stream over a game that currently has `users` users and
+    /// `links` links, drawing from `rng`.
+    pub fn stream<R: Rng>(&self, users: usize, links: usize, rng: R) -> EditStream<R> {
+        assert!(self.min_users >= 2, "min_users must be at least 2");
+        assert!(
+            self.min_users <= users && users <= self.max_users,
+            "starting user count must sit inside [min_users, max_users]"
+        );
+        assert!(links >= 2, "games need at least 2 links");
+        EditStream {
+            spec: *self,
+            users,
+            links,
+            rng,
+        }
+    }
+}
+
+/// An endless seeded stream of structurally valid edits.
+///
+/// The stream tracks the user count the edits imply, so consecutive edits
+/// stay valid when applied in order via
+/// [`EffectiveGame::apply_edit`](netuncert_core::model::EffectiveGame::apply_edit).
+#[derive(Debug, Clone)]
+pub struct EditStream<R> {
+    spec: ChurnSpec,
+    users: usize,
+    links: usize,
+    rng: R,
+}
+
+impl<R: Rng> EditStream<R> {
+    /// The user count the game has after every edit produced so far.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Draws the next edit and advances the tracked shape.
+    ///
+    /// The mix is 1/4 join, 1/4 leave, 1/2 capacity drift; a join at the
+    /// user ceiling or a leave at the floor degrades to a capacity drift so
+    /// the stream never emits an invalid edit.
+    pub fn next_edit(&mut self) -> GameEdit {
+        let roll = self.rng.gen_range(0..4u32);
+        match roll {
+            0 if self.users < self.spec.max_users => {
+                let weight = self.spec.weights.sample(&mut self.rng);
+                let capacities = (0..self.links)
+                    .map(|_| self.spec.capacity.sample(&mut self.rng))
+                    .collect();
+                self.users += 1;
+                GameEdit::UserJoins { weight, capacities }
+            }
+            1 if self.users > self.spec.min_users => {
+                let user = self.rng.gen_range(0..self.users);
+                self.users -= 1;
+                GameEdit::UserLeaves { user }
+            }
+            _ => GameEdit::CapacityChange {
+                user: self.rng.gen_range(0..self.users),
+                link: self.rng.gen_range(0..self.links),
+                capacity: self.spec.capacity.sample(&mut self.rng),
+            },
+        }
+    }
+
+    /// The next `count` edits as a vector (valid when applied in order).
+    pub fn take_edits(&mut self, count: usize) -> Vec<GameEdit> {
+        (0..count).map(|_| self.next_edit()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rng, EffectiveSpec};
+
+    fn spec() -> ChurnSpec {
+        ChurnSpec {
+            min_users: 3,
+            max_users: 8,
+            ..ChurnSpec::default_scenario()
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let a = spec().stream(5, 3, rng(7, 1)).take_edits(32);
+        let b = spec().stream(5, 3, rng(7, 1)).take_edits(32);
+        assert_eq!(a, b);
+        let c = spec().stream(5, 3, rng(7, 2)).take_edits(32);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_edit_applies_cleanly_in_order() {
+        let gen_spec = EffectiveSpec::General {
+            users: 5,
+            links: 3,
+            capacity: CapacityDist::Uniform { lo: 4.0, hi: 32.0 },
+            weights: WeightDist::Uniform { lo: 1.0, hi: 4.0 },
+        };
+        let mut game = gen_spec.generate(&mut rng(11, 0));
+        let mut stream = spec().stream(game.users(), game.links(), rng(11, 1));
+        for _ in 0..64 {
+            let edit = stream.next_edit();
+            game = game.apply_edit(&edit).expect("churn edits stay valid");
+            assert_eq!(game.users(), stream.users());
+        }
+    }
+
+    #[test]
+    fn the_user_count_respects_its_bounds() {
+        let mut stream = spec().stream(3, 2, rng(2, 0));
+        for _ in 0..256 {
+            stream.next_edit();
+            assert!((3..=8).contains(&stream.users()));
+        }
+    }
+}

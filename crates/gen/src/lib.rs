@@ -12,6 +12,9 @@
 //!   a known true state ([`BeliefModel`], intensity-parameterised), the
 //!   generalisation of [`GameSpec::generate_perturbed`]'s base/belief rng
 //!   split.
+//! * [`churn`] — seeded, structurally valid
+//!   [`GameEdit`](netuncert_core::model::GameEdit) streams over an evolving
+//!   game (joins, leaves, capacity drift) for warm-start repair workloads.
 //! * [`kp`] — random complete-information KP instances.
 //! * [`user_specific`] — random weighted user-specific (Milchtaich-class)
 //!   congestion games with monotone step costs.
@@ -20,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod belief_model;
+pub mod churn;
 pub mod kp;
 pub mod spec;
 pub mod user_specific;
 
 pub use belief_model::{BeliefModel, BeliefModelKind, TRUE_STATE};
+pub use churn::{ChurnSpec, EditStream};
 pub use spec::{BeliefKind, CapacityDist, EffectiveSpec, GameSpec, WeightDist};
 
 use rand::SeedableRng;

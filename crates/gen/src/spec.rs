@@ -28,7 +28,7 @@ pub enum WeightDist {
 }
 
 impl WeightDist {
-    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
         match *self {
             WeightDist::Identical(w) => w,
             WeightDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
@@ -61,7 +61,7 @@ pub enum CapacityDist {
 }
 
 impl CapacityDist {
-    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
         match *self {
             CapacityDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
             CapacityDist::TwoLevel { lo, hi } => {

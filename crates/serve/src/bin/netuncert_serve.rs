@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! netuncert_serve --addr 127.0.0.1:0 [--workers N] [--queue-depth N]
-//!                 [--solve-cache N] [--opt-cache N] [--metrics-json PATH]
+//!                 [--solve-cache N] [--opt-cache N] [--session-capacity N]
+//!                 [--metrics-json PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` (the resolved address, so port `0` works
@@ -25,7 +26,8 @@ const METRICS_PERIOD: Duration = Duration::from_secs(1);
 fn usage() -> ! {
     eprintln!(
         "usage: netuncert_serve --addr HOST:PORT [--workers N] [--queue-depth N] \
-         [--solve-cache ENTRIES] [--opt-cache ENTRIES] [--metrics-json PATH]"
+         [--solve-cache ENTRIES] [--opt-cache ENTRIES] [--session-capacity SESSIONS] \
+         [--metrics-json PATH]"
     );
     std::process::exit(2);
 }
@@ -80,6 +82,9 @@ fn main() {
             }
             "--opt-cache" => {
                 config.opt_cache_capacity = parse_count("--opt-cache", argv.next());
+            }
+            "--session-capacity" => {
+                config.session_capacity = parse_count("--session-capacity", argv.next()).max(1);
             }
             "--metrics-json" => match argv.next() {
                 Some(path) => metrics_json = Some(path),

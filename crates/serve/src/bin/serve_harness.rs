@@ -20,11 +20,15 @@
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
-use netuncert_serve::protocol::{MetricsReply, RequestBody, ResponseBody, WireHistogram};
+use netuncert_core::prelude::{is_pure_nash, EffectiveGame, LinkLoads, PureProfile, Tolerance};
+use netuncert_serve::protocol::{
+    EditRequest, ErrorKind, MetricsReply, ReleaseRequest, RequestBody, ResponseBody, UploadRequest,
+    WireHistogram,
+};
 use netuncert_serve::replay::Replayer;
 use netuncert_serve::state::ServeConfig;
-use netuncert_serve::workload::mixed_request;
-use netuncert_serve::Client;
+use netuncert_serve::workload::{churn_session, mixed_request};
+use netuncert_serve::{Client, ClientPool};
 
 struct Options {
     server: Option<String>,
@@ -108,10 +112,140 @@ fn spawn_server(path: &str) -> (Child, String) {
     (child, addr)
 }
 
+/// What the churn phase issued and observed, for the metrics audit.
+struct ChurnCounts {
+    /// Compute requests the phase queued (uploads + edits, including the
+    /// deliberately stale one).
+    compute: u64,
+    /// Edits the service answered with a repaired, certified profile.
+    repairs: u64,
+}
+
+/// Drives the resident-session workload through a connection pool: two
+/// sessions upload, stream seeded edits with every repaired answer
+/// re-certified client-side against a locally mirrored game, then release;
+/// one final `Edit` on a released id must come back as the typed
+/// `SessionEvicted` error, never a silent cold solve. Exits nonzero on any
+/// contract violation.
+fn drive_churn(addr: &str, seed: u64, binary: bool) -> ChurnCounts {
+    const SESSIONS: u64 = 2;
+    const EDITS: usize = 8;
+    let pool = if binary {
+        ClientPool::binary(addr.to_string(), 2)
+    } else {
+        ClientPool::json(addr.to_string(), 2)
+    };
+    let tol = Tolerance::default();
+    let mut counts = ChurnCounts {
+        compute: 0,
+        repairs: 0,
+    };
+    let mut last_session = 0u64;
+    for lane in 0..SESSIONS {
+        let (instance, edits) = churn_session(seed.wrapping_add(lane), 8, 3, EDITS);
+        let mut game =
+            EffectiveGame::from_rows(instance.weights.clone(), instance.capacities.clone())
+                .expect("workload instances are valid");
+        let mut client = pool.get().unwrap_or_else(|e| {
+            eprintln!("churn connect: {e}");
+            std::process::exit(1);
+        });
+
+        let response = client
+            .call(RequestBody::Upload(UploadRequest { instance }))
+            .unwrap_or_else(|e| {
+                eprintln!("churn upload: {e}");
+                std::process::exit(1);
+            });
+        counts.compute += 1;
+        let ResponseBody::Upload(upload) = response.body else {
+            eprintln!("churn upload was refused: {:?}", response.body);
+            std::process::exit(1);
+        };
+        let pinned = PureProfile::new(upload.solution.choices.clone());
+        if !is_pure_nash(&game, &pinned, &LinkLoads::zero(game.links()), tol) {
+            eprintln!("churn upload answer failed certification");
+            std::process::exit(1);
+        }
+
+        for (index, edit) in edits.iter().enumerate() {
+            game = game
+                .apply_edit(&edit.to_edit())
+                .expect("workload streams are valid");
+            let response = client
+                .call(RequestBody::Edit(EditRequest {
+                    session: upload.session,
+                    edit: edit.clone(),
+                }))
+                .unwrap_or_else(|e| {
+                    eprintln!("churn edit {index}: {e}");
+                    std::process::exit(1);
+                });
+            counts.compute += 1;
+            let ResponseBody::Edit(reply) = response.body else {
+                eprintln!("churn edit {index} was refused: {:?}", response.body);
+                std::process::exit(1);
+            };
+            let repaired = PureProfile::new(reply.solution.choices.clone());
+            if !is_pure_nash(&game, &repaired, &LinkLoads::zero(game.links()), tol) {
+                eprintln!("churn edit {index} answer failed certification on the edited game");
+                std::process::exit(1);
+            }
+            counts.repairs += 1;
+        }
+
+        let response = client
+            .call(RequestBody::Release(ReleaseRequest {
+                session: upload.session,
+            }))
+            .unwrap_or_else(|e| {
+                eprintln!("churn release: {e}");
+                std::process::exit(1);
+            });
+        let ResponseBody::Release(release) = response.body else {
+            eprintln!("churn release was refused: {:?}", response.body);
+            std::process::exit(1);
+        };
+        if release.edits != EDITS as u64 {
+            eprintln!("release counted {} edits, expected {EDITS}", release.edits);
+            std::process::exit(1);
+        }
+        last_session = upload.session;
+    }
+
+    // A released id must be answered with the typed error — the store never
+    // falls back to a silent cold solve on stale state.
+    let (_, edits) = churn_session(seed, 8, 3, 1);
+    let mut client = pool.get().unwrap_or_else(|e| {
+        eprintln!("stale-edit connect: {e}");
+        std::process::exit(1);
+    });
+    let response = client
+        .call(RequestBody::Edit(EditRequest {
+            session: last_session,
+            edit: edits.into_iter().next().expect("one edit requested"),
+        }))
+        .unwrap_or_else(|e| {
+            eprintln!("stale edit: {e}");
+            std::process::exit(1);
+        });
+    counts.compute += 1;
+    match response.body {
+        ResponseBody::Error(error) if error.kind == ErrorKind::SessionEvicted => {}
+        other => {
+            eprintln!("stale edit answered {other:?}, expected a SessionEvicted error");
+            std::process::exit(1);
+        }
+    }
+    counts
+}
+
 /// Fetches a `Metrics` reply and audits it: non-empty, sane percentile
 /// ordering on every histogram, and — when `expected_compute` is known —
-/// queue-wait/service counts equal to the compute requests issued.
-fn check_metrics(addr: &str, expected_compute: Option<u64>) -> bool {
+/// queue-wait/service counts equal to the compute requests issued, plus
+/// repair-provenance count equality (`repair.moves` and `engine.repair_ns`
+/// must both have observed exactly the successful repairs).
+fn check_metrics(addr: &str, expected_compute: Option<u64>, expected_repairs: Option<u64>) -> bool {
     let mut client = Client::connect(addr).unwrap_or_else(|e| {
         eprintln!("connect for metrics: {e}");
         std::process::exit(1);
@@ -145,6 +279,28 @@ fn check_metrics(addr: &str, expected_compute: Option<u64>) -> bool {
                 Some(histogram) => {
                     eprintln!(
                         "{name} counted {} observations, expected {expected}",
+                        histogram.count
+                    );
+                    ok = false;
+                }
+                None => {
+                    eprintln!("{name} is missing from the metrics reply");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if let Some(expected) = expected_repairs {
+        // Provenance: every successful repair records its latency AND its
+        // move count, exactly once, into the serve registry. A mismatch
+        // between the two (or against what the driver counted) means a
+        // repair escaped telemetry or was double-counted.
+        for name in ["engine.repair_ns", "repair.moves"] {
+            match find_histogram(&metrics, name) {
+                Some(histogram) if histogram.count == expected => {}
+                Some(histogram) => {
+                    eprintln!(
+                        "{name} counted {} repairs, driver observed {expected}",
                         histogram.count
                     );
                     ok = false;
@@ -239,16 +395,26 @@ fn main() {
         }
     }
 
+    // Churn phase: resident sessions streamed over pooled connections, with
+    // client-side certification of every repaired answer and a typed-error
+    // check on a released session id. These verbs are excluded from the
+    // byte-replay (session state is cross-connection), so the phase audits
+    // them against the engine contract directly.
+    let churn = drive_churn(&addr, opts.seed, opts.binary);
+
     // Metrics audit: the registry must be populated and self-consistent
     // after the workload. When we spawned the service ourselves (no other
     // traffic), the queue-wait and service histograms must count exactly
-    // the compute requests this run issued.
-    let expected_compute = if opts.server.is_some() {
-        Some((opts.requests * if opts.binary { 2 } else { 1 }) as u64)
+    // the compute requests this run issued — mixed workload plus the churn
+    // phase's uploads and edits (the stale edit still queues) — and the
+    // repair-provenance probes must count exactly the successful repairs.
+    let (expected_compute, expected_repairs) = if opts.server.is_some() {
+        let mixed = (opts.requests * if opts.binary { 2 } else { 1 }) as u64;
+        (Some(mixed + churn.compute), Some(churn.repairs))
     } else {
-        None
+        (None, None)
     };
-    let metrics_ok = check_metrics(&addr, expected_compute);
+    let metrics_ok = check_metrics(&addr, expected_compute, expected_repairs);
 
     // Graceful shutdown (only if we own the process).
     let clean_exit = if let Some(mut child) = child {

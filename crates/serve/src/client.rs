@@ -13,9 +13,17 @@
 //! line as a frame on the way out and re-serialises the decoded response
 //! on the way back, so the replay harness can diff the two framings (and
 //! direct in-process calls) byte-for-byte.
+//!
+//! For callers that talk to the service repeatedly from short-lived scopes
+//! (harness drivers, sweep shards), [`ClientPool`] keeps a bounded set of
+//! idle connections and hands them back out instead of reconnecting per
+//! call — the session verbs in particular reward staying on one warm
+//! connection.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -162,5 +170,110 @@ impl Client {
             .map_err(|e| ClientError::BadResponse(format!("undecodable frame: {e}")))?;
         Response::from_value(&value)
             .map_err(|e| ClientError::BadResponse(format!("frame was not a response: {e}")))
+    }
+}
+
+/// A bounded pool of reusable connections to one service address.
+///
+/// [`get`](ClientPool::get) pops an idle connection (or dials a fresh one)
+/// and returns it wrapped in a [`PooledClient`] guard; dropping the guard
+/// puts the connection back on the idle list, up to `max_idle`. The wire is
+/// strictly call-and-wait per connection, so a returned connection is
+/// always at a frame boundary and safe to reuse — **except** after a
+/// transport error, where the stream may be mid-frame: discard the guard
+/// with [`PooledClient::discard`] instead of dropping it, and the
+/// connection dies with it.
+pub struct ClientPool {
+    addr: String,
+    binary: bool,
+    idle: Mutex<Vec<Client>>,
+    max_idle: usize,
+}
+
+impl ClientPool {
+    /// A pool of newline-delimited JSON connections to `addr`, keeping at
+    /// most `max_idle` idle connections alive.
+    pub fn json(addr: impl Into<String>, max_idle: usize) -> Self {
+        ClientPool {
+            addr: addr.into(),
+            binary: false,
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// The binary-framing variant of [`json`](ClientPool::json).
+    pub fn binary(addr: impl Into<String>, max_idle: usize) -> Self {
+        ClientPool {
+            addr: addr.into(),
+            binary: true,
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+        }
+    }
+
+    /// Checks a connection out: an idle one if available, else a fresh
+    /// dial.
+    pub fn get(&self) -> Result<PooledClient<'_>, ClientError> {
+        let reused = self.idle.lock().expect("pool lock poisoned").pop();
+        let client = match reused {
+            Some(client) => client,
+            None if self.binary => Client::connect_binary(&self.addr)?,
+            None => Client::connect(&self.addr)?,
+        };
+        Ok(PooledClient {
+            pool: self,
+            client: Some(client),
+        })
+    }
+
+    /// Idle connections currently parked in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().expect("pool lock poisoned").len()
+    }
+
+    fn put_back(&self, client: Client) {
+        let mut idle = self.idle.lock().expect("pool lock poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        }
+        // Over the cap: the connection drops here and closes.
+    }
+}
+
+/// A checked-out pool connection; derefs to [`Client`]. Dropping it returns
+/// the connection to the pool.
+pub struct PooledClient<'a> {
+    pool: &'a ClientPool,
+    client: Option<Client>,
+}
+
+impl PooledClient<'_> {
+    /// Consumes the guard *without* returning the connection to the pool.
+    /// Use after a transport error, when the stream may no longer sit at a
+    /// frame boundary.
+    pub fn discard(mut self) {
+        self.client = None;
+    }
+}
+
+impl Deref for PooledClient<'_> {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client present until drop")
+    }
+}
+
+impl DerefMut for PooledClient<'_> {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client present until drop")
+    }
+}
+
+impl Drop for PooledClient<'_> {
+    fn drop(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.pool.put_back(client);
+        }
     }
 }

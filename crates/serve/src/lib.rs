@@ -21,13 +21,25 @@
 //! mechanically). The wire types strip wall-clock telemetry so that the
 //! contract is decidable by `==` on response lines.
 //!
+//! Beyond the stateless compute verbs, the service also keeps **resident
+//! instance sessions**: `Upload` pins a game plus its certified
+//! equilibrium server-side, `Edit` streams churn edits (joins, leaves,
+//! capacity drift) against the pinned state and answers with a
+//! warm-start-*repaired*, re-certified equilibrium — typically a handful
+//! of local-search moves instead of a cold solve — and `Release` drops the
+//! pin. The session store is bounded and LRU-evicting; a stale id gets a
+//! typed `SessionEvicted` answer, never a silent cold solve.
+//!
 //! Module map:
 //! - [`protocol`] — wire types, size limits, typed errors, request keys
 //! - [`policy`] — the policy tree and its pass-resumable interpreter
 //! - [`state`] — engine-side service state (caches, budgets, counters)
+//! - [`session`] — the bounded resident-session store behind
+//!   `Upload`/`Edit`/`Release`
 //! - [`server`] — TCP listener, bounded queue, worker pool, graceful drain
 //! - [`frame`] — the optional length-prefixed binary framing
-//! - [`client`] — minimal blocking client (either framing)
+//! - [`client`] — minimal blocking client (either framing) and a reusing
+//!   connection pool
 //! - [`replay`] — byte-for-byte verification against direct engine calls
 
 #![forbid(unsafe_code)]
@@ -39,12 +51,14 @@ pub mod policy;
 pub mod protocol;
 pub mod replay;
 pub mod server;
+pub mod session;
 pub mod state;
 pub mod workload;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientPool, PooledClient};
 pub use policy::{BracketLeaf, Policy, SolveLeaf, TimeoutPolicy};
-pub use protocol::{Request, RequestBody, Response, ResponseBody, WireInstance};
+pub use protocol::{Request, RequestBody, Response, ResponseBody, WireEdit, WireInstance};
 pub use replay::{ReplayDiff, Replayer};
 pub use server::Server;
+pub use session::{SessionLookup, SessionRemoval, SessionSnapshot, SessionStore};
 pub use state::{ServeConfig, ServeState};

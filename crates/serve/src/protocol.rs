@@ -21,7 +21,8 @@ use serde::{Deserialize, Serialize};
 use netuncert_core::obs::MetricsSnapshot;
 use netuncert_core::opt::{OptAttempt, OptMethod};
 use netuncert_core::prelude::{
-    EngineSolution, GameError, OptBracket, OptOutcome, PureNashMethod, SolverAttempt,
+    EngineSolution, GameEdit, GameError, OptBracket, OptOutcome, PureNashMethod, RepairTelemetry,
+    SolverAttempt,
 };
 use netuncert_core::social_cost::RatioBracket;
 
@@ -66,6 +67,15 @@ pub enum RequestBody {
     Bracket(BracketRequest),
     /// Measure a pure profile's social cost against bracketed optima.
     Measure(MeasureRequest),
+    /// Pin an instance in a resident session: solve it once cold, keep the
+    /// game and the certified profile server-side, and return a session id
+    /// for subsequent `Edit` requests.
+    Upload(UploadRequest),
+    /// Apply one churn edit to a pinned session and warm-start repair its
+    /// equilibrium from the last certified profile.
+    Edit(EditRequest),
+    /// Release a pinned session, dropping its game and profile.
+    Release(ReleaseRequest),
     /// Read the service's cache and request counters.
     Stats,
     /// Read the full observability registry: every counter, gauge and
@@ -118,6 +128,101 @@ pub struct MeasureRequest {
     pub policy: Policy,
 }
 
+/// An `Upload` request: the instance to pin. The session is solved with the
+/// service's resident engine (no policy tree — session solving must leave a
+/// certified profile to repair from, so the portfolio is fixed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UploadRequest {
+    /// The game to pin and solve.
+    pub instance: WireInstance,
+}
+
+/// An `Edit` request: one churn edit against a pinned session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EditRequest {
+    /// The session id an `Upload` reply handed out.
+    pub session: u64,
+    /// The edit to apply.
+    pub edit: WireEdit,
+}
+
+/// A `Release` request: drop a pinned session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseRequest {
+    /// The session id to release.
+    pub session: u64,
+}
+
+/// A churn edit on the wire, mirroring
+/// [`GameEdit`](netuncert_core::model::GameEdit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireEdit {
+    /// A new user joins with traffic `weight` and capacity row
+    /// `capacities` (one entry per link); they are appended at index `n`.
+    Join {
+        /// Traffic of the joining user.
+        weight: f64,
+        /// The joining user's effective capacity on each link.
+        capacities: Vec<f64>,
+    },
+    /// User `user` leaves; later users shift down by one index.
+    Leave {
+        /// Index of the departing user.
+        user: usize,
+    },
+    /// The effective capacity of one `(user, link)` entry changes.
+    Capacity {
+        /// Row of the changed entry.
+        user: usize,
+        /// Column of the changed entry.
+        link: usize,
+        /// The new effective capacity.
+        capacity: f64,
+    },
+}
+
+impl WireEdit {
+    /// The engine-side edit this wire edit describes.
+    pub fn to_edit(&self) -> GameEdit {
+        match self {
+            WireEdit::Join { weight, capacities } => GameEdit::UserJoins {
+                weight: *weight,
+                capacities: capacities.clone(),
+            },
+            WireEdit::Leave { user } => GameEdit::UserLeaves { user: *user },
+            WireEdit::Capacity {
+                user,
+                link,
+                capacity,
+            } => GameEdit::CapacityChange {
+                user: *user,
+                link: *link,
+                capacity: *capacity,
+            },
+        }
+    }
+
+    /// The wire form of an engine-side edit.
+    pub fn from_edit(edit: &GameEdit) -> WireEdit {
+        match edit {
+            GameEdit::UserJoins { weight, capacities } => WireEdit::Join {
+                weight: *weight,
+                capacities: capacities.clone(),
+            },
+            GameEdit::UserLeaves { user } => WireEdit::Leave { user: *user },
+            GameEdit::CapacityChange {
+                user,
+                link,
+                capacity,
+            } => WireEdit::Capacity {
+                user: *user,
+                link: *link,
+                capacity: *capacity,
+            },
+        }
+    }
+}
+
 /// One response envelope.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
@@ -136,6 +241,12 @@ pub enum ResponseBody {
     Bracket(BracketReply),
     /// Answer to a `Measure` request.
     Measure(MeasureReply),
+    /// Answer to an `Upload` request.
+    Upload(UploadReply),
+    /// Answer to an `Edit` request.
+    Edit(EditReply),
+    /// Answer to a `Release` request.
+    Release(ReleaseReply),
     /// Answer to a `Stats` request.
     Stats(StatsReply),
     /// Answer to a `Metrics` request.
@@ -182,6 +293,13 @@ pub enum ErrorKind {
     /// without queueing. Carries the observed depth and the configured
     /// capacity in [`WireError::depth`] / [`WireError::capacity`].
     Busy,
+    /// The named session id was once live but has been evicted from the
+    /// bounded session store (or explicitly released) since. The pinned
+    /// game is gone — re-`Upload` to continue editing. The service never
+    /// silently re-solves on a stale id.
+    SessionEvicted,
+    /// The named session id was never allocated by this service instance.
+    UnknownSession,
     /// The service is draining after a `Shutdown` request.
     Shutdown,
 }
@@ -314,6 +432,62 @@ pub struct WireOptAttempt {
     pub iterations: Option<u64>,
     /// Whether the attempt returned exact values for both objectives.
     pub exact: bool,
+}
+
+/// A pinned session: the id for future `Edit`s plus the certified upload
+/// solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UploadReply {
+    /// The allocated session id (unique per service instance).
+    pub session: u64,
+    /// The certified equilibrium of the uploaded instance.
+    pub solution: WireSolution,
+}
+
+/// A repaired session: the certified equilibrium on the edited game plus
+/// the repair's provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EditReply {
+    /// The session id (echoed).
+    pub session: u64,
+    /// The certified equilibrium on the game *after* the edit.
+    pub solution: WireSolution,
+    /// How the repair went.
+    pub repair: WireRepair,
+}
+
+/// Warm-start repair provenance on the wire (wall-clock free, like every
+/// other reply field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRepair {
+    /// Improvement moves the warm local-search run performed.
+    pub moves: u64,
+    /// Kernel passes the warm run consumed.
+    pub passes: u64,
+    /// Restarts consumed (1 when the warm seed alone certified).
+    pub restarts: u64,
+    /// Whether the warm run stalled and a cold portfolio solve produced the
+    /// answer instead.
+    pub fallback_cold: bool,
+}
+
+/// Projects engine repair telemetry onto the wire.
+pub fn wire_repair(repair: &RepairTelemetry) -> WireRepair {
+    WireRepair {
+        moves: repair.moves,
+        passes: repair.passes,
+        restarts: repair.restarts,
+        fallback_cold: repair.fallback_cold,
+    }
+}
+
+/// A released session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseReply {
+    /// The session id (echoed; now permanently stale).
+    pub session: u64,
+    /// Edits the session accepted over its lifetime.
+    pub edits: u64,
 }
 
 /// A measured (or deadlined) social-cost query.
@@ -590,6 +764,43 @@ fn hash_body(h: &mut KeyHasher, body: &RequestBody) {
         RequestBody::Stats => h.byte(3),
         RequestBody::Shutdown => h.byte(4),
         RequestBody::Metrics => h.byte(5),
+        RequestBody::Upload(r) => {
+            h.byte(6);
+            hash_instance(h, &r.instance);
+        }
+        RequestBody::Edit(r) => {
+            h.byte(7);
+            h.u64(r.session);
+            hash_edit(h, &r.edit);
+        }
+        RequestBody::Release(r) => {
+            h.byte(8);
+            h.u64(r.session);
+        }
+    }
+}
+
+fn hash_edit(h: &mut KeyHasher, edit: &WireEdit) {
+    match edit {
+        WireEdit::Join { weight, capacities } => {
+            h.byte(0);
+            h.f64(*weight);
+            h.f64s(capacities);
+        }
+        WireEdit::Leave { user } => {
+            h.byte(1);
+            h.u64(*user as u64);
+        }
+        WireEdit::Capacity {
+            user,
+            link,
+            capacity,
+        } => {
+            h.byte(2);
+            h.u64(*user as u64);
+            h.u64(*link as u64);
+            h.f64(*capacity);
+        }
     }
 }
 
@@ -890,6 +1101,70 @@ mod tests {
             key(vec![1.0, 2.0, 3.0], vec![vec![4.0]]),
             key(vec![1.0, 2.0], vec![vec![3.0, 4.0]]),
         );
+    }
+
+    #[test]
+    fn session_requests_round_trip_and_hash_apart() {
+        let instance = WireInstance {
+            weights: vec![1.0, 2.0],
+            capacities: vec![vec![1.0, 2.0], vec![2.0, 1.0]],
+            initial: None,
+        };
+        let upload = RequestBody::Upload(UploadRequest {
+            instance: instance.clone(),
+        });
+        let edit = RequestBody::Edit(EditRequest {
+            session: 3,
+            edit: WireEdit::Capacity {
+                user: 0,
+                link: 1,
+                capacity: 5.0,
+            },
+        });
+        let release = RequestBody::Release(ReleaseRequest { session: 3 });
+        for body in [&upload, &edit, &release] {
+            let request = Request {
+                id: 9,
+                body: body.clone(),
+            };
+            let line = serde_json::to_string(&request).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(request, back);
+        }
+        // The session verbs hash apart from each other and from a Solve of
+        // the same instance.
+        let solve = solve_request();
+        let bodies = [&upload, &edit, &release, &solve];
+        for (i, a) in bodies.iter().enumerate() {
+            for b in &bodies[i + 1..] {
+                assert_ne!(request_key(a), request_key(b));
+            }
+        }
+        // Different edits on the same session are different questions.
+        let other_edit = RequestBody::Edit(EditRequest {
+            session: 3,
+            edit: WireEdit::Leave { user: 0 },
+        });
+        assert_ne!(request_key(&edit), request_key(&other_edit));
+    }
+
+    #[test]
+    fn wire_edits_round_trip_through_the_engine_form() {
+        let edits = [
+            WireEdit::Join {
+                weight: 2.5,
+                capacities: vec![1.0, 4.0],
+            },
+            WireEdit::Leave { user: 1 },
+            WireEdit::Capacity {
+                user: 0,
+                link: 1,
+                capacity: 9.0,
+            },
+        ];
+        for wire in edits {
+            assert_eq!(WireEdit::from_edit(&wire.to_edit()), wire);
+        }
     }
 
     #[test]

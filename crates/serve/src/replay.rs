@@ -73,13 +73,19 @@ impl Replayer {
     /// `Stats` and `Shutdown` do not (their answers depend on service-side
     /// counters and lifecycle, not on the engines), and neither does any
     /// request whose policy contains a `Timeout` node (whether it beats its
-    /// deadline is timing-dependent by design).
+    /// deadline is timing-dependent by design). The session verbs
+    /// (`Upload`/`Edit`/`Release`) are also excluded: session ids are
+    /// allocated in arrival order across *all* connections and the store
+    /// evicts by global recency, so one connection's lines cannot
+    /// reconstruct the resident state they ran against.
     pub fn is_deterministic(line: &str) -> bool {
         match serde_json::from_str::<Request>(line) {
             Ok(request) => match &request.body {
                 // Stats and Metrics report wall-clock state; Shutdown is
                 // lifecycle. None can be replay-diffed.
                 RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => false,
+                // Session verbs depend on resident cross-connection state.
+                RequestBody::Upload(_) | RequestBody::Edit(_) | RequestBody::Release(_) => false,
                 RequestBody::Solve(solve) => !solve.policy.has_timeout(),
                 RequestBody::Bracket(bracket) => !bracket.policy.has_timeout(),
                 RequestBody::Measure(measure) => !measure.policy.has_timeout(),

@@ -242,11 +242,16 @@ fn worker_loop(state: &ServeState, queue: &JobQueue) {
 }
 
 /// Whether a request needs engine work (and therefore belongs in the
-/// queue-wait/service histograms).
+/// queue-wait/service histograms). `Upload` and `Edit` solve/repair on a
+/// worker; `Release` is bookkeeping the reader fast path always answers.
 fn is_compute(body: &RequestBody) -> bool {
     matches!(
         body,
-        RequestBody::Solve(_) | RequestBody::Bracket(_) | RequestBody::Measure(_)
+        RequestBody::Solve(_)
+            | RequestBody::Bracket(_)
+            | RequestBody::Measure(_)
+            | RequestBody::Upload(_)
+            | RequestBody::Edit(_)
     )
 }
 

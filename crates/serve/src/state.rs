@@ -16,18 +16,20 @@ use netuncert_core::obs::{
     elapsed_ns, Counter as ObsCounter, Gauge, Histogram, Recorder, Registry,
 };
 use netuncert_core::prelude::{
-    EffectiveGame, LinkLoads, MixedProfile, OptCache, OptConfig, OptOutcome, PureProfile,
-    SolveCache, SolverConfig,
+    EffectiveGame, GameEdit, LinkLoads, MixedProfile, OptCache, OptConfig, OptOutcome, PureProfile,
+    SolveCache, SolverConfig, SolverEngine, SolverKind,
 };
 use netuncert_core::social_cost::{ratio_bracket, sc1, sc2};
 
 use crate::policy::{self, BracketEval, EvalCtx, PolicyMode, SolveEval};
 use crate::protocol::{
-    deadline_solve_reply, request_key, wire_bracket_reply, wire_brackets, wire_cost_report,
-    wire_metrics, wire_solve_reply, BracketOutcome, BracketReply, ErrorKind, Limits,
-    MeasureOutcome, MeasureReply, Request, RequestBody, Response, ResponseBody, SolveOutcome,
-    StatsReply, WireCacheStats, WireError, WireInstance,
+    deadline_solve_reply, request_key, solve_method_id, wire_bracket_reply, wire_brackets,
+    wire_cost_report, wire_metrics, wire_repair, wire_solve_reply, BracketOutcome, BracketReply,
+    EditReply, EditRequest, ErrorKind, Limits, MeasureOutcome, MeasureReply, ReleaseReply,
+    ReleaseRequest, Request, RequestBody, Response, ResponseBody, SolveOutcome, StatsReply,
+    UploadReply, UploadRequest, WireCacheStats, WireError, WireInstance, WireSolution,
 };
+use crate::session::{SessionLookup, SessionRemoval, SessionStore};
 
 /// Service configuration: pool size, queue bound, warm-tier bounds, wire
 /// limits.
@@ -44,6 +46,10 @@ pub struct ServeConfig {
     pub solve_cache_capacity: usize,
     /// LRU capacity of the opt warm tier, entries.
     pub opt_cache_capacity: usize,
+    /// Bound on concurrently pinned resident sessions
+    /// ([`SessionStore`](crate::session::SessionStore)); inserting past it
+    /// evicts the least-recently-used session.
+    pub session_capacity: usize,
     /// Wire-level size caps.
     pub limits: Limits,
 }
@@ -55,6 +61,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             solve_cache_capacity: 1 << 16,
             opt_cache_capacity: 1 << 16,
+            session_capacity: 64,
             limits: Limits::default(),
         }
     }
@@ -111,6 +118,11 @@ pub(crate) struct ObsHandles {
     pub(crate) admit_busy: Arc<ObsCounter>,
     /// Admission counters: queue closed mid-push, answered inline.
     pub(crate) admit_inline: Arc<ObsCounter>,
+    /// Live pinned sessions (`serve.sessions`).
+    pub(crate) sessions: Arc<Gauge>,
+    /// Sessions pushed out of the bounded store by newer uploads
+    /// (`serve.session_evictions`).
+    pub(crate) session_evictions: Arc<ObsCounter>,
 }
 
 impl ObsHandles {
@@ -129,6 +141,8 @@ impl ObsHandles {
             admit_queued: registry.counter("serve.admit_queued"),
             admit_busy: registry.counter("serve.admit_busy"),
             admit_inline: registry.counter("serve.admit_inline"),
+            sessions: registry.gauge("serve.sessions"),
+            session_evictions: registry.counter("serve.session_evictions"),
             registry,
         };
         handles.queue_capacity.set(queue_capacity as u64);
@@ -145,6 +159,7 @@ pub struct ServeState {
     limits: Limits,
     counters: Mutex<Counters>,
     draining: AtomicBool,
+    sessions: SessionStore,
     obs: ObsHandles,
 }
 
@@ -159,6 +174,7 @@ impl ServeState {
             limits: config.limits,
             counters: Mutex::new(Counters::default()),
             draining: AtomicBool::new(false),
+            sessions: SessionStore::new(config.session_capacity),
             obs: ObsHandles::new(config.queue_depth),
         }
     }
@@ -233,6 +249,9 @@ impl ServeState {
                 let key = self.timed_key(&request.body);
                 self.handle_measure(key, measure)
             }
+            RequestBody::Upload(upload) => self.handle_upload(upload),
+            RequestBody::Edit(edit) => self.handle_edit(edit),
+            RequestBody::Release(release) => self.handle_release(release),
         };
         self.finish(request.id, body)
     }
@@ -384,6 +403,10 @@ impl ServeState {
                 let key = self.timed_key(body);
                 Some(self.measure_body(key, &game, &pure, &done.outcome))
             }
+            // Upload and Edit always run engines — never fast. Release is
+            // pure bookkeeping and always answers on the fast path.
+            RequestBody::Upload(_) | RequestBody::Edit(_) => None,
+            RequestBody::Release(release) => Some(self.handle_release(release)),
         }
     }
 
@@ -542,6 +565,149 @@ impl ServeState {
         };
         span.finish();
         body
+    }
+
+    /// The resident-session engine: local search (the repair path's warm
+    /// backend) with the exhaustive solver as the conclusive small-game
+    /// fallback. Sessions bypass the policy tree — a session must end every
+    /// accepted request with a *certified profile* to repair from, so the
+    /// portfolio is fixed rather than client-composed. Probes record into
+    /// the service registry, so `engine.repair_ns` / `repair.moves` /
+    /// `repair.fallback_cold` surface through the `Metrics` verb.
+    fn session_engine(&self) -> SolverEngine {
+        SolverEngine::from_kinds(
+            self.base_solver,
+            &[SolverKind::LocalSearch, SolverKind::Exhaustive],
+        )
+        .with_recorder(self.obs.recorder.clone())
+    }
+
+    /// `Upload`: validate, solve cold, pin the game plus its certified
+    /// profile, hand out the session id. Nothing is pinned unless the solve
+    /// certified.
+    fn handle_upload(&self, upload: &UploadRequest) -> ResponseBody {
+        let (game, initial) = match self.build_instance(&upload.instance) {
+            Ok(built) => built,
+            Err(err) => return ResponseBody::Error(err),
+        };
+        let solved = match self.session_engine().solve(&game, &initial) {
+            Ok(solved) => solved,
+            Err(e) => return ResponseBody::Error(WireError::engine(&e)),
+        };
+        let Some(solution) = solved.solution else {
+            return ResponseBody::Error(WireError::new(
+                ErrorKind::Engine,
+                "no pure equilibrium certified within budget; nothing was pinned",
+            ));
+        };
+        let wire = WireSolution {
+            choices: solution.profile.choices().to_vec(),
+            method: solve_method_id(solution.method).to_string(),
+        };
+        let (session, evicted) = self.sessions.insert(game, initial, solution.profile);
+        if evicted.is_some() {
+            self.obs.session_evictions.incr(1);
+        }
+        self.obs.sessions.set(self.sessions.len() as u64);
+        ResponseBody::Upload(UploadReply {
+            session,
+            solution: wire,
+        })
+    }
+
+    /// `Edit`: resolve the session, apply the edit, warm-start repair from
+    /// the pinned certified profile, re-pin the repaired state. A stale id
+    /// is a typed [`ErrorKind::SessionEvicted`] / [`ErrorKind::UnknownSession`]
+    /// — never a silent cold solve. On any failure the session keeps its
+    /// last certified state.
+    fn handle_edit(&self, request: &EditRequest) -> ResponseBody {
+        let snapshot = match self.sessions.lookup(request.session) {
+            SessionLookup::Found(snapshot) => snapshot,
+            SessionLookup::Evicted => {
+                return ResponseBody::Error(WireError::new(
+                    ErrorKind::SessionEvicted,
+                    format!(
+                        "session {} was evicted or released; re-upload the instance",
+                        request.session
+                    ),
+                ))
+            }
+            SessionLookup::Unknown => {
+                return ResponseBody::Error(WireError::new(
+                    ErrorKind::UnknownSession,
+                    format!("session {} was never allocated", request.session),
+                ))
+            }
+        };
+        let edit = request.edit.to_edit();
+        if matches!(edit, GameEdit::UserJoins { .. })
+            && snapshot.game.users() >= self.limits.max_users
+        {
+            return ResponseBody::Error(WireError::new(
+                ErrorKind::Oversize,
+                format!(
+                    "join would grow the session past the {}-user cap",
+                    self.limits.max_users
+                ),
+            ));
+        }
+        // The store lock is already released: repair runs unlocked on the
+        // cloned snapshot. Concurrent edits to one session serialise only
+        // at the final update (last writer wins) — sessions are a
+        // single-writer resource by contract.
+        let outcome = match self.session_engine().repair(
+            &snapshot.game,
+            &snapshot.initial,
+            &snapshot.profile,
+            &edit,
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => return ResponseBody::Error(WireError::engine(&e)),
+        };
+        let Some(solution) = outcome.solution.solution else {
+            return ResponseBody::Error(WireError::new(
+                ErrorKind::Engine,
+                "neither the warm repair nor the cold fallback certified; session unchanged",
+            ));
+        };
+        let wire = WireSolution {
+            choices: solution.profile.choices().to_vec(),
+            method: solve_method_id(solution.method).to_string(),
+        };
+        // If the session was evicted while repairing, the update is a no-op
+        // and the *next* edit gets the typed SessionEvicted answer.
+        self.sessions
+            .update(request.session, outcome.game, solution.profile);
+        ResponseBody::Edit(EditReply {
+            session: request.session,
+            solution: wire,
+            repair: wire_repair(&outcome.repair),
+        })
+    }
+
+    /// `Release`: drop the pinned state, reporting the session's accepted
+    /// edit count. Stale ids get the same typed answers as `Edit`.
+    fn handle_release(&self, request: &ReleaseRequest) -> ResponseBody {
+        match self.sessions.remove(request.session) {
+            SessionRemoval::Released { edits } => {
+                self.obs.sessions.set(self.sessions.len() as u64);
+                ResponseBody::Release(ReleaseReply {
+                    session: request.session,
+                    edits,
+                })
+            }
+            SessionRemoval::Evicted => ResponseBody::Error(WireError::new(
+                ErrorKind::SessionEvicted,
+                format!(
+                    "session {} was already evicted or released",
+                    request.session
+                ),
+            )),
+            SessionRemoval::Unknown => ResponseBody::Error(WireError::new(
+                ErrorKind::UnknownSession,
+                format!("session {} was never allocated", request.session),
+            )),
+        }
     }
 
     /// The report body for a measured profile against completed brackets

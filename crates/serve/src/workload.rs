@@ -5,12 +5,12 @@
 //! produces the same request, so a workload can be generated on both
 //! sides of a socket (driver and replayer) without shipping it.
 
-use instance_gen::{CapacityDist, EffectiveSpec, WeightDist};
+use instance_gen::{CapacityDist, ChurnSpec, EffectiveSpec, WeightDist};
 use netuncert_core::prelude::EffectiveGame;
 
 use crate::policy::{BracketLeaf, Policy, SolveLeaf};
 use crate::protocol::{
-    BracketRequest, MeasureRequest, Request, RequestBody, SolveRequest, WireInstance,
+    BracketRequest, MeasureRequest, Request, RequestBody, SolveRequest, WireEdit, WireInstance,
 };
 
 /// Distinct instance shapes a mixed workload cycles through. Kept small so
@@ -145,6 +145,33 @@ pub fn mixed_request(seed: u64, index: usize) -> Request {
     }
 }
 
+/// One deterministic churn session for the harness: the instance to
+/// `Upload` plus `edits` structurally valid edits to stream as `Edit`
+/// requests, all derived from `seed`. Both sides of a socket can mirror the
+/// session (apply the edits locally) without shipping it.
+pub fn churn_session(
+    seed: u64,
+    users: usize,
+    links: usize,
+    edits: usize,
+) -> (WireInstance, Vec<WireEdit>) {
+    let instance = wire_instance(users, links, seed);
+    let spec = ChurnSpec {
+        // Stay comfortably above the 2-user legality floor so leaves never
+        // degrade away entirely.
+        min_users: 3.min(users),
+        max_users: users + edits,
+        ..ChurnSpec::default_scenario()
+    };
+    let wire_edits = spec
+        .stream(users, links, instance_gen::rng(seed, 1))
+        .take_edits(edits)
+        .iter()
+        .map(WireEdit::from_edit)
+        .collect();
+    (instance, wire_edits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +183,22 @@ mod tests {
         assert_eq!(a, b);
         let c = serde_json::to_string(&mixed_request(8, 3)).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn churn_sessions_are_deterministic_and_structurally_valid() {
+        use netuncert_core::prelude::EffectiveGame;
+        let (instance, edits) = churn_session(5, 6, 3, 24);
+        let (again, edits_again) = churn_session(5, 6, 3, 24);
+        assert_eq!(instance, again);
+        assert_eq!(edits, edits_again);
+        // Every edit applies cleanly in order to the mirrored game.
+        let mut game =
+            EffectiveGame::from_rows(instance.weights.clone(), instance.capacities.clone())
+                .unwrap();
+        for edit in &edits {
+            game = game.apply_edit(&edit.to_edit()).expect("valid stream");
+        }
     }
 
     #[test]

@@ -315,3 +315,145 @@ fn oversize_lines_get_a_typed_error_then_close() {
     assert!(matches!(response.body, ResponseBody::Shutdown));
     handle.join().expect("server thread").expect("clean run");
 }
+
+/// Session-store eviction releases the pinned state and answers stale ids
+/// with *typed* errors — never a panic, never a silent cold solve. The
+/// evicted-vs-never-existed distinction is part of the wire contract.
+#[test]
+fn stale_session_ids_yield_typed_session_errors() {
+    use netuncert_serve::protocol::{EditRequest, ReleaseRequest, UploadRequest, WireEdit};
+
+    // Capacity 1: the second upload must evict the first session.
+    let state = ServeState::new(&ServeConfig {
+        session_capacity: 1,
+        ..ServeConfig::default()
+    });
+    let upload = |id: u64, seed: u64| {
+        let request = Request {
+            id,
+            body: RequestBody::Upload(UploadRequest {
+                instance: wire_instance(4, 3, seed),
+            }),
+        };
+        let raw = state.handle_line(&serde_json::to_string(&request).unwrap());
+        let response: Response = serde_json::from_str(&raw).unwrap();
+        match response.body {
+            ResponseBody::Upload(reply) => reply.session,
+            other => panic!("upload {id} did not pin: {other:?}"),
+        }
+    };
+    let edit_line = |id: u64, session: u64| {
+        let request = Request {
+            id,
+            body: RequestBody::Edit(EditRequest {
+                session,
+                edit: WireEdit::Capacity {
+                    user: 0,
+                    link: 0,
+                    capacity: 7.0,
+                },
+            }),
+        };
+        serde_json::to_string(&request).unwrap()
+    };
+
+    let first = upload(1, 10);
+    let second = upload(2, 11);
+    assert_ne!(first, second);
+
+    // The evicted session's id answers SessionEvicted, echoing the request
+    // id; the live session still repairs.
+    let (id, kind) = error_kind(&state.handle_line(&edit_line(3, first))).expect("typed error");
+    assert_eq!((id, kind), (3, ErrorKind::SessionEvicted));
+    let raw = state.handle_line(&edit_line(4, second));
+    let response: Response = serde_json::from_str(&raw).unwrap();
+    assert!(
+        matches!(response.body, ResponseBody::Edit(_)),
+        "live session must repair: {raw}"
+    );
+
+    // An id never allocated is a different typed answer.
+    let (_, kind) = error_kind(&state.handle_line(&edit_line(5, 999))).expect("typed error");
+    assert_eq!(kind, ErrorKind::UnknownSession);
+
+    // Releasing the evicted id is typed too; releasing the live one works
+    // once and then *it* is stale.
+    let release_line = |id: u64, session: u64| {
+        serde_json::to_string(&Request {
+            id,
+            body: RequestBody::Release(ReleaseRequest { session }),
+        })
+        .unwrap()
+    };
+    let (_, kind) = error_kind(&state.handle_line(&release_line(6, first))).expect("typed error");
+    assert_eq!(kind, ErrorKind::SessionEvicted);
+    let raw = state.handle_line(&release_line(7, second));
+    let response: Response = serde_json::from_str(&raw).unwrap();
+    let ResponseBody::Release(reply) = response.body else {
+        panic!("release failed: {raw}");
+    };
+    assert_eq!(reply.edits, 1);
+    let (_, kind) = error_kind(&state.handle_line(&edit_line(8, second))).expect("typed error");
+    assert_eq!(kind, ErrorKind::SessionEvicted);
+}
+
+/// A structurally invalid edit (bad user index, bad capacity) is a typed
+/// Engine error and leaves the session intact and certified.
+#[test]
+fn invalid_edits_are_typed_and_leave_the_session_pinned() {
+    use netuncert_serve::protocol::{EditRequest, UploadRequest, WireEdit};
+
+    let state = state();
+    let request = Request {
+        id: 1,
+        body: RequestBody::Upload(UploadRequest {
+            instance: wire_instance(4, 3, 2),
+        }),
+    };
+    let raw = state.handle_line(&serde_json::to_string(&request).unwrap());
+    let response: Response = serde_json::from_str(&raw).unwrap();
+    let ResponseBody::Upload(reply) = response.body else {
+        panic!("upload failed: {raw}");
+    };
+    let session = reply.session;
+    for bad in [
+        WireEdit::Leave { user: 99 },
+        WireEdit::Capacity {
+            user: 0,
+            link: 99,
+            capacity: 1.0,
+        },
+        WireEdit::Capacity {
+            user: 0,
+            link: 0,
+            capacity: -1.0,
+        },
+        WireEdit::Join {
+            weight: 1.0,
+            capacities: vec![1.0], // wrong row length
+        },
+    ] {
+        let line = serde_json::to_string(&Request {
+            id: 9,
+            body: RequestBody::Edit(EditRequest { session, edit: bad }),
+        })
+        .unwrap();
+        let (id, kind) = error_kind(&state.handle_line(&line)).expect("typed error");
+        assert_eq!((id, kind), (9, ErrorKind::Engine));
+    }
+    // The session survived every rejected edit and still repairs.
+    let line = serde_json::to_string(&Request {
+        id: 10,
+        body: RequestBody::Edit(EditRequest {
+            session,
+            edit: WireEdit::Capacity {
+                user: 0,
+                link: 0,
+                capacity: 9.0,
+            },
+        }),
+    })
+    .unwrap();
+    let response: Response = serde_json::from_str(&state.handle_line(&line)).unwrap();
+    assert!(matches!(response.body, ResponseBody::Edit(_)));
+}

@@ -5,6 +5,7 @@
 use crate::experiment::Experiment;
 
 pub mod belief_noise;
+pub mod churn_repair;
 pub mod conjecture;
 pub mod fmne;
 pub mod kp_compare;
@@ -17,7 +18,7 @@ pub mod three_users;
 pub mod worst_case;
 
 /// Every registered experiment, in report order (the `DESIGN.md` index:
-/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13, E14, E15).
+/// E4, E5, E6, E7/E8, E9, E10, E11, E12, E13, E14, E15, E16).
 pub fn all() -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(three_users::ThreeUsers),
@@ -31,6 +32,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(scaling::Scaling),
         Box::new(poa_scaling::PoaScaling),
         Box::new(belief_noise::BeliefNoise),
+        Box::new(churn_repair::ChurnRepair),
     ]
 }
 
@@ -66,6 +68,7 @@ mod tests {
                 "scaling",
                 "poa_scaling",
                 "belief_noise",
+                "churn_repair",
             ]
         );
     }

@@ -52,7 +52,7 @@ mod tests {
             ..ExperimentConfig::quick()
         };
         let outcomes = run_all(&config).expect("the registry assembles its reports");
-        assert_eq!(outcomes.len(), 11);
+        assert_eq!(outcomes.len(), 12);
         assert!(
             outcomes.iter().all(|o| o.holds),
             "failing experiments: {:?}",

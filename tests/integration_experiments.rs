@@ -15,7 +15,7 @@ fn tiny_config() -> ExperimentConfig {
 #[test]
 fn the_full_suite_is_consistent_with_the_paper() {
     let outcomes = run_all(&tiny_config()).expect("reports assemble");
-    assert_eq!(outcomes.len(), 11, "every experiment in DESIGN.md must run");
+    assert_eq!(outcomes.len(), 12, "every experiment in DESIGN.md must run");
     let failing: Vec<&ExperimentOutcome> = outcomes.iter().filter(|o| !o.holds).collect();
     assert!(
         failing.is_empty(),
@@ -33,7 +33,7 @@ fn experiment_ids_match_the_design_document() {
     let ids: Vec<&str> = outcomes.iter().map(|o| o.id.as_str()).collect();
     assert_eq!(
         ids,
-        vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"]
+        vec!["E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16",]
     );
 }
 
